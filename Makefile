@@ -1,0 +1,50 @@
+# RegHD — common workflows. Pure Go; no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-quick experiments fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/hdc/ .
+
+cover:
+	$(GO) test -cover ./...
+
+# The full testing.B harness (one benchmark per paper table/figure plus
+# kernel micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Only the kernel micro-benchmarks (fast).
+bench-quick:
+	$(GO) test -bench='Encode|Hamming|Cosine|DotBinary|Predict' -benchmem .
+
+# Regenerate every paper table and figure.
+experiments:
+	$(GO) run ./cmd/reghd-bench -exp all
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dataset/
+	$(GO) test -fuzz=FuzzPackUnpack -fuzztime=10s ./internal/hdc/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/powerplant
+	$(GO) run ./examples/edge
+	$(GO) run ./examples/robustness
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/forecast
+	$(GO) run ./examples/classify
+	$(GO) run ./examples/rlcontrol
+
+clean:
+	$(GO) clean ./...

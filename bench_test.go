@@ -1,0 +1,164 @@
+package reghd
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/encoding"
+	"reghd/internal/experiments"
+	"reghd/internal/hdc"
+)
+
+// benchOptions are the experiment settings used by the table/figure
+// benchmarks: moderate dimensionality and sample caps so the full bench
+// suite completes in minutes while preserving every trend. The
+// reghd-bench CLI runs the same experiments at full scale.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 1, Dim: 512, MaxSamples: 1200, Epochs: 20}
+}
+
+// runExperiment executes one registered experiment per benchmark
+// iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md §4).
+
+func BenchmarkFig3aIterations(b *testing.B)        { runExperiment(b, "fig3a") }
+func BenchmarkFig3bSingleVsMulti(b *testing.B)     { runExperiment(b, "fig3b") }
+func BenchmarkTable1Quality(b *testing.B)          { runExperiment(b, "table1") }
+func BenchmarkFig6ClusterQuant(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig7Configs(b *testing.B)            { runExperiment(b, "fig7") }
+func BenchmarkFig8Efficiency(b *testing.B)         { runExperiment(b, "fig8") }
+func BenchmarkFig9ConfigEfficiency(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkTable2Dimensionality(b *testing.B)   { runExperiment(b, "table2") }
+func BenchmarkCapacityAnalysis(b *testing.B)       { runExperiment(b, "cap") }
+func BenchmarkRobustnessSweep(b *testing.B)        { runExperiment(b, "robust") }
+func BenchmarkAblationSweep(b *testing.B)          { runExperiment(b, "ablate") }
+func BenchmarkSparsitySweep(b *testing.B)          { runExperiment(b, "sparse") }
+func BenchmarkDesignSpaceExploration(b *testing.B) { runExperiment(b, "dse") }
+func BenchmarkPlatformComparison(b *testing.B)     { runExperiment(b, "platforms") }
+
+// Micro-benchmarks of the hot kernels, for profiling the substrate itself.
+
+func BenchmarkEncodeNonlinear(b *testing.B) {
+	enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(1)), 13, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 13)
+	for j := range x {
+		x[j] = rand.New(rand.NewSource(2)).NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodeBipolar(nil, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHammingSimilarity(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := hdc.RandomBipolarBinary(rng, 4000)
+	y := hdc.RandomBipolarBinary(rng, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hdc.HammingSimilarity(nil, x, y)
+	}
+}
+
+func BenchmarkCosineSimilarity(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := hdc.RandomBipolar(rng, 4000)
+	y := hdc.RandomGaussian(rng, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hdc.Cosine(nil, x, y)
+	}
+}
+
+func BenchmarkDotBinaryDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := hdc.RandomBipolarBinary(rng, 4000)
+	y := hdc.RandomGaussian(rng, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hdc.DotBinaryDense(nil, x, y)
+	}
+}
+
+func BenchmarkTrainEpochMultiModel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	train := &Dataset{Name: "bench", X: make([][]float64, 500), Y: make([]float64, 500)}
+	for i := range train.X {
+		x := make([]float64, 8)
+		var y float64
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += x[j]
+		}
+		train.X[i] = x
+		train.Y[i] = y
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(7)), 8, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.Config{Models: 8, Epochs: 1, Tol: 1e-12, Patience: 1000, Seed: 8}
+		m, err := core.New(enc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictMultiModel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	train := &Dataset{Name: "bench", X: make([][]float64, 200), Y: make([]float64, 200)}
+	for i := range train.X {
+		x := make([]float64, 8)
+		var y float64
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += x[j]
+		}
+		train.X[i] = x
+		train.Y[i] = y
+	}
+	enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(10)), 8, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Models: 8, Epochs: 3, Seed: 11}
+	m, err := core.New(enc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

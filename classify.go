@@ -1,0 +1,16 @@
+package reghd
+
+import "reghd/internal/hdclass"
+
+// Classifier is a general hyperdimensional classifier (single-pass
+// bundling + adaptive retraining), the classification companion of the
+// RegHD regressor.
+type Classifier = hdclass.Classifier
+
+// ClassifierConfig holds the classifier hyper-parameters.
+type ClassifierConfig = hdclass.Config
+
+// NewClassifier builds an untrained HD classifier over the encoder.
+func NewClassifier(enc Encoder, cfg ClassifierConfig) (*Classifier, error) {
+	return hdclass.New(enc, cfg)
+}

@@ -1,0 +1,59 @@
+// Command reghd-bench regenerates the paper's tables and figures on the
+// synthetic dataset stand-ins and the hardware cost model.
+//
+// Usage:
+//
+//	reghd-bench -list
+//	reghd-bench -exp table1
+//	reghd-bench -exp all [-quick] [-seed 1] [-dim 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reghd/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id to run, or \"all\"")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quick  = flag.Bool("quick", false, "tiny smoke-test settings")
+		seed   = flag.Int64("seed", 1, "random seed")
+		dim    = flag.Int("dim", 0, "hypervector dimensionality (0 = default)")
+		reps   = flag.Int("replicates", 0, "seed replicates for Table 1 (0 = default)")
+		format = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Dim: *dim, Quick: *quick, Replicates: *reps}
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var out string
+		var err error
+		if *format == "csv" {
+			out, err = experiments.RunCSV(id, opts)
+		} else {
+			out, err = experiments.Run(id, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reghd-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+}

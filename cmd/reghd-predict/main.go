@@ -1,0 +1,84 @@
+// Command reghd-predict loads a pipeline saved by reghd-train and predicts
+// on a CSV of feature rows, completing the train → save → deploy loop.
+//
+// Usage:
+//
+//	reghd-train -synth ccpp -save model.gob
+//	reghd-predict -model model.gob -data queries.csv [-header] [-labeled]
+//
+// With -labeled the last CSV column is treated as the true target and
+// quality metrics are reported alongside the predictions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reghd"
+)
+
+func run() error {
+	var (
+		modelPath = flag.String("model", "", "pipeline file written by reghd-train -save")
+		dataPath  = flag.String("data", "", "CSV of feature rows (with -labeled, last column is the target)")
+		header    = flag.Bool("header", false, "CSV has a header row")
+		labeled   = flag.Bool("labeled", false, "last column is the true target; report metrics")
+	)
+	flag.Parse()
+	if *modelPath == "" || *dataPath == "" {
+		return fmt.Errorf("-model and -data are required")
+	}
+	pipe, err := reghd.LoadPipelineFile(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	var xs [][]float64
+	var ys []float64
+	if *labeled {
+		ds, err := reghd.LoadCSV(*dataPath, *dataPath, *header)
+		if err != nil {
+			return err
+		}
+		xs, ys = ds.X, ds.Y
+	} else {
+		// Unlabeled: every column is a feature. Reuse the CSV reader by
+		// noting it treats the last column as a target, then re-append it.
+		ds, err := reghd.LoadCSV(*dataPath, *dataPath, *header)
+		if err != nil {
+			return err
+		}
+		xs = make([][]float64, ds.Len())
+		for i, row := range ds.X {
+			xs[i] = append(append([]float64(nil), row...), ds.Y[i])
+		}
+	}
+
+	preds, err := pipe.PredictBatch(xs)
+	if err != nil {
+		return err
+	}
+	for _, p := range preds {
+		fmt.Println(p)
+	}
+	if *labeled {
+		mse, err := reghd.MSE(preds, ys)
+		if err != nil {
+			return err
+		}
+		r2, err := reghd.R2(preds, ys)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "MSE: %.4f  R2: %.4f over %d rows\n", mse, r2, len(preds))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reghd-predict:", err)
+		os.Exit(1)
+	}
+}

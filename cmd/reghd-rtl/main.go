@@ -1,0 +1,91 @@
+// Command reghd-rtl generates synthesizable Verilog for the RegHD
+// quantized inference datapath, plus a self-checking testbench with
+// bit-true stimulus from the Go reference implementation.
+//
+// Usage:
+//
+//	reghd-rtl -dim 2048 -models 8 -out rtl/
+//	cd rtl && iverilog -g2012 -o sim *.v && vvp sim   # expect "PASS"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"reghd"
+	"reghd/internal/hwgen"
+)
+
+func run() error {
+	var (
+		dim       = flag.Int("dim", 2048, "hypervector dimensionality (multiple of 64)")
+		models    = flag.Int("models", 8, "number of cluster/model pairs")
+		out       = flag.String("out", "rtl", "output directory")
+		queries   = flag.Int("queries", 50, "testbench query count")
+		seed      = flag.Int64("seed", 1, "stimulus seed")
+		modelPath = flag.String("model", "", "deploy a trained pipeline (from reghd-train -save) instead of random memories")
+		dataPath  = flag.String("data", "", "CSV of query rows for -model deployment (last column ignored as target)")
+		header    = flag.Bool("header", false, "query CSV has a header row")
+	)
+	flag.Parse()
+
+	if *modelPath != "" {
+		// Deploy a trained model: its binary shadows become the memories
+		// and the CSV rows (standardized by the pipeline's scaler) become
+		// the stimulus.
+		pipe, err := reghd.LoadPipelineFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		if *dataPath == "" {
+			return fmt.Errorf("-model requires -data with query rows")
+		}
+		ds, err := reghd.LoadCSV(*dataPath, *dataPath, *header)
+		if err != nil {
+			return err
+		}
+		n := ds.Len()
+		if n > *queries {
+			n = *queries
+		}
+		rows := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := append([]float64(nil), ds.X[i]...)
+			if err := pipe.Scaler().TransformRow(row); err != nil {
+				return err
+			}
+			rows[i] = row
+		}
+		m := pipe.Model()
+		if err := hwgen.ExportTrained(m, rows, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trained deployment (D=%d K=%d, %d queries) to %s/\n", m.Dim(), m.Models(), n, *out)
+		fmt.Println("simulate with: iverilog -g2012 -o sim *.v && vvp sim")
+		return nil
+	}
+
+	cfg := hwgen.Config{Dim: *dim, Models: *models}
+	if err := hwgen.WriteDir(cfg, *out); err != nil {
+		return err
+	}
+	tv, err := hwgen.GenerateTestVectors(cfg, rand.New(rand.NewSource(*seed)), *queries)
+	if err != nil {
+		return err
+	}
+	if err := hwgen.WriteTestbench(cfg, tv, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote RTL + testbench for D=%d K=%d (%d queries) to %s/\n", *dim, *models, *queries, *out)
+	fmt.Println("simulate with: iverilog -g2012 -o sim *.v && vvp sim")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reghd-rtl:", err)
+		os.Exit(1)
+	}
+}

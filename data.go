@@ -1,0 +1,56 @@
+package reghd
+
+import (
+	"io"
+
+	"reghd/internal/dataset"
+	"reghd/internal/synth"
+)
+
+// Dataset is an in-memory supervised regression dataset.
+type Dataset = dataset.Dataset
+
+// Scaler standardizes features (and optionally the target).
+type Scaler = dataset.Scaler
+
+// LoadCSV reads a regression dataset from a CSV file; the last column is
+// the target.
+func LoadCSV(path, name string, header bool) (*Dataset, error) {
+	return dataset.LoadCSV(path, name, header)
+}
+
+// ReadCSV parses a regression dataset from a reader.
+func ReadCSV(r io.Reader, name string, header bool) (*Dataset, error) {
+	return dataset.ReadCSV(r, name, header)
+}
+
+// SaveCSV writes a dataset to a CSV file.
+func SaveCSV(path string, d *Dataset) error { return dataset.SaveCSV(path, d) }
+
+// FitScaler computes standardization statistics on a training split.
+func FitScaler(d *Dataset, scaleTarget bool) (*Scaler, error) {
+	return dataset.FitScaler(d, scaleTarget)
+}
+
+// MSE returns the mean squared error between predictions and targets.
+func MSE(pred, target []float64) (float64, error) { return dataset.MSE(pred, target) }
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, target []float64) (float64, error) { return dataset.RMSE(pred, target) }
+
+// MAE returns the mean absolute error.
+func MAE(pred, target []float64) (float64, error) { return dataset.MAE(pred, target) }
+
+// R2 returns the coefficient of determination.
+func R2(pred, target []float64) (float64, error) { return dataset.R2(pred, target) }
+
+// SyntheticNames lists the built-in synthetic stand-ins for the paper's
+// seven evaluation datasets.
+func SyntheticNames() []string { return synth.Names() }
+
+// SyntheticDataset deterministically generates one of the built-in
+// evaluation datasets ("diabetes", "boston", "airfoil", "wine", "facebook",
+// "ccpp", "forest").
+func SyntheticDataset(name string, seed int64) (*Dataset, error) {
+	return synth.Load(name, seed)
+}

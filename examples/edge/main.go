@@ -1,0 +1,87 @@
+// Edge: deploy RegHD on an embedded target with the Section 3 quantization
+// framework. Trains the full-precision model and the quantized
+// configurations on an airfoil-noise workload, then uses the hardware cost
+// model to compare estimated inference latency and energy on an FPGA and an
+// ARM Cortex-A53 — the paper's Fig. 7/Fig. 9 trade-off in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"reghd"
+)
+
+type config struct {
+	name string
+	cm   reghd.ClusterMode
+	pm   reghd.PredictMode
+}
+
+func main() {
+	ds, err := reghd.SyntheticDataset("airfoil", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	train, test, err := ds.Split(rng, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []config{
+		{"full precision", reghd.ClusterInteger, reghd.PredictFull},
+		{"binary cluster", reghd.ClusterBinary, reghd.PredictFull},
+		{"binary query", reghd.ClusterBinary, reghd.PredictBinaryQuery},
+		{"binary model", reghd.ClusterBinary, reghd.PredictBinaryModel},
+		{"fully binary", reghd.ClusterBinary, reghd.PredictBinaryBoth},
+	}
+
+	fpga := reghd.FPGAProfile()
+	arm := reghd.ARMProfile()
+	fmt.Printf("%-16s %10s %14s %14s %14s\n",
+		"configuration", "test MSE", "fpga latency", "fpga energy", "arm latency")
+	for _, c := range configs {
+		enc, err := reghd.NewEncoderBandwidth(ds.Features(), 2000, 1.4, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := reghd.DefaultConfig()
+		cfg.Models = 8
+		cfg.Epochs = 25
+		cfg.ClusterMode = c.cm
+		cfg.PredictMode = c.pm
+		model, err := reghd.NewModel(enc, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipe := reghd.NewPipeline(model)
+		if _, err := pipe.Fit(train); err != nil {
+			log.Fatal(err)
+		}
+		mse, err := pipe.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Record the operation mix of 100 queries and cost them out.
+		model.InferCounter = &reghd.OpCounter{}
+		if _, err := pipe.PredictBatch(test.X[:100]); err != nil {
+			log.Fatal(err)
+		}
+		fpgaCost, err := reghd.EstimateCost(model.InferCounter, fpga)
+		if err != nil {
+			log.Fatal(err)
+		}
+		armCost, err := reghd.EstimateCost(model.InferCounter, arm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %10.3f %11.2f µs %11.2f µJ %11.2f µs\n",
+			c.name, mse,
+			fpgaCost.Seconds/100*1e6, fpgaCost.Joules/100*1e6,
+			armCost.Seconds/100*1e6)
+	}
+	fmt.Println("\n(latency/energy are modeled per-query costs; see DESIGN.md §3)")
+}

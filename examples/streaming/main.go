@@ -1,0 +1,101 @@
+// Streaming: single-pass online regression on an IoT-style sensor stream.
+// Samples arrive one at a time; the model learns with PartialFit (the
+// paper's single-pass mode, §2.3), periodically refreshes its quantized
+// shadows, and is finally saved to disk and restored — the full lifecycle
+// of an embedded deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"reghd"
+)
+
+// sensor simulates a drifting industrial process: the reading depends
+// nonlinearly on two measured inputs.
+func sensor(rng *rand.Rand) (x []float64, y float64) {
+	a := rng.Float64()*4 - 2
+	b := rng.NormFloat64()
+	y = 40 + 12*math.Sin(2*a) + 5*b + 0.3*rng.NormFloat64()
+	return []float64{a, b}, y
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	enc, err := reghd.NewEncoderBandwidth(2, 4000, 1.2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := reghd.DefaultConfig()
+	cfg.Models = 4
+	cfg.ClusterMode = reghd.ClusterBinary     // Hamming similarity search
+	cfg.PredictMode = reghd.PredictBinaryBoth // XOR+popcount deployment
+	model, err := reghd.NewModel(enc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 5000 samples; report prequential error per 1000-sample window
+	// and refresh the quantized shadows between windows.
+	const windows, perWindow = 5, 1000
+	var recentX [][]float64
+	var recentY []float64
+	for w := 0; w < windows; w++ {
+		var seen int
+		var sqErr float64
+		for i := 0; i < perWindow; i++ {
+			x, y := sensor(rng)
+			if model.Trained() {
+				if pred, err := model.Predict(x); err == nil {
+					sqErr += (pred - y) * (pred - y)
+					seen++
+				}
+			}
+			if err := model.PartialFit(x, y); err != nil {
+				log.Fatal(err)
+			}
+			recentX = append(recentX, x)
+			recentY = append(recentY, y)
+			if len(recentX) > 256 {
+				recentX = recentX[1:]
+				recentY = recentY[1:]
+			}
+		}
+		if err := model.RefreshShadows(recentX, recentY); err != nil {
+			log.Fatal(err)
+		}
+		if seen > 0 {
+			fmt.Printf("window %d: prequential MSE %8.3f over %d predictions\n",
+				w+1, sqErr/float64(seen), seen)
+		}
+	}
+
+	// Persist the deployed model and prove the restored copy agrees.
+	dir, err := os.MkdirTemp("", "reghd-stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.gob")
+	if err := model.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := reghd.LoadModelFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, y := sensor(rng)
+	a, _ := model.Predict(x)
+	b, _ := restored.Predict(x)
+	fmt.Printf("\nsaved+restored: f(%v) = %.2f / %.2f (actual %.2f)\n", x, a, b, y)
+	if a != b {
+		log.Fatal("restored model disagrees with original")
+	}
+	fmt.Println("restored model predicts identically ✓")
+}

@@ -1,0 +1,205 @@
+package reghd
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestPipelineSaveLoadRoundTrip(t *testing.T) {
+	all := makeData(11, 500)
+	enc, _ := NewEncoder(2, 512, 12)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	m, _ := NewModel(enc, cfg)
+	pipe := NewPipeline(m)
+	if _, err := pipe.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		want, err := pipe.Predict(all.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Predict(all.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("row %d: %v vs %v after round trip", i, want, got)
+		}
+	}
+}
+
+func TestPipelineSaveLoadFile(t *testing.T) {
+	all := makeData(13, 300)
+	enc, _ := NewEncoder(2, 256, 14)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m, _ := NewModel(enc, cfg)
+	pipe := NewPipeline(m)
+	if _, err := pipe.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pipe.gob")
+	if err := pipe.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPipelineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := pipe.Predict(all.X[0])
+	b, _ := back.Predict(all.X[0])
+	if a != b {
+		t.Fatal("file round trip changed predictions")
+	}
+	if _, err := LoadPipelineFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPipelineSaveUnfitted(t *testing.T) {
+	enc, _ := NewEncoder(2, 64, 1)
+	m, _ := NewModel(enc, DefaultConfig())
+	pipe := NewPipeline(m)
+	if err := pipe.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("unfitted pipeline accepted Save")
+	}
+}
+
+func TestClassifierFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	var xs [][]float64
+	var labels []int
+	for i := 0; i < 300; i++ {
+		c := rng.Intn(2)
+		off := float64(c)*4 - 2
+		xs = append(xs, []float64{off + rng.NormFloat64(), off + rng.NormFloat64()})
+		labels = append(labels, c)
+	}
+	enc, err := NewEncoderBandwidth(2, 1000, 2.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := NewClassifier(enc, ClassifierConfig{Classes: 2, Epochs: 10, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := clf.Accuracy(xs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("separable blobs accuracy %v too low", acc)
+	}
+}
+
+func TestSequenceEncoderFacade(t *testing.T) {
+	base, err := NewEncoderBandwidth(1, 512, 0.8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEnc, err := NewSequenceEncoder(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqEnc.Features() != 4 || seqEnc.Dim() != 512 {
+		t.Fatalf("sequence encoder shape wrong: %d/%d", seqEnc.Features(), seqEnc.Dim())
+	}
+	m, err := NewModel(seqEnc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 512 {
+		t.Fatal("model over sequence encoder wrong dim")
+	}
+	if _, err := NewSequenceEncoder(nil, 4); err == nil {
+		t.Fatal("nil base accepted")
+	}
+}
+
+func TestQAgentFacade(t *testing.T) {
+	cfg := DefaultQAgentConfig()
+	cfg.Dim = 256
+	agent, err := NewQAgent(&Chase{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.Train(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 5 {
+		t.Fatalf("episodes %d", res.Episodes)
+	}
+	if _, err := agent.Evaluate(2); err != nil {
+		t.Fatal(err)
+	}
+	env := &CartPole{MaxSteps: 10}
+	rng := rand.New(rand.NewSource(24))
+	s := env.Reset(rng)
+	if len(s) != 4 {
+		t.Fatal("cartpole facade state wrong")
+	}
+}
+
+func TestModelSparsifyFacade(t *testing.T) {
+	all := makeData(25, 400)
+	enc, _ := NewEncoder(2, 512, 26)
+	cfg := DefaultConfig()
+	cfg.Epochs = 8
+	cfg.PredictMode = PredictBinaryQuery
+	m, _ := NewModel(enc, cfg)
+	pipe := NewPipeline(m)
+	if _, err := pipe.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sparsify(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ModelSparsity(); math.Abs(s-0.5) > 0.02 {
+		t.Fatalf("sparsity %v, want ≈0.5", s)
+	}
+}
+
+func TestPredictBatchParallelFacade(t *testing.T) {
+	all := makeData(27, 300)
+	enc, _ := NewEncoder(2, 256, 28)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m, _ := NewModel(enc, cfg)
+	pipe := NewPipeline(m)
+	if _, err := pipe.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel batch prediction on standardized rows must equal sequential.
+	sc, _ := FitScaler(all, true)
+	std, _ := sc.Transform(all)
+	seqP, err := m.PredictBatch(std.X[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	parP, err := m.PredictBatchParallel(std.X[:50], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqP {
+		if seqP[i] != parP[i] {
+			t.Fatal("parallel facade differs from sequential")
+		}
+	}
+}

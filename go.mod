@@ -1,0 +1,3 @@
+module reghd
+
+go 1.22

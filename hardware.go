@@ -1,0 +1,26 @@
+package reghd
+
+import "reghd/internal/hwmodel"
+
+// HardwareProfile describes an embedded target for the analytical cost
+// model (per-op energy, issue widths, clock, static power).
+type HardwareProfile = hwmodel.Profile
+
+// HardwareCost is an estimated runtime and energy.
+type HardwareCost = hwmodel.Cost
+
+// RegHDWorkload describes a RegHD run for cost estimation.
+type RegHDWorkload = hwmodel.RegHDWorkload
+
+// FPGAProfile returns the Kintex-7-class hardware profile used by the
+// efficiency experiments.
+func FPGAProfile() HardwareProfile { return hwmodel.FPGA() }
+
+// ARMProfile returns the Raspberry-Pi-class (Cortex-A53) profile.
+func ARMProfile() HardwareProfile { return hwmodel.ARM() }
+
+// EstimateCost converts recorded operation counts into runtime and energy
+// on a hardware profile.
+func EstimateCost(c *OpCounter, p HardwareProfile) (HardwareCost, error) {
+	return hwmodel.EstimateCounter(c, p)
+}

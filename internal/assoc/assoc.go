@@ -1,0 +1,123 @@
+// Package assoc implements the hyperdimensional associative item memory —
+// the "cleanup memory" of classic HD architectures and the structure the
+// paper's related work accelerates in hardware ([16] "Exploring
+// hyperdimensional associative memory", [17], [43]). Items are stored as
+// hypervectors under string keys; a noisy or composite query is cleaned up
+// to the nearest stored item by similarity search, with the same
+// integer-vs-binary trade-off RegHD makes: cosine search over dense items
+// or Hamming search over bit-packed shadows.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"reghd/internal/hdc"
+)
+
+// Memory is an associative store of named hypervectors.
+type Memory struct {
+	dim    int
+	names  []string
+	items  []hdc.Vector
+	packed []*hdc.Binary
+	index  map[string]int
+}
+
+// NewMemory creates an empty memory for hypervectors of dimension dim.
+func NewMemory(dim int) (*Memory, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("assoc: dimension must be positive, got %d", dim)
+	}
+	return &Memory{dim: dim, index: make(map[string]int)}, nil
+}
+
+// Dim returns the hypervector dimensionality.
+func (m *Memory) Dim() int { return m.dim }
+
+// Len returns the number of stored items.
+func (m *Memory) Len() int { return len(m.items) }
+
+// Names returns the stored keys in insertion order.
+func (m *Memory) Names() []string { return append([]string(nil), m.names...) }
+
+// Store inserts or replaces the item under the key. The vector is copied.
+func (m *Memory) Store(name string, v hdc.Vector) error {
+	if name == "" {
+		return errors.New("assoc: empty item name")
+	}
+	if len(v) != m.dim {
+		return fmt.Errorf("assoc: item %q has dim %d, memory expects %d", name, len(v), m.dim)
+	}
+	cp := v.Clone()
+	pk := hdc.Pack(nil, cp)
+	if i, ok := m.index[name]; ok {
+		m.items[i] = cp
+		m.packed[i] = pk
+		return nil
+	}
+	m.index[name] = len(m.items)
+	m.names = append(m.names, name)
+	m.items = append(m.items, cp)
+	m.packed = append(m.packed, pk)
+	return nil
+}
+
+// StoreRandom draws a random bipolar item, stores it, and returns it —
+// the usual way symbols get their hypervectors.
+func (m *Memory) StoreRandom(rng *rand.Rand, name string) (hdc.Vector, error) {
+	v := hdc.RandomBipolar(rng, m.dim)
+	if err := m.Store(name, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Get returns a copy of the stored item.
+func (m *Memory) Get(name string) (hdc.Vector, error) {
+	i, ok := m.index[name]
+	if !ok {
+		return nil, fmt.Errorf("assoc: no item %q", name)
+	}
+	return m.items[i].Clone(), nil
+}
+
+// ErrEmpty is returned by cleanup on an empty memory.
+var ErrEmpty = errors.New("assoc: memory is empty")
+
+// Cleanup returns the stored item most similar to the query under cosine
+// similarity, with the similarity value.
+func (m *Memory) Cleanup(q hdc.Vector) (name string, similarity float64, err error) {
+	if m.Len() == 0 {
+		return "", 0, ErrEmpty
+	}
+	if len(q) != m.dim {
+		return "", 0, fmt.Errorf("assoc: query has dim %d, memory expects %d", len(q), m.dim)
+	}
+	best, bestSim := 0, hdc.Cosine(nil, q, m.items[0])
+	for i := 1; i < m.Len(); i++ {
+		if sim := hdc.Cosine(nil, q, m.items[i]); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	return m.names[best], bestSim, nil
+}
+
+// CleanupBinary is Cleanup with the Hamming kernel over bit-packed
+// shadows — the hardware-friendly search of the paper's Section 3.
+func (m *Memory) CleanupBinary(q *hdc.Binary) (name string, similarity float64, err error) {
+	if m.Len() == 0 {
+		return "", 0, ErrEmpty
+	}
+	if q.Dim != m.dim {
+		return "", 0, fmt.Errorf("assoc: query has dim %d, memory expects %d", q.Dim, m.dim)
+	}
+	best, bestSim := 0, hdc.HammingSimilarity(nil, q, m.packed[0])
+	for i := 1; i < m.Len(); i++ {
+		if sim := hdc.HammingSimilarity(nil, q, m.packed[i]); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	return m.names[best], bestSim, nil
+}

@@ -1,0 +1,187 @@
+package assoc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+func TestNewMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(0); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	m, err := NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 64 || m.Len() != 0 {
+		t.Fatal("fresh memory wrong shape")
+	}
+}
+
+func TestStoreGetReplace(t *testing.T) {
+	m, _ := NewMemory(32)
+	rng := rand.New(rand.NewSource(1))
+	v, err := m.StoreRandom(rng, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatal("Get returned different vector")
+		}
+	}
+	// Mutating the returned copy must not affect the store.
+	got[0] = 99
+	again, _ := m.Get("a")
+	if again[0] == 99 {
+		t.Fatal("Get returned shared storage")
+	}
+	// Replacement keeps Len stable.
+	if _, err := m.StoreRandom(rng, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("replace grew the memory to %d", m.Len())
+	}
+	if _, err := m.Get("missing"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if err := m.Store("", hdc.NewVector(32)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := m.Store("b", hdc.NewVector(31)); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+}
+
+func TestCleanupEmptyAndDims(t *testing.T) {
+	m, _ := NewMemory(32)
+	if _, _, err := m.Cleanup(hdc.NewVector(32)); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := m.CleanupBinary(hdc.NewBinary(32)); err != ErrEmpty {
+		t.Fatalf("binary err = %v, want ErrEmpty", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := m.StoreRandom(rng, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Cleanup(hdc.NewVector(31)); err == nil {
+		t.Fatal("wrong query dim accepted")
+	}
+	if _, _, err := m.CleanupBinary(hdc.NewBinary(31)); err == nil {
+		t.Fatal("wrong binary query dim accepted")
+	}
+}
+
+func TestCleanupRecallsNoisyItems(t *testing.T) {
+	const dim = 4096
+	m, _ := NewMemory(dim)
+	rng := rand.New(rand.NewSource(3))
+	stored := map[string]hdc.Vector{}
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("item-%d", i)
+		v, err := m.StoreRandom(rng, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored[name] = v
+	}
+	// Flip 30% of components: cleanup must still recall the right item
+	// (the hypervector robustness the paper's §3 leans on).
+	for name, v := range stored {
+		noisy := v.Clone()
+		for _, j := range rng.Perm(dim)[:dim*3/10] {
+			noisy[j] = -noisy[j]
+		}
+		got, sim, err := m.Cleanup(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("noisy %s recalled as %s", name, got)
+		}
+		if sim < 0.3 || sim > 0.5 {
+			t.Fatalf("similarity %v, expected ≈0.4 after 30%% flips", sim)
+		}
+	}
+}
+
+func TestCleanupBinaryMatchesDense(t *testing.T) {
+	const dim = 2048
+	m, _ := NewMemory(dim)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		if _, err := m.StoreRandom(rng, fmt.Sprintf("i%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		v, _ := m.Get(fmt.Sprintf("i%d", rng.Intn(20)))
+		for _, j := range rng.Perm(dim)[:dim/5] {
+			v[j] = -v[j]
+		}
+		dense, _, err := m.Cleanup(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary, _, err := m.CleanupBinary(hdc.Pack(nil, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense != binary {
+			t.Fatalf("dense cleanup %s != binary cleanup %s", dense, binary)
+		}
+	}
+}
+
+func TestCleanupCompositeQuery(t *testing.T) {
+	// A bundle of two stored items must clean up to one of them, not a
+	// third — the superposition-recall property behind HD data structures.
+	const dim = 8000
+	m, _ := NewMemory(dim)
+	rng := rand.New(rand.NewSource(5))
+	a, _ := m.StoreRandom(rng, "a")
+	b, _ := m.StoreRandom(rng, "b")
+	for i := 0; i < 20; i++ {
+		if _, err := m.StoreRandom(rng, fmt.Sprintf("other-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	composite := hdc.Bundle(nil, a, b)
+	got, sim, err := m.Cleanup(composite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a" && got != "b" {
+		t.Fatalf("composite cleaned up to %s", got)
+	}
+	if sim < 0.5 {
+		t.Fatalf("composite similarity %v, expected ≈0.7", sim)
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	m, _ := NewMemory(16)
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []string{"c", "a", "b"} {
+		if _, err := m.StoreRandom(rng, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := m.Names()
+	if names[0] != "c" || names[1] != "a" || names[2] != "b" {
+		t.Fatalf("Names = %v, want insertion order", names)
+	}
+	names[0] = "mutated"
+	if m.Names()[0] != "c" {
+		t.Fatal("Names returned shared storage")
+	}
+}

@@ -1,0 +1,225 @@
+// Package core implements RegHD, the paper's primary contribution:
+// regression in hyperdimensional space with run-time clustering of inputs,
+// per-cluster regression models, confidence-weighted prediction, and the
+// quantization framework of Section 3 (binary clusters with Hamming
+// similarity; binary queries and/or binary models for multiply-free
+// prediction).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UpdateRule selects how the multi-model error update (Eq. 7) distributes
+// the prediction error across the k regression models.
+type UpdateRule int
+
+const (
+	// UpdateWeighted updates every model scaled by its softmax confidence:
+	// M_i ← M_i + α(y−ŷ)·δ'_i·S. This is the mixture-of-experts reading of
+	// Eq. 7 and the default.
+	UpdateWeighted UpdateRule = iota
+	// UpdateHardMax updates only the most-similar model with the full
+	// error, the "winner-take-all" reading.
+	UpdateHardMax
+)
+
+// String names the update rule.
+func (u UpdateRule) String() string {
+	switch u {
+	case UpdateWeighted:
+		return "weighted"
+	case UpdateHardMax:
+		return "hardmax"
+	default:
+		return fmt.Sprintf("update(%d)", int(u))
+	}
+}
+
+// ClusterMode selects the cluster-similarity implementation (Section 3.1).
+type ClusterMode int
+
+const (
+	// ClusterInteger keeps full-precision cluster hypervectors and uses
+	// cosine similarity — the baseline of Fig. 6.
+	ClusterInteger ClusterMode = iota
+	// ClusterBinary is the paper's quantization framework: a binary shadow
+	// copy of each cluster answers Hamming-distance similarity queries,
+	// while updates accumulate into the integer copy, which is re-quantized
+	// after every epoch.
+	ClusterBinary
+	// ClusterNaiveBinary binarizes the clusters once and never updates them
+	// (binary vectors cannot absorb Eq. 8's weighted update) — the "naive
+	// binarization" strawman of Fig. 6.
+	ClusterNaiveBinary
+)
+
+// String names the cluster mode.
+func (c ClusterMode) String() string {
+	switch c {
+	case ClusterInteger:
+		return "integer-cluster"
+	case ClusterBinary:
+		return "binary-cluster"
+	case ClusterNaiveBinary:
+		return "naive-binary-cluster"
+	default:
+		return fmt.Sprintf("cluster(%d)", int(c))
+	}
+}
+
+// PredictMode selects the dot-product kernel between the encoded query and
+// the regression models (Section 3.2).
+type PredictMode int
+
+const (
+	// PredictFull uses the raw (real-valued) query against the integer
+	// model: the full-precision baseline.
+	PredictFull PredictMode = iota
+	// PredictBinaryQuery uses the quantized bipolar query against the
+	// integer model — multiply-free ("binary query, integer model").
+	PredictBinaryQuery
+	// PredictBinaryModel uses the raw query against the binarized model
+	// ("integer query, binary model").
+	PredictBinaryModel
+	// PredictBinaryBoth uses the quantized query against the binarized
+	// model; the dot product reduces to XOR+popcount ("binary query,
+	// binary model").
+	PredictBinaryBoth
+)
+
+// String names the prediction mode.
+func (p PredictMode) String() string {
+	switch p {
+	case PredictFull:
+		return "full"
+	case PredictBinaryQuery:
+		return "bquery-imodel"
+	case PredictBinaryModel:
+		return "iquery-bmodel"
+	case PredictBinaryBoth:
+		return "bquery-bmodel"
+	default:
+		return fmt.Sprintf("predict(%d)", int(p))
+	}
+}
+
+// UsesBinaryModel reports whether the mode reads the binary model shadow.
+func (p PredictMode) UsesBinaryModel() bool {
+	return p == PredictBinaryModel || p == PredictBinaryBoth
+}
+
+// UsesRawQuery reports whether the mode reads the raw real-valued encoding
+// (as opposed to the quantized bipolar one).
+func (p PredictMode) UsesRawQuery() bool {
+	return p == PredictFull || p == PredictBinaryModel
+}
+
+// Config holds the RegHD hyper-parameters. Zero values are replaced by the
+// documented defaults in Validate, so Config{} is usable after validation;
+// DefaultConfig returns the fully populated defaults.
+type Config struct {
+	// Models is the number k of cluster/regression hypervector pairs.
+	// k = 1 degenerates to single-model regression (Eq. 2).
+	Models int
+	// LearningRate is α in Eqs. 2 and 7. With prediction normalized by the
+	// dimension, stability requires α ∈ (0, 1).
+	LearningRate float64
+	// SoftmaxBeta is the inverse temperature applied to the cosine
+	// similarities before the softmax normalization block. Cosine values
+	// live in [−1,1], so β ≫ 1 is needed for confidences to separate.
+	SoftmaxBeta float64
+	// UpdateRule distributes the error update across models.
+	UpdateRule UpdateRule
+	// ClusterMode selects integer, framework-binary, or naive-binary
+	// clustering.
+	ClusterMode ClusterMode
+	// PredictMode selects the query/model quantization of the prediction
+	// dot product.
+	PredictMode PredictMode
+	// Epochs caps the number of iterative-training passes.
+	Epochs int
+	// Tol is the relative-improvement threshold of the convergence test:
+	// training stops once the monitored MSE improves by less than Tol for
+	// Patience consecutive epochs.
+	Tol float64
+	// Patience is the number of consecutive low-improvement epochs that
+	// triggers convergence.
+	Patience int
+	// Seed drives cluster initialization and per-epoch shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the hyper-parameters used throughout the paper's
+// evaluation: 8 models, α=0.1, β=10, weighted updates, full precision,
+// up to 60 epochs with 0.5% improvement tolerance and patience 3.
+func DefaultConfig() Config {
+	return Config{
+		Models:       8,
+		LearningRate: 0.1,
+		SoftmaxBeta:  10,
+		UpdateRule:   UpdateWeighted,
+		ClusterMode:  ClusterInteger,
+		PredictMode:  PredictFull,
+		Epochs:       60,
+		Tol:          0.005,
+		Patience:     3,
+		Seed:         1,
+	}
+}
+
+// Validate fills defaulted fields and rejects out-of-range settings.
+func (c *Config) Validate() error {
+	if c.Models == 0 {
+		c.Models = 8
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.SoftmaxBeta == 0 {
+		c.SoftmaxBeta = 10
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.Tol == 0 {
+		c.Tol = 0.005
+	}
+	if c.Patience == 0 {
+		c.Patience = 3
+	}
+	switch {
+	case c.Models < 0:
+		return fmt.Errorf("core: Models must be positive, got %d", c.Models)
+	case c.LearningRate < 0 || c.LearningRate >= 1:
+		return fmt.Errorf("core: LearningRate must be in (0,1), got %v", c.LearningRate)
+	case c.SoftmaxBeta < 0:
+		return fmt.Errorf("core: SoftmaxBeta must be positive, got %v", c.SoftmaxBeta)
+	case c.Epochs < 0:
+		return fmt.Errorf("core: Epochs must be positive, got %d", c.Epochs)
+	case c.Tol < 0:
+		return fmt.Errorf("core: Tol must be non-negative, got %v", c.Tol)
+	case c.Patience < 0:
+		return fmt.Errorf("core: Patience must be positive, got %d", c.Patience)
+	}
+	switch c.UpdateRule {
+	case UpdateWeighted, UpdateHardMax:
+	default:
+		return fmt.Errorf("core: unknown UpdateRule %d", c.UpdateRule)
+	}
+	switch c.ClusterMode {
+	case ClusterInteger, ClusterBinary, ClusterNaiveBinary:
+	default:
+		return fmt.Errorf("core: unknown ClusterMode %d", c.ClusterMode)
+	}
+	switch c.PredictMode {
+	case PredictFull, PredictBinaryQuery, PredictBinaryModel, PredictBinaryBoth:
+	default:
+		return fmt.Errorf("core: unknown PredictMode %d", c.PredictMode)
+	}
+	return nil
+}
+
+// ErrNotTrained is returned by prediction before Fit has run.
+var ErrNotTrained = errors.New("core: model has not been trained")

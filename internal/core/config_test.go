@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Models != 8 || cfg.LearningRate != 0.1 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestValidateFillsDefaults(t *testing.T) {
+	var cfg Config
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Models == 0 || cfg.LearningRate == 0 || cfg.SoftmaxBeta == 0 ||
+		cfg.Epochs == 0 || cfg.Tol == 0 || cfg.Patience == 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Config{
+		{Models: -1},
+		{LearningRate: -0.5},
+		{LearningRate: 1.5},
+		{SoftmaxBeta: -1},
+		{Epochs: -3},
+		{Tol: -1},
+		{Patience: -2},
+		{UpdateRule: UpdateRule(9)},
+		{ClusterMode: ClusterMode(9)},
+		{PredictMode: PredictMode(9)},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	checks := []struct {
+		got, want string
+	}{
+		{UpdateWeighted.String(), "weighted"},
+		{UpdateHardMax.String(), "hardmax"},
+		{ClusterInteger.String(), "integer-cluster"},
+		{ClusterBinary.String(), "binary-cluster"},
+		{ClusterNaiveBinary.String(), "naive-binary-cluster"},
+		{PredictFull.String(), "full"},
+		{PredictBinaryQuery.String(), "bquery-imodel"},
+		{PredictBinaryModel.String(), "iquery-bmodel"},
+		{PredictBinaryBoth.String(), "bquery-bmodel"},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Fatalf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+	for _, s := range []string{UpdateRule(7).String(), ClusterMode(7).String(), PredictMode(7).String()} {
+		if !strings.Contains(s, "7") {
+			t.Fatalf("out-of-range String %q should include the number", s)
+		}
+	}
+}
+
+func TestPredictModeHelpers(t *testing.T) {
+	if PredictFull.UsesBinaryModel() || PredictBinaryQuery.UsesBinaryModel() {
+		t.Fatal("integer-model modes claim binary model")
+	}
+	if !PredictBinaryModel.UsesBinaryModel() || !PredictBinaryBoth.UsesBinaryModel() {
+		t.Fatal("binary-model modes deny binary model")
+	}
+	if !PredictFull.UsesRawQuery() || !PredictBinaryModel.UsesRawQuery() {
+		t.Fatal("raw-query modes deny raw query")
+	}
+	if PredictBinaryQuery.UsesRawQuery() || PredictBinaryBoth.UsesRawQuery() {
+		t.Fatal("binary-query modes claim raw query")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FlipModelBits injects hardware faults into the binary model shadows by
+// flipping the given fraction of randomly chosen bits in every M_i^b. It
+// models memory errors in a deployed quantized model (the robustness claim
+// of Section 3). The configuration must use a binary model.
+func (m *Model) FlipModelBits(rng *rand.Rand, fraction float64) error {
+	if !m.cfg.PredictMode.UsesBinaryModel() {
+		return fmt.Errorf("core: FlipModelBits requires a binary-model PredictMode, have %s", m.cfg.PredictMode)
+	}
+	if fraction < 0 || fraction > 1 {
+		return fmt.Errorf("core: fault fraction must be in [0,1], got %v", fraction)
+	}
+	nFlips := int(math.Round(fraction * float64(m.dim)))
+	for _, mb := range m.modelsBin {
+		idx := rng.Perm(m.dim)[:nFlips]
+		mb.FlipBits(idx)
+	}
+	return nil
+}
+
+// CorruptModelComponents injects faults into the integer regression models
+// by replacing the given fraction of randomly chosen components of every
+// M_i with values drawn uniformly from [−max|M_i|, +max|M_i|], modeling
+// corrupted memory words in a full-precision deployment.
+func (m *Model) CorruptModelComponents(rng *rand.Rand, fraction float64) error {
+	if fraction < 0 || fraction > 1 {
+		return fmt.Errorf("core: fault fraction must be in [0,1], got %v", fraction)
+	}
+	nCorrupt := int(math.Round(fraction * float64(m.dim)))
+	for _, mv := range m.models {
+		var maxAbs float64
+		for _, v := range mv {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		idx := rng.Perm(m.dim)[:nCorrupt]
+		for _, j := range idx {
+			mv[j] = (rng.Float64()*2 - 1) * maxAbs
+		}
+	}
+	// Faults in the integer model propagate into stale binary shadows only
+	// at the next refresh; a deployed quantized model keeps its own bits,
+	// so shadows are deliberately left untouched.
+	return nil
+}

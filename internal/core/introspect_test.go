@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/dataset"
+)
+
+func TestDeploymentBytes(t *testing.T) {
+	const d = 4096
+	full := newModel(t, 2, d, Config{Models: 8, Epochs: 1, Seed: 1})
+	quant := newModel(t, 2, d, Config{Models: 8, Epochs: 1, Seed: 1, ClusterMode: ClusterBinary, PredictMode: PredictBinaryBoth})
+	fb, qb := full.DeploymentBytes(), quant.DeploymentBytes()
+	// Full: 8 models + 8 clusters of 4096 float64 = 512 KiB.
+	if fb != 8*d*8*2 {
+		t.Fatalf("full deployment = %d bytes, want %d", fb, 8*d*8*2)
+	}
+	// Quantized: 8 binary models (+scales) + 8 binary clusters ≈ 8 KiB.
+	if qb >= fb/50 {
+		t.Fatalf("quantized deployment %d not dramatically smaller than full %d", qb, fb)
+	}
+	single := newModel(t, 2, d, Config{Models: 1, Epochs: 1, Seed: 1})
+	if single.DeploymentBytes() != d*8 {
+		t.Fatalf("single-model deployment = %d, want %d", single.DeploymentBytes(), d*8)
+	}
+}
+
+func TestAssignClusterSingleModel(t *testing.T) {
+	m := newModel(t, 2, 128, Config{Models: 1, Epochs: 1, Seed: 1})
+	c, sims, err := m.AssignCluster([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 || len(sims) != 1 || sims[0] != 1 {
+		t.Fatalf("single model assignment = %d/%v", c, sims)
+	}
+}
+
+func TestAssignClusterValidatesInput(t *testing.T) {
+	m := newModel(t, 2, 128, Config{Models: 4, Epochs: 1, Seed: 2})
+	if _, _, err := m.AssignCluster([]float64{1}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+	if _, err := m.ClusterUsage([][]float64{{1}}); err == nil {
+		t.Fatal("ClusterUsage accepted bad row")
+	}
+}
+
+// TestClusterAssignmentsTrackGroundTruth verifies the Eq. 8 run-time
+// clustering actually discovers the input structure: on a dataset drawn
+// from well-separated clusters, samples of the same ground-truth cluster
+// must be routed to the same learned center, and different ground-truth
+// clusters must not all collapse onto one center.
+func TestClusterAssignmentsTrackGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nClusters = 4
+	centers := make([][]float64, nClusters)
+	for c := range centers {
+		centers[c] = []float64{4 * rng.NormFloat64(), 4 * rng.NormFloat64(), 4 * rng.NormFloat64()}
+	}
+	d := &dataset.Dataset{Name: "gt", X: make([][]float64, 600), Y: make([]float64, 600)}
+	truth := make([]int, 600)
+	for i := range d.X {
+		c := rng.Intn(nClusters)
+		truth[i] = c
+		d.X[i] = []float64{
+			centers[c][0] + 0.3*rng.NormFloat64(),
+			centers[c][1] + 0.3*rng.NormFloat64(),
+			centers[c][2] + 0.3*rng.NormFloat64(),
+		}
+		d.Y[i] = float64(c)
+	}
+	sc, _ := dataset.FitScaler(d, false)
+	ds, _ := sc.Transform(d)
+
+	m := newModelBW(t, 3, 1000, 1.0, Config{Models: nClusters, Epochs: 20, Seed: 4})
+	if _, err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Purity: for each ground-truth cluster, the dominant learned center
+	// should claim a clear majority of its samples.
+	counts := make([][]int, nClusters)
+	for i := range counts {
+		counts[i] = make([]int, nClusters)
+	}
+	for i, x := range ds.X {
+		got, sims, err := m.AssignCluster(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sims) != nClusters {
+			t.Fatalf("got %d similarities", len(sims))
+		}
+		counts[truth[i]][got]++
+	}
+	distinct := map[int]bool{}
+	for gt := 0; gt < nClusters; gt++ {
+		best, total := 0, 0
+		for _, n := range counts[gt] {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if purity := float64(best) / float64(total); purity < 0.7 {
+			t.Fatalf("ground-truth cluster %d purity %v too low (%v)", gt, purity, counts[gt])
+		}
+		for learned, n := range counts[gt] {
+			if n == best {
+				distinct[learned] = true
+				break
+			}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all ground-truth clusters collapsed onto %d learned center(s)", len(distinct))
+	}
+
+	// Usage histogram covers the dataset.
+	usage, err := m.ClusterUsage(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, u := range usage {
+		sum += u
+	}
+	if sum != ds.Len() {
+		t.Fatalf("usage sums to %d, want %d", sum, ds.Len())
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// Model is a RegHD regressor: k cluster hypervectors routing each encoded
+// input to k regression hypervectors, with optional binary shadows for the
+// quantized similarity and prediction kernels.
+//
+// A Model is not safe for concurrent mutation; Predict* methods are safe to
+// call concurrently after training only when the optional counters are nil.
+type Model struct {
+	cfg Config
+	enc encoding.Encoder
+	dim int
+
+	clusters    []hdc.Vector  // integer cluster hypervectors C_i
+	clustersBin []*hdc.Binary // binary shadows C_i^b (binary cluster modes)
+	models      []hdc.Vector  // integer regression hypervectors M_i
+	modelsBin   []*hdc.Binary // binary shadows M_i^b (binary model modes)
+	modelScale  []float64     // per-model magnitude ‖M_i‖₁/D for binary models
+
+	// calibA, calibB linearly recalibrate the deployment output of
+	// binary-model modes: binarizing M attenuates the readout by a factor
+	// the per-model L1 scale cannot fully capture, so after each epoch a
+	// least-squares fit of (a, b) on the training predictions restores the
+	// output scale. Identity (1, 0) for integer-model modes.
+	calibA, calibB float64
+
+	rng     *rand.Rand
+	trained bool
+
+	// sims and conf are per-call scratch (cluster similarities and softmax
+	// confidences).
+	sims, conf []float64
+
+	// TrainCounter, when non-nil, accumulates the primitive operations of
+	// every training-phase kernel; InferCounter does the same for
+	// prediction. They feed the hardware cost model cross-checks.
+	TrainCounter *hdc.Counter
+	InferCounter *hdc.Counter
+}
+
+// New constructs an untrained RegHD model over the given encoder.
+func New(enc encoding.Encoder, cfg Config) (*Model, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("core: nil encoder")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:    cfg,
+		enc:    enc,
+		dim:    enc.Dim(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		calibA: 1,
+	}
+	m.models = make([]hdc.Vector, cfg.Models)
+	for i := range m.models {
+		m.models[i] = hdc.NewVector(m.dim)
+	}
+	if cfg.PredictMode.UsesBinaryModel() {
+		m.modelsBin = make([]*hdc.Binary, cfg.Models)
+		m.modelScale = make([]float64, cfg.Models)
+		for i := range m.modelsBin {
+			m.modelsBin[i] = hdc.NewBinary(m.dim)
+		}
+	}
+	if cfg.Models > 1 {
+		// Cluster hypervectors are initialized to random bipolar values
+		// (the paper's "random binary values"); the binary shadows are
+		// their packed form.
+		m.clusters = make([]hdc.Vector, cfg.Models)
+		for i := range m.clusters {
+			m.clusters[i] = hdc.RandomBipolar(m.rng, m.dim)
+		}
+		if cfg.ClusterMode != ClusterInteger {
+			m.clustersBin = make([]*hdc.Binary, cfg.Models)
+			for i := range m.clustersBin {
+				m.clustersBin[i] = hdc.Pack(nil, m.clusters[i])
+			}
+		}
+		m.sims = make([]float64, cfg.Models)
+		m.conf = make([]float64, cfg.Models)
+	}
+	return m, nil
+}
+
+// Config returns the model's validated configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Dim returns the hyperdimensional size D.
+func (m *Model) Dim() int { return m.dim }
+
+// Models returns the number of cluster/regression model pairs k.
+func (m *Model) Models() int { return m.cfg.Models }
+
+// Encoder returns the encoder the model was built with.
+func (m *Model) Encoder() encoding.Encoder { return m.enc }
+
+// Trained reports whether Fit has completed at least one epoch.
+func (m *Model) Trained() bool { return m.trained }
+
+// encoded bundles the representations of one encoded sample that the active
+// configuration needs: the bipolar vector S, its bit-packed form S^b, and —
+// for raw-query prediction modes — the raw encoding H.
+type encoded struct {
+	raw    hdc.Vector  // nil unless the prediction mode reads the raw query
+	s      hdc.Vector  // bipolar S (dense, ±1)
+	packed *hdc.Binary // S bit-packed
+}
+
+// encode produces the representations of x required by the configuration.
+func (m *Model) encode(ctr *hdc.Counter, x []float64) (encoded, error) {
+	var e encoded
+	if m.cfg.PredictMode.UsesRawQuery() {
+		raw, s, err := m.enc.EncodeBoth(ctr, x)
+		if err != nil {
+			return encoded{}, err
+		}
+		e.raw = raw
+		e.s = s
+	} else {
+		s, err := m.enc.EncodeBipolar(ctr, x)
+		if err != nil {
+			return encoded{}, err
+		}
+		e.s = s
+	}
+	e.packed = hdc.Pack(ctr, e.s)
+	return e, nil
+}
+
+// clusterSimilaritiesInto fills sims with the similarity of the encoded
+// sample to each cluster, using the configured similarity kernel.
+func (m *Model) clusterSimilaritiesInto(ctr *hdc.Counter, e encoded, sims []float64) {
+	switch m.cfg.ClusterMode {
+	case ClusterInteger:
+		for i, c := range m.clusters {
+			sims[i] = hdc.Cosine(ctr, e.s, c)
+		}
+	default: // ClusterBinary, ClusterNaiveBinary
+		for i, cb := range m.clustersBin {
+			sims[i] = hdc.HammingSimilarity(ctr, e.packed, cb)
+		}
+	}
+}
+
+// modelDot computes the raw per-model regression output ŷ_i = query·M_i / D
+// with the deployment kernel selected by PredictMode.
+func (m *Model) modelDot(ctr *hdc.Counter, e encoded, i int) float64 {
+	d := float64(m.dim)
+	switch m.cfg.PredictMode {
+	case PredictFull:
+		return hdc.Dot(ctr, e.raw, m.models[i]) / d
+	case PredictBinaryQuery:
+		return hdc.DotBinaryDense(ctr, e.packed, m.models[i]) / d
+	case PredictBinaryModel:
+		return m.modelScale[i] * hdc.DotBinaryDense(ctr, m.modelsBin[i], e.raw) / d
+	case PredictBinaryBoth:
+		return m.modelScale[i] * float64(hdc.DotBinary(ctr, e.packed, m.modelsBin[i])) / d
+	default:
+		panic("core: invalid PredictMode")
+	}
+}
+
+// trainModelDot computes ŷ_i against the *integer* model with the mode's
+// query representation. The paper's Section 3.2 requires training to run on
+// the integer model regardless of the deployment kernel: the binary shadow
+// only refreshes per epoch, so using it for the training error would remove
+// the feedback that keeps the LMS update convergent.
+func (m *Model) trainModelDot(ctr *hdc.Counter, e encoded, i int) float64 {
+	d := float64(m.dim)
+	if m.cfg.PredictMode.UsesRawQuery() {
+		return hdc.Dot(ctr, e.raw, m.models[i]) / d
+	}
+	return hdc.DotBinaryDense(ctr, e.packed, m.models[i]) / d
+}
+
+// predictWith runs the prediction pipeline of Fig. 4 with the supplied
+// per-model dot kernel: cluster similarity search, softmax normalization,
+// and the confidence-weighted accumulation of all per-model outputs
+// (Eq. 6). It leaves the similarities/confidences in m.sims/m.conf for the
+// training update.
+func (m *Model) predictWith(ctr *hdc.Counter, e encoded, dot func(*hdc.Counter, encoded, int) float64) float64 {
+	return m.predictWithScratch(ctr, e, dot, m.sims, m.conf)
+}
+
+// predictWithScratch is predictWith over caller-supplied similarity and
+// confidence buffers, allowing concurrent read-only prediction.
+func (m *Model) predictWithScratch(ctr *hdc.Counter, e encoded, dot func(*hdc.Counter, encoded, int) float64, sims, conf []float64) float64 {
+	if m.cfg.Models == 1 {
+		return dot(ctr, e, 0)
+	}
+	m.clusterSimilaritiesInto(ctr, e, sims)
+	hdc.Softmax(ctr, conf, sims, m.cfg.SoftmaxBeta)
+	var y float64
+	for i := range m.models {
+		y += conf[i] * dot(ctr, e, i)
+	}
+	ctr.Add(hdc.OpFloatMul, uint64(m.cfg.Models))
+	ctr.Add(hdc.OpFloatAdd, uint64(m.cfg.Models))
+	return y
+}
+
+// predictEncoded is the deployment prediction path.
+func (m *Model) predictEncoded(ctr *hdc.Counter, e encoded) float64 {
+	y := m.predictWith(ctr, e, m.modelDot)
+	if m.cfg.PredictMode.UsesBinaryModel() {
+		y = m.calibA*y + m.calibB
+		ctr.Add(hdc.OpFloatMul, 1)
+		ctr.Add(hdc.OpFloatAdd, 1)
+	}
+	return y
+}
+
+// predictTraining is the training-time prediction path (integer model).
+func (m *Model) predictTraining(ctr *hdc.Counter, e encoded) float64 {
+	return m.predictWith(ctr, e, m.trainModelDot)
+}
+
+// Predict returns the model's regression output for the feature vector x.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	e, err := m.encode(m.InferCounter, x)
+	if err != nil {
+		return 0, err
+	}
+	return m.predictEncoded(m.InferCounter, e), nil
+}
+
+// PredictBatch returns predictions for each row of xs.
+func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		y, err := m.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("core: predicting row %d: %w", i, err)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// refreshBinaryShadows re-quantizes the binary copies from the integer
+// state, the end-of-epoch step of the Section 3 framework: clusters are
+// re-packed (ClusterBinary only — naive binarization never updates), and
+// binary models pick up both new sign bits and a new magnitude scale.
+func (m *Model) refreshBinaryShadows(ctr *hdc.Counter) {
+	if m.cfg.ClusterMode == ClusterBinary {
+		for i, c := range m.clusters {
+			hdc.PackInto(ctr, m.clustersBin[i], c)
+		}
+	}
+	if m.cfg.PredictMode.UsesBinaryModel() {
+		for i, mv := range m.models {
+			hdc.PackInto(ctr, m.modelsBin[i], mv)
+			m.modelScale[i] = hdc.L1Norm(ctr, mv) / float64(m.dim)
+		}
+	}
+}
+
+// ModelVector returns a copy of the integer regression hypervector M_i.
+func (m *Model) ModelVector(i int) hdc.Vector { return m.models[i].Clone() }
+
+// ClusterVector returns a copy of the integer cluster hypervector C_i.
+// It returns nil for single-model configurations.
+func (m *Model) ClusterVector(i int) hdc.Vector {
+	if m.clusters == nil {
+		return nil
+	}
+	return m.clusters[i].Clone()
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/dataset"
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// makeLinear builds a noisy linear dataset y = w·x + b + ε.
+func makeLinear(rng *rand.Rand, n, feats int, noise float64) *dataset.Dataset {
+	w := make([]float64, feats)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	d := &dataset.Dataset{Name: "lin", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, feats)
+		y := 0.3
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += w[j] * x[j]
+		}
+		d.X[i] = x
+		d.Y[i] = y + noise*rng.NormFloat64()
+	}
+	return d
+}
+
+// makeSinusoid builds a clearly nonlinear single-feature dataset.
+func makeSinusoid(rng *rand.Rand, n int, noise float64) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "sin", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		d.X[i] = []float64{x}
+		d.Y[i] = math.Sin(2*x) + 0.5*x + noise*rng.NormFloat64()
+	}
+	return d
+}
+
+// makePiecewise builds a multi-modal dataset: two well-separated input
+// clusters with opposite linear responses — the motivating case for
+// multi-model regression. Features are standardized like the experiment
+// pipeline does before encoding.
+func makePiecewise(rng *rand.Rand, n, feats int, noise float64) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "pw", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, feats)
+		c := float64(1)
+		off := 3.0
+		if i%2 == 0 {
+			c = -1
+			off = -3.0
+		}
+		y := 0.0
+		for j := range x {
+			x[j] = off + rng.NormFloat64()
+			y += c * x[j]
+		}
+		d.X[i] = x
+		d.Y[i] = y + noise*rng.NormFloat64()
+	}
+	s, err := dataset.FitScaler(d, false)
+	if err != nil {
+		panic(err)
+	}
+	out, err := s.Transform(d)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func newModel(t *testing.T, feats, dim int, cfg Config) *Model {
+	t.Helper()
+	enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(99)), feats, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newModelBW builds a model with an explicit encoder bandwidth, for tasks
+// whose target has finer structure than the default length-scale.
+func newModelBW(t *testing.T, feats, dim int, bw float64, cfg Config) *Model {
+	t.Helper()
+	enc, err := encoding.NewNonlinearBandwidth(rand.New(rand.NewSource(99)), feats, dim, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil encoder accepted")
+	}
+	enc, _ := encoding.NewNonlinear(rand.New(rand.NewSource(1)), 2, 64)
+	if _, err := New(enc, Config{Models: -1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Models = 4
+	m := newModel(t, 3, 128, cfg)
+	if m.Dim() != 128 || m.Models() != 4 || m.Encoder() == nil {
+		t.Fatalf("accessors wrong: dim=%d k=%d", m.Dim(), m.Models())
+	}
+	if m.Trained() {
+		t.Fatal("fresh model claims trained")
+	}
+	if m.Config().Models != 4 {
+		t.Fatal("Config not preserved")
+	}
+	if m.ModelVector(0) == nil || m.ClusterVector(0) == nil {
+		t.Fatal("vector accessors nil")
+	}
+	single := newModel(t, 3, 128, Config{Models: 1})
+	if single.ClusterVector(0) != nil {
+		t.Fatal("single model should have no clusters")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	m := newModel(t, 2, 64, DefaultConfig())
+	if _, err := m.Predict([]float64{1, 2}); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+	if _, err := m.Evaluate(&dataset.Dataset{X: [][]float64{{1, 2}}, Y: []float64{1}}); err != ErrNotTrained {
+		t.Fatalf("Evaluate err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	m := newModel(t, 2, 64, DefaultConfig())
+	if _, err := m.Fit(&dataset.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	wrong := &dataset.Dataset{X: [][]float64{{1, 2, 3}}, Y: []float64{1}}
+	if _, err := m.Fit(wrong); err == nil {
+		t.Fatal("feature mismatch accepted")
+	}
+}
+
+func TestSingleModelLearnsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := makeLinear(rng, 400, 4, 0.05)
+	test := makeLinear(rng, 200, 4, 0.05)
+	// Same generator parameters require a single RNG stream; regenerate
+	// jointly instead.
+	all := makeLinear(rand.New(rand.NewSource(2)), 600, 4, 0.05)
+	train = all.Subset(seqInts(0, 400))
+	test = all.Subset(seqInts(400, 600))
+
+	cfg := Config{Models: 1, Epochs: 40, Seed: 3}
+	m := newModel(t, 4, 2000, cfg)
+	res, err := m.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Trained() || res.Epochs == 0 {
+		t.Fatal("model not trained")
+	}
+	mse, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target variance is ≈ #feats = 4; a working model must be far below.
+	if mse > 0.5 {
+		t.Fatalf("single-model test MSE %v too high", mse)
+	}
+}
+
+func TestSingleModelLearnsNonlinear(t *testing.T) {
+	all := makeSinusoid(rand.New(rand.NewSource(4)), 600, 0.02)
+	train := all.Subset(seqInts(0, 450))
+	test := all.Subset(seqInts(450, 600))
+	cfg := Config{Models: 1, Epochs: 60, Seed: 5}
+	m := newModelBW(t, 1, 4000, 1.0, cfg)
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := m.Evaluate(test)
+	// Nonlinear encoding lets a linear HD update fit sin(2x)+x/2
+	// (variance ≈ 0.9); require a clear fit.
+	if mse > 0.15 {
+		t.Fatalf("nonlinear test MSE %v too high", mse)
+	}
+}
+
+func TestIterativeTrainingImproves(t *testing.T) {
+	// Fig. 3a behaviour: more retraining iterations → lower error.
+	all := makeSinusoid(rand.New(rand.NewSource(6)), 400, 0.02)
+	cfg := Config{Models: 1, Epochs: 30, Tol: 1e-12, Patience: 1000, Seed: 7}
+	m := newModelBW(t, 1, 2000, 1.0, cfg)
+	res, err := m.Fit(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.History[0], res.History[len(res.History)-1]
+	if last >= first {
+		t.Fatalf("training MSE did not improve: first %v last %v", first, last)
+	}
+}
+
+// makeMixture builds a hard multi-modal dataset: nClusters well-separated
+// input clusters, each with its own random linear response. With a
+// capacity-limited D (paper §2.3), one hypervector cannot hold all regional
+// functions and multi-model routing wins — the Fig. 3b scenario.
+func makeMixture(rng *rand.Rand, n, feats, nClusters int, noise float64) *dataset.Dataset {
+	centers := make([][]float64, nClusters)
+	weights := make([][]float64, nClusters)
+	for c := range centers {
+		centers[c] = make([]float64, feats)
+		weights[c] = make([]float64, feats)
+		for j := range centers[c] {
+			centers[c][j] = 4 * rng.NormFloat64()
+			weights[c][j] = rng.NormFloat64()
+		}
+	}
+	d := &dataset.Dataset{Name: "mix", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(nClusters)
+		x := make([]float64, feats)
+		p := 0.0
+		for j := range x {
+			x[j] = centers[c][j] + 0.5*rng.NormFloat64()
+			p += weights[c][j] * (x[j] - centers[c][j])
+		}
+		d.X[i] = x
+		d.Y[i] = 3*math.Sin(2*p) + 2*float64(c%5) + noise*rng.NormFloat64()
+	}
+	s, err := dataset.FitScaler(d, false)
+	if err != nil {
+		panic(err)
+	}
+	out, err := s.Transform(d)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestMultiModelBeatsSingleOnMixture(t *testing.T) {
+	// Fig. 3b behaviour: on a multi-modal task with capacity-limited D
+	// (paper §2.3), multi-model RegHD clearly outperforms the single model.
+	all := makeMixture(rand.New(rand.NewSource(8)), 2000, 5, 16, 0.05)
+	train := all.Subset(seqInts(0, 1500))
+	test := all.Subset(seqInts(1500, 2000))
+
+	run := func(k int) float64 {
+		cfg := Config{Models: k, Epochs: 50, Seed: 9}
+		m := newModelBW(t, 5, 128, 0.8, cfg)
+		if _, err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		mse, err := m.Evaluate(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mse
+	}
+	single := run(1)
+	multi := run(8)
+	if multi >= single*0.97 {
+		t.Fatalf("multi-model (%v) not clearly better than single (%v) on mixture task", multi, single)
+	}
+}
+
+func TestConvergenceStopsEarly(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(10)), 300, 3, 0.05)
+	cfg := Config{Models: 1, Epochs: 200, Tol: 0.01, Patience: 3, Seed: 11}
+	m := newModel(t, 3, 1000, cfg)
+	res, err := m.Fit(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence within 200 epochs")
+	}
+	if res.Epochs >= 200 {
+		t.Fatalf("converged run used all %d epochs", res.Epochs)
+	}
+}
+
+func TestFitCallbackStops(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(12)), 200, 3, 0.05)
+	cfg := Config{Models: 1, Epochs: 50, Seed: 13, Tol: 1e-12, Patience: 1000}
+	m := newModel(t, 3, 500, cfg)
+	calls := 0
+	res, err := m.FitCallback(all, func(ep int, mse float64) bool {
+		calls++
+		return ep < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 || res.Epochs != 5 {
+		t.Fatalf("callback stop failed: calls %d epochs %d", calls, res.Epochs)
+	}
+	if res.Converged {
+		t.Fatal("callback stop must not report convergence")
+	}
+}
+
+func TestFitWithValidationMonitorsVal(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(14)), 400, 3, 0.05)
+	train := all.Subset(seqInts(0, 300))
+	val := all.Subset(seqInts(300, 400))
+	cfg := Config{Models: 1, Epochs: 30, Seed: 15}
+	m := newModel(t, 3, 1000, cfg)
+	res, err := m.FitWithValidation(train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valMSE, _ := m.Evaluate(val)
+	if math.Abs(res.FinalMSE-valMSE) > 1e-9 {
+		t.Fatalf("FinalMSE %v does not match validation MSE %v", res.FinalMSE, valMSE)
+	}
+	if _, err := m.FitWithValidation(train, &dataset.Dataset{}); err == nil {
+		t.Fatal("invalid validation set accepted")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(16)), 200, 3, 0.05)
+	run := func() []float64 {
+		cfg := Config{Models: 4, Epochs: 10, Tol: 1e-12, Patience: 100, Seed: 17}
+		m := newModel(t, 3, 500, cfg)
+		if _, err := m.Fit(all); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.PredictBatch(all.X[:10])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different predictions")
+		}
+	}
+}
+
+func TestPredictBatchErrorPropagates(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(18)), 100, 3, 0.05)
+	cfg := Config{Models: 1, Epochs: 3, Seed: 19}
+	m := newModel(t, 3, 200, cfg)
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictBatch([][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong feature count accepted in batch")
+	}
+}
+
+func TestCountersRecordWork(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(20)), 50, 3, 0.05)
+	cfg := Config{Models: 2, Epochs: 2, Tol: 1e-12, Patience: 100, Seed: 21}
+	m := newModel(t, 3, 256, cfg)
+	m.TrainCounter = &hdc.Counter{}
+	m.InferCounter = &hdc.Counter{}
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainCounter.Total() == 0 {
+		t.Fatal("training counted no operations")
+	}
+	before := m.InferCounter.Total()
+	if _, err := m.Predict(all.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.InferCounter.Total() <= before {
+		t.Fatal("inference counted no operations")
+	}
+}
+
+func TestEvaluateMatchesManualMSE(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(22)), 120, 3, 0.05)
+	cfg := Config{Models: 1, Epochs: 5, Seed: 23}
+	m := newModel(t, 3, 300, cfg)
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := m.PredictBatch(all.X)
+	want, _ := dataset.MSE(pred, all.Y)
+	got, err := m.Evaluate(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Evaluate %v != manual %v", got, want)
+	}
+}
+
+func seqInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

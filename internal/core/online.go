@@ -1,0 +1,58 @@
+package core
+
+import "reghd/internal/hdc"
+
+// PartialFit performs one single-pass online update with the sample (x, y):
+// encode, predict, and apply the Eq. 7/8 updates. It is the streaming
+// entry point for IoT-style deployments where data arrives one sample at a
+// time and no retraining passes are possible (the paper's "single-pass
+// model" of §2.3).
+//
+// Binary shadows are NOT refreshed here (that costs a full re-quantization
+// per model); call RefreshShadows periodically — e.g. every few hundred
+// samples — when running a quantized configuration.
+func (m *Model) PartialFit(x []float64, y float64) error {
+	e, err := m.encode(m.TrainCounter, x)
+	if err != nil {
+		return err
+	}
+	yhat := m.predictTraining(m.TrainCounter, e)
+	m.update(m.TrainCounter, e, y, yhat)
+	m.trained = true
+	return nil
+}
+
+// RefreshShadows re-quantizes the binary cluster and model shadows from the
+// integer state and, for binary-model configurations, refreshes the output
+// calibration from the provided recent samples (pass nil to keep the
+// current calibration). Streaming callers should invoke it periodically.
+func (m *Model) RefreshShadows(xs [][]float64, ys []float64) error {
+	m.refreshBinaryShadows(m.TrainCounter)
+	if !m.cfg.PredictMode.UsesBinaryModel() || len(xs) == 0 {
+		return nil
+	}
+	if len(xs) != len(ys) {
+		return hdc.ErrDimensionMismatch
+	}
+	var sp, sy, spp, spy, cnt float64
+	for i, x := range xs {
+		e, err := m.encode(m.TrainCounter, x)
+		if err != nil {
+			return err
+		}
+		p := m.predictWith(m.TrainCounter, e, m.modelDot)
+		sp += p
+		sy += ys[i]
+		spp += p * p
+		spy += p * ys[i]
+		cnt++
+	}
+	varP := spp/cnt - (sp/cnt)*(sp/cnt)
+	if varP < 1e-12 {
+		m.calibA, m.calibB = 1, sy/cnt
+		return nil
+	}
+	m.calibA = (spy/cnt - sp/cnt*sy/cnt) / varP
+	m.calibB = sy/cnt - m.calibA*sp/cnt
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartialFitLearnsStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	all := makeLinear(rng, 1200, 3, 0.05)
+	train := all.Subset(seqInts(0, 1000))
+	test := all.Subset(seqInts(1000, 1200))
+
+	m := newModel(t, 3, 1000, Config{Models: 1, Epochs: 1, Seed: 2})
+	// Stream every sample exactly once (single-pass training).
+	for i := range train.X {
+		if err := m.PartialFit(train.X[i], train.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Trained() {
+		t.Fatal("PartialFit did not mark the model trained")
+	}
+	mse, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target variance ≈ 4 + noise; single-pass must capture most of it.
+	if mse > 1.0 {
+		t.Fatalf("single-pass test MSE %v too high", mse)
+	}
+}
+
+func TestPartialFitMatchesEpochOrderedFit(t *testing.T) {
+	// Streaming the whole set once must be equivalent in spirit to one
+	// epoch: both leave a usable (non-zero) model.
+	all := makeLinear(rand.New(rand.NewSource(3)), 100, 2, 0.05)
+	m := newModel(t, 2, 256, Config{Models: 2, Epochs: 1, Seed: 4})
+	for i := range all.X {
+		if err := m.PartialFit(all.X[i], all.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hv := m.ModelVector(0); isZero(hv) && isZero(m.ModelVector(1)) {
+		t.Fatal("streaming left the models empty")
+	}
+}
+
+func isZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPartialFitValidatesInput(t *testing.T) {
+	m := newModel(t, 3, 128, Config{Models: 1, Epochs: 1, Seed: 5})
+	if err := m.PartialFit([]float64{1}, 0.5); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestRefreshShadowsStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	all := makeLinear(rng, 600, 3, 0.05)
+	cfg := Config{Models: 2, Epochs: 1, Seed: 7, PredictMode: PredictBinaryBoth, ClusterMode: ClusterBinary}
+	m := newModel(t, 3, 2000, cfg)
+	for i := 0; i < 500; i++ {
+		if err := m.PartialFit(all.X[i], all.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without a refresh, the binary shadows still hold the initial state;
+	// refresh and verify deployment predictions improve.
+	test := all.Subset(seqInts(500, 600))
+	before, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefreshShadows(all.X[:200], all.Y[:200]); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("shadow refresh should improve deployment MSE: before %v after %v", before, after)
+	}
+	// Mismatched calibration slices are rejected.
+	if err := m.RefreshShadows(all.X[:5], all.Y[:4]); err == nil {
+		t.Fatal("mismatched calibration slices accepted")
+	}
+	// nil samples keep current calibration but still re-pack shadows.
+	if err := m.RefreshShadows(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

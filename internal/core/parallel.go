@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"reghd/internal/hdc"
+)
+
+// PredictBatchParallel predicts every row of xs using the given number of
+// worker goroutines (0 means GOMAXPROCS). Prediction only reads model
+// state, so workers share the model and carry private scratch buffers —
+// the data parallelism the paper highlights as inherent to HD computing.
+// Operation counting is aggregated across workers into InferCounter.
+func (m *Model) PredictBatchParallel(xs [][]float64, workers int) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		return m.PredictBatch(xs)
+	}
+	out := make([]float64, len(xs))
+	errs := make([]error, workers)
+	counters := make([]*hdc.Counter, workers)
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		var ctr *hdc.Counter
+		if m.InferCounter != nil {
+			ctr = &hdc.Counter{}
+			counters[w] = ctr
+		}
+		go func(w, lo, hi int, ctr *hdc.Counter) {
+			defer wg.Done()
+			var sims, conf []float64
+			if m.cfg.Models > 1 {
+				sims = make([]float64, m.cfg.Models)
+				conf = make([]float64, m.cfg.Models)
+			}
+			for i := lo; i < hi; i++ {
+				e, err := m.encode(ctr, xs[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("core: predicting row %d: %w", i, err)
+					return
+				}
+				y := m.predictWithScratch(ctr, e, m.modelDot, sims, conf)
+				if m.cfg.PredictMode.UsesBinaryModel() {
+					y = m.calibA*y + m.calibB
+					ctr.Add(hdc.OpFloatMul, 1)
+					ctr.Add(hdc.OpFloatAdd, 1)
+				}
+				out[i] = y
+			}
+		}(w, lo, hi, ctr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, ctr := range counters {
+		m.InferCounter.AddCounter(ctr)
+	}
+	return out, nil
+}

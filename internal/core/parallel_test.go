@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+func TestPredictBatchParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"single", Config{Models: 1, Epochs: 3, Seed: 1}},
+		{"multi", Config{Models: 4, Epochs: 3, Seed: 2}},
+		{"binary", Config{Models: 4, Epochs: 3, Seed: 3, ClusterMode: ClusterBinary, PredictMode: PredictBinaryBoth}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			all := makeLinear(rand.New(rand.NewSource(4)), 300, 3, 0.05)
+			m := newModel(t, 3, 512, tc.cfg)
+			if _, err := m.Fit(all); err != nil {
+				t.Fatal(err)
+			}
+			seq, err := m.PredictBatch(all.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 7} {
+				par, err := m.PredictBatchParallel(all.X, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range seq {
+					if par[i] != seq[i] {
+						t.Fatalf("workers=%d: row %d differs: %v vs %v", workers, i, par[i], seq[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPredictBatchParallelErrors(t *testing.T) {
+	m := newModel(t, 3, 128, Config{Models: 2, Epochs: 2, Seed: 5})
+	if _, err := m.PredictBatchParallel([][]float64{{1, 2, 3}}, 2); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+	all := makeLinear(rand.New(rand.NewSource(6)), 100, 3, 0.05)
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]float64{{1, 2, 3}, {1}} // second row has wrong arity
+	if _, err := m.PredictBatchParallel(bad, 2); err == nil {
+		t.Fatal("wrong feature count accepted")
+	}
+}
+
+func TestPredictBatchParallelCountsAggregated(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(7)), 64, 3, 0.05)
+	m := newModel(t, 3, 256, Config{Models: 2, Epochs: 2, Seed: 8})
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	m.InferCounter = &hdc.Counter{}
+	if _, err := m.PredictBatch(all.X); err != nil {
+		t.Fatal(err)
+	}
+	seqCounts := m.InferCounter.Snapshot()
+	m.InferCounter = &hdc.Counter{}
+	if _, err := m.PredictBatchParallel(all.X, 4); err != nil {
+		t.Fatal(err)
+	}
+	parCounts := m.InferCounter.Snapshot()
+	if seqCounts != parCounts {
+		t.Fatalf("parallel counts differ from sequential:\n%v\n%v", seqCounts, parCounts)
+	}
+}
+
+func TestParallelFitDeterministic(t *testing.T) {
+	// The parallel encoding pass must not change training results (the
+	// shuffled update order comes from the model RNG, not goroutine order).
+	all := makeLinear(rand.New(rand.NewSource(9)), 400, 3, 0.05)
+	run := func() float64 {
+		m := newModel(t, 3, 512, Config{Models: 4, Epochs: 5, Tol: 1e-12, Patience: 1000, Seed: 10})
+		if _, err := m.Fit(all); err != nil {
+			t.Fatal(err)
+		}
+		y, err := m.Predict(all.X[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y
+	}
+	if run() != run() {
+		t.Fatal("parallel encoding made training nondeterministic")
+	}
+}

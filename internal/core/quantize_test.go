@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trainEval trains a model with the given modes on a shared piecewise
+// dataset and returns the held-out MSE.
+func trainEval(t *testing.T, cm ClusterMode, pm PredictMode, k int) float64 {
+	t.Helper()
+	all := makePiecewise(rand.New(rand.NewSource(100)), 700, 3, 0.05)
+	train := all.Subset(seqInts(0, 500))
+	test := all.Subset(seqInts(500, 700))
+	cfg := Config{Models: k, Epochs: 40, Seed: 101, ClusterMode: cm, PredictMode: pm}
+	m := newModel(t, 3, 2000, cfg)
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mse
+}
+
+func TestAllConfigurationsTrain(t *testing.T) {
+	// Every (cluster, predict) combination must train end-to-end and beat
+	// predicting the mean (target variance ≈ 3·(9+1) ≈ 30 on piecewise).
+	for _, cm := range []ClusterMode{ClusterInteger, ClusterBinary, ClusterNaiveBinary} {
+		for _, pm := range []PredictMode{PredictFull, PredictBinaryQuery, PredictBinaryModel, PredictBinaryBoth} {
+			mse := trainEval(t, cm, pm, 4)
+			if mse > 15 {
+				t.Fatalf("%s/%s: MSE %v not better than trivial predictor", cm, pm, mse)
+			}
+		}
+	}
+}
+
+func TestQuantizedClusterNearFullQuality(t *testing.T) {
+	// Fig. 6: framework binary clustering tracks integer clustering closely,
+	// while both clearly beat a trivial predictor.
+	full := trainEval(t, ClusterInteger, PredictFull, 4)
+	quant := trainEval(t, ClusterBinary, PredictFull, 4)
+	if quant > full*3 {
+		t.Fatalf("quantized clustering degraded too much: full %v, quantized %v", full, quant)
+	}
+}
+
+func TestBinaryBothWorstQuality(t *testing.T) {
+	// Fig. 7 ordering: the fully binarized prediction path loses the most
+	// quality relative to full precision.
+	full := trainEval(t, ClusterInteger, PredictFull, 4)
+	both := trainEval(t, ClusterInteger, PredictBinaryBoth, 4)
+	if both < full {
+		t.Logf("note: bquery-bmodel (%v) beat full (%v) on this seed; acceptable but unusual", both, full)
+	}
+	// The binarized path must still learn.
+	if both > 15 {
+		t.Fatalf("bquery-bmodel MSE %v did not learn", both)
+	}
+}
+
+func TestHardMaxUpdateRuleTrains(t *testing.T) {
+	all := makePiecewise(rand.New(rand.NewSource(102)), 600, 3, 0.05)
+	train := all.Subset(seqInts(0, 450))
+	test := all.Subset(seqInts(450, 600))
+	cfg := Config{Models: 4, Epochs: 40, Seed: 103, UpdateRule: UpdateHardMax}
+	m := newModel(t, 3, 2000, cfg)
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := m.Evaluate(test)
+	if mse > 15 {
+		t.Fatalf("hardmax MSE %v did not learn", mse)
+	}
+}
+
+func TestBinaryShadowsConsistent(t *testing.T) {
+	all := makePiecewise(rand.New(rand.NewSource(104)), 300, 3, 0.05)
+	cfg := Config{Models: 2, Epochs: 3, Seed: 105, ClusterMode: ClusterBinary, PredictMode: PredictBinaryBoth}
+	m := newModel(t, 3, 512, cfg)
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	// After training, each binary shadow must equal the packing of its
+	// integer source, and scales must be the L1 means.
+	for i := range m.models {
+		for j := 0; j < m.dim; j++ {
+			wantBit := m.models[i][j] >= 0
+			if m.modelsBin[i].Bit(j) != wantBit {
+				t.Fatalf("model %d bit %d stale", i, j)
+			}
+		}
+		if m.modelScale[i] <= 0 {
+			t.Fatalf("model %d scale %v not positive after training", i, m.modelScale[i])
+		}
+		for j := 0; j < m.dim; j++ {
+			wantBit := m.clusters[i][j] >= 0
+			if m.clustersBin[i].Bit(j) != wantBit {
+				t.Fatalf("cluster %d bit %d stale", i, j)
+			}
+		}
+	}
+}
+
+func TestNaiveBinaryClustersFrozen(t *testing.T) {
+	all := makePiecewise(rand.New(rand.NewSource(106)), 300, 3, 0.05)
+	cfg := Config{Models: 3, Epochs: 5, Seed: 107, ClusterMode: ClusterNaiveBinary}
+	m := newModel(t, 3, 512, cfg)
+	before := make([]*boolSnapshot, cfg.Models)
+	for i := range before {
+		before[i] = snapshotBits(m, i)
+	}
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		after := snapshotBits(m, i)
+		if !before[i].equal(after) {
+			t.Fatalf("naive binary cluster %d changed during training", i)
+		}
+	}
+}
+
+type boolSnapshot struct{ bits []bool }
+
+func snapshotBits(m *Model, i int) *boolSnapshot {
+	s := &boolSnapshot{bits: make([]bool, m.dim)}
+	for j := 0; j < m.dim; j++ {
+		s.bits[j] = m.clustersBin[i].Bit(j)
+	}
+	return s
+}
+
+func (s *boolSnapshot) equal(o *boolSnapshot) bool {
+	for i := range s.bits {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFaultInjectionBinaryRobustness(t *testing.T) {
+	// §3 robustness: a small fraction of flipped bits in the binary model
+	// must not destroy prediction quality.
+	all := makePiecewise(rand.New(rand.NewSource(108)), 700, 3, 0.05)
+	train := all.Subset(seqInts(0, 500))
+	test := all.Subset(seqInts(500, 700))
+	cfg := Config{Models: 4, Epochs: 40, Seed: 109, PredictMode: PredictBinaryBoth}
+	m := newModel(t, 3, 4000, cfg)
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := m.Evaluate(test)
+	if err := m.FlipModelBits(rand.New(rand.NewSource(110)), 0.01); err != nil {
+		t.Fatal(err)
+	}
+	faulty, _ := m.Evaluate(test)
+	if faulty > clean*2+1 {
+		t.Fatalf("1%% bit flips blew up MSE: clean %v faulty %v", clean, faulty)
+	}
+}
+
+func TestFaultInjectionValidation(t *testing.T) {
+	cfg := Config{Models: 2, Epochs: 1, Seed: 111}
+	m := newModel(t, 3, 128, cfg)
+	if err := m.FlipModelBits(rand.New(rand.NewSource(1)), 0.1); err == nil {
+		t.Fatal("FlipModelBits on integer-model mode accepted")
+	}
+	if err := m.CorruptModelComponents(rand.New(rand.NewSource(1)), -0.1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if err := m.CorruptModelComponents(rand.New(rand.NewSource(1)), 1.1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	cfgB := Config{Models: 2, Epochs: 1, Seed: 112, PredictMode: PredictBinaryBoth}
+	mb := newModel(t, 3, 128, cfgB)
+	if err := mb.FlipModelBits(rand.New(rand.NewSource(1)), 2); err == nil {
+		t.Fatal("fraction > 1 accepted by FlipModelBits")
+	}
+}
+
+func TestCorruptIntegerModelRobustness(t *testing.T) {
+	all := makePiecewise(rand.New(rand.NewSource(113)), 700, 3, 0.05)
+	train := all.Subset(seqInts(0, 500))
+	test := all.Subset(seqInts(500, 700))
+	cfg := Config{Models: 4, Epochs: 40, Seed: 114}
+	m := newModel(t, 3, 4000, cfg)
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := m.Evaluate(test)
+	if err := m.CorruptModelComponents(rand.New(rand.NewSource(115)), 0.01); err != nil {
+		t.Fatal(err)
+	}
+	faulty, _ := m.Evaluate(test)
+	if faulty > clean*2+1 {
+		t.Fatalf("1%% corrupted components blew up MSE: clean %v faulty %v", clean, faulty)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// modelState is the wire form of a trained model. The encoder travels as an
+// encoding.Encoder interface value (the concrete encoders register
+// themselves with gob).
+type modelState struct {
+	Cfg            Config
+	Encoder        encoding.Encoder
+	Clusters       []hdc.Vector
+	ClustersBin    []*hdc.Binary
+	Models         []hdc.Vector
+	ModelsBin      []*hdc.Binary
+	ModelScale     []float64
+	CalibA, CalibB float64
+	Trained        bool
+}
+
+// Save serializes the model (including its encoder and any binary shadows)
+// to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{
+		Cfg:         m.cfg,
+		Encoder:     m.enc,
+		Clusters:    m.clusters,
+		ClustersBin: m.clustersBin,
+		Models:      m.models,
+		ModelsBin:   m.modelsBin,
+		ModelScale:  m.modelScale,
+		CalibA:      m.calibA,
+		CalibB:      m.calibB,
+		Trained:     m.trained,
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile saves the model to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load deserializes a model previously written by Save. The restored model
+// predicts identically to the saved one; further training continues from
+// the saved state (with a re-seeded shuffling stream).
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if st.Encoder == nil {
+		return nil, fmt.Errorf("core: loaded model has no encoder")
+	}
+	if err := st.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded model config: %w", err)
+	}
+	if len(st.Models) != st.Cfg.Models {
+		return nil, fmt.Errorf("core: loaded model has %d model vectors, config says %d", len(st.Models), st.Cfg.Models)
+	}
+	dim := st.Encoder.Dim()
+	if err := hdc.CheckDims(dim, st.Models...); err != nil {
+		return nil, fmt.Errorf("core: loaded model vectors: %w", err)
+	}
+	m := &Model{
+		cfg:         st.Cfg,
+		enc:         st.Encoder,
+		dim:         dim,
+		clusters:    st.Clusters,
+		clustersBin: st.ClustersBin,
+		models:      st.Models,
+		modelsBin:   st.ModelsBin,
+		modelScale:  st.ModelScale,
+		calibA:      st.CalibA,
+		calibB:      st.CalibB,
+		trained:     st.Trained,
+		rng:         rand.New(rand.NewSource(st.Cfg.Seed)),
+	}
+	if m.cfg.Models > 1 {
+		m.sims = make([]float64, m.cfg.Models)
+		m.conf = make([]float64, m.cfg.Models)
+	}
+	return m, nil
+}
+
+// LoadFile loads a model from a file path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"single-full", Config{Models: 1, Epochs: 5, Seed: 1}},
+		{"multi-binary", Config{Models: 4, Epochs: 5, Seed: 2, ClusterMode: ClusterBinary, PredictMode: PredictBinaryBoth}},
+		{"multi-bquery", Config{Models: 3, Epochs: 5, Seed: 3, PredictMode: PredictBinaryQuery}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			all := makeLinear(rand.New(rand.NewSource(7)), 200, 3, 0.05)
+			m := newModel(t, 3, 512, tc.cfg)
+			if _, err := m.Fit(all); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				want, err := m.Predict(all.X[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := back.Predict(all.X[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want != got {
+					t.Fatalf("prediction %d differs after round trip: %v vs %v", i, want, got)
+				}
+			}
+			if back.Models() != m.Models() || back.Dim() != m.Dim() {
+				t.Fatal("shape changed after round trip")
+			}
+		})
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(8)), 100, 2, 0.05)
+	m := newModel(t, 2, 256, Config{Models: 2, Epochs: 3, Seed: 4})
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Predict(all.X[0])
+	got, _ := back.Predict(all.X[0])
+	if want != got {
+		t.Fatal("file round trip changed predictions")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadedModelContinuesTraining(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(9)), 300, 3, 0.05)
+	m := newModel(t, 3, 512, Config{Models: 1, Epochs: 3, Tol: 1e-12, Patience: 1000, Seed: 5})
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := m.Evaluate(all)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := back.Evaluate(all)
+	if after >= before {
+		t.Fatalf("continued training should improve training MSE: before %v after %v", before, after)
+	}
+}

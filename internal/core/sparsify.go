@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparsify zeroes the lowest-magnitude fraction of every integer regression
+// model's components — the SparseHD-style model sparsification the paper's
+// related work ([40]) describes as compatible with RegHD. Sparse models
+// skip the zeroed dimensions in hardware, trading accuracy for efficiency.
+// Binary shadows and the output calibration are NOT refreshed (sparsity
+// carries no information for sign quantization); sparsify integer-model
+// deployments, then optionally fine-tune with further Fit passes.
+func (m *Model) Sparsify(fraction float64) error {
+	if !m.trained {
+		return ErrNotTrained
+	}
+	if fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("core: sparsity fraction must be in [0,1), got %v", fraction)
+	}
+	nZero := int(fraction * float64(m.dim))
+	if nZero == 0 {
+		return nil
+	}
+	mags := make([]float64, m.dim)
+	for _, mv := range m.models {
+		for j, v := range mv {
+			if v >= 0 {
+				mags[j] = v
+			} else {
+				mags[j] = -v
+			}
+		}
+		sorted := append([]float64(nil), mags...)
+		sort.Float64s(sorted)
+		threshold := sorted[nZero-1]
+		zeroed := 0
+		for j := range mv {
+			if mags[j] <= threshold && zeroed < nZero {
+				mv[j] = 0
+				zeroed++
+			}
+		}
+	}
+	return nil
+}
+
+// ModelSparsity reports the fraction of exactly-zero components across all
+// integer regression models.
+func (m *Model) ModelSparsity() float64 {
+	var zeros, total int
+	for _, mv := range m.models {
+		for _, v := range mv {
+			if v == 0 {
+				zeros++
+			}
+		}
+		total += len(mv)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}

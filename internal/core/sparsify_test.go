@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparsifyValidation(t *testing.T) {
+	m := newModel(t, 3, 128, Config{Models: 1, Epochs: 1, Seed: 1})
+	if err := m.Sparsify(0.5); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+	all := makeLinear(rand.New(rand.NewSource(1)), 100, 3, 0.05)
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sparsify(-0.1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if err := m.Sparsify(1); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+}
+
+func TestSparsifyZeroesRequestedFraction(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(2)), 300, 3, 0.05)
+	m := newModel(t, 3, 1000, Config{Models: 4, Epochs: 5, Seed: 3})
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ModelSparsity(); s > 0.01 {
+		t.Fatalf("fresh trained model already sparse: %v", s)
+	}
+	if err := m.Sparsify(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ModelSparsity(); s < 0.49 || s > 0.52 {
+		t.Fatalf("sparsity %v, want ≈0.5", s)
+	}
+}
+
+func TestSparsifyNoOpAtZero(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(3)), 100, 3, 0.05)
+	m := newModel(t, 3, 256, Config{Models: 1, Epochs: 3, Seed: 4})
+	if _, err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := m.Predict(all.X[0])
+	if err := m.Sparsify(0); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Predict(all.X[0])
+	if before != after {
+		t.Fatal("Sparsify(0) changed predictions")
+	}
+}
+
+func TestSparsifyGracefulQualityLoss(t *testing.T) {
+	// Dropping the lowest-magnitude half of the model must not destroy the
+	// fit: the information is spread holographically, and the dropped
+	// components are by construction the least informative.
+	all := makeLinear(rand.New(rand.NewSource(4)), 800, 4, 0.05)
+	train := all.Subset(seqInts(0, 600))
+	test := all.Subset(seqInts(600, 800))
+	m := newModel(t, 4, 2000, Config{Models: 1, Epochs: 20, Seed: 5, PredictMode: PredictBinaryQuery})
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := m.Evaluate(test)
+	if err := m.Sparsify(0.5); err != nil {
+		t.Fatal(err)
+	}
+	sparse, _ := m.Evaluate(test)
+	if sparse > clean*3+0.5 {
+		t.Fatalf("50%% sparsity blew up MSE: clean %v sparse %v", clean, sparse)
+	}
+	// Extreme sparsity must hurt more than moderate sparsity.
+	if err := m.Sparsify(0.95); err != nil {
+		t.Fatal(err)
+	}
+	extreme, _ := m.Evaluate(test)
+	if extreme < sparse {
+		t.Fatalf("95%% sparsity (%v) should not beat 50%% (%v)", extreme, sparse)
+	}
+}
+
+func TestSparsifyThenFineTuneRecovers(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(5)), 600, 4, 0.05)
+	train := all.Subset(seqInts(0, 450))
+	test := all.Subset(seqInts(450, 600))
+	m := newModel(t, 4, 1000, Config{Models: 1, Epochs: 15, Seed: 6, PredictMode: PredictBinaryQuery})
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sparsify(0.7); err != nil {
+		t.Fatal(err)
+	}
+	sparseMSE, _ := m.Evaluate(test)
+	if _, err := m.Fit(train); err != nil { // fine-tune densifies again
+		t.Fatal(err)
+	}
+	tuned, _ := m.Evaluate(test)
+	if tuned > sparseMSE {
+		t.Fatalf("fine-tuning after sparsification should recover quality: %v -> %v", sparseMSE, tuned)
+	}
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a regression dataset from CSV. When header is true the
+// first row supplies feature names. The last column is the target; all
+// other columns are features and must parse as floats.
+func ReadCSV(r io.Reader, name string, header bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	d := &Dataset{Name: name}
+	start := 0
+	if header {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("dataset: csv %q has no header row", name)
+		}
+		h := rows[0]
+		if len(h) < 2 {
+			return nil, fmt.Errorf("dataset: csv %q needs at least one feature and one target column", name)
+		}
+		d.FeatureNames = append([]string(nil), h[:len(h)-1]...)
+		start = 1
+	}
+	for i := start; i < len(rows); i++ {
+		row := rows[i]
+		if len(row) < 2 {
+			return nil, fmt.Errorf("dataset: csv %q row %d has %d columns, need >= 2", name, i+1, len(row))
+		}
+		feats := make([]float64, len(row)-1)
+		for j, cell := range row[:len(row)-1] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv %q row %d col %d: %w", name, i+1, j+1, err)
+			}
+			feats[j] = v
+		}
+		y, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv %q row %d target: %w", name, i+1, err)
+		}
+		d.X = append(d.X, feats)
+		d.Y = append(d.Y, y)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadCSV reads a dataset from a file path via ReadCSV.
+func LoadCSV(path, name string, header bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, name, header)
+}
+
+// WriteCSV serializes d as CSV, emitting a header row when feature names are
+// present (the target column is named "target").
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if d.FeatureNames != nil {
+		if len(d.FeatureNames) != d.Features() {
+			return fmt.Errorf("dataset: %d feature names for %d columns", len(d.FeatureNames), d.Features())
+		}
+		if err := cw.Write(append(append([]string(nil), d.FeatureNames...), "target")); err != nil {
+			return fmt.Errorf("dataset: writing header: %w", err)
+		}
+	}
+	rec := make([]string, d.Features()+1)
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes d to a file path via WriteCSV.
+func SaveCSV(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVWithHeader(t *testing.T) {
+	in := "a,b,target\n1,2,3\n4,5,6\n"
+	d, err := ReadCSV(strings.NewReader(in), "t", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Features() != 2 {
+		t.Fatalf("parsed %d rows %d features", d.Len(), d.Features())
+	}
+	if d.FeatureNames[0] != "a" || d.FeatureNames[1] != "b" {
+		t.Fatalf("feature names = %v", d.FeatureNames)
+	}
+	if d.Y[1] != 6 || d.X[1][0] != 4 {
+		t.Fatalf("values wrong: %+v", d)
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("1,2\n3,4\n"), "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Features() != 1 || d.FeatureNames != nil {
+		t.Fatalf("parsed wrong: %+v", d)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		header   bool
+	}{
+		{"empty-header", "", true},
+		{"one-col-header", "a\n1\n", true},
+		{"bad-float", "a,t\nx,1\n", true},
+		{"bad-target", "a,t\n1,x\n", true},
+		{"no-rows", "a,t\n", true},
+		{"one-col-row", "1\n", false},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), c.name, c.header); err == nil {
+			t.Fatalf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := &Dataset{
+		Name:         "rt",
+		FeatureNames: []string{"f1", "f2"},
+		X:            [][]float64{{1.5, -2.25}, {3.125, 0}},
+		Y:            []float64{0.5, -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Features() != d.Features() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if back.X[i][j] != d.X[i][j] {
+				t.Fatalf("X[%d][%d] = %v, want %v", i, j, back.X[i][j], d.X[i][j])
+			}
+		}
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("Y[%d] = %v, want %v", i, back.Y[i], d.Y[i])
+		}
+	}
+}
+
+func TestWriteCSVNameMismatch(t *testing.T) {
+	d := &Dataset{
+		FeatureNames: []string{"only-one"},
+		X:            [][]float64{{1, 2}},
+		Y:            []float64{3},
+	}
+	if err := WriteCSV(&bytes.Buffer{}, d); err == nil {
+		t.Fatal("feature-name count mismatch accepted")
+	}
+}
+
+func TestSaveLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	rng := rand.New(rand.NewSource(1))
+	d := &Dataset{Name: "f", X: make([][]float64, 10), Y: make([]float64, 10)}
+	for i := range d.X {
+		d.X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d.Y[i] = rng.NormFloat64()
+	}
+	if err := SaveCSV(path, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path, "f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 10 || back.Features() != 2 {
+		t.Fatal("file round trip changed shape")
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv"), "m", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package dataset provides the data plumbing shared by every learner and
+// experiment in the repository: an in-memory regression dataset type,
+// train/test splitting, feature standardization, regression metrics, and
+// CSV import/export so real UCI datasets can be dropped in next to the
+// synthetic generators.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is an in-memory supervised regression dataset: X[i] is a feature
+// vector, Y[i] the scalar target.
+type Dataset struct {
+	// Name identifies the dataset in reports ("airfoil", "ccpp", ...).
+	Name string
+	// FeatureNames optionally labels the columns; may be nil.
+	FeatureNames []string
+	// X holds one row per sample; all rows have the same length.
+	X [][]float64
+	// Y holds the regression target for each row of X.
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Features returns the number of feature columns (0 for an empty dataset).
+func (d *Dataset) Features() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural invariants: matching X/Y lengths, rectangular
+// X, and at least one sample.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return errors.New("dataset: no samples")
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset: %d feature rows but %d targets", len(d.X), len(d.Y))
+	}
+	n := len(d.X[0])
+	if n == 0 {
+		return errors.New("dataset: zero feature columns")
+	}
+	for i, row := range d.X {
+		if len(row) != n {
+			return fmt.Errorf("dataset: row %d has %d features, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{Name: d.Name}
+	if d.FeatureNames != nil {
+		c.FeatureNames = append([]string(nil), d.FeatureNames...)
+	}
+	c.X = make([][]float64, len(d.X))
+	for i, row := range d.X {
+		c.X[i] = append([]float64(nil), row...)
+	}
+	c.Y = append([]float64(nil), d.Y...)
+	return c
+}
+
+// Subset returns a dataset view containing the rows at the given indices.
+// The returned dataset shares row storage with d; use Clone for isolation.
+func (d *Dataset) Subset(indices []int) *Dataset {
+	s := &Dataset{Name: d.Name, FeatureNames: d.FeatureNames}
+	s.X = make([][]float64, len(indices))
+	s.Y = make([]float64, len(indices))
+	for i, idx := range indices {
+		s.X[i] = d.X[idx]
+		s.Y[i] = d.Y[idx]
+	}
+	return s
+}
+
+// Shuffle permutes the samples in place using rng.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.X), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split partitions d into train and test sets with the given test fraction
+// (0 < testFrac < 1), after a shuffle driven by rng. The split keeps at
+// least one sample on each side.
+func (d *Dataset) Split(rng *rand.Rand, testFrac float64) (train, test *Dataset, err error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: testFrac must be in (0,1), got %v", testFrac)
+	}
+	n := d.Len()
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	test = d.Subset(perm[:nTest])
+	train = d.Subset(perm[nTest:])
+	return train, test, nil
+}
+
+// TargetRange returns the minimum and maximum of Y.
+func (d *Dataset) TargetRange() (lo, hi float64) {
+	if len(d.Y) == 0 {
+		return 0, 0
+	}
+	lo, hi = d.Y[0], d.Y[0]
+	for _, y := range d.Y[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}

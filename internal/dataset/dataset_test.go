@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func toy() *Dataset {
+	return &Dataset{
+		Name: "toy",
+		X:    [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}},
+		Y:    []float64{1, 2, 3, 4, 5},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := toy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{X: [][]float64{{1}, {2, 3}}, Y: []float64{1, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged X accepted")
+	}
+	bad2 := &Dataset{X: [][]float64{{1}}, Y: []float64{1, 2}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("mismatched Y length accepted")
+	}
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	bad3 := &Dataset{X: [][]float64{{}}, Y: []float64{1}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("zero-column dataset accepted")
+	}
+}
+
+func TestLenFeatures(t *testing.T) {
+	d := toy()
+	if d.Len() != 5 || d.Features() != 2 {
+		t.Fatalf("Len/Features = %d/%d", d.Len(), d.Features())
+	}
+	if (&Dataset{}).Features() != 0 {
+		t.Fatal("empty Features should be 0")
+	}
+}
+
+func TestCloneIsolated(t *testing.T) {
+	d := toy()
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[0] = 99
+	if d.X[0][0] == 99 || d.Y[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := toy()
+	s := d.Subset([]int{4, 0})
+	if s.Len() != 2 || s.Y[0] != 5 || s.Y[1] != 1 {
+		t.Fatalf("Subset wrong: %+v", s)
+	}
+}
+
+func TestSplitSizesAndDisjoint(t *testing.T) {
+	d := toy()
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := d.Split(rng, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatalf("split sizes %d+%d != %d", train.Len(), test.Len(), d.Len())
+	}
+	if test.Len() != 2 {
+		t.Fatalf("test size = %d, want 2", test.Len())
+	}
+	seen := map[float64]bool{}
+	for _, y := range train.Y {
+		seen[y] = true
+	}
+	for _, y := range test.Y {
+		if seen[y] {
+			t.Fatalf("sample with y=%v in both splits", y)
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	d := toy()
+	rng := rand.New(rand.NewSource(2))
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(rng, frac); err == nil {
+			t.Fatalf("testFrac %v accepted", frac)
+		}
+	}
+	// Tiny dataset still keeps one sample per side.
+	tiny := &Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1, 2}}
+	tr, te, err := tiny.Split(rng, 0.01)
+	if err != nil || tr.Len() != 1 || te.Len() != 1 {
+		t.Fatalf("tiny split: %v %d %d", err, tr.Len(), te.Len())
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	d := toy()
+	// Pair invariant: y equals x[0] rank; record mapping before shuffle.
+	d.Shuffle(rand.New(rand.NewSource(3)))
+	for i, row := range d.X {
+		if d.Y[i] != (row[0]+1)/2 {
+			t.Fatalf("shuffle broke (x,y) pairing at %d: x=%v y=%v", i, row, d.Y[i])
+		}
+	}
+}
+
+func TestTargetRange(t *testing.T) {
+	d := toy()
+	lo, hi := d.TargetRange()
+	if lo != 1 || hi != 5 {
+		t.Fatalf("TargetRange = %v..%v", lo, hi)
+	}
+	lo, hi = (&Dataset{}).TargetRange()
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty TargetRange should be 0,0")
+	}
+}
+
+func TestScalerStandardizes(t *testing.T) {
+	d := toy()
+	s, err := FitScaler(d, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < out.Features(); j++ {
+		var mean, varr float64
+		for _, row := range out.X {
+			mean += row[j]
+		}
+		mean /= float64(out.Len())
+		for _, row := range out.X {
+			varr += (row[j] - mean) * (row[j] - mean)
+		}
+		varr /= float64(out.Len())
+		if math.Abs(mean) > 1e-9 || math.Abs(varr-1) > 1e-9 {
+			t.Fatalf("column %d mean %v var %v after scaling", j, mean, varr)
+		}
+	}
+	var ymean float64
+	for _, y := range out.Y {
+		ymean += y
+	}
+	if math.Abs(ymean/float64(out.Len())) > 1e-9 {
+		t.Fatal("target not centered")
+	}
+}
+
+func TestScalerInverseYRoundTrip(t *testing.T) {
+	d := toy()
+	s, _ := FitScaler(d, true)
+	for _, y := range []float64{-3, 0, 2.5, 100} {
+		if got := s.InverseY(s.ScaleY(y)); math.Abs(got-y) > 1e-9 {
+			t.Fatalf("round trip %v -> %v", y, got)
+		}
+	}
+	sNo, _ := FitScaler(d, false)
+	if sNo.ScaleY(7) != 7 || sNo.InverseY(7) != 7 {
+		t.Fatal("unscaled target should pass through")
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{5, 1}, {5, 2}, {5, 3}},
+		Y: []float64{1, 2, 3},
+	}
+	s, err := FitScaler(d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range out.X {
+		if row[0] != 0 {
+			t.Fatalf("constant column should map to 0, got %v", row[0])
+		}
+		if math.IsNaN(row[1]) {
+			t.Fatal("NaN in scaled output")
+		}
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	var s Scaler
+	if _, err := s.Transform(toy()); err == nil {
+		t.Fatal("unfitted scaler accepted Transform")
+	}
+	if err := s.TransformRow([]float64{1}); err == nil {
+		t.Fatal("unfitted scaler accepted TransformRow")
+	}
+	f, _ := FitScaler(toy(), false)
+	if _, err := f.Transform(&Dataset{X: [][]float64{{1, 2, 3}}, Y: []float64{1}}); err == nil {
+		t.Fatal("feature-count mismatch accepted")
+	}
+	if err := f.TransformRow([]float64{1, 2, 3}); err == nil {
+		t.Fatal("row length mismatch accepted")
+	}
+}
+
+func TestTransformRowMatchesTransform(t *testing.T) {
+	d := toy()
+	s, _ := FitScaler(d, false)
+	out, _ := s.Transform(d)
+	row := append([]float64(nil), d.X[2]...)
+	if err := s.TransformRow(row); err != nil {
+		t.Fatal(err)
+	}
+	for j := range row {
+		if math.Abs(row[j]-out.X[2][j]) > 1e-12 {
+			t.Fatal("TransformRow differs from Transform")
+		}
+	}
+}

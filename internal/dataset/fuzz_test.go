@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics and that accepted inputs
+// produce structurally valid datasets that survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,target\n1,2,3\n", true)
+	f.Add("1,2\n3,4\n", false)
+	f.Add("", true)
+	f.Add("x\n", false)
+	f.Add("1,2,3\n4,5\n", false)
+	f.Add("nan,inf,-inf\n1e308,2,3\n", false)
+	f.Add("\"quoted,cell\",2\n", false)
+	f.Fuzz(func(t *testing.T, in string, header bool) {
+		d, err := ReadCSV(strings.NewReader(in), "fuzz", header)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf strings.Builder
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Fatalf("accepted dataset fails to serialize: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()), "fuzz2", d.FeatureNames != nil)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if back.Len() != d.Len() || back.Features() != d.Features() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Len(), back.Features(), d.Len(), d.Features())
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fold is one cross-validation split.
+type Fold struct {
+	// Train and Val partition the dataset.
+	Train, Val *Dataset
+}
+
+// KFold shuffles d and partitions it into k train/validation folds. Every
+// sample appears in exactly one validation set; folds differ in size by at
+// most one sample.
+func KFold(d *Dataset, k int, rng *rand.Rand) ([]Fold, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: KFold needs k >= 2, got %d", k)
+	}
+	if k > d.Len() {
+		return nil, fmt.Errorf("dataset: KFold with k=%d exceeds %d samples", k, d.Len())
+	}
+	perm := rng.Perm(d.Len())
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * d.Len() / k
+		hi := (f + 1) * d.Len() / k
+		val := perm[lo:hi]
+		train := make([]int, 0, d.Len()-len(val))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+		folds[f] = Fold{Train: d.Subset(train), Val: d.Subset(val)}
+	}
+	return folds, nil
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when prediction and target slices differ in
+// length or are empty.
+var ErrLengthMismatch = errors.New("dataset: prediction/target length mismatch or empty")
+
+// MSE returns the mean squared error between predictions and targets — the
+// quality metric of the paper's Table 1.
+func MSE(pred, target []float64) (float64, error) {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0, ErrLengthMismatch
+	}
+	var s float64
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return s / float64(len(pred)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, target []float64) (float64, error) {
+	mse, err := MSE(pred, target)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(mse), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, target []float64) (float64, error) {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0, ErrLengthMismatch
+	}
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p - target[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// R2 returns the coefficient of determination 1 − SS_res/SS_tot. A constant
+// target yields R2 = 0 by convention.
+func R2(pred, target []float64) (float64, error) {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0, ErrLengthMismatch
+	}
+	var mean float64
+	for _, y := range target {
+		mean += y
+	}
+	mean /= float64(len(target))
+	var ssRes, ssTot float64
+	for i, y := range target {
+		r := y - pred[i]
+		ssRes += r * r
+		d := y - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

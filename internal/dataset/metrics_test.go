@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("MSE = %v, want 4/3", got)
+	}
+}
+
+func TestMSEPerfect(t *testing.T) {
+	got, _ := MSE([]float64{1, 2}, []float64{1, 2})
+	if got != 0 {
+		t.Fatalf("perfect MSE = %v", got)
+	}
+}
+
+func TestMetricsLengthErrors(t *testing.T) {
+	if _, err := MSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("MSE accepted length mismatch")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Fatal("MSE accepted empty input")
+	}
+	if _, err := MAE([]float64{1}, nil); err == nil {
+		t.Fatal("MAE accepted mismatch")
+	}
+	if _, err := R2(nil, nil); err == nil {
+		t.Fatal("R2 accepted empty")
+	}
+	if _, err := RMSE([]float64{1}, nil); err == nil {
+		t.Fatal("RMSE accepted mismatch")
+	}
+}
+
+func TestRMSEIsSqrtMSE(t *testing.T) {
+	pred := []float64{0, 0, 0}
+	tgt := []float64{3, 4, 0}
+	mse, _ := MSE(pred, tgt)
+	rmse, _ := RMSE(pred, tgt)
+	if math.Abs(rmse-math.Sqrt(mse)) > 1e-12 {
+		t.Fatalf("RMSE %v != sqrt(MSE) %v", rmse, math.Sqrt(mse))
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, _ := MAE([]float64{1, -1}, []float64{2, 1})
+	if got != 1.5 {
+		t.Fatalf("MAE = %v, want 1.5", got)
+	}
+}
+
+func TestR2PerfectAndMean(t *testing.T) {
+	tgt := []float64{1, 2, 3, 4}
+	r2, _ := R2(tgt, tgt)
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("perfect R2 = %v", r2)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	r2, _ = R2(meanPred, tgt)
+	if math.Abs(r2) > 1e-12 {
+		t.Fatalf("mean-prediction R2 = %v, want 0", r2)
+	}
+}
+
+func TestR2ConstantTarget(t *testing.T) {
+	r2, err := R2([]float64{1, 2}, []float64{5, 5})
+	if err != nil || r2 != 0 {
+		t.Fatalf("constant target R2 = %v err %v, want 0", r2, err)
+	}
+}
+
+func TestMSENonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20) + 1
+		p := make([]float64, n)
+		g := make([]float64, n)
+		for i := range p {
+			p[i] = r.NormFloat64() * 10
+			g[i] = r.NormFloat64() * 10
+		}
+		mse, err := MSE(p, g)
+		mae, err2 := MAE(p, g)
+		rmse, err3 := RMSE(p, g)
+		if err != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// MSE >= 0, RMSE >= MAE is false in general, but RMSE >= 0 and
+		// RMSE^2 == MSE; also MAE <= RMSE by Jensen.
+		return mse >= 0 && mae >= 0 && math.Abs(rmse*rmse-mse) < 1e-9 && mae <= rmse+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

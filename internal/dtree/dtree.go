@@ -1,0 +1,223 @@
+// Package dtree implements the decision-tree baseline of the paper's
+// Table 1: a CART regression tree grown by greedy variance reduction with
+// depth, sample-count, and improvement stopping rules.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"reghd/internal/dataset"
+)
+
+// Config holds the tree-growing hyper-parameters.
+type Config struct {
+	// MaxDepth caps tree depth (root is depth 0). Zero means the default.
+	MaxDepth int
+	// MinSamplesSplit is the minimum samples a node needs to be split.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum samples each child must keep.
+	MinSamplesLeaf int
+	// MinImpurityDecrease is the minimum total variance reduction a split
+	// must achieve.
+	MinImpurityDecrease float64
+}
+
+// DefaultConfig matches the grid-search center used in the evaluation.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 8, MinSamplesSplit: 8, MinSamplesLeaf: 4}
+}
+
+// Validate fills defaults and rejects invalid settings.
+func (c *Config) Validate() error {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinSamplesSplit == 0 {
+		c.MinSamplesSplit = 8
+	}
+	if c.MinSamplesLeaf == 0 {
+		c.MinSamplesLeaf = 4
+	}
+	switch {
+	case c.MaxDepth < 0:
+		return errors.New("dtree: negative MaxDepth")
+	case c.MinSamplesSplit < 2:
+		return fmt.Errorf("dtree: MinSamplesSplit must be >= 2, got %d", c.MinSamplesSplit)
+	case c.MinSamplesLeaf < 1:
+		return fmt.Errorf("dtree: MinSamplesLeaf must be >= 1, got %d", c.MinSamplesLeaf)
+	case c.MinImpurityDecrease < 0:
+		return errors.New("dtree: negative MinImpurityDecrease")
+	}
+	return nil
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	value       float64 // leaf prediction (mean target)
+	left, right *node
+}
+
+// Tree is the trained CART regressor.
+type Tree struct {
+	cfg     Config
+	root    *node
+	feats   int
+	nodes   int
+	trained bool
+}
+
+// New constructs an untrained tree.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: cfg}, nil
+}
+
+// Name implements learner.Regressor.
+func (t *Tree) Name() string { return "dtree" }
+
+// Nodes returns the number of nodes in the trained tree.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Depth returns the depth of the trained tree (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.feature == -1 {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Fit grows the tree on the training data.
+func (t *Tree) Fit(train *dataset.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	t.feats = train.Features()
+	idx := make([]int, train.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = 0
+	t.root = t.grow(train, idx, 0)
+	t.trained = true
+	return nil
+}
+
+// stats holds the sufficient statistics of a sample set for variance math.
+type stats struct {
+	n          float64
+	sum, sumSq float64
+}
+
+func (s *stats) add(y float64)    { s.n++; s.sum += y; s.sumSq += y * y }
+func (s *stats) remove(y float64) { s.n--; s.sum -= y; s.sumSq -= y * y }
+
+// sse returns the sum of squared errors around the mean (n · variance).
+func (s *stats) sse() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sumSq - s.sum*s.sum/s.n
+}
+
+func (s *stats) mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / s.n
+}
+
+// grow recursively builds the subtree over the samples at idx.
+func (t *Tree) grow(d *dataset.Dataset, idx []int, dep int) *node {
+	t.nodes++
+	var total stats
+	for _, i := range idx {
+		total.add(d.Y[i])
+	}
+	leaf := &node{feature: -1, value: total.mean()}
+	if dep >= t.cfg.MaxDepth || len(idx) < t.cfg.MinSamplesSplit || total.sse() == 0 {
+		return leaf
+	}
+
+	bestGain := t.cfg.MinImpurityDecrease
+	bestFeat, bestThresh := -1, 0.0
+	order := make([]int, len(idx))
+	for f := 0; f < t.feats; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+		var left stats
+		right := total
+		for pos := 0; pos < len(order)-1; pos++ {
+			y := d.Y[order[pos]]
+			left.add(y)
+			right.remove(y)
+			xCur := d.X[order[pos]][f]
+			xNext := d.X[order[pos+1]][f]
+			if xCur == xNext {
+				continue // cannot split between equal values
+			}
+			nl, nr := pos+1, len(order)-pos-1
+			if nl < t.cfg.MinSamplesLeaf || nr < t.cfg.MinSamplesLeaf {
+				continue
+			}
+			gain := total.sse() - left.sse() - right.sse()
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (xCur + xNext) / 2
+			}
+		}
+	}
+	if bestFeat == -1 {
+		return leaf
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if d.X[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		value:     total.mean(),
+		left:      t.grow(d, leftIdx, dep+1),
+		right:     t.grow(d, rightIdx, dep+1),
+	}
+}
+
+// ErrNotTrained is returned by Predict before Fit.
+var ErrNotTrained = errors.New("dtree: tree has not been trained")
+
+// Predict walks the tree to a leaf.
+func (t *Tree) Predict(x []float64) (float64, error) {
+	if !t.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) != t.feats {
+		return 0, fmt.Errorf("dtree: input has %d features, tree expects %d", len(x), t.feats)
+	}
+	n := t.root
+	for n.feature != -1 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value, nil
+}

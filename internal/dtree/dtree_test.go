@@ -1,0 +1,221 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+)
+
+var _ learner.Regressor = (*Tree)(nil)
+
+func makeStep(rng *rand.Rand, n int) *dataset.Dataset {
+	// Piecewise-constant target — the ideal case for a tree.
+	d := &dataset.Dataset{Name: "step", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		y := -1.0
+		if x > 0.5 {
+			y = 2
+		} else if x > -1 {
+			y = 0.5
+		}
+		d.X[i] = []float64{x, rng.NormFloat64()} // second feature is noise
+		d.Y[i] = y
+	}
+	return d
+}
+
+func makeSmooth(rng *rand.Rand, n int) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "smooth", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.X[i] = []float64{a, b}
+		d.Y[i] = a*a + b + 0.05*rng.NormFloat64()
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MaxDepth: -1},
+		{MinSamplesSplit: 1},
+		{MinSamplesLeaf: -1},
+		{MinImpurityDecrease: -1},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxDepth == 0 || c.MinSamplesSplit == 0 || c.MinSamplesLeaf == 0 {
+		t.Fatal("defaults not filled")
+	}
+}
+
+func TestLearnsStepFunction(t *testing.T) {
+	all := makeStep(rand.New(rand.NewSource(1)), 600)
+	train := all.Subset(seq(0, 450))
+	test := all.Subset(seq(450, 600))
+	tr, _ := New(DefaultConfig())
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := learner.MSE(tr, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.01 {
+		t.Fatalf("step-function MSE %v, tree should fit it almost exactly", mse)
+	}
+}
+
+func TestLearnsSmoothApproximately(t *testing.T) {
+	all := makeSmooth(rand.New(rand.NewSource(2)), 1200)
+	train := all.Subset(seq(0, 900))
+	test := all.Subset(seq(900, 1200))
+	tr, _ := New(DefaultConfig())
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := learner.MSE(tr, test)
+	// Target variance ≈ 3; the tree should capture most structure.
+	if mse > 1 {
+		t.Fatalf("smooth MSE %v too high", mse)
+	}
+}
+
+func TestDepthLimitRespected(t *testing.T) {
+	all := makeSmooth(rand.New(rand.NewSource(3)), 500)
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 3
+	tr, _ := New(cfg)
+	if err := tr.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Depth(); got > 3 {
+		t.Fatalf("depth %d exceeds limit 3", got)
+	}
+	if tr.Nodes() == 0 {
+		t.Fatal("no nodes recorded")
+	}
+}
+
+func TestDepthZeroIsStump(t *testing.T) {
+	all := makeStep(rand.New(rand.NewSource(4)), 100)
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	tr, _ := New(cfg)
+	if err := tr.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Fatalf("stump depth %d", tr.Depth())
+	}
+}
+
+func TestConstantTargetGivesLeaf(t *testing.T) {
+	d := &dataset.Dataset{X: [][]float64{{1}, {2}, {3}, {4}}, Y: []float64{5, 5, 5, 5}}
+	tr, _ := New(DefaultConfig())
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	y, err := tr.Predict([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 5 {
+		t.Fatalf("constant prediction %v, want 5", y)
+	}
+	if tr.Depth() != 0 {
+		t.Fatal("constant target should be a lone leaf")
+	}
+}
+
+func TestMinSamplesLeafRespected(t *testing.T) {
+	// With MinSamplesLeaf equal to half the data, at most one split fits.
+	all := makeStep(rand.New(rand.NewSource(5)), 40)
+	cfg := DefaultConfig()
+	cfg.MinSamplesLeaf = 20
+	tr, _ := New(cfg)
+	if err := tr.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Fatalf("depth %d with MinSamplesLeaf=n/2", tr.Depth())
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	tr, _ := New(DefaultConfig())
+	if _, err := tr.Predict([]float64{1}); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestPredictChecksLength(t *testing.T) {
+	all := makeStep(rand.New(rand.NewSource(6)), 50)
+	tr, _ := New(DefaultConfig())
+	if err := tr.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	tr, _ := New(DefaultConfig())
+	if err := tr.Fit(&dataset.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	all := makeSmooth(rand.New(rand.NewSource(7)), 300)
+	run := func() float64 {
+		tr, _ := New(DefaultConfig())
+		if err := tr.Fit(all); err != nil {
+			t.Fatal(err)
+		}
+		y, _ := tr.Predict(all.X[0])
+		return y
+	}
+	if run() != run() {
+		t.Fatal("tree growth not deterministic")
+	}
+}
+
+func TestPredictionsAreTrainMeans(t *testing.T) {
+	// Every prediction must be within the target range (tree predicts
+	// means of training subsets).
+	all := makeSmooth(rand.New(rand.NewSource(8)), 400)
+	tr, _ := New(DefaultConfig())
+	if err := tr.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := all.TargetRange()
+	for i := 0; i < 50; i++ {
+		y, _ := tr.Predict(all.X[i])
+		if y < lo-1e-9 || y > hi+1e-9 {
+			t.Fatalf("prediction %v outside target range [%v,%v]", y, lo, hi)
+		}
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("NaN in target range")
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package encoding
+
+import "reghd/internal/hdc"
+
+// Encoder is the contract every RegHD encoder satisfies: a similarity-
+// preserving map from n-dimensional feature vectors into D-dimensional
+// hyperspace, available in raw, bipolar-quantized, and bit-packed forms.
+type Encoder interface {
+	// Dim returns the hyperdimensional size D.
+	Dim() int
+	// Features returns the expected input dimensionality n.
+	Features() int
+	// Encode returns the raw real-valued hypervector.
+	Encode(ctr *hdc.Counter, x []float64) (hdc.Vector, error)
+	// EncodeBipolar returns the sign-quantized hypervector in {−1,+1}^D.
+	EncodeBipolar(ctr *hdc.Counter, x []float64) (hdc.Vector, error)
+	// EncodeBinary returns the bit-packed quantized hypervector.
+	EncodeBinary(ctr *hdc.Counter, x []float64) (*hdc.Binary, error)
+	// EncodeBoth returns the raw and the bipolar hypervector from a single
+	// encoding pass, for callers that need both representations.
+	EncodeBoth(ctr *hdc.Counter, x []float64) (raw, bipolar hdc.Vector, err error)
+}
+
+var (
+	_ Encoder = (*Nonlinear)(nil)
+	_ Encoder = (*IDLevel)(nil)
+)

@@ -1,0 +1,242 @@
+// Package encoding implements the similarity-preserving encoders that map
+// original-space feature vectors into hyperdimensional space.
+//
+// The primary encoder is the paper's Eq. 1 nonlinear encoder:
+//
+//	H_j = cos(F·B_j + b_j) · sin(F·B_j)
+//
+// where each B_j is a random bipolar base vector over the n input features
+// and b_j ~ U[0, 2π). The base vectors are random, hence nearly orthogonal,
+// and the trigonometric nonlinearity makes the encoding a random-Fourier-
+// feature-like kernel map: inputs close in the original space produce
+// hypervectors with high cosine similarity, while distant inputs map to
+// nearly orthogonal hypervectors. That nonlinearity is what lets RegHD learn
+// nonlinear regression functions with purely linear model updates.
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reghd/internal/hdc"
+)
+
+// Nonlinear is the Eq. 1 encoder. It is safe for concurrent use once
+// constructed: Encode* methods only read the projection state.
+// Projection selects the distribution of the base hypervectors B_k.
+type Projection int
+
+const (
+	// ProjGaussian draws base components from the standard normal
+	// distribution. This is the default: it makes the encoder a faithful
+	// random-Fourier-feature map with a Gaussian similarity kernel for any
+	// input dimensionality, and matches the authors' released
+	// implementations of this encoder.
+	ProjGaussian Projection = iota
+	// ProjBipolar draws base components uniformly from {−1,+1}, the
+	// paper's literal "bipolar base hypervectors". For inputs with few
+	// features the projection magnitudes are then quantized (for n=1 every
+	// dimension sees the same |phase|), which makes the induced kernel
+	// periodic — distant inputs alias onto similar encodings. Provided for
+	// ablation against the paper text; prefer ProjGaussian.
+	ProjBipolar
+)
+
+type Nonlinear struct {
+	dim       int       // hyperdimensional size D
+	features  int       // original-space size n
+	bandwidth float64   // kernel bandwidth: projections are divided by this
+	proj      []float64 // features*dim projection, row k = B_k
+	bias      []float64 // dim biases b_j in [0, 2π)
+	center    []float64 // per-dimension constant −sin(b_j)/2 of the Eq. 1 product
+}
+
+// NewNonlinear constructs an encoder for nFeatures-dimensional inputs into
+// dim-dimensional hyperspace, drawing base hypervectors from rng. The
+// kernel bandwidth defaults to 2√nFeatures, which for standardized inputs
+// places the similarity length-scale at √n — the usual median-distance
+// heuristic. Use NewNonlinearBandwidth to override.
+func NewNonlinear(rng *rand.Rand, nFeatures, dim int) (*Nonlinear, error) {
+	if nFeatures <= 0 {
+		return nil, fmt.Errorf("encoding: nFeatures must be positive, got %d", nFeatures)
+	}
+	return NewNonlinearBandwidth(rng, nFeatures, dim, 2*math.Sqrt(float64(nFeatures)))
+}
+
+// NewNonlinearBandwidth constructs the Eq. 1 encoder with an explicit
+// kernel bandwidth and Gaussian base hypervectors. Feature projections
+// F·B_j are divided by the bandwidth before the trigonometric nonlinearity,
+// so the induced similarity between two inputs decays as
+// exp(−2‖Δx‖²/bandwidth²): larger bandwidths make the encoder smoother
+// (more generalization), smaller ones sharper (more memorization).
+func NewNonlinearBandwidth(rng *rand.Rand, nFeatures, dim int, bandwidth float64) (*Nonlinear, error) {
+	return NewNonlinearProjection(rng, nFeatures, dim, bandwidth, ProjGaussian)
+}
+
+// NewNonlinearProjection constructs the Eq. 1 encoder with full control
+// over the bandwidth and the base-hypervector distribution.
+func NewNonlinearProjection(rng *rand.Rand, nFeatures, dim int, bandwidth float64, kind Projection) (*Nonlinear, error) {
+	if nFeatures <= 0 {
+		return nil, fmt.Errorf("encoding: nFeatures must be positive, got %d", nFeatures)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("encoding: dim must be positive, got %d", dim)
+	}
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("encoding: bandwidth must be positive, got %v", bandwidth)
+	}
+	e := &Nonlinear{
+		dim:       dim,
+		features:  nFeatures,
+		bandwidth: bandwidth,
+		proj:      make([]float64, nFeatures*dim),
+		bias:      make([]float64, dim),
+	}
+	switch kind {
+	case ProjGaussian:
+		for i := range e.proj {
+			e.proj[i] = rng.NormFloat64()
+		}
+	case ProjBipolar:
+		for i := range e.proj {
+			if rng.Int63()&1 == 0 {
+				e.proj[i] = 1
+			} else {
+				e.proj[i] = -1
+			}
+		}
+	default:
+		return nil, fmt.Errorf("encoding: unknown projection kind %d", kind)
+	}
+	e.center = make([]float64, dim)
+	for j := range e.bias {
+		e.bias[j] = rng.Float64() * 2 * math.Pi
+		e.center[j] = -math.Sin(e.bias[j]) / 2
+	}
+	return e, nil
+}
+
+// Dim returns the hyperdimensional size D.
+func (e *Nonlinear) Dim() int { return e.dim }
+
+// Features returns the expected input dimensionality n.
+func (e *Nonlinear) Features() int { return e.features }
+
+// Bandwidth returns the kernel bandwidth.
+func (e *Nonlinear) Bandwidth() float64 { return e.bandwidth }
+
+// Base returns the k-th base hypervector B_k (a copy).
+func (e *Nonlinear) Base(k int) hdc.Vector {
+	v := make(hdc.Vector, e.dim)
+	copy(v, e.proj[k*e.dim:(k+1)*e.dim])
+	return v
+}
+
+// project computes F·B_j for every j into out (length dim). The projection
+// rows are bipolar, so it is an add/sub-only kernel; we still count it as
+// float multiply-add because the feature values are real.
+func (e *Nonlinear) project(ctr *hdc.Counter, out []float64, x []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	for k, f := range x {
+		row := e.proj[k*e.dim : (k+1)*e.dim]
+		for j, b := range row {
+			out[j] += f * b
+		}
+	}
+	n := uint64(e.features) * uint64(e.dim)
+	ctr.Add(hdc.OpFloatMul, n)
+	ctr.Add(hdc.OpFloatAdd, n)
+	ctr.Add(hdc.OpMemRead, n)
+}
+
+// Encode maps x into the raw (real-valued) hypervector H of Eq. 1.
+func (e *Nonlinear) Encode(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
+	if len(x) != e.features {
+		return nil, fmt.Errorf("encoding: input has %d features, encoder expects %d", len(x), e.features)
+	}
+	h := make(hdc.Vector, e.dim)
+	e.project(ctr, h, x)
+	inv := 1 / e.bandwidth
+	for j, p := range h {
+		p *= inv
+		h[j] = math.Cos(p+e.bias[j]) * math.Sin(p)
+	}
+	d := uint64(e.dim)
+	ctr.Add(hdc.OpExp, 2*d) // cos + sin
+	ctr.Add(hdc.OpFloatAdd, d)
+	ctr.Add(hdc.OpFloatMul, d)
+	ctr.Add(hdc.OpMemWrite, d)
+	return h, nil
+}
+
+// EncodeBipolar maps x into the quantized bipolar hypervector
+// S ∈ {−1,+1}^D used throughout training in the paper.
+//
+// The Eq. 1 product expands to H_j = ½·sin(2·F·B_j + b_j) − ½·sin(b_j);
+// the second term is a constant shared by every input, so quantizing the raw
+// value at zero would bias dimension j the same way for all inputs and leave
+// unrelated encodings correlated. We therefore quantize relative to that
+// per-dimension constant — S_j = sign(H_j − center_j) = sign(sin(2F·B_j+b_j))
+// — which keeps unrelated inputs nearly orthogonal while preserving the
+// local-similarity structure.
+func (e *Nonlinear) EncodeBipolar(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
+	h, err := e.Encode(ctr, x)
+	if err != nil {
+		return nil, err
+	}
+	for j, v := range h {
+		if v >= e.center[j] {
+			h[j] = 1
+		} else {
+			h[j] = -1
+		}
+	}
+	ctr.Add(hdc.OpCmp, uint64(e.dim))
+	return h, nil
+}
+
+// EncodeBinary maps x into the bit-packed binary hypervector S^b used by the
+// quantized similarity kernels (Section 3.1). Bit j is set exactly when
+// EncodeBipolar would produce +1.
+func (e *Nonlinear) EncodeBinary(ctr *hdc.Counter, x []float64) (*hdc.Binary, error) {
+	s, err := e.EncodeBipolar(ctr, x)
+	if err != nil {
+		return nil, err
+	}
+	return hdc.Pack(ctr, s), nil
+}
+
+// EncodeBoth returns the raw hypervector H and its centered-sign bipolar
+// quantization S from a single projection pass.
+func (e *Nonlinear) EncodeBoth(ctr *hdc.Counter, x []float64) (raw, bipolar hdc.Vector, err error) {
+	raw, err = e.Encode(ctr, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	bipolar = make(hdc.Vector, e.dim)
+	for j, v := range raw {
+		if v >= e.center[j] {
+			bipolar[j] = 1
+		} else {
+			bipolar[j] = -1
+		}
+	}
+	ctr.Add(hdc.OpCmp, uint64(e.dim))
+	return raw, bipolar, nil
+}
+
+// EncodeBatch encodes each row of xs with EncodeBipolar.
+func (e *Nonlinear) EncodeBatch(ctr *hdc.Counter, xs [][]float64) ([]hdc.Vector, error) {
+	out := make([]hdc.Vector, len(xs))
+	for i, x := range xs {
+		s, err := e.EncodeBipolar(ctr, x)
+		if err != nil {
+			return nil, fmt.Errorf("encoding row %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

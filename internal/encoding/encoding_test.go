@@ -1,0 +1,230 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reghd/internal/hdc"
+)
+
+func TestNewNonlinearValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNonlinear(rng, 0, 100); err == nil {
+		t.Fatal("accepted zero features")
+	}
+	if _, err := NewNonlinear(rng, 5, 0); err == nil {
+		t.Fatal("accepted zero dim")
+	}
+	e, err := NewNonlinear(rng, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 100 || e.Features() != 5 {
+		t.Fatalf("Dim/Features = %d/%d", e.Dim(), e.Features())
+	}
+}
+
+func TestNonlinearInputLengthChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e, _ := NewNonlinear(rng, 4, 64)
+	if _, err := e.Encode(nil, []float64{1, 2}); err == nil {
+		t.Fatal("accepted wrong input length")
+	}
+	if _, err := e.EncodeBipolar(nil, []float64{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("bipolar accepted wrong input length")
+	}
+	if _, err := e.EncodeBinary(nil, make([]float64, 3)); err == nil {
+		t.Fatal("binary accepted wrong input length")
+	}
+}
+
+func TestNonlinearDeterministic(t *testing.T) {
+	e1, _ := NewNonlinear(rand.New(rand.NewSource(7)), 6, 500)
+	e2, _ := NewNonlinear(rand.New(rand.NewSource(7)), 6, 500)
+	x := []float64{0.1, -0.3, 0.5, 0.7, -0.2, 0.9}
+	h1, _ := e1.Encode(nil, x)
+	h2, _ := e2.Encode(nil, x)
+	for j := range h1 {
+		if h1[j] != h2[j] {
+			t.Fatal("same seed produced different encodings")
+		}
+	}
+}
+
+func TestNonlinearRangeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e, _ := NewNonlinear(rng, 8, 256)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	h, err := e.Encode(nil, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range h {
+		if v < -1-1e-12 || v > 1+1e-12 {
+			t.Fatalf("component %d = %v outside [-1,1]", j, v)
+		}
+	}
+}
+
+func TestNonlinearBipolarIsCenteredSignOfRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e, _ := NewNonlinear(rng, 5, 200)
+	x := []float64{0.4, -0.1, 0.2, 0.8, -0.6}
+	raw, _ := e.Encode(nil, x)
+	bip, _ := e.EncodeBipolar(nil, x)
+	if !bip.IsBipolar() {
+		t.Fatal("EncodeBipolar output not bipolar")
+	}
+	for j := range raw {
+		want := 1.0
+		if raw[j] < e.center[j] {
+			want = -1
+		}
+		if bip[j] != want {
+			t.Fatalf("component %d: raw %v, center %v, bipolar %v", j, raw[j], e.center[j], bip[j])
+		}
+	}
+}
+
+func TestNonlinearBinaryMatchesBipolar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e, _ := NewNonlinear(rng, 5, 333)
+	x := []float64{0.4, -0.1, 0.2, 0.8, -0.6}
+	bip, _ := e.EncodeBipolar(nil, x)
+	bin, _ := e.EncodeBinary(nil, x)
+	dense := hdc.Unpack(bin)
+	for j := range bip {
+		if bip[j] != dense[j] {
+			t.Fatalf("component %d: bipolar %v, binary %v", j, bip[j], dense[j])
+		}
+	}
+}
+
+// TestSimilarityPreserving is the encoder's "common-sense principle" (§2.2):
+// inputs close in the original space must be more similar in HD space than
+// distant inputs, and far-apart inputs should be nearly orthogonal.
+func TestSimilarityPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e, _ := NewNonlinear(rng, 10, 8000)
+	base := make([]float64, 10)
+	near := make([]float64, 10)
+	far := make([]float64, 10)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+		near[i] = base[i] + 0.02*rng.NormFloat64()
+		far[i] = 5 * rng.NormFloat64()
+	}
+	hb, _ := e.EncodeBipolar(nil, base)
+	hn, _ := e.EncodeBipolar(nil, near)
+	hf, _ := e.EncodeBipolar(nil, far)
+	simNear := hdc.Cosine(nil, hb, hn)
+	simFar := hdc.Cosine(nil, hb, hf)
+	if simNear < 0.7 {
+		t.Fatalf("near input similarity %v too low", simNear)
+	}
+	if math.Abs(simFar) > 0.15 {
+		t.Fatalf("far input similarity %v, want ≈ 0", simFar)
+	}
+	if simNear <= simFar {
+		t.Fatalf("similarity order violated: near %v <= far %v", simNear, simFar)
+	}
+}
+
+func TestSimilarityMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, _ := NewNonlinear(rng, 6, 4000)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := make([]float64, 6)
+		small := make([]float64, 6)
+		big := make([]float64, 6)
+		for i := range base {
+			base[i] = r.NormFloat64()
+			d := r.NormFloat64()
+			small[i] = base[i] + 0.05*d
+			big[i] = base[i] + 2.0*d
+		}
+		hb, _ := e.EncodeBipolar(nil, base)
+		hs, _ := e.EncodeBipolar(nil, small)
+		hg, _ := e.EncodeBipolar(nil, big)
+		return hdc.Cosine(nil, hb, hs) > hdc.Cosine(nil, hb, hg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseVectorsOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e, _ := NewNonlinear(rng, 4, 10000)
+	b0 := e.Base(0)
+	b1 := e.Base(1)
+	if c := hdc.Cosine(nil, b0, b1); math.Abs(c) > 0.06 {
+		t.Fatalf("base vectors not nearly orthogonal: cosine %v", c)
+	}
+}
+
+func TestBipolarProjectionVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	e, err := NewNonlinearProjection(rng, 6, 5000, 2, ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Base(0).IsBipolar() {
+		t.Fatal("ProjBipolar base vector not bipolar")
+	}
+	if c := hdc.Cosine(nil, e.Base(0), e.Base(1)); math.Abs(c) > 0.08 {
+		t.Fatalf("bipolar bases not nearly orthogonal: cosine %v", c)
+	}
+	// The bipolar variant still preserves similarity for moderate n.
+	base := []float64{0.1, -0.2, 0.3, 0.4, -0.5, 0.6}
+	near := []float64{0.12, -0.18, 0.31, 0.41, -0.52, 0.58}
+	hb, _ := e.EncodeBipolar(nil, base)
+	hn, _ := e.EncodeBipolar(nil, near)
+	if hdc.Cosine(nil, hb, hn) < 0.5 {
+		t.Fatal("bipolar projection lost local similarity")
+	}
+	if _, err := NewNonlinearProjection(rng, 2, 10, 1, Projection(9)); err == nil {
+		t.Fatal("unknown projection kind accepted")
+	}
+	if _, err := NewNonlinearProjection(rng, 2, 10, -1, ProjGaussian); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestEncodeBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, _ := NewNonlinear(rng, 3, 128)
+	xs := [][]float64{{1, 2, 3}, {0, 0, 0}, {-1, 0.5, 2}}
+	hs, err := e.EncodeBatch(nil, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 3 {
+		t.Fatalf("batch size %d", len(hs))
+	}
+	bad := [][]float64{{1, 2}}
+	if _, err := e.EncodeBatch(nil, bad); err == nil {
+		t.Fatal("batch accepted wrong row length")
+	}
+}
+
+func TestEncodeCountsOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e, _ := NewNonlinear(rng, 4, 100)
+	var c hdc.Counter
+	if _, err := e.Encode(&c, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(hdc.OpExp) != 200 {
+		t.Fatalf("exp count = %d, want 200 (cos+sin per dim)", c.Count(hdc.OpExp))
+	}
+	if c.Count(hdc.OpFloatMul) < 400 {
+		t.Fatalf("mul count = %d, want >= n*D", c.Count(hdc.OpFloatMul))
+	}
+}

@@ -1,0 +1,93 @@
+package encoding
+
+import (
+	"fmt"
+
+	"reghd/internal/hdc"
+)
+
+// Sequence encodes a sliding window of W time steps, each an n-feature
+// vector, into a single hypervector: every step is encoded with a shared
+// base encoder and rotated by its position before bundling,
+//
+//	H = Σ_t ρ^t(E(x_t))
+//
+// the classic HD n-gram construction. Rotation (cyclic permutation) makes
+// the encoding order-sensitive — the same step content at a different lag
+// lands in a nearly orthogonal subspace — while bundling keeps it similar
+// to windows that agree at most positions. Sequence satisfies Encoder over
+// the flattened window (Features() = W·n), so it composes directly with
+// the RegHD model for time-series forecasting, the IoT workload the
+// paper's introduction motivates.
+type Sequence struct {
+	base   Encoder
+	window int
+}
+
+// NewSequence wraps a per-step encoder into a window encoder.
+func NewSequence(base Encoder, window int) (*Sequence, error) {
+	if base == nil {
+		return nil, fmt.Errorf("encoding: nil base encoder")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("encoding: window must be >= 1, got %d", window)
+	}
+	return &Sequence{base: base, window: window}, nil
+}
+
+// Dim returns the hyperdimensional size D.
+func (e *Sequence) Dim() int { return e.base.Dim() }
+
+// Features returns the flattened input size W·n.
+func (e *Sequence) Features() int { return e.window * e.base.Features() }
+
+// Window returns the number of time steps W.
+func (e *Sequence) Window() int { return e.window }
+
+// Encode maps the flattened window into the bundled hypervector.
+func (e *Sequence) Encode(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
+	if len(x) != e.Features() {
+		return nil, fmt.Errorf("encoding: window input has %d values, want %d (%d steps × %d features)",
+			len(x), e.Features(), e.window, e.base.Features())
+	}
+	n := e.base.Features()
+	out := hdc.NewVector(e.Dim())
+	for t := 0; t < e.window; t++ {
+		step, err := e.base.EncodeBipolar(ctr, x[t*n:(t+1)*n])
+		if err != nil {
+			return nil, fmt.Errorf("encoding: window step %d: %w", t, err)
+		}
+		hdc.Add(ctr, out, hdc.Permute(ctr, step, t))
+	}
+	return out, nil
+}
+
+// EncodeBipolar maps the window into sign(H) ∈ {−1,+1}^D.
+func (e *Sequence) EncodeBipolar(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
+	h, err := e.Encode(ctr, x)
+	if err != nil {
+		return nil, err
+	}
+	return hdc.Sign(ctr, h), nil
+}
+
+// EncodeBinary maps the window into the bit-packed quantized hypervector.
+func (e *Sequence) EncodeBinary(ctr *hdc.Counter, x []float64) (*hdc.Binary, error) {
+	h, err := e.Encode(ctr, x)
+	if err != nil {
+		return nil, err
+	}
+	return hdc.Pack(ctr, h), nil
+}
+
+// EncodeBoth returns the raw bundled window encoding and its sign
+// quantization.
+func (e *Sequence) EncodeBoth(ctr *hdc.Counter, x []float64) (raw, bipolar hdc.Vector, err error) {
+	raw, err = e.Encode(ctr, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, hdc.Sign(ctr, raw), nil
+}
+
+var _ Encoder = (*Sequence)(nil)

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/encoding"
+)
+
+// AblationResult sweeps the design choices DESIGN.md §2 calls out —
+// multi-model update rule, softmax inverse temperature, encoder projection
+// distribution, and kernel bandwidth — on a fixed workload, so the default
+// configuration can be defended quantitatively.
+type AblationResult struct {
+	// Dataset names the workload.
+	Dataset string
+	// Groups maps a sweep name ("update-rule", "softmax-beta", "encoder",
+	// "bandwidth") to variant → held-out MSE.
+	Groups map[string]map[string]float64
+	// GroupOrder and VariantOrder fix the rendering order.
+	GroupOrder   []string
+	VariantOrder map[string][]string
+}
+
+// AblationSweep runs every variant on the ccpp stand-in with k=8 models.
+func AblationSweep(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	train, test, err := loadSplit("ccpp", o)
+	if err != nil {
+		return nil, err
+	}
+	feats := train.Features()
+	res := &AblationResult{
+		Dataset:      "ccpp",
+		Groups:       map[string]map[string]float64{},
+		GroupOrder:   []string{"update-rule", "softmax-beta", "encoder", "bandwidth"},
+		VariantOrder: map[string][]string{},
+	}
+	for _, g := range res.GroupOrder {
+		res.Groups[g] = map[string]float64{}
+	}
+
+	run := func(enc encoding.Encoder, mutate func(*core.Config)) (float64, error) {
+		cfg := core.Config{
+			Models:      8,
+			Epochs:      o.Epochs,
+			Seed:        o.Seed + 13,
+			PredictMode: core.PredictBinaryQuery,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		m, err := core.New(enc, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return scaledEval(&regHD{m: m, name: "ablation"}, train, test)
+	}
+	stdEnc := func() (encoding.Encoder, error) { return newEncoder(feats, o) }
+
+	// Update rule.
+	for _, v := range []struct {
+		name string
+		rule core.UpdateRule
+	}{{"weighted", core.UpdateWeighted}, {"hardmax", core.UpdateHardMax}} {
+		enc, err := stdEnc()
+		if err != nil {
+			return nil, err
+		}
+		mse, err := run(enc, func(c *core.Config) { c.UpdateRule = v.rule })
+		if err != nil {
+			return nil, err
+		}
+		res.Groups["update-rule"][v.name] = mse
+		res.VariantOrder["update-rule"] = append(res.VariantOrder["update-rule"], v.name)
+	}
+
+	// Softmax inverse temperature.
+	for _, beta := range []float64{2, 10, 30} {
+		enc, err := stdEnc()
+		if err != nil {
+			return nil, err
+		}
+		mse, err := run(enc, func(c *core.Config) { c.SoftmaxBeta = beta })
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("beta=%g", beta)
+		res.Groups["softmax-beta"][name] = mse
+		res.VariantOrder["softmax-beta"] = append(res.VariantOrder["softmax-beta"], name)
+	}
+
+	// Encoder family: Gaussian projection (default), the paper-literal
+	// bipolar projection, and the record-based ID-level encoder.
+	bw := encoderBandwidth(feats)
+	encoders := []struct {
+		name string
+		mk   func() (encoding.Encoder, error)
+	}{
+		{"nonlinear-gauss", stdEnc},
+		{"nonlinear-bipolar", func() (encoding.Encoder, error) {
+			return encoding.NewNonlinearProjection(rand.New(rand.NewSource(o.Seed+7)), feats, o.Dim, bw, encoding.ProjBipolar)
+		}},
+		{"id-level", func() (encoding.Encoder, error) {
+			return encoding.NewIDLevel(rand.New(rand.NewSource(o.Seed+7)), feats, o.Dim, 64, -3, 3)
+		}},
+	}
+	for _, e := range encoders {
+		enc, err := e.mk()
+		if err != nil {
+			return nil, err
+		}
+		mse, err := run(enc, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups["encoder"][e.name] = mse
+		res.VariantOrder["encoder"] = append(res.VariantOrder["encoder"], e.name)
+	}
+
+	// Kernel bandwidth around the experiments' 0.6·√n heuristic.
+	for _, scale := range []float64{0.5, 1.0, 2.0, 4.0} {
+		enc, err := encoding.NewNonlinearBandwidth(rand.New(rand.NewSource(o.Seed+7)), feats, o.Dim, bw*scale)
+		if err != nil {
+			return nil, err
+		}
+		mse, err := run(enc, nil)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%.1fx", scale)
+		res.Groups["bandwidth"][name] = mse
+		res.VariantOrder["bandwidth"] = append(res.VariantOrder["bandwidth"], name)
+	}
+	return res, nil
+}
+
+// Render prints each sweep group.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations on %s (k=8, test MSE)\n", r.Dataset)
+	for _, g := range r.GroupOrder {
+		fmt.Fprintf(&b, "%s:\n", g)
+		for _, v := range r.VariantOrder[g] {
+			fmt.Fprintf(&b, "  %-20s %12.3f\n", v, r.Groups[g][v])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"reghd/internal/hdc"
+)
+
+// CapacityResult reproduces the §2.3 capacity analysis: the Eq. 4 false-
+// positive probability of a bundled hypervector, analytic vs Monte-Carlo.
+type CapacityResult struct {
+	// Dim and Threshold are the analysis parameters.
+	Dim       int
+	Threshold float64
+	// Patterns lists the bundle sizes P swept.
+	Patterns []int
+	// Analytic and MonteCarlo are the false-positive rates per P.
+	Analytic, MonteCarlo map[int]float64
+	// PaperPoint is the paper's worked example (D=100k, T=0.5, P=10k →
+	// ≈5.7%), evaluated analytically.
+	PaperPoint float64
+}
+
+// CapacityAnalysis sweeps the bundle size and compares Eq. 4 against
+// simulation.
+func CapacityAnalysis(o Options) (*CapacityResult, error) {
+	o = o.withDefaults()
+	res := &CapacityResult{
+		Dim:        2000,
+		Threshold:  0.5,
+		Patterns:   []int{50, 100, 200, 400, 800},
+		Analytic:   map[int]float64{},
+		MonteCarlo: map[int]float64{},
+		PaperPoint: hdc.FalsePositiveRate(100000, 10000, 0.5),
+	}
+	trials := 2000
+	if o.Quick {
+		res.Dim = 500
+		res.Patterns = []int{20, 50}
+		trials = 200
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 99))
+	for _, p := range res.Patterns {
+		res.Analytic[p] = hdc.FalsePositiveRate(res.Dim, p, res.Threshold)
+		res.MonteCarlo[p] = hdc.MonteCarloFalsePositive(rng, res.Dim, p, trials, res.Threshold)
+	}
+	return res, nil
+}
+
+// Render prints the capacity sweep.
+func (r *CapacityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§2.3 capacity: false-positive rate, D=%d, T=%.2f\n", r.Dim, r.Threshold)
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "patterns", "analytic", "monte-carlo")
+	for _, p := range r.Patterns {
+		fmt.Fprintf(&b, "%-10d %12.4f %12.4f\n", p, r.Analytic[p], r.MonteCarlo[p])
+	}
+	fmt.Fprintf(&b, "paper example (D=100k, P=10k): %.4f (paper reports ≈0.057)\n", r.PaperPoint)
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+	"reghd/internal/mlp"
+)
+
+// CPUResult reports *measured* wall-clock training and inference times of
+// RegHD against the DNN on the host CPU — the counterpart of the paper's
+// optimized C++ CPU implementation on the Raspberry Pi. Unlike fig8/fig9
+// (analytical model), these numbers come from actually running the Go
+// implementations.
+type CPUResult struct {
+	// Dataset names the workload; Samples/Features its shape.
+	Dataset           string
+	Samples, Features int
+	// TrainSeconds and InferSeconds per learner ("reghd-8", "dnn").
+	TrainSeconds, InferSeconds map[string]float64
+	// MSE per learner, to show the speed comparison holds at comparable
+	// quality.
+	MSE map[string]float64
+	// TrainSpeedup and InferSpeedup of RegHD over the DNN.
+	TrainSpeedup, InferSpeedup float64
+}
+
+// CPUWallClock trains RegHD-8 (quantized clusters, binary query) and the
+// MLP on the ccpp stand-in and measures wall-clock time for training and
+// for a full test-set prediction pass.
+func CPUWallClock(o Options) (*CPUResult, error) {
+	o = o.withDefaults()
+	train, test, err := loadSplit("ccpp", o)
+	if err != nil {
+		return nil, err
+	}
+	res := &CPUResult{
+		Dataset:      "ccpp",
+		Samples:      train.Len(),
+		Features:     train.Features(),
+		TrainSeconds: map[string]float64{},
+		InferSeconds: map[string]float64{},
+		MSE:          map[string]float64{},
+	}
+
+	sc, err := dataset.FitScaler(train, true)
+	if err != nil {
+		return nil, err
+	}
+	trainS, err := sc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	testS, err := sc.Transform(test)
+	if err != nil {
+		return nil, err
+	}
+	yScale := sc.YStd * sc.YStd
+
+	run := func(name string, r learner.Regressor) error {
+		start := time.Now()
+		if err := r.Fit(trainS); err != nil {
+			return fmt.Errorf("experiments: cpu %s: %w", name, err)
+		}
+		res.TrainSeconds[name] = time.Since(start).Seconds()
+		start = time.Now()
+		preds, err := learner.PredictBatch(r, testS.X)
+		if err != nil {
+			return err
+		}
+		res.InferSeconds[name] = time.Since(start).Seconds()
+		mse, err := dataset.MSE(preds, testS.Y)
+		if err != nil {
+			return err
+		}
+		res.MSE[name] = mse * yScale
+		return nil
+	}
+
+	hd, err := newRegHD(train.Features(), o, 8, core.ClusterBinary, core.PredictBinaryQuery)
+	if err != nil {
+		return nil, err
+	}
+	if err := run("reghd-8", hd); err != nil {
+		return nil, err
+	}
+	mcfg := mlp.DefaultConfig()
+	mcfg.Seed = o.Seed
+	mcfg.Epochs = 120
+	if o.Quick {
+		mcfg.Epochs = 10
+	}
+	net, err := mlp.New(train.Features(), mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := run("dnn", net); err != nil {
+		return nil, err
+	}
+
+	if res.TrainSeconds["reghd-8"] > 0 {
+		res.TrainSpeedup = res.TrainSeconds["dnn"] / res.TrainSeconds["reghd-8"]
+	}
+	if res.InferSeconds["reghd-8"] > 0 {
+		res.InferSpeedup = res.InferSeconds["dnn"] / res.InferSeconds["reghd-8"]
+	}
+	return res, nil
+}
+
+// Render prints the measured comparison.
+func (r *CPUResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPU wall-clock (measured, %s: %d train samples, %d features)\n",
+		r.Dataset, r.Samples, r.Features)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", "", "train (s)", "infer (s)", "test MSE")
+	for _, l := range []string{"dnn", "reghd-8"} {
+		fmt.Fprintf(&b, "%-10s %12.3f %12.3f %12.3f\n",
+			l, r.TrainSeconds[l], r.InferSeconds[l], r.MSE[l])
+	}
+	fmt.Fprintf(&b, "RegHD-8 speedup over DNN: %.1fx training, %.1fx inference\n",
+		r.TrainSpeedup, r.InferSpeedup)
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tabular is implemented by experiment results that can emit their data as
+// a rectangular table, for CSV export and external plotting.
+type Tabular interface {
+	// Table returns the column header and the data rows.
+	Table() (header []string, rows [][]string)
+}
+
+// RenderCSV serializes a Tabular result as CSV text.
+func RenderCSV(t Tabular) (string, error) {
+	header, rows := t.Table()
+	if len(header) == 0 {
+		return "", fmt.Errorf("experiments: empty table header")
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return "", fmt.Errorf("experiments: row %d has %d cells, header has %d", i, len(row), len(header))
+		}
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}
+
+// RunCSV executes the experiment and returns its CSV table. Experiments
+// without a tabular form return an error.
+func RunCSV(id string, o Options) (string, error) {
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	res, err := r(o)
+	if err != nil {
+		return "", err
+	}
+	t, ok := res.(Tabular)
+	if !ok {
+		return "", fmt.Errorf("experiments: %q has no tabular form", id)
+	}
+	return RenderCSV(t)
+}
+
+// f formats a float for CSV.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// Table implements Tabular: one row per epoch.
+func (r *Fig3aResult) Table() ([]string, [][]string) {
+	rows := make([][]string, len(r.Epochs))
+	for i, ep := range r.Epochs {
+		rows[i] = []string{strconv.Itoa(ep), f(r.TestMSE[i])}
+	}
+	return []string{"epoch", "test_mse"}, rows
+}
+
+// Table implements Tabular: one row per dataset.
+func (r *Fig3bResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, d := range r.Datasets {
+		rows = append(rows, []string{d, f(r.SingleMSE[d]), f(r.MultiMSE[d])})
+	}
+	return []string{"dataset", "single_mse", "multi_mse"}, rows
+}
+
+// Table implements Tabular: one row per learner×dataset cell.
+func (r *Table1Result) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, l := range r.Learners {
+		for _, d := range r.Datasets {
+			rows = append(rows, []string{l, d, f(r.MSE[l][d])})
+		}
+	}
+	return []string{"learner", "dataset", "test_mse"}, rows
+}
+
+// Table implements Tabular: one row per cluster mode.
+func (r *Fig6Result) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, m := range r.Modes {
+		rows = append(rows, []string{m, f(r.MSE[m])})
+	}
+	return []string{"cluster_mode", "test_mse"}, rows
+}
+
+// Table implements Tabular: one row per config×dataset cell.
+func (r *Fig7Result) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, c := range r.Configs {
+		for _, d := range r.Datasets {
+			rows = append(rows, []string{c, d, f(r.MSE[c][d]), f(r.Normalized[c][d])})
+		}
+	}
+	return []string{"config", "dataset", "test_mse", "normalized_quality"}, rows
+}
+
+// Table implements Tabular: one row per system.
+func (r *Fig8Result) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, s := range r.Systems {
+		rows = append(rows, []string{
+			s, f(r.TrainSpeedup[s]), f(r.TrainEfficiency[s]),
+			f(r.InferSpeedup[s]), f(r.InferEfficiency[s]),
+			f(r.TrainSeconds[s]), f(r.InferSeconds[s]),
+			f(r.TrainJoules[s]), f(r.InferJoules[s]),
+		})
+	}
+	return []string{
+		"system", "train_speedup", "train_efficiency", "infer_speedup",
+		"infer_efficiency", "train_seconds", "infer_seconds", "train_joules",
+		"infer_joules",
+	}, rows
+}
+
+// Table implements Tabular: one row per configuration.
+func (r *Fig9Result) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, c := range r.Configs {
+		rows = append(rows, []string{
+			c, f(r.TrainSpeedup[c]), f(r.TrainEfficiency[c]),
+			f(r.InferSpeedup[c]), f(r.InferEfficiency[c]),
+		})
+	}
+	return []string{"config", "train_speedup", "train_efficiency", "infer_speedup", "infer_efficiency"}, rows
+}
+
+// Table implements Tabular: one row per dimensionality.
+func (r *Table2Result) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, d := range r.Dims {
+		rows = append(rows, []string{
+			strconv.Itoa(d), f(r.QualityLoss[d]),
+			f(r.TrainSpeedup[d]), f(r.TrainEfficiency[d]),
+			f(r.InferSpeedup[d]), f(r.InferEfficiency[d]),
+		})
+	}
+	return []string{"dim", "quality_loss", "train_speedup", "train_efficiency", "infer_speedup", "infer_efficiency"}, rows
+}
+
+// Table implements Tabular: one row per bundle size.
+func (r *CapacityResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, p := range r.Patterns {
+		rows = append(rows, []string{strconv.Itoa(p), f(r.Analytic[p]), f(r.MonteCarlo[p])})
+	}
+	return []string{"patterns", "analytic_fp", "montecarlo_fp"}, rows
+}
+
+// Table implements Tabular: one row per fault fraction.
+func (r *RobustnessResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, fr := range r.Fractions {
+		rows = append(rows, []string{f(fr), f(r.BinaryMSE[fr]), f(r.IntegerMSE[fr])})
+	}
+	return []string{"fault_fraction", "binary_model_mse", "integer_model_mse"}, rows
+}
+
+// Table implements Tabular: one row per sparsity level.
+func (r *SparseResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, fr := range r.Fractions {
+		rows = append(rows, []string{f(fr), f(r.MSE[fr]), f(r.InferSpeedup[fr])})
+	}
+	return []string{"sparsity", "test_mse", "infer_speedup"}, rows
+}
+
+// Table implements Tabular: one row per sweep variant.
+func (r *AblationResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, g := range r.GroupOrder {
+		for _, v := range r.VariantOrder[g] {
+			rows = append(rows, []string{g, v, f(r.Groups[g][v])})
+		}
+	}
+	return []string{"sweep", "variant", "test_mse"}, rows
+}
+
+// Table implements Tabular: one row per widening step.
+func (r *DSEResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for i, s := range r.Steps {
+		rows = append(rows, []string{strconv.Itoa(i + 1), s.Bottleneck, f(s.CyclesPerQuery), f(s.Utilization)})
+	}
+	return []string{"step", "bottleneck", "cycles_per_query", "utilization"}, rows
+}
+
+// Table implements Tabular: one row per platform×config cell.
+func (r *PlatformsResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, p := range r.Profiles {
+		for _, c := range r.Configs {
+			rows = append(rows, []string{
+				p, c, f(r.TrainSeconds[p][c]), f(r.TrainJoules[p][c]),
+				f(r.InferSeconds[p][c]), f(r.InferJoules[p][c]),
+			})
+		}
+	}
+	return []string{"platform", "config", "train_seconds", "train_joules", "infer_seconds", "infer_joules"}, rows
+}
+
+// Table implements Tabular: one row per learner.
+func (r *CPUResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, l := range []string{"dnn", "reghd-8"} {
+		rows = append(rows, []string{l, f(r.TrainSeconds[l]), f(r.InferSeconds[l]), f(r.MSE[l])})
+	}
+	return []string{"learner", "train_seconds", "infer_seconds", "test_mse"}, rows
+}

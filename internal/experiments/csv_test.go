@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentHasTabularForm runs every registered experiment in
+// quick mode and validates its CSV export: parseable, rectangular, and
+// non-empty.
+func TestEveryExperimentHasTabularForm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, id := range IDs() {
+		out, err := RunCSV(id, quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", id, err)
+		}
+		if len(records) < 2 {
+			t.Fatalf("%s: CSV has no data rows", id)
+		}
+		width := len(records[0])
+		for i, rec := range records {
+			if len(rec) != width {
+				t.Fatalf("%s: row %d width %d != header width %d", id, i, len(rec), width)
+			}
+		}
+	}
+}
+
+func TestRunCSVUnknown(t *testing.T) {
+	if _, err := RunCSV("nope", quick()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRenderCSVRejectsRaggedRows(t *testing.T) {
+	bad := raggedTable{}
+	if _, err := RenderCSV(bad); err == nil {
+		t.Fatal("ragged table accepted")
+	}
+	if _, err := RenderCSV(emptyTable{}); err == nil {
+		t.Fatal("empty header accepted")
+	}
+}
+
+type raggedTable struct{}
+
+func (raggedTable) Table() ([]string, [][]string) {
+	return []string{"a", "b"}, [][]string{{"1"}}
+}
+
+type emptyTable struct{}
+
+func (emptyTable) Table() ([]string, [][]string) { return nil, nil }
+
+func TestTable1CSVCellCount(t *testing.T) {
+	res, err := Table1Quality(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, rows := res.Table()
+	if len(header) != 3 {
+		t.Fatalf("header = %v", header)
+	}
+	if len(rows) != len(res.Learners)*len(res.Datasets) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(res.Learners)*len(res.Datasets))
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestExperimentsDeterministic asserts that a fixed seed reproduces every
+// experiment bit-for-bit — the property that makes the reported
+// EXPERIMENTS.md numbers reproducible on any machine.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated quick runs")
+	}
+	for _, id := range []string{"cap", "fig3a", "fig6", "fig8", "dse", "sparse"} {
+		a, err := Run(id, quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := Run(id, quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a != b {
+			t.Fatalf("%s: same options produced different output:\n%s\n---\n%s", id, a, b)
+		}
+	}
+}
+
+// TestExperimentsSeedMatters asserts different seeds give different
+// quality numbers (the randomness is live, not frozen).
+func TestExperimentsSeedMatters(t *testing.T) {
+	a, err := Run("fig6", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig6", Options{Quick: true, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different seeds produced identical quality tables")
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/hwsim"
+)
+
+// DSEResult is a design-space exploration of the RegHD inference
+// accelerator on the cycle-level simulator: starting from a baseline
+// resource allocation, each step widens the current bottleneck unit and
+// records the throughput gained — the iterative sizing loop a hardware
+// designer runs when mapping RegHD onto an FPGA.
+type DSEResult struct {
+	// Design is the accelerator's RegHD configuration.
+	Design hwsim.Design
+	// Steps records each sizing iteration.
+	Steps []DSEStep
+}
+
+// DSEStep is one iteration of the bottleneck-widening loop.
+type DSEStep struct {
+	// Bottleneck is the stage that limited throughput before widening.
+	Bottleneck string
+	// CyclesPerQuery is the steady-state throughput at this allocation.
+	CyclesPerQuery float64
+	// Utilization is the bottleneck stage's busy fraction.
+	Utilization float64
+}
+
+// widen doubles the resource behind a pipeline stage.
+func widen(r hwsim.Resources, stage string) hwsim.Resources {
+	switch stage {
+	case "project":
+		r.MACLanes *= 2
+	case "trig":
+		r.TrigLUTs *= 2
+	case "pack":
+		r.PackLanes *= 2
+	case "similarity", "dot":
+		r.SimUnits *= 2
+	case "softmax":
+		if r.SoftmaxCycles > 1 {
+			r.SoftmaxCycles /= 2
+		}
+	case "accumulate":
+		r.DotLanes *= 2
+	}
+	return r
+}
+
+// DesignSpaceExploration runs the bottleneck-widening loop for a RegHD-8
+// inference accelerator at the paper's nominal D = 4k.
+func DesignSpaceExploration(o Options) (*DSEResult, error) {
+	o = o.withDefaults()
+	design := hwsim.Design{
+		Dim: 4096, Models: 8, Features: 10,
+		ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery,
+	}
+	queries := 500
+	steps := 6
+	if o.Quick {
+		design.Dim = 512
+		queries = 50
+		steps = 3
+	}
+	res := hwsim.DefaultResources()
+	out := &DSEResult{Design: design}
+	for i := 0; i < steps; i++ {
+		tr, err := hwsim.SimulateInference(design, res, queries)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, DSEStep{
+			Bottleneck:     tr.Bottleneck,
+			CyclesPerQuery: tr.ThroughputCyclesPerQuery(),
+			Utilization:    tr.Utilization[tr.Bottleneck],
+		})
+		res = widen(res, tr.Bottleneck)
+	}
+	return out, nil
+}
+
+// Render prints the exploration trace.
+func (r *DSEResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Accelerator design-space exploration (RegHD-%d, D=%d, %s/%s)\n",
+		r.Design.Models, r.Design.Dim, r.Design.ClusterMode, r.Design.PredictMode)
+	fmt.Fprintf(&b, "%-6s %-14s %16s %12s\n", "step", "bottleneck", "cycles/query", "busy")
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "%-6d %-14s %16.1f %11.1f%%\n", i+1, s.Bottleneck, s.CyclesPerQuery, s.Utilization*100)
+	}
+	if n := len(r.Steps); n > 1 {
+		fmt.Fprintf(&b, "throughput gained: %.1fx after %d widening steps\n",
+			r.Steps[0].CyclesPerQuery/r.Steps[n-1].CyclesPerQuery, n-1)
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns smoke-test options.
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed == 0 || o.Dim == 0 || o.MaxSamples == 0 || o.Epochs == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Dim >= o.Dim || q.MaxSamples >= o.MaxSamples {
+		t.Fatal("Quick did not shrink the knobs")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablate", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "platforms", "robust", "sparse", "table1", "table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quick()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig3aSmoke(t *testing.T) {
+	res, err := Fig3aIterations(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) == 0 || len(res.Epochs) != len(res.TestMSE) {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	for _, m := range res.TestMSE {
+		if m < 0 {
+			t.Fatal("negative MSE")
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 3a") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig3bSmoke(t *testing.T) {
+	res, err := Fig3bSingleVsMulti(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Datasets {
+		if res.SingleMSE[d] <= 0 || res.MultiMSE[d] <= 0 {
+			t.Fatalf("missing MSE for %s", d)
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 3b") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	res, err := Table1Quality(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Learners) != 9 {
+		t.Fatalf("expected 9 learners, got %v", res.Learners)
+	}
+	for _, l := range res.Learners {
+		for _, d := range res.Datasets {
+			if res.MSE[l][d] <= 0 {
+				t.Fatalf("non-positive MSE for %s on %s", l, d)
+			}
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "reghd-32") || !strings.Contains(out, "diabetes") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	// AverageImprovement is antisymmetric-ish in sign.
+	if res.AverageImprovement("reghd-1", "reghd-1") != 0 {
+		t.Fatal("self improvement should be 0")
+	}
+	if res.AverageImprovement("missing", "reghd-1") != 0 {
+		t.Fatal("missing learner should give 0")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	res, err := Fig6ClusterQuantQuality(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modes {
+		if res.MSE[m] <= 0 {
+			t.Fatalf("missing MSE for %s", m)
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 6") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	res, err := Fig7ConfigQuality(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 5 {
+		t.Fatalf("expected 5 configs, got %v", res.Configs)
+	}
+	for _, d := range res.Datasets {
+		if v := res.Normalized["full"][d]; v != 1 {
+			t.Fatalf("full config should normalize to 1, got %v", v)
+		}
+	}
+	if res.AverageNormalized("full") != 1 {
+		t.Fatal("full average should be 1")
+	}
+	if !strings.Contains(res.Render(), "Fig 7") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	res, err := Fig8Efficiency(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainSpeedup["dnn"] != 1 || res.InferEfficiency["dnn"] != 1 {
+		t.Fatal("DNN must be the unit reference")
+	}
+	// The paper's headline: RegHD-8 trains faster and more efficiently
+	// than the DNN.
+	if res.TrainSpeedup["reghd-8"] <= 1 {
+		t.Fatalf("reghd-8 train speedup %v, expected > 1", res.TrainSpeedup["reghd-8"])
+	}
+	if res.TrainEfficiency["reghd-8"] <= 1 {
+		t.Fatalf("reghd-8 train efficiency %v, expected > 1", res.TrainEfficiency["reghd-8"])
+	}
+	// More models cost more.
+	if res.TrainSpeedup["reghd-2"] <= res.TrainSpeedup["reghd-32"] {
+		t.Fatal("reghd-2 should be faster than reghd-32")
+	}
+	if !strings.Contains(res.Render(), "Fig 8") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	res, err := Fig9ConfigEfficiency(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainSpeedup["full"] != 1 {
+		t.Fatal("full must be the unit reference")
+	}
+	// Quantized clustering must speed up training (Fig. 9's headline).
+	if res.TrainSpeedup["bquery-imodel"] <= 1 {
+		t.Fatalf("quantized config speedup %v, expected > 1", res.TrainSpeedup["bquery-imodel"])
+	}
+	// Fully binary prediction is the fastest inference.
+	if res.InferSpeedup["bquery-bmodel"] <= res.InferSpeedup["bin-cluster"] {
+		t.Fatal("bquery-bmodel should have the best inference speedup")
+	}
+	if !strings.Contains(res.Render(), "Fig 9") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	res, err := Table2Dimensionality(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.Dims[0]
+	if res.QualityLoss[ref] != 0 {
+		t.Fatalf("reference quality loss %v, want 0", res.QualityLoss[ref])
+	}
+	if res.TrainSpeedup[ref] != 1 || res.InferSpeedup[ref] != 1 {
+		t.Fatal("reference ratios must be 1")
+	}
+	small := res.Dims[len(res.Dims)-1]
+	if res.InferSpeedup[small] <= 1 {
+		t.Fatalf("smaller D should be faster: %v", res.InferSpeedup[small])
+	}
+	if !strings.Contains(res.Render(), "Table 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestCapacitySmoke(t *testing.T) {
+	res, err := CapacityAnalysis(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range res.Patterns {
+		if res.Analytic[p] < prev {
+			t.Fatal("analytic FP rate should grow with P")
+		}
+		prev = res.Analytic[p]
+	}
+	if res.PaperPoint < 0.04 || res.PaperPoint > 0.07 {
+		t.Fatalf("paper point %v, expected ≈0.057", res.PaperPoint)
+	}
+	if !strings.Contains(res.Render(), "capacity") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRobustSmoke(t *testing.T) {
+	res, err := RobustnessSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Fractions {
+		if res.BinaryMSE[f] <= 0 || res.IntegerMSE[f] <= 0 {
+			t.Fatalf("missing MSE at fraction %v", f)
+		}
+	}
+	if !strings.Contains(res.Render(), "robustness") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	res, err := AblationSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.GroupOrder {
+		if len(res.Groups[g]) == 0 {
+			t.Fatalf("empty ablation group %s", g)
+		}
+		for v, mse := range res.Groups[g] {
+			if mse <= 0 {
+				t.Fatalf("%s/%s has non-positive MSE", g, v)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Ablations") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestSparseSmoke(t *testing.T) {
+	res, err := SparsitySweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InferSpeedup[0] != 1 {
+		t.Fatalf("dense speedup %v, want 1", res.InferSpeedup[0])
+	}
+	last := res.Fractions[len(res.Fractions)-1]
+	if res.InferSpeedup[last] <= 1 {
+		t.Fatalf("sparsity should speed inference up: %v", res.InferSpeedup[last])
+	}
+	for _, f := range res.Fractions {
+		if res.MSE[f] <= 0 {
+			t.Fatalf("missing MSE at %v", f)
+		}
+	}
+	if !strings.Contains(res.Render(), "SparseHD") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestDSESmoke(t *testing.T) {
+	res, err := DesignSpaceExploration(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) < 2 {
+		t.Fatalf("expected several steps, got %d", len(res.Steps))
+	}
+	first := res.Steps[0].CyclesPerQuery
+	last := res.Steps[len(res.Steps)-1].CyclesPerQuery
+	if last > first {
+		t.Fatalf("widening bottlenecks made throughput worse: %v -> %v", first, last)
+	}
+	if !strings.Contains(res.Render(), "design-space") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestPlatformsSmoke(t *testing.T) {
+	res, err := PlatformComparison(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 2 {
+		t.Fatalf("profiles = %v", res.Profiles)
+	}
+	fpga, arm := res.Profiles[0], res.Profiles[1]
+	// The FPGA's parallel fabric must beat the embedded CPU on every cell.
+	for _, c := range res.Configs {
+		if res.InferSeconds[fpga][c] >= res.InferSeconds[arm][c] {
+			t.Fatalf("FPGA not faster than ARM for %s", c)
+		}
+	}
+	// Quantization must help on both platforms.
+	for _, p := range res.Profiles {
+		if res.InferSeconds[p]["quantized"] >= res.InferSeconds[p]["full"] {
+			t.Fatalf("quantization did not speed inference on %s", p)
+		}
+	}
+	if !strings.Contains(res.Render(), "Platforms") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestCPUWallClockSmoke(t *testing.T) {
+	res, err := CPUWallClock(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"reghd-8", "dnn"} {
+		if res.TrainSeconds[l] <= 0 || res.InferSeconds[l] <= 0 {
+			t.Fatalf("%s has non-positive measured time", l)
+		}
+		if res.MSE[l] <= 0 {
+			t.Fatalf("%s has non-positive MSE", l)
+		}
+	}
+	if !strings.Contains(res.Render(), "wall-clock") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by individual smoke tests")
+	}
+	for _, id := range IDs() {
+		out, err := Run(id, quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s: empty render", id)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/viz"
+)
+
+// Fig6Result reproduces Fig. 6: regression quality with and without cluster
+// quantization, against the naive-binarization strawman.
+type Fig6Result struct {
+	// Dataset names the workload.
+	Dataset string
+	// Modes lists the cluster modes compared.
+	Modes []string
+	// MSE[mode] is the held-out MSE.
+	MSE map[string]float64
+}
+
+// Fig6ClusterQuantQuality compares integer clustering, the framework's
+// binary clustering (binary search + integer update + re-quantization), and
+// naive one-shot binarization on the ccpp stand-in (the most cluster-
+// structured workload) with k=8 models.
+func Fig6ClusterQuantQuality(o Options) (*Fig6Result, error) {
+	o = o.withDefaults()
+	train, test, err := loadSplit("ccpp", o)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{
+		Dataset: "ccpp",
+		Modes:   []string{"integer", "framework-binary", "naive-binary"},
+		MSE:     map[string]float64{},
+	}
+	modes := map[string]core.ClusterMode{
+		"integer":          core.ClusterInteger,
+		"framework-binary": core.ClusterBinary,
+		"naive-binary":     core.ClusterNaiveBinary,
+	}
+	for name, cm := range modes {
+		r, err := newRegHD(train.Features(), o, 8, cm, core.PredictBinaryQuery)
+		if err != nil {
+			return nil, err
+		}
+		mse, err := scaledEval(r, train, test)
+		if err != nil {
+			return nil, err
+		}
+		res.MSE[name] = mse
+	}
+	return res, nil
+}
+
+// Render prints the cluster-quantization comparison as a bar chart.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6: cluster quantization quality (%s, k=8, test MSE)\n", r.Dataset)
+	vals := make([]float64, len(r.Modes))
+	for i, m := range r.Modes {
+		vals[i] = r.MSE[m]
+	}
+	b.WriteString(viz.Bar(r.Modes, vals, 40))
+	return b.String()
+}

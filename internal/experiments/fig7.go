@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/synth"
+)
+
+// fig7Config is one quantization configuration of Fig. 7.
+type fig7Config struct {
+	name string
+	cm   core.ClusterMode
+	pm   core.PredictMode
+}
+
+// fig7Configs is the Fig. 7 configuration order: full precision, quantized
+// cluster, and the three prediction quantizations (each with quantized
+// clusters, as deployed configurations would be).
+var fig7Configs = []fig7Config{
+	{"full", core.ClusterInteger, core.PredictFull},
+	{"bin-cluster", core.ClusterBinary, core.PredictFull},
+	{"bquery-imodel", core.ClusterBinary, core.PredictBinaryQuery},
+	{"iquery-bmodel", core.ClusterBinary, core.PredictBinaryModel},
+	{"bquery-bmodel", core.ClusterBinary, core.PredictBinaryBoth},
+}
+
+// Fig7Result reproduces Fig. 7: normalized quality of regression across
+// quantization configurations.
+type Fig7Result struct {
+	// Datasets lists the workloads.
+	Datasets []string
+	// Configs lists the configuration order.
+	Configs []string
+	// MSE[config][dataset] is the held-out MSE.
+	MSE map[string]map[string]float64
+	// Normalized[config][dataset] is MSE(full)/MSE(config): 1 matches full
+	// precision, smaller is worse (mirrors the paper's normalized-quality
+	// bars).
+	Normalized map[string]map[string]float64
+}
+
+// Fig7ConfigQuality evaluates every quantization configuration on every
+// dataset with k=8 models.
+func Fig7ConfigQuality(o Options) (*Fig7Result, error) {
+	o = o.withDefaults()
+	datasets := synth.Names()
+	if o.Quick {
+		datasets = datasets[:2]
+	}
+	res := &Fig7Result{
+		Datasets:   datasets,
+		MSE:        map[string]map[string]float64{},
+		Normalized: map[string]map[string]float64{},
+	}
+	for _, c := range fig7Configs {
+		res.Configs = append(res.Configs, c.name)
+		res.MSE[c.name] = map[string]float64{}
+		res.Normalized[c.name] = map[string]float64{}
+	}
+	// Quantization deltas are small (a few percent), so each cell averages
+	// several seeds to separate them from split/initialization noise.
+	seeds := []int64{o.Seed, o.Seed + 101, o.Seed + 202}
+	if o.Quick {
+		seeds = seeds[:1]
+	}
+	for _, dsName := range datasets {
+		for _, seed := range seeds {
+			os := o
+			os.Seed = seed
+			train, test, err := loadSplit(dsName, os)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range fig7Configs {
+				r, err := newRegHD(train.Features(), os, 8, c.cm, c.pm)
+				if err != nil {
+					return nil, err
+				}
+				mse, err := scaledEval(r, train, test)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig7 %s on %s: %w", c.name, dsName, err)
+				}
+				res.MSE[c.name][dsName] += mse / float64(len(seeds))
+			}
+		}
+		full := res.MSE["full"][dsName]
+		for _, c := range fig7Configs {
+			if m := res.MSE[c.name][dsName]; m > 0 {
+				res.Normalized[c.name][dsName] = full / m
+			}
+		}
+	}
+	return res, nil
+}
+
+// AverageNormalized returns the mean normalized quality of a configuration
+// across datasets.
+func (r *Fig7Result) AverageNormalized(config string) float64 {
+	var sum float64
+	var n int
+	for _, d := range r.Datasets {
+		if v, ok := r.Normalized[config][d]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints normalized quality per configuration and dataset.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7: normalized quality by quantization configuration (1.0 = full precision)\n")
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, "%10s", d)
+	}
+	fmt.Fprintf(&b, "%10s\n", "avg")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, "%-16s", c)
+		for _, d := range r.Datasets {
+			fmt.Fprintf(&b, "%10.3f", r.Normalized[c][d])
+		}
+		fmt.Fprintf(&b, "%10.3f\n", r.AverageNormalized(c))
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/hwmodel"
+	"reghd/internal/viz"
+)
+
+// Fig8Result reproduces Fig. 8: training and inference speedup and energy
+// efficiency of RegHD (2, 8, and 32 models, binary clusters) and the HD
+// baseline, all relative to the DNN on the FPGA profile.
+type Fig8Result struct {
+	// Systems lists the row order.
+	Systems []string
+	// TrainSpeedup, TrainEfficiency, InferSpeedup, InferEfficiency are
+	// ratios relative to the DNN (DNN = 1).
+	TrainSpeedup, TrainEfficiency map[string]float64
+	InferSpeedup, InferEfficiency map[string]float64
+	TrainSeconds, InferSeconds    map[string]float64
+	TrainJoules, InferJoules      map[string]float64
+	Profile                       string
+}
+
+// fig8Shape is the common workload shape of the efficiency comparison.
+type fig8Shape struct {
+	samples, features, queries int
+	dnnEpochs, hdEpochs        int
+	dim                        int
+}
+
+func fig8DefaultShape(o Options) fig8Shape {
+	s := fig8Shape{
+		samples: 2000, features: 10, queries: 2000,
+		dnnEpochs: 40, hdEpochs: 20, dim: 4000,
+	}
+	if o.Quick {
+		s = fig8Shape{samples: 100, features: 5, queries: 100, dnnEpochs: 5, hdEpochs: 2, dim: 256}
+	}
+	return s
+}
+
+// Fig8Efficiency estimates training and inference cost of every system on
+// the FPGA profile and reports ratios relative to the DNN.
+func Fig8Efficiency(o Options) (*Fig8Result, error) {
+	o = o.withDefaults()
+	shape := fig8DefaultShape(o)
+	profile := hwmodel.FPGA()
+
+	type sys struct {
+		name         string
+		train, infer hwmodel.Counts
+	}
+	var systems []sys
+
+	// The paper's DNNs come from a per-dataset grid search; two hidden
+	// layers of 384 units trained for 40 epochs is the representative
+	// winner whose FPGA implementations (DNNWeaver/FPDeep) the comparison
+	// targets.
+	dnn := hwmodel.DNNWorkload{
+		Layers:       []int{shape.features, 384, 384, 1},
+		TrainSamples: shape.samples,
+		Epochs:       shape.dnnEpochs,
+		BatchSize:    32,
+	}
+	dnnTrain, err := dnn.TrainCounts()
+	if err != nil {
+		return nil, err
+	}
+	dnnInfer, err := dnn.InferCounts(shape.queries)
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, sys{"dnn", dnnTrain, dnnInfer})
+
+	bhd := hwmodel.BaselineHDWorkload{
+		Dim: shape.dim, Bins: 64, Features: shape.features,
+		TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+	}
+	bhdTrain, err := bhd.TrainCounts()
+	if err != nil {
+		return nil, err
+	}
+	bhdInfer, err := bhd.InferCounts(shape.queries)
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, sys{"baseline-hd", bhdTrain, bhdInfer})
+
+	for _, k := range []int{2, 8, 32} {
+		w := hwmodel.RegHDWorkload{
+			Dim: shape.dim, Models: k, Features: shape.features,
+			TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+			ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery,
+		}
+		tc, err := w.TrainCounts()
+		if err != nil {
+			return nil, err
+		}
+		ic, err := w.InferCounts(shape.queries)
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, sys{fmt.Sprintf("reghd-%d", k), tc, ic})
+	}
+
+	res := &Fig8Result{
+		Profile:         profile.Name,
+		TrainSpeedup:    map[string]float64{},
+		TrainEfficiency: map[string]float64{},
+		InferSpeedup:    map[string]float64{},
+		InferEfficiency: map[string]float64{},
+		TrainSeconds:    map[string]float64{},
+		InferSeconds:    map[string]float64{},
+		TrainJoules:     map[string]float64{},
+		InferJoules:     map[string]float64{},
+	}
+	var dnnTrainCost, dnnInferCost hwmodel.Cost
+	for i, s := range systems {
+		trainCost, err := hwmodel.Estimate(s.train, profile)
+		if err != nil {
+			return nil, err
+		}
+		inferCost, err := hwmodel.Estimate(s.infer, profile)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			dnnTrainCost, dnnInferCost = trainCost, inferCost
+		}
+		res.Systems = append(res.Systems, s.name)
+		res.TrainSeconds[s.name] = trainCost.Seconds
+		res.InferSeconds[s.name] = inferCost.Seconds
+		res.TrainJoules[s.name] = trainCost.Joules
+		res.InferJoules[s.name] = inferCost.Joules
+		res.TrainSpeedup[s.name] = trainCost.Speedup(dnnTrainCost)
+		res.TrainEfficiency[s.name] = trainCost.EnergyEfficiency(dnnTrainCost)
+		res.InferSpeedup[s.name] = inferCost.Speedup(dnnInferCost)
+		res.InferEfficiency[s.name] = inferCost.EnergyEfficiency(dnnInferCost)
+	}
+	return res, nil
+}
+
+// Render prints the efficiency comparison.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8: efficiency vs DNN on %s (ratios, DNN = 1)\n", r.Profile)
+	fmt.Fprintf(&b, "%-14s %14s %14s %14s %14s\n", "", "train speedup", "train energy", "infer speedup", "infer energy")
+	for _, s := range r.Systems {
+		fmt.Fprintf(&b, "%-14s %14.2f %14.2f %14.2f %14.2f\n",
+			s, r.TrainSpeedup[s], r.TrainEfficiency[s], r.InferSpeedup[s], r.InferEfficiency[s])
+	}
+	vals := make([]float64, len(r.Systems))
+	for i, s := range r.Systems {
+		vals[i] = r.TrainSpeedup[s]
+	}
+	b.WriteString("training speedup:\n")
+	b.WriteString(viz.Bar(r.Systems, vals, 40))
+	return b.String()
+}

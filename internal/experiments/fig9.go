@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/hwmodel"
+)
+
+// Fig9Result reproduces Fig. 9: training and inference speedup/energy
+// efficiency of each quantization configuration relative to full-precision
+// RegHD with integer clusters.
+type Fig9Result struct {
+	// Configs lists the row order (same configurations as Fig. 7).
+	Configs []string
+	// Ratios relative to the full-precision baseline (baseline = 1).
+	TrainSpeedup, TrainEfficiency map[string]float64
+	InferSpeedup, InferEfficiency map[string]float64
+	Profile                       string
+}
+
+// Fig9ConfigEfficiency estimates each configuration's cost on the FPGA
+// profile with k=8 models.
+func Fig9ConfigEfficiency(o Options) (*Fig9Result, error) {
+	o = o.withDefaults()
+	shape := fig8DefaultShape(o)
+	profile := hwmodel.FPGA()
+	res := &Fig9Result{
+		Profile:         profile.Name,
+		TrainSpeedup:    map[string]float64{},
+		TrainEfficiency: map[string]float64{},
+		InferSpeedup:    map[string]float64{},
+		InferEfficiency: map[string]float64{},
+	}
+	var baseTrain, baseInfer hwmodel.Cost
+	for i, c := range fig7Configs {
+		w := hwmodel.RegHDWorkload{
+			Dim: shape.dim, Models: 8, Features: shape.features,
+			TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+			ClusterMode: c.cm, PredictMode: c.pm,
+		}
+		tc, err := w.TrainCounts()
+		if err != nil {
+			return nil, err
+		}
+		ic, err := w.InferCounts(shape.queries)
+		if err != nil {
+			return nil, err
+		}
+		trainCost, err := hwmodel.Estimate(tc, profile)
+		if err != nil {
+			return nil, err
+		}
+		inferCost, err := hwmodel.Estimate(ic, profile)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseTrain, baseInfer = trainCost, inferCost
+		}
+		res.Configs = append(res.Configs, c.name)
+		res.TrainSpeedup[c.name] = trainCost.Speedup(baseTrain)
+		res.TrainEfficiency[c.name] = trainCost.EnergyEfficiency(baseTrain)
+		res.InferSpeedup[c.name] = inferCost.Speedup(baseInfer)
+		res.InferEfficiency[c.name] = inferCost.EnergyEfficiency(baseInfer)
+	}
+	return res, nil
+}
+
+// Render prints the configuration efficiency comparison.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9: configuration efficiency on %s (ratios, full precision = 1)\n", r.Profile)
+	fmt.Fprintf(&b, "%-16s %14s %14s %14s %14s\n", "", "train speedup", "train energy", "infer speedup", "infer energy")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, "%-16s %14.2f %14.2f %14.2f %14.2f\n",
+			c, r.TrainSpeedup[c], r.TrainEfficiency[c], r.InferSpeedup[c], r.InferEfficiency[c])
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/hwmodel"
+)
+
+// PlatformsResult compares the two embedded targets of the paper's
+// experimental setup — the Kintex-7 FPGA and the Raspberry Pi's Cortex-A53
+// — on the same RegHD-8 workload, and reports how much of the FPGA's
+// advantage the quantized configuration preserves on each.
+type PlatformsResult struct {
+	// Profiles lists the target names.
+	Profiles []string
+	// TrainSeconds/TrainJoules/InferSeconds/InferJoules per profile and
+	// configuration ("full", "quantized").
+	TrainSeconds, TrainJoules map[string]map[string]float64
+	InferSeconds, InferJoules map[string]map[string]float64
+	// Configs lists the configuration order.
+	Configs []string
+}
+
+// PlatformComparison estimates RegHD-8 training and inference cost on both
+// hardware profiles, full precision vs the fully quantized deployment.
+func PlatformComparison(o Options) (*PlatformsResult, error) {
+	o = o.withDefaults()
+	shape := fig8DefaultShape(o)
+	res := &PlatformsResult{
+		Configs:      []string{"full", "quantized"},
+		TrainSeconds: map[string]map[string]float64{},
+		TrainJoules:  map[string]map[string]float64{},
+		InferSeconds: map[string]map[string]float64{},
+		InferJoules:  map[string]map[string]float64{},
+	}
+	configs := map[string]hwmodel.RegHDWorkload{
+		"full": {
+			Dim: shape.dim, Models: 8, Features: shape.features,
+			TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+			ClusterMode: core.ClusterInteger, PredictMode: core.PredictFull,
+		},
+		"quantized": {
+			Dim: shape.dim, Models: 8, Features: shape.features,
+			TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+			ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryBoth,
+		},
+	}
+	for _, profile := range []hwmodel.Profile{hwmodel.FPGA(), hwmodel.ARM()} {
+		res.Profiles = append(res.Profiles, profile.Name)
+		res.TrainSeconds[profile.Name] = map[string]float64{}
+		res.TrainJoules[profile.Name] = map[string]float64{}
+		res.InferSeconds[profile.Name] = map[string]float64{}
+		res.InferJoules[profile.Name] = map[string]float64{}
+		for _, cfg := range res.Configs {
+			w := configs[cfg]
+			tc, err := w.TrainCounts()
+			if err != nil {
+				return nil, err
+			}
+			ic, err := w.InferCounts(shape.queries)
+			if err != nil {
+				return nil, err
+			}
+			trainCost, err := hwmodel.Estimate(tc, profile)
+			if err != nil {
+				return nil, err
+			}
+			inferCost, err := hwmodel.Estimate(ic, profile)
+			if err != nil {
+				return nil, err
+			}
+			res.TrainSeconds[profile.Name][cfg] = trainCost.Seconds
+			res.TrainJoules[profile.Name][cfg] = trainCost.Joules
+			res.InferSeconds[profile.Name][cfg] = inferCost.Seconds
+			res.InferJoules[profile.Name][cfg] = inferCost.Joules
+		}
+	}
+	return res, nil
+}
+
+// Render prints the platform comparison.
+func (r *PlatformsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Platforms: RegHD-8 on the paper's two targets (modeled)\n")
+	fmt.Fprintf(&b, "%-18s %-10s %14s %14s %14s %14s\n",
+		"platform", "config", "train (s)", "train (J)", "infer (s)", "infer (J)")
+	for _, p := range r.Profiles {
+		for _, c := range r.Configs {
+			fmt.Fprintf(&b, "%-18s %-10s %14.4f %14.4f %14.4f %14.4f\n",
+				p, c, r.TrainSeconds[p][c], r.TrainJoules[p][c], r.InferSeconds[p][c], r.InferJoules[p][c])
+		}
+	}
+	if len(r.Profiles) == 2 {
+		fpga, arm := r.Profiles[0], r.Profiles[1]
+		fmt.Fprintf(&b, "FPGA advantage (quantized inference): %.1fx faster, %.1fx less energy\n",
+			r.InferSeconds[arm]["quantized"]/r.InferSeconds[fpga]["quantized"],
+			r.InferJoules[arm]["quantized"]/r.InferJoules[fpga]["quantized"])
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	// Render returns a paper-style text table.
+	Render() string
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (Renderer, error)
+
+// registry maps experiment IDs (the DESIGN.md per-experiment index) to
+// their runners.
+var registry = map[string]Runner{
+	"fig3a":     func(o Options) (Renderer, error) { return Fig3aIterations(o) },
+	"fig3b":     func(o Options) (Renderer, error) { return Fig3bSingleVsMulti(o) },
+	"table1":    func(o Options) (Renderer, error) { return Table1Quality(o) },
+	"fig6":      func(o Options) (Renderer, error) { return Fig6ClusterQuantQuality(o) },
+	"fig7":      func(o Options) (Renderer, error) { return Fig7ConfigQuality(o) },
+	"fig8":      func(o Options) (Renderer, error) { return Fig8Efficiency(o) },
+	"fig9":      func(o Options) (Renderer, error) { return Fig9ConfigEfficiency(o) },
+	"table2":    func(o Options) (Renderer, error) { return Table2Dimensionality(o) },
+	"cap":       func(o Options) (Renderer, error) { return CapacityAnalysis(o) },
+	"robust":    func(o Options) (Renderer, error) { return RobustnessSweep(o) },
+	"ablate":    func(o Options) (Renderer, error) { return AblationSweep(o) },
+	"sparse":    func(o Options) (Renderer, error) { return SparsitySweep(o) },
+	"dse":       func(o Options) (Renderer, error) { return DesignSpaceExploration(o) },
+	"platforms": func(o Options) (Renderer, error) { return PlatformComparison(o) },
+	"cpu":       func(o Options) (Renderer, error) { return CPUWallClock(o) },
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID and returns its rendered
+// table.
+func Run(id string, o Options) (string, error) {
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	res, err := r(o)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}

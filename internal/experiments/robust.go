@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+)
+
+// RobustnessResult backs the §3 robustness claim: test MSE of a trained
+// quantized model under increasing fractions of injected memory faults.
+type RobustnessResult struct {
+	// Dataset names the workload.
+	Dataset string
+	// Fractions lists the corrupted fraction of model components.
+	Fractions []float64
+	// BinaryMSE and IntegerMSE are held-out MSEs after injecting faults
+	// into the binary-model and integer-model deployments respectively.
+	BinaryMSE, IntegerMSE map[float64]float64
+	// CleanBinary and CleanInteger are the fault-free references.
+	CleanBinary, CleanInteger float64
+}
+
+// RobustnessSweep trains binary-model and integer-model RegHD on the
+// airfoil stand-in, then injects faults at increasing rates and measures
+// the quality degradation. Hypervector redundancy should make degradation
+// graceful.
+func RobustnessSweep(o Options) (*RobustnessResult, error) {
+	o = o.withDefaults()
+	train, test, err := loadSplit("airfoil", o)
+	if err != nil {
+		return nil, err
+	}
+	res := &RobustnessResult{
+		Dataset:    "airfoil",
+		Fractions:  []float64{0.001, 0.005, 0.01, 0.05, 0.10},
+		BinaryMSE:  map[float64]float64{},
+		IntegerMSE: map[float64]float64{},
+	}
+	if o.Quick {
+		res.Fractions = []float64{0.01, 0.10}
+	}
+
+	sc, err := dataset.FitScaler(train, true)
+	if err != nil {
+		return nil, err
+	}
+	trainS, err := sc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	testS, err := sc.Transform(test)
+	if err != nil {
+		return nil, err
+	}
+	yScale := sc.YStd * sc.YStd
+
+	run := func(pm core.PredictMode) (*core.Model, float64, error) {
+		r, err := newRegHD(train.Features(), o, 8, core.ClusterBinary, pm)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := r.m.Fit(trainS); err != nil {
+			return nil, 0, err
+		}
+		clean, err := r.m.Evaluate(testS)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r.m, clean * yScale, nil
+	}
+
+	// Binary deployment: fresh model per fault rate (faults accumulate
+	// otherwise), bit flips in the packed model.
+	for _, frac := range res.Fractions {
+		m, clean, err := run(core.PredictBinaryBoth)
+		if err != nil {
+			return nil, err
+		}
+		res.CleanBinary = clean
+		if err := m.FlipModelBits(rand.New(rand.NewSource(o.Seed+31)), frac); err != nil {
+			return nil, err
+		}
+		mse, err := m.Evaluate(testS)
+		if err != nil {
+			return nil, err
+		}
+		res.BinaryMSE[frac] = mse * yScale
+	}
+	// Integer deployment: corrupted dense components.
+	for _, frac := range res.Fractions {
+		m, clean, err := run(core.PredictBinaryQuery)
+		if err != nil {
+			return nil, err
+		}
+		res.CleanInteger = clean
+		if err := m.CorruptModelComponents(rand.New(rand.NewSource(o.Seed+37)), frac); err != nil {
+			return nil, err
+		}
+		mse, err := m.Evaluate(testS)
+		if err != nil {
+			return nil, err
+		}
+		res.IntegerMSE[frac] = mse * yScale
+	}
+	return res, nil
+}
+
+// Render prints the fault-injection sweep.
+func (r *RobustnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§3 robustness: fault injection on %s (test MSE)\n", r.Dataset)
+	fmt.Fprintf(&b, "clean: binary-model %.3f, integer-model %.3f\n", r.CleanBinary, r.CleanInteger)
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "fault frac", "binary model", "integer model")
+	for _, f := range r.Fractions {
+		fmt.Fprintf(&b, "%-12.3f %14.3f %14.3f\n", f, r.BinaryMSE[f], r.IntegerMSE[f])
+	}
+	return b.String()
+}

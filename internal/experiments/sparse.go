@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/hwmodel"
+)
+
+// SparseResult backs the SparseHD-style extension ([40] in the paper's
+// related work): quality and modeled inference efficiency as the trained
+// regression models are sparsified.
+type SparseResult struct {
+	// Dataset names the workload.
+	Dataset string
+	// Fractions lists the sparsity levels swept.
+	Fractions []float64
+	// MSE[f] is the held-out MSE after sparsifying to fraction f.
+	MSE map[float64]float64
+	// InferSpeedup[f] is the modeled inference speedup vs the dense model
+	// on the FPGA profile.
+	InferSpeedup map[float64]float64
+}
+
+// SparsitySweep trains RegHD on the ccpp stand-in, then sparsifies the
+// models progressively, measuring quality and the modeled cost saving.
+func SparsitySweep(o Options) (*SparseResult, error) {
+	o = o.withDefaults()
+	train, test, err := loadSplit("ccpp", o)
+	if err != nil {
+		return nil, err
+	}
+	res := &SparseResult{
+		Dataset:      "ccpp",
+		Fractions:    []float64{0, 0.25, 0.5, 0.75, 0.9},
+		MSE:          map[float64]float64{},
+		InferSpeedup: map[float64]float64{},
+	}
+	if o.Quick {
+		res.Fractions = []float64{0, 0.5}
+	}
+
+	sc, err := dataset.FitScaler(train, true)
+	if err != nil {
+		return nil, err
+	}
+	trainS, err := sc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	testS, err := sc.Transform(test)
+	if err != nil {
+		return nil, err
+	}
+	yScale := sc.YStd * sc.YStd
+
+	profile := hwmodel.FPGA()
+	shape := fig8DefaultShape(o)
+	var denseCost hwmodel.Cost
+	for i, frac := range res.Fractions {
+		// Fresh model per level: sparsification is destructive.
+		r, err := newRegHD(train.Features(), o, 8, core.ClusterBinary, core.PredictBinaryQuery)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.m.Fit(trainS); err != nil {
+			return nil, err
+		}
+		if err := r.m.Sparsify(frac); err != nil {
+			return nil, err
+		}
+		mse, err := r.m.Evaluate(testS)
+		if err != nil {
+			return nil, err
+		}
+		res.MSE[frac] = mse * yScale
+
+		w := hwmodel.RegHDWorkload{
+			Dim: shape.dim, Models: 8, Features: shape.features,
+			TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+			ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery,
+			ModelSparsity: frac,
+		}
+		ic, err := w.InferCounts(shape.queries)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := hwmodel.Estimate(ic, profile)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			denseCost = cost
+		}
+		res.InferSpeedup[frac] = cost.Speedup(denseCost)
+	}
+	return res, nil
+}
+
+// Render prints the sparsity sweep.
+func (r *SparseResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SparseHD extension: model sparsification on %s (k=8)\n", r.Dataset)
+	fmt.Fprintf(&b, "%-10s %12s %16s\n", "sparsity", "test MSE", "infer speedup")
+	for _, f := range r.Fractions {
+		fmt.Fprintf(&b, "%-10.2f %12.3f %15.2fx\n", f, r.MSE[f], r.InferSpeedup[f])
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/hwmodel"
+)
+
+// Table2Result reproduces Table 2: quality loss and efficiency as the
+// hypervector dimensionality shrinks from the 4k reference.
+type Table2Result struct {
+	// Dims lists the dimensionalities (reference first).
+	Dims []int
+	// QualityLoss[d] is the relative MSE increase vs the reference
+	// dimension, averaged over the probe datasets (0 = no loss).
+	QualityLoss map[int]float64
+	// Speedup/efficiency ratios vs the reference dimension (reference = 1).
+	TrainSpeedup, TrainEfficiency map[int]float64
+	InferSpeedup, InferEfficiency map[int]float64
+	// Datasets lists the quality probe workloads.
+	Datasets []string
+}
+
+// table2Dims is the paper's dimensionality sweep.
+var table2Dims = []int{4000, 3000, 2000, 1000, 500}
+
+// Table2Dimensionality sweeps D, measuring quality on probe datasets and
+// estimating cost on the FPGA profile.
+func Table2Dimensionality(o Options) (*Table2Result, error) {
+	o = o.withDefaults()
+	dims := table2Dims
+	datasets := []string{"airfoil", "ccpp", "boston"}
+	if o.Quick {
+		dims = []int{512, 256}
+		datasets = datasets[:1]
+	}
+	res := &Table2Result{
+		Dims:            dims,
+		Datasets:        datasets,
+		QualityLoss:     map[int]float64{},
+		TrainSpeedup:    map[int]float64{},
+		TrainEfficiency: map[int]float64{},
+		InferSpeedup:    map[int]float64{},
+		InferEfficiency: map[int]float64{},
+	}
+	// Quality: average MSE per dimension over the probe datasets.
+	avgMSE := make(map[int]float64)
+	for _, name := range datasets {
+		train, test, err := loadSplit(name, o)
+		if err != nil {
+			return nil, err
+		}
+		// Normalize each dataset's contribution by its reference MSE so
+		// large-scale targets do not dominate the average.
+		var refMSE float64
+		for _, d := range dims {
+			od := o
+			od.Dim = d
+			r, err := newRegHD(train.Features(), od, 8, core.ClusterBinary, core.PredictBinaryQuery)
+			if err != nil {
+				return nil, err
+			}
+			mse, err := scaledEval(r, train, test)
+			if err != nil {
+				return nil, err
+			}
+			if d == dims[0] {
+				refMSE = mse
+			}
+			if refMSE > 0 {
+				avgMSE[d] += mse / refMSE
+			}
+		}
+	}
+	for _, d := range dims {
+		res.QualityLoss[d] = avgMSE[d]/float64(len(datasets)) - 1
+	}
+
+	// Efficiency: analytic cost model per dimension.
+	shape := fig8DefaultShape(o)
+	profile := hwmodel.FPGA()
+	var refTrain, refInfer hwmodel.Cost
+	for i, d := range dims {
+		w := hwmodel.RegHDWorkload{
+			Dim: d, Models: 8, Features: shape.features,
+			TrainSamples: shape.samples, Epochs: shape.hdEpochs,
+			ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery,
+		}
+		tc, err := w.TrainCounts()
+		if err != nil {
+			return nil, err
+		}
+		ic, err := w.InferCounts(shape.queries)
+		if err != nil {
+			return nil, err
+		}
+		trainCost, err := hwmodel.Estimate(tc, profile)
+		if err != nil {
+			return nil, err
+		}
+		inferCost, err := hwmodel.Estimate(ic, profile)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			refTrain, refInfer = trainCost, inferCost
+		}
+		res.TrainSpeedup[d] = trainCost.Speedup(refTrain)
+		res.TrainEfficiency[d] = trainCost.EnergyEfficiency(refTrain)
+		res.InferSpeedup[d] = inferCost.Speedup(refInfer)
+		res.InferEfficiency[d] = inferCost.EnergyEfficiency(refInfer)
+	}
+	return res, nil
+}
+
+// Render prints the Table 2 layout.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: quality loss and efficiency vs dimensionality (avg of %v)\n", r.Datasets)
+	fmt.Fprintf(&b, "%-18s", "dimensions")
+	for _, d := range r.Dims {
+		fmt.Fprintf(&b, "%10d", d)
+	}
+	b.WriteByte('\n')
+	row := func(label string, vals map[int]float64, pct bool) {
+		fmt.Fprintf(&b, "%-18s", label)
+		for _, d := range r.Dims {
+			if pct {
+				fmt.Fprintf(&b, "%9.1f%%", vals[d]*100)
+			} else {
+				fmt.Fprintf(&b, "%9.2fx", vals[d])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	row("quality loss", r.QualityLoss, true)
+	row("train speedup", r.TrainSpeedup, false)
+	row("train efficiency", r.TrainEfficiency, false)
+	row("infer speedup", r.InferSpeedup, false)
+	row("infer efficiency", r.InferEfficiency, false)
+	return b.String()
+}

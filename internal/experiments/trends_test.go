@@ -1,0 +1,85 @@
+package experiments
+
+import "testing"
+
+// trendOptions are moderate full-pipeline settings: large enough for the
+// paper's trends to be signal, small enough for the test suite.
+func trendOptions() Options {
+	return Options{Seed: 1, Dim: 512, MaxSamples: 1200, Epochs: 20}
+}
+
+// TestTrendMultiModelWins asserts the Fig. 3b headline at experiment scale:
+// k=8 beats k=1 on the most multi-modal workload.
+func TestTrendMultiModelWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline trend test")
+	}
+	res, err := Fig3bSingleVsMulti(trendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MultiMSE["ccpp"] >= res.SingleMSE["ccpp"] {
+		t.Fatalf("multi-model (%v) did not beat single (%v) on ccpp",
+			res.MultiMSE["ccpp"], res.SingleMSE["ccpp"])
+	}
+}
+
+// TestTrendNaiveBinarizationWorst asserts the Fig. 6 ordering at experiment
+// scale: the framework's binary clustering tracks integer clustering while
+// naive binarization trails both.
+func TestTrendNaiveBinarizationWorst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline trend test")
+	}
+	res, err := Fig6ClusterQuantQuality(trendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	integer := res.MSE["integer"]
+	framework := res.MSE["framework-binary"]
+	naive := res.MSE["naive-binary"]
+	if naive <= framework {
+		t.Fatalf("naive binarization (%v) should trail the framework (%v)", naive, framework)
+	}
+	if framework > integer*1.25 {
+		t.Fatalf("framework binary clustering (%v) strayed too far from integer (%v)", framework, integer)
+	}
+}
+
+// TestTrendEfficiencyHeadlines asserts the Fig. 8 headlines: RegHD-8
+// beats the DNN on both phases, and fewer models are cheaper.
+func TestTrendEfficiencyHeadlines(t *testing.T) {
+	res, err := Fig8Efficiency(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainSpeedup["reghd-8"] < 3 || res.TrainSpeedup["reghd-8"] > 15 {
+		t.Fatalf("reghd-8 train speedup %v outside the paper's regime (5.6x)", res.TrainSpeedup["reghd-8"])
+	}
+	if res.InferSpeedup["reghd-8"] < 1.5 || res.InferSpeedup["reghd-8"] > 6 {
+		t.Fatalf("reghd-8 infer speedup %v outside the paper's regime (2.9x)", res.InferSpeedup["reghd-8"])
+	}
+	// Paper: RegHD-2 is ≈4.9x and RegHD-8 ≈2.8x faster than RegHD-32.
+	r2vs32 := res.TrainSpeedup["reghd-2"] / res.TrainSpeedup["reghd-32"]
+	r8vs32 := res.TrainSpeedup["reghd-8"] / res.TrainSpeedup["reghd-32"]
+	if r2vs32 < 3 || r2vs32 > 8 {
+		t.Fatalf("reghd-2/reghd-32 ratio %v, paper reports 4.9x", r2vs32)
+	}
+	if r8vs32 < 2 || r8vs32 > 4 {
+		t.Fatalf("reghd-8/reghd-32 ratio %v, paper reports 2.8x", r8vs32)
+	}
+}
+
+// TestTrendDimensionalityEfficiency asserts Table 2's cost side: the
+// modeled efficiency scales near-linearly in D.
+func TestTrendDimensionalityEfficiency(t *testing.T) {
+	res, err := Table2Dimensionality(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := res.Dims[len(res.Dims)-1]
+	ratio := float64(res.Dims[0]) / float64(small)
+	if res.InferSpeedup[small] < ratio*0.7 || res.InferSpeedup[small] > ratio*1.3 {
+		t.Fatalf("inference speedup %v at D=%d, want ≈%v", res.InferSpeedup[small], small, ratio)
+	}
+}

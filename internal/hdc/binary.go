@@ -1,0 +1,216 @@
+package hdc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Binary is a bit-packed bipolar hypervector of dimension Dim. Bit j of
+// Words[j/64] set means component j is +1; clear means −1. Bits at positions
+// >= Dim in the last word are always zero (callers rely on this for popcount
+// identities).
+type Binary struct {
+	Words []uint64
+	Dim   int
+}
+
+// NewBinary returns an all-clear (all −1) binary hypervector of dimension d.
+func NewBinary(d int) *Binary {
+	if d < 0 {
+		panic("hdc: negative dimension")
+	}
+	return &Binary{Words: make([]uint64, (d+63)/64), Dim: d}
+}
+
+// Clone returns an independent copy of b.
+func (b *Binary) Clone() *Binary {
+	w := make([]uint64, len(b.Words))
+	copy(w, b.Words)
+	return &Binary{Words: w, Dim: b.Dim}
+}
+
+// Bit reports whether component i is +1.
+func (b *Binary) Bit(i int) bool {
+	return b.Words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// SetBit sets component i to +1 (on=true) or −1 (on=false).
+func (b *Binary) SetBit(i int, on bool) {
+	if on {
+		b.Words[i/64] |= 1 << uint(i%64)
+	} else {
+		b.Words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Component returns component i as ±1.
+func (b *Binary) Component(i int) float64 {
+	if b.Bit(i) {
+		return 1
+	}
+	return -1
+}
+
+// maskTail zeroes any bits beyond Dim in the last word.
+func (b *Binary) maskTail() {
+	if r := b.Dim % 64; r != 0 && len(b.Words) > 0 {
+		b.Words[len(b.Words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Pack quantizes a dense vector to a binary hypervector: bit set where the
+// component is >= 0. This is the single-comparison quantization step of the
+// paper's Section 3.1.
+func Pack(ctr *Counter, v Vector) *Binary {
+	b := NewBinary(len(v))
+	for i, x := range v {
+		if x >= 0 {
+			b.Words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	d := uint64(len(v))
+	ctr.Add(OpCmp, d)
+	ctr.Add(OpMemRead, d)
+	ctr.Add(OpMemWrite, uint64(len(b.Words)))
+	return b
+}
+
+// PackInto is like Pack but reuses dst, which must have dimension len(v).
+func PackInto(ctr *Counter, dst *Binary, v Vector) {
+	if dst.Dim != len(v) {
+		panic(fmt.Sprintf("hdc: PackInto dimension mismatch %d != %d", dst.Dim, len(v)))
+	}
+	for i := range dst.Words {
+		dst.Words[i] = 0
+	}
+	for i, x := range v {
+		if x >= 0 {
+			dst.Words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	d := uint64(len(v))
+	ctr.Add(OpCmp, d)
+	ctr.Add(OpMemRead, d)
+	ctr.Add(OpMemWrite, uint64(len(dst.Words)))
+}
+
+// Unpack expands b into a dense bipolar vector with components ±1.
+func Unpack(b *Binary) Vector {
+	v := make(Vector, b.Dim)
+	UnpackInto(v, b)
+	return v
+}
+
+// UnpackInto expands b into dst, which must have length b.Dim. It lets hot
+// loops reuse a scratch vector instead of allocating per sample.
+func UnpackInto(dst Vector, b *Binary) {
+	if len(dst) != b.Dim {
+		panic(fmt.Sprintf("hdc: UnpackInto dimension mismatch %d != %d", len(dst), b.Dim))
+	}
+	for i := range dst {
+		if b.Words[i/64]&(1<<uint(i%64)) != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = -1
+		}
+	}
+}
+
+// Hamming returns the Hamming distance between a and b: the number of
+// positions at which their bipolar components differ. It is the similarity
+// kernel of the paper's quantized clustering (Section 3.1).
+func Hamming(ctr *Counter, a, b *Binary) int {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("hdc: Hamming dimension mismatch %d != %d", a.Dim, b.Dim))
+	}
+	var h int
+	for i, w := range a.Words {
+		h += bits.OnesCount64(w ^ b.Words[i])
+	}
+	nw := uint64(len(a.Words))
+	ctr.Add(OpXor, nw)
+	ctr.Add(OpPopcnt, nw)
+	ctr.Add(OpIntAdd, nw)
+	ctr.Add(OpMemRead, 2*nw)
+	return h
+}
+
+// DotBinary returns the bipolar dot product of two bit-packed hypervectors
+// via the identity dot = D − 2·hamming.
+func DotBinary(ctr *Counter, a, b *Binary) int {
+	h := Hamming(ctr, a, b)
+	ctr.Add(OpIntAdd, 1)
+	return a.Dim - 2*h
+}
+
+// HammingSimilarity maps Hamming distance to the normalized similarity in
+// [−1, 1] that plays the role of cosine similarity for binary vectors:
+// sim = 1 − 2·hamming/D = dot/D.
+func HammingSimilarity(ctr *Counter, a, b *Binary) float64 {
+	h := Hamming(ctr, a, b)
+	ctr.Add(OpFloatDiv, 1)
+	ctr.Add(OpFloatAdd, 1)
+	return 1 - 2*float64(h)/float64(a.Dim)
+}
+
+// DotBinaryDense returns Σ_i b_i · v_i where b is interpreted as a bipolar
+// ±1 vector. This is the "binary query – integer model" / "integer query –
+// binary model" kernel (Section 3.2): multiply-free, only additions and
+// subtractions of the dense components. The implementation is branch-free:
+// a clear bit flips the component's IEEE-754 sign bit instead of branching,
+// which avoids mispredictions on the random sign patterns hypervectors
+// carry.
+func DotBinaryDense(ctr *Counter, b *Binary, v Vector) float64 {
+	if b.Dim != len(v) {
+		panic(fmt.Sprintf("hdc: DotBinaryDense dimension mismatch %d != %d", b.Dim, len(v)))
+	}
+	var s float64
+	for w, word := range b.Words {
+		base := w * 64
+		end := base + 64
+		if end > len(v) {
+			end = len(v)
+		}
+		for j := base; j < end; j++ {
+			// (^word>>k & 1) << 63 is the sign-flip mask: 0 for a set bit
+			// (+v), the IEEE sign bit for a clear bit (−v).
+			flip := ((^word >> uint(j-base)) & 1) << 63
+			s += math.Float64frombits(math.Float64bits(v[j]) ^ flip)
+		}
+	}
+	d := uint64(len(v))
+	ctr.Add(OpFloatAdd, d)
+	ctr.Add(OpMemRead, d+uint64(len(b.Words)))
+	return s
+}
+
+// FlipBits flips the bits of b at the given component indices, used by fault
+// injection experiments to model memory errors in a deployed binary model.
+func (b *Binary) FlipBits(indices []int) {
+	for _, i := range indices {
+		b.Words[i/64] ^= 1 << uint(i%64)
+	}
+}
+
+// OnesCount returns the number of +1 components.
+func (b *Binary) OnesCount() int {
+	var n int
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether a and b have the same dimension and components.
+func (b *Binary) Equal(o *Binary) bool {
+	if b.Dim != o.Dim {
+		return false
+	}
+	for i, w := range b.Words {
+		if w != o.Words[i] {
+			return false
+		}
+	}
+	return true
+}

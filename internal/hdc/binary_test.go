@@ -1,0 +1,187 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, d := range []int{1, 63, 64, 65, 100, 1000} {
+		v := RandomBipolar(rng, d)
+		b := Pack(nil, v)
+		u := Unpack(b)
+		for i := range v {
+			if u[i] != v[i] {
+				t.Fatalf("d=%d: round trip differs at %d: %v vs %v", d, i, u[i], v[i])
+			}
+		}
+	}
+}
+
+func TestPackUnpackRoundTripProperty(t *testing.T) {
+	f := func(seed int64, dRaw uint16) bool {
+		d := int(dRaw)%500 + 1
+		r := rand.New(rand.NewSource(seed))
+		v := RandomBipolar(r, d)
+		u := Unpack(Pack(nil, v))
+		for i := range v {
+			if u[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackThresholdsAtZero(t *testing.T) {
+	b := Pack(nil, Vector{-1, 0, 0.5, -0.5})
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if b.Bit(i) != w {
+			t.Fatalf("bit %d = %v, want %v", i, b.Bit(i), w)
+		}
+	}
+}
+
+func TestHammingIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const d = 777
+	a := RandomBipolarBinary(rng, d)
+	b := RandomBipolarBinary(rng, d)
+	if h := Hamming(nil, a, a); h != 0 {
+		t.Fatalf("Hamming(a,a) = %d, want 0", h)
+	}
+	// Symmetry.
+	if Hamming(nil, a, b) != Hamming(nil, b, a) {
+		t.Fatal("Hamming not symmetric")
+	}
+	// Range.
+	if h := Hamming(nil, a, b); h < 0 || h > d {
+		t.Fatalf("Hamming out of range: %d", h)
+	}
+}
+
+func TestDotHammingIdentityProperty(t *testing.T) {
+	// dot(a,b) on the unpacked bipolar vectors must equal D − 2·hamming.
+	f := func(seed int64, dRaw uint16) bool {
+		d := int(dRaw)%300 + 1
+		r := rand.New(rand.NewSource(seed))
+		a := RandomBipolarBinary(r, d)
+		b := RandomBipolarBinary(r, d)
+		dense := Dot(nil, Unpack(a), Unpack(b))
+		return int(dense) == DotBinary(nil, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingSimilarityMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const d = 512
+	a := RandomBipolarBinary(rng, d)
+	b := RandomBipolarBinary(rng, d)
+	sim := HammingSimilarity(nil, a, b)
+	dot := float64(DotBinary(nil, a, b)) / d
+	if !almostEqual(sim, dot, 1e-12) {
+		t.Fatalf("HammingSimilarity = %v, dot/D = %v", sim, dot)
+	}
+}
+
+func TestDotBinaryDenseMatchesDenseDot(t *testing.T) {
+	f := func(seed int64, dRaw uint16) bool {
+		d := int(dRaw)%300 + 1
+		r := rand.New(rand.NewSource(seed))
+		b := RandomBipolarBinary(r, d)
+		v := RandomGaussian(r, d)
+		return almostEqual(DotBinaryDense(nil, b, v), Dot(nil, Unpack(b), v), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBitComponent(t *testing.T) {
+	b := NewBinary(130)
+	b.SetBit(0, true)
+	b.SetBit(64, true)
+	b.SetBit(129, true)
+	if !b.Bit(0) || !b.Bit(64) || !b.Bit(129) || b.Bit(1) {
+		t.Fatal("SetBit/Bit inconsistent")
+	}
+	if b.Component(0) != 1 || b.Component(1) != -1 {
+		t.Fatal("Component mapping wrong")
+	}
+	b.SetBit(64, false)
+	if b.Bit(64) {
+		t.Fatal("clearing bit failed")
+	}
+	if b.OnesCount() != 2 {
+		t.Fatalf("OnesCount = %d, want 2", b.OnesCount())
+	}
+}
+
+func TestPackInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	v := RandomGaussian(rng, 200)
+	dst := NewBinary(200)
+	// Pre-dirty dst to verify it's fully rewritten.
+	for i := range dst.Words {
+		dst.Words[i] = ^uint64(0)
+	}
+	PackInto(nil, dst, v)
+	if !dst.Equal(Pack(nil, v)) {
+		t.Fatal("PackInto differs from Pack")
+	}
+}
+
+func TestFlipBits(t *testing.T) {
+	b := NewBinary(128)
+	b.FlipBits([]int{0, 5, 127})
+	if b.OnesCount() != 3 {
+		t.Fatalf("OnesCount after flips = %d, want 3", b.OnesCount())
+	}
+	b.FlipBits([]int{5})
+	if b.OnesCount() != 2 || b.Bit(5) {
+		t.Fatal("double flip did not restore bit")
+	}
+}
+
+func TestBinaryCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := RandomBipolarBinary(rng, 99)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.FlipBits([]int{7})
+	if a.Equal(b) {
+		t.Fatal("clone shares storage")
+	}
+	if a.Equal(NewBinary(98)) {
+		t.Fatal("Equal ignored dimension")
+	}
+}
+
+func TestRandomBipolarBinaryTailMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	b := RandomBipolarBinary(rng, 70) // 6 live bits in the second word
+	last := b.Words[len(b.Words)-1]
+	if last>>6 != 0 {
+		t.Fatalf("tail bits beyond Dim are set: %x", last)
+	}
+}
+
+func TestHammingCountsOps(t *testing.T) {
+	var c Counter
+	a := NewBinary(128)
+	Hamming(&c, a, a)
+	if c.Count(OpPopcnt) != 2 || c.Count(OpXor) != 2 {
+		t.Fatalf("expected 2 popcnt/xor for 128 dims, got %v", &c)
+	}
+}

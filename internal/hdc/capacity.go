@@ -1,0 +1,77 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FalsePositiveRate evaluates the paper's Eq. 4: the probability that a
+// bundled hypervector M = S_1 + … + S_P appears to contain a random query Q
+// that it does not contain, when containment is declared for normalized
+// similarity above threshold t.
+//
+// With P random bipolar patterns accumulated into M, the normalized
+// similarity δ(M,Q)/D of an unrelated query concentrates around 0 with
+// standard deviation √(P/D), so the false-positive probability is the
+// Gaussian tail Pr(Z > t·√(D/P)).
+func FalsePositiveRate(d, p int, t float64) float64 {
+	if d <= 0 || p <= 0 {
+		return 0
+	}
+	z := t * math.Sqrt(float64(d)/float64(p))
+	return gaussianTail(z)
+}
+
+// gaussianTail returns Pr(Z > z) for a standard normal Z using the
+// complementary error function.
+func gaussianTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// CapacityLimit returns the largest number of random bipolar patterns P that
+// can be bundled into a D-dimensional hypervector while keeping the
+// false-positive rate of Eq. 4 at or below maxFP for threshold t.
+func CapacityLimit(d int, t, maxFP float64) int {
+	if d <= 0 {
+		return 0
+	}
+	lo, hi := 1, d*100
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if FalsePositiveRate(d, mid, t) <= maxFP {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if FalsePositiveRate(d, lo, t) > maxFP {
+		return 0
+	}
+	return lo
+}
+
+// MonteCarloFalsePositive estimates the false-positive rate empirically:
+// it bundles p random bipolar hypervectors of dimension d into M, then
+// measures how often an unrelated random query exceeds the normalized
+// similarity threshold t. trials controls the number of queries.
+func MonteCarloFalsePositive(rng *rand.Rand, d, p, trials int, t float64) float64 {
+	m := NewVector(d)
+	for i := 0; i < p; i++ {
+		s := RandomBipolar(rng, d)
+		Add(nil, m, s)
+	}
+	// Containment is declared when δ(M,Q)/D > t. For an unrelated query,
+	// δ(M,Q) = Σ_i dot(S_i, Q) has mean 0 and variance P·D, so the
+	// standardized statistic Z = δ/√(P·D) crosses the threshold exactly when
+	// Z > t·√(D/P) — the event of Eq. 4.
+	hits := 0
+	zThresh := t * math.Sqrt(float64(d)/float64(p))
+	for i := 0; i < trials; i++ {
+		q := RandomBipolar(rng, d)
+		z := Dot(nil, m, q) / math.Sqrt(float64(p)*float64(d))
+		if z > zThresh {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}

@@ -1,0 +1,78 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFalsePositiveRatePaperExample(t *testing.T) {
+	// Paper §2.3: D=100,000, T=0.5, P=10,000 → ≈5.7% error.
+	got := FalsePositiveRate(100000, 10000, 0.5)
+	if math.Abs(got-0.057) > 0.01 {
+		t.Fatalf("FP rate = %v, paper reports ≈0.057", got)
+	}
+}
+
+func TestFalsePositiveRateMonotoneInP(t *testing.T) {
+	prev := -1.0
+	for _, p := range []int{100, 1000, 10000, 100000} {
+		fp := FalsePositiveRate(100000, p, 0.5)
+		if fp < prev {
+			t.Fatalf("FP rate should grow with P: P=%d gives %v < %v", p, fp, prev)
+		}
+		prev = fp
+	}
+}
+
+func TestFalsePositiveRateMonotoneInD(t *testing.T) {
+	prev := 2.0
+	for _, d := range []int{1000, 10000, 100000} {
+		fp := FalsePositiveRate(d, 1000, 0.5)
+		if fp > prev {
+			t.Fatalf("FP rate should shrink with D: D=%d gives %v > %v", d, fp, prev)
+		}
+		prev = fp
+	}
+}
+
+func TestFalsePositiveRateEdgeCases(t *testing.T) {
+	if FalsePositiveRate(0, 10, 0.5) != 0 || FalsePositiveRate(100, 0, 0.5) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestCapacityLimitConsistent(t *testing.T) {
+	const d, tThresh, maxFP = 10000, 0.5, 0.05
+	p := CapacityLimit(d, tThresh, maxFP)
+	if p <= 0 {
+		t.Fatal("CapacityLimit returned non-positive capacity")
+	}
+	if fp := FalsePositiveRate(d, p, tThresh); fp > maxFP {
+		t.Fatalf("FP at capacity = %v exceeds %v", fp, maxFP)
+	}
+	if fp := FalsePositiveRate(d, p+1, tThresh); fp <= maxFP {
+		t.Fatalf("capacity not maximal: P+1 still has FP %v", fp)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const d, p, trials, thr = 2000, 200, 4000, 0.5
+	analytic := FalsePositiveRate(d, p, thr)
+	empirical := MonteCarloFalsePositive(rng, d, p, trials, thr)
+	// Binomial std error ≈ √(f(1−f)/trials); allow 5 sigma plus model slack.
+	tol := 5*math.Sqrt(analytic*(1-analytic)/trials) + 0.01
+	if math.Abs(analytic-empirical) > tol {
+		t.Fatalf("analytic %v vs empirical %v (tol %v)", analytic, empirical, tol)
+	}
+}
+
+func TestGaussianTail(t *testing.T) {
+	if got := gaussianTail(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("tail(0) = %v, want 0.5", got)
+	}
+	if got := gaussianTail(1.6449); math.Abs(got-0.05) > 1e-3 {
+		t.Fatalf("tail(1.645) = %v, want ≈0.05", got)
+	}
+}

@@ -1,0 +1,21 @@
+// Package hdc provides the hypervector math substrate for hyperdimensional
+// computing: dense float hypervectors, bit-packed binary hypervectors, the
+// similarity kernels used by RegHD (dot product, cosine similarity, Hamming
+// distance), and an operation counter that records how many primitive
+// arithmetic operations each kernel performs.
+//
+// The operation counts are consumed by package hwmodel to estimate latency
+// and energy on FPGA-like and embedded-CPU-like targets, standing in for the
+// paper's Kintex-7 / Raspberry Pi measurements.
+//
+// # Conventions
+//
+// A "bipolar" hypervector has components in {-1, +1} and is stored either as
+// a dense []float64 or bit-packed (bit 1 ⇔ component +1). For bit-packed
+// vectors of dimension D the identity
+//
+//	dot(a, b) = D - 2*hamming(a, b)
+//
+// converts Hamming distance into the bipolar dot product, which is the basis
+// of all quantized similarity computation in RegHD.
+package hdc

@@ -1,0 +1,47 @@
+package hdc
+
+import "testing"
+
+// FuzzPackUnpack asserts the bit-pack round trip holds for arbitrary sign
+// patterns and that the dot/Hamming identity survives fuzzing.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{0xFF})
+	f.Add([]byte{0xAA, 0x55}, []byte{0x0F, 0xF0})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) == 0 || len(b) == 0 {
+			return
+		}
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n > 512 {
+			n = 512
+		}
+		va := make(Vector, n)
+		vb := make(Vector, n)
+		for i := 0; i < n; i++ {
+			va[i] = 1
+			if a[i]&1 == 0 {
+				va[i] = -1
+			}
+			vb[i] = 1
+			if b[i]&1 == 0 {
+				vb[i] = -1
+			}
+		}
+		pa, pb := Pack(nil, va), Pack(nil, vb)
+		ua := Unpack(pa)
+		for i := range va {
+			if ua[i] != va[i] {
+				t.Fatalf("round trip differs at %d", i)
+			}
+		}
+		if int(Dot(nil, va, vb)) != DotBinary(nil, pa, pb) {
+			t.Fatal("dot/Hamming identity violated")
+		}
+		if h := Hamming(nil, pa, pb); h < 0 || h > n {
+			t.Fatalf("Hamming out of range: %d", h)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package hdc
+
+import "fmt"
+
+// Bind returns the elementwise product a⊙b, the classic HD binding
+// operator: for bipolar hypervectors the result is dissimilar to both
+// operands, and binding with the same vector twice is the identity
+// (a⊙b)⊙b = a. The ID-level encoder uses binding to attach feature
+// positions to value levels.
+func Bind(ctr *Counter, a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdc: Bind dimension mismatch %d != %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	d := uint64(len(a))
+	ctr.Add(OpFloatMul, d)
+	ctr.Add(OpMemRead, 2*d)
+	ctr.Add(OpMemWrite, d)
+	return out
+}
+
+// BindBinary is Bind on bit-packed bipolar hypervectors: the product of ±1
+// components is XNOR of the sign bits, i.e. ^(a XOR b).
+func BindBinary(ctr *Counter, a, b *Binary) *Binary {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("hdc: BindBinary dimension mismatch %d != %d", a.Dim, b.Dim))
+	}
+	out := NewBinary(a.Dim)
+	for i, w := range a.Words {
+		out.Words[i] = ^(w ^ b.Words[i])
+	}
+	out.maskTail()
+	nw := uint64(len(a.Words))
+	ctr.Add(OpXor, 2*nw)
+	ctr.Add(OpMemRead, 2*nw)
+	ctr.Add(OpMemWrite, nw)
+	return out
+}
+
+// Permute returns a copy of v cyclically rotated by k positions (component
+// i of the result is v[(i−k) mod D]). Permutation is the HD sequencing
+// operator: it preserves all pairwise similarities while producing a vector
+// nearly orthogonal to the original, encoding order in n-gram and
+// time-series representations.
+func Permute(ctr *Counter, v Vector, k int) Vector {
+	d := len(v)
+	if d == 0 {
+		return Vector{}
+	}
+	k = ((k % d) + d) % d
+	out := make(Vector, d)
+	copy(out[k:], v[:d-k])
+	copy(out[:k], v[d-k:])
+	ctr.Add(OpMemRead, uint64(d))
+	ctr.Add(OpMemWrite, uint64(d))
+	return out
+}
+
+// Bundle returns the elementwise sum of the given hypervectors, the HD
+// superposition operator: the result is similar to each operand, which is
+// how a single hypervector memorizes a set (§2.3's capacity analysis
+// quantifies how many operands fit).
+func Bundle(ctr *Counter, vs ...Vector) Vector {
+	if len(vs) == 0 {
+		return Vector{}
+	}
+	out := make(Vector, len(vs[0]))
+	for _, v := range vs {
+		if len(v) != len(out) {
+			panic(fmt.Sprintf("hdc: Bundle dimension mismatch %d != %d", len(v), len(out)))
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	d := uint64(len(out))
+	n := uint64(len(vs))
+	ctr.Add(OpFloatAdd, n*d)
+	ctr.Add(OpMemRead, n*d)
+	ctr.Add(OpMemWrite, d)
+	return out
+}

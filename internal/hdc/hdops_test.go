@@ -1,0 +1,179 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBindSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomBipolar(rng, 1000)
+	b := RandomBipolar(rng, 1000)
+	ab := Bind(nil, a, b)
+	back := Bind(nil, ab, b)
+	for i := range a {
+		if back[i] != a[i] {
+			t.Fatal("(a⊙b)⊙b != a")
+		}
+	}
+}
+
+func TestBindDissimilarToOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomBipolar(rng, 10000)
+	b := RandomBipolar(rng, 10000)
+	ab := Bind(nil, a, b)
+	if c := Cosine(nil, ab, a); math.Abs(c) > 0.06 {
+		t.Fatalf("bound vector similar to operand: %v", c)
+	}
+}
+
+func TestBindPreservesSimilarityProperty(t *testing.T) {
+	// δ(a⊙c, b⊙c) = δ(a, b) for bipolar c.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomBipolar(r, 256)
+		b := RandomBipolar(r, 256)
+		c := RandomBipolar(r, 256)
+		return almostEqual(Cosine(nil, Bind(nil, a, c), Bind(nil, b, c)), Cosine(nil, a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindBinaryMatchesDense(t *testing.T) {
+	f := func(seed int64, dRaw uint16) bool {
+		d := int(dRaw)%300 + 1
+		r := rand.New(rand.NewSource(seed))
+		a := RandomBipolarBinary(r, d)
+		b := RandomBipolarBinary(r, d)
+		packed := BindBinary(nil, a, b)
+		dense := Bind(nil, Unpack(a), Unpack(b))
+		got := Unpack(packed)
+		for i := range dense {
+			if got[i] != dense[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindBinaryTailMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomBipolarBinary(rng, 70)
+	b := RandomBipolarBinary(rng, 70)
+	out := BindBinary(nil, a, b)
+	if out.Words[len(out.Words)-1]>>6 != 0 {
+		t.Fatal("tail bits set after XNOR")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := RandomGaussian(rng, 101)
+	w := Permute(nil, Permute(nil, v, 13), -13)
+	for i := range v {
+		if w[i] != v[i] {
+			t.Fatal("Permute(+k) then Permute(−k) is not identity")
+		}
+	}
+}
+
+func TestPermuteShiftsComponents(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	w := Permute(nil, v, 1)
+	want := Vector{4, 1, 2, 3}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("Permute = %v, want %v", w, want)
+		}
+	}
+	// Full rotation is identity; zero-length input is safe.
+	u := Permute(nil, v, 4)
+	for i := range v {
+		if u[i] != v[i] {
+			t.Fatal("Permute by D should be identity")
+		}
+	}
+	if len(Permute(nil, Vector{}, 3)) != 0 {
+		t.Fatal("empty permute should stay empty")
+	}
+}
+
+func TestPermuteNearlyOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := RandomBipolar(rng, 10000)
+	if c := Cosine(nil, v, Permute(nil, v, 1)); math.Abs(c) > 0.06 {
+		t.Fatalf("permuted vector similar to original: %v", c)
+	}
+}
+
+func TestPermutePreservesSimilarityProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kRaw)
+		a := RandomBipolar(r, 128)
+		b := RandomBipolar(r, 128)
+		return almostEqual(Cosine(nil, Permute(nil, a, k), Permute(nil, b, k)), Cosine(nil, a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBundleSimilarToOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vs := make([]Vector, 5)
+	for i := range vs {
+		vs[i] = RandomBipolar(rng, 10000)
+	}
+	bundle := Bundle(nil, vs...)
+	for i, v := range vs {
+		if c := Cosine(nil, bundle, v); c < 0.3 {
+			t.Fatalf("bundle not similar to operand %d: %v", i, c)
+		}
+	}
+	other := RandomBipolar(rng, 10000)
+	if c := Cosine(nil, bundle, other); math.Abs(c) > 0.06 {
+		t.Fatalf("bundle similar to unrelated vector: %v", c)
+	}
+}
+
+func TestBundleEdgeCases(t *testing.T) {
+	if len(Bundle(nil)) != 0 {
+		t.Fatal("empty bundle should be empty")
+	}
+	v := Vector{1, -2}
+	out := Bundle(nil, v)
+	if out[0] != 1 || out[1] != -2 {
+		t.Fatal("single-operand bundle should copy")
+	}
+	out[0] = 99
+	if v[0] == 99 {
+		t.Fatal("bundle must not alias its input")
+	}
+}
+
+func TestBindBundlePanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bind":        func() { Bind(nil, NewVector(2), NewVector(3)) },
+		"bind-binary": func() { BindBinary(nil, NewBinary(2), NewBinary(3)) },
+		"bundle":      func() { Bundle(nil, NewVector(2), NewVector(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic on dimension mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

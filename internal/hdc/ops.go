@@ -1,0 +1,130 @@
+package hdc
+
+import "fmt"
+
+// Op identifies a primitive operation class counted by the instrumented
+// kernels. The classes are chosen so that package hwmodel can assign each a
+// per-operation energy and a per-cycle issue width on a hardware target.
+type Op int
+
+const (
+	// OpIntAdd counts integer/fixed-point additions and subtractions.
+	OpIntAdd Op = iota
+	// OpIntMul counts integer/fixed-point multiplications.
+	OpIntMul
+	// OpFloatAdd counts floating-point additions and subtractions.
+	OpFloatAdd
+	// OpFloatMul counts floating-point multiplications.
+	OpFloatMul
+	// OpFloatDiv counts floating-point divisions and square roots.
+	OpFloatDiv
+	// OpPopcnt counts 64-bit popcount operations (one per machine word).
+	OpPopcnt
+	// OpXor counts 64-bit bitwise XOR/AND/OR operations.
+	OpXor
+	// OpCmp counts comparisons (thresholding, argmax steps).
+	OpCmp
+	// OpExp counts transcendental evaluations (exp, cos, sin).
+	OpExp
+	// OpMemRead counts 64-bit words read from memory.
+	OpMemRead
+	// OpMemWrite counts 64-bit words written to memory.
+	OpMemWrite
+
+	// NumOps is the number of operation classes.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"int-add", "int-mul", "float-add", "float-mul", "float-div",
+	"popcnt", "xor", "cmp", "exp", "mem-read", "mem-write",
+}
+
+// String returns the human-readable name of the operation class.
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Counter accumulates primitive-operation counts. The zero value is ready to
+// use. A nil *Counter is valid everywhere and counts nothing, so hot kernels
+// pay a single predictable branch when instrumentation is off.
+type Counter struct {
+	counts [NumOps]uint64
+}
+
+// Add records n occurrences of op. Add on a nil counter is a no-op.
+func (c *Counter) Add(op Op, n uint64) {
+	if c == nil {
+		return
+	}
+	c.counts[op] += n
+}
+
+// Count reports the accumulated count for op. A nil counter reports zero.
+func (c *Counter) Count(op Op) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[op]
+}
+
+// Total reports the sum of all operation counts.
+func (c *Counter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// Reset zeroes all counts.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.counts = [NumOps]uint64{}
+}
+
+// AddCounter merges the counts of other into c.
+func (c *Counter) AddCounter(other *Counter) {
+	if c == nil || other == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i] += other.counts[i]
+	}
+}
+
+// Snapshot returns a copy of the current counts indexed by Op.
+func (c *Counter) Snapshot() [NumOps]uint64 {
+	if c == nil {
+		return [NumOps]uint64{}
+	}
+	return c.counts
+}
+
+// String renders the non-zero counts, for debugging and reports.
+func (c *Counter) String() string {
+	if c == nil {
+		return "hdc.Counter(nil)"
+	}
+	s := "hdc.Counter{"
+	first := true
+	for op, n := range c.counts {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %d", Op(op), n)
+		first = false
+	}
+	return s + "}"
+}

@@ -1,0 +1,83 @@
+package hdc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(OpIntAdd, 5)
+	if c.Count(OpIntAdd) != 0 || c.Total() != 0 {
+		t.Fatal("nil counter should count nothing")
+	}
+	c.Reset()
+	c.AddCounter(&Counter{})
+	if got := c.String(); got != "hdc.Counter(nil)" {
+		t.Fatalf("nil String = %q", got)
+	}
+	if c.Snapshot() != [NumOps]uint64{} {
+		t.Fatal("nil Snapshot should be zero")
+	}
+}
+
+func TestCounterAddCount(t *testing.T) {
+	var c Counter
+	c.Add(OpFloatMul, 3)
+	c.Add(OpFloatMul, 4)
+	c.Add(OpPopcnt, 1)
+	if c.Count(OpFloatMul) != 7 {
+		t.Fatalf("Count = %d, want 7", c.Count(OpFloatMul))
+	}
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", c.Total())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var c Counter
+	c.Add(OpExp, 9)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("Reset did not zero counts")
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	a.Add(OpIntAdd, 1)
+	b.Add(OpIntAdd, 2)
+	b.Add(OpCmp, 3)
+	a.AddCounter(&b)
+	if a.Count(OpIntAdd) != 3 || a.Count(OpCmp) != 3 {
+		t.Fatalf("merge wrong: %v", &a)
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	var c Counter
+	c.Add(OpPopcnt, 2)
+	s := c.String()
+	if !strings.Contains(s, "popcnt: 2") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpPopcnt.String() != "popcnt" {
+		t.Fatalf("OpPopcnt = %q", OpPopcnt)
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Fatal("out-of-range Op should render its number")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var c Counter
+	c.Add(OpXor, 1)
+	snap := c.Snapshot()
+	c.Add(OpXor, 1)
+	if snap[OpXor] != 1 {
+		t.Fatal("Snapshot not a copy")
+	}
+}

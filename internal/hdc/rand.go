@@ -1,0 +1,50 @@
+package hdc
+
+import "math/rand"
+
+// RandomBipolar returns a random bipolar hypervector of dimension d with
+// i.i.d. uniform ±1 components. Randomly drawn bipolar hypervectors are
+// nearly orthogonal in high dimension (cosine ≈ 0 with deviation O(1/√D)),
+// which is the property the encoder's base vectors rely on.
+func RandomBipolar(rng *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		if rng.Int63()&1 == 0 {
+			v[i] = 1
+		} else {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// RandomBipolarBinary returns a random bit-packed bipolar hypervector.
+func RandomBipolarBinary(rng *rand.Rand, d int) *Binary {
+	b := NewBinary(d)
+	for i := range b.Words {
+		b.Words[i] = rng.Uint64()
+	}
+	b.maskTail()
+	return b
+}
+
+// RandomGaussian returns a hypervector with i.i.d. standard normal
+// components, used to initialize cluster hypervectors when integer (dense)
+// cluster representation is selected.
+func RandomGaussian(rng *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// RandomUniform returns a hypervector with i.i.d. components uniform in
+// [lo, hi).
+func RandomUniform(rng *rand.Rand, d int, lo, hi float64) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package hdc
+
+import "math"
+
+// Softmax computes the softmax of xs scaled by the inverse temperature beta,
+// writing the result into out (which must have len(xs)). It is the
+// normalization block of the paper's Fig. 4: similarity values δ become
+// confidences δ'. The computation is shifted by max(xs) for numerical
+// stability; the shift does not change the result.
+func Softmax(ctr *Counter, out, xs []float64, beta float64) {
+	if len(out) != len(xs) {
+		panic("hdc: Softmax length mismatch")
+	}
+	if len(xs) == 0 {
+		return
+	}
+	maxV := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var sum float64
+	for i, x := range xs {
+		e := math.Exp(beta * (x - maxV))
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	n := uint64(len(xs))
+	ctr.Add(OpCmp, n)
+	ctr.Add(OpExp, n)
+	ctr.Add(OpFloatMul, 2*n+1)
+	ctr.Add(OpFloatAdd, 2*n)
+	ctr.Add(OpFloatDiv, 1)
+}
+
+// Argmax returns the index of the largest element of xs; −1 for empty input.
+func Argmax(ctr *Counter, xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs[1:] {
+		if x > xs[best] {
+			best = i + 1
+		}
+	}
+	ctr.Add(OpCmp, uint64(len(xs)-1))
+	return best
+}

@@ -1,0 +1,113 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	xs := []float64{0.1, -0.4, 0.9, 0.2}
+	out := make([]float64, len(xs))
+	Softmax(nil, out, xs, 10)
+	var sum float64
+	for _, p := range out {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", out)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("sum = %v, want 1", sum)
+	}
+}
+
+func TestSoftmaxOrderPreserved(t *testing.T) {
+	xs := []float64{-1, 0.5, 0.2}
+	out := make([]float64, 3)
+	Softmax(nil, out, xs, 5)
+	if !(out[1] > out[2] && out[2] > out[0]) {
+		t.Fatalf("softmax did not preserve order: %v", out)
+	}
+}
+
+func TestSoftmaxUniformInput(t *testing.T) {
+	xs := []float64{0.3, 0.3, 0.3, 0.3}
+	out := make([]float64, 4)
+	Softmax(nil, out, xs, 10)
+	for _, p := range out {
+		if !almostEqual(p, 0.25, 1e-12) {
+			t.Fatalf("uniform input should give uniform output: %v", out)
+		}
+	}
+}
+
+func TestSoftmaxTemperatureSharpens(t *testing.T) {
+	xs := []float64{0.9, 0.1}
+	soft := make([]float64, 2)
+	sharp := make([]float64, 2)
+	Softmax(nil, soft, xs, 1)
+	Softmax(nil, sharp, xs, 20)
+	if sharp[0] <= soft[0] {
+		t.Fatalf("higher beta should concentrate mass: beta=1 %v, beta=20 %v", soft, sharp)
+	}
+}
+
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed int64, shiftRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		shift := float64(shiftRaw) - 128
+		xs := make([]float64, 5)
+		ys := make([]float64, 5)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = xs[i] + shift
+		}
+		a := make([]float64, 5)
+		b := make([]float64, 5)
+		Softmax(nil, a, xs, 7)
+		Softmax(nil, b, ys, 7)
+		for i := range a {
+			if !almostEqual(a[i], b[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxExtremeInputsStable(t *testing.T) {
+	xs := []float64{1e6, -1e6}
+	out := make([]float64, 2)
+	Softmax(nil, out, xs, 1)
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Fatalf("softmax unstable: %v", out)
+	}
+	if !almostEqual(out[0], 1, 1e-12) {
+		t.Fatalf("dominant input should take all mass: %v", out)
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	Softmax(nil, nil, nil, 1) // must not panic
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax(nil, []float64{1, 5, 3}); got != 1 {
+		t.Fatalf("Argmax = %d, want 1", got)
+	}
+	if got := Argmax(nil, []float64{2}); got != 0 {
+		t.Fatalf("Argmax single = %d, want 0", got)
+	}
+	if got := Argmax(nil, nil); got != -1 {
+		t.Fatalf("Argmax empty = %d, want -1", got)
+	}
+	// Ties go to the first maximum.
+	if got := Argmax(nil, []float64{7, 7, 1}); got != 0 {
+		t.Fatalf("Argmax tie = %d, want 0", got)
+	}
+}

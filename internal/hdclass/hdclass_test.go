@@ -1,0 +1,175 @@
+package hdclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/encoding"
+)
+
+// blobs generates a labeled Gaussian-blob classification problem.
+func blobs(rng *rand.Rand, n, feats, classes int, spread float64) (x [][]float64, labels []int) {
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, feats)
+		for j := range centers[c] {
+			centers[c][j] = 3 * rng.NormFloat64()
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(classes)
+		row := make([]float64, feats)
+		for j := range row {
+			row[j] = centers[c][j] + spread*rng.NormFloat64()
+		}
+		x = append(x, row)
+		labels = append(labels, c)
+	}
+	return x, labels
+}
+
+func newEnc(t *testing.T, feats, dim int) encoding.Encoder {
+	t.Helper()
+	e, err := encoding.NewNonlinearBandwidth(rand.New(rand.NewSource(7)), feats, dim, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	enc := newEnc(t, 3, 64)
+	if _, err := New(nil, Config{Classes: 3}); err == nil {
+		t.Fatal("nil encoder accepted")
+	}
+	if _, err := New(enc, Config{Classes: 1}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := New(enc, Config{Classes: 3, Epochs: -1}); err == nil {
+		t.Fatal("negative epochs accepted")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	c, _ := New(newEnc(t, 3, 64), Config{Classes: 2})
+	if _, err := c.Predict([]float64{1, 2, 3}); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+	if _, err := c.Scores([]float64{1, 2, 3}); err != ErrNotTrained {
+		t.Fatalf("Scores err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	c, _ := New(newEnc(t, 2, 64), Config{Classes: 2})
+	if err := c.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := c.Fit([][]float64{{1, 2}}, []int{5}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if err := c.Fit([][]float64{{1, 2}}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := c.Fit([][]float64{{1}}, []int{0}); err == nil {
+		t.Fatal("wrong feature count accepted")
+	}
+}
+
+func TestLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := blobs(rng, 900, 5, 4, 0.8)
+	trainX, trainY := x[:700], labels[:700]
+	testX, testY := x[700:], labels[700:]
+	c, err := New(newEnc(t, 5, 2000), Config{Classes: 4, Epochs: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(testX, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("blob accuracy %v too low", acc)
+	}
+}
+
+func TestQuantizedNearIntegerQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := blobs(rng, 900, 5, 4, 0.8)
+	trainX, trainY := x[:700], labels[:700]
+	testX, testY := x[700:], labels[700:]
+	run := func(quantized bool) float64 {
+		c, err := New(newEnc(t, 5, 2000), Config{Classes: 4, Epochs: 15, Seed: 4, Quantized: quantized})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Fit(trainX, trainY); err != nil {
+			t.Fatal(err)
+		}
+		acc, err := c.Accuracy(testX, testY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	full := run(false)
+	quant := run(true)
+	if quant < full-0.1 {
+		t.Fatalf("quantized accuracy %v much worse than integer %v", quant, full)
+	}
+}
+
+func TestScoresFavorTrueClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := blobs(rng, 400, 4, 3, 0.6)
+	c, _ := New(newEnc(t, 4, 1000), Config{Classes: 3, Epochs: 10, Seed: 6})
+	if err := c.Fit(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := c.Scores(x[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	best, bestV := 0, scores[0]
+	for i, v := range scores {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best != labels[0] {
+		t.Logf("note: training sample 0 not top-scored (ok on hard data)")
+	}
+	if c.Classes() != 3 {
+		t.Fatal("Classes accessor wrong")
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	c, _ := New(newEnc(t, 2, 64), Config{Classes: 2})
+	if _, err := c.Accuracy(nil, nil); err == nil {
+		t.Fatal("empty accuracy accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, labels := blobs(rng, 200, 3, 2, 0.5)
+	run := func() float64 {
+		c, _ := New(newEnc(t, 3, 500), Config{Classes: 2, Epochs: 5, Seed: 8})
+		if err := c.Fit(x, labels); err != nil {
+			t.Fatal(err)
+		}
+		acc, _ := c.Accuracy(x, labels)
+		return acc
+	}
+	if run() != run() {
+		t.Fatal("training not deterministic")
+	}
+}

@@ -1,0 +1,240 @@
+package hwgen
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// CheckVerilog performs structural validation of generated Verilog source:
+// balanced module/endmodule, begin/end, case/endcase, generate/endgenerate
+// pairs, and every identifier used in an expression declared somewhere in
+// the file (ports, nets, variables, parameters, genvars, or module names).
+// It is a template-regression guard, not a full parser: generated code is
+// restricted to the constructs the checker understands.
+func CheckVerilog(src string) error {
+	tokens := tokenize(src)
+	if err := checkBalance(tokens); err != nil {
+		return err
+	}
+	return checkDeclarations(tokens)
+}
+
+// token is a Verilog word or symbol with position information.
+type token struct {
+	text string
+	line int
+}
+
+// tokenize splits the source into identifier/keyword/number tokens,
+// stripping comments and strings.
+func tokenize(src string) []token {
+	var tokens []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '"':
+			i++
+			for i < len(src) && src[i] != '"' {
+				i++
+			}
+			i++
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			tokens = append(tokens, token{text: src[i:j], line: line})
+			i = j
+		case c == '[' || c == ']':
+			tokens = append(tokens, token{text: string(c), line: line})
+			i++
+		case unicode.IsDigit(rune(c)):
+			// Numbers (including 16'd0 style) — consume digits, base
+			// markers, and hex digits.
+			j := i
+			for j < len(src) && (isIdentPart(rune(src[j])) || src[j] == '\'') {
+				j++
+			}
+			tokens = append(tokens, token{text: src[i:j], line: line})
+			i = j
+		default:
+			i++
+		}
+	}
+	return tokens
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$' || r == '`'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+// pairs of block keywords that must balance.
+var blockPairs = [][2]string{
+	{"module", "endmodule"},
+	{"begin", "end"},
+	{"case", "endcase"},
+	{"generate", "endgenerate"},
+	{"function", "endfunction"},
+	{"task", "endtask"},
+}
+
+// checkBalance verifies every open/close keyword pair balances and never
+// goes negative.
+func checkBalance(tokens []token) error {
+	for _, pair := range blockPairs {
+		depth := 0
+		for _, t := range tokens {
+			switch t.text {
+			case pair[0]:
+				depth++
+			case pair[1]:
+				depth--
+				if depth < 0 {
+					return fmt.Errorf("line %d: %q without matching %q", t.line, pair[1], pair[0])
+				}
+			}
+		}
+		if depth != 0 {
+			return fmt.Errorf("%d unclosed %q block(s)", depth, pair[0])
+		}
+	}
+	return nil
+}
+
+// verilogKeywords are tokens that never need declarations.
+var verilogKeywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "integer": true,
+	"parameter": true, "localparam": true, "assign": true, "always": true,
+	"initial": true, "begin": true, "end": true, "if": true, "else": true,
+	"for": true, "while": true, "repeat": true, "wait": true, "case": true,
+	"endcase": true, "default": true, "posedge": true, "negedge": true,
+	"generate": true, "endgenerate": true, "genvar": true, "signed": true,
+	"unsigned": true, "function": true, "endfunction": true, "task": true,
+	"endtask": true, "forever": true, "disable": true,
+}
+
+// declKeywords introduce the identifier(s) that follow.
+var declKeywords = map[string]bool{
+	"wire": true, "reg": true, "integer": true, "parameter": true,
+	"localparam": true, "genvar": true, "input": true, "output": true,
+	"inout": true, "module": true,
+}
+
+// checkDeclarations collects declared identifiers, then verifies every
+// other identifier token is declared. System tasks ($display, …), numbers,
+// and keywords are exempt.
+func checkDeclarations(tokens []token) error {
+	declared := map[string]bool{}
+	// Pass 1: collect declarations. A declaration keyword may be followed
+	// by qualifiers (signed, ranges are stripped by the tokenizer into
+	// separate tokens) and a comma-separated identifier list; we accept
+	// every identifier up to a token that clearly ends the list. To stay
+	// conservative, collect every identifier that directly follows a
+	// declaration keyword, a comma inside a declaration statement, or a
+	// module/instance header.
+	qualifiers := map[string]bool{
+		"wire": true, "reg": true, "signed": true, "unsigned": true,
+		"integer": true,
+	}
+	for i := 0; i < len(tokens); i++ {
+		t := tokens[i]
+		if !declKeywords[t.text] {
+			continue
+		}
+		// Collect the first identifier after the declaration keyword,
+		// skipping type qualifiers (input wire signed [..] name) and any
+		// bracketed range expressions.
+		depth := 0
+		for j := i + 1; j < len(tokens); j++ {
+			nt := tokens[j].text
+			if nt == "[" {
+				depth++
+				continue
+			}
+			if nt == "]" {
+				depth--
+				continue
+			}
+			if depth > 0 {
+				continue
+			}
+			if qualifiers[nt] {
+				continue
+			}
+			if verilogKeywords[nt] || declKeywords[nt] {
+				break
+			}
+			if isIdentifier(nt) && !isNumberToken(nt) {
+				declared[nt] = true
+				break
+			}
+		}
+	}
+	// Instance names and block labels: an identifier following another
+	// identifier (module name) or following "begin :" — approximate by
+	// accepting identifiers starting with "u_" or "g_" as declarations.
+	for _, t := range tokens {
+		if strings.HasPrefix(t.text, "u_") || strings.HasPrefix(t.text, "g_") {
+			declared[t.text] = true
+		}
+	}
+	// Pass 2: verify usage.
+	for _, t := range tokens {
+		txt := t.text
+		if verilogKeywords[txt] || declared[txt] {
+			continue
+		}
+		if strings.HasPrefix(txt, "$") || strings.HasPrefix(txt, "`") {
+			continue // system task or directive
+		}
+		if isNumberToken(txt) {
+			continue
+		}
+		if !isIdentifier(txt) {
+			continue
+		}
+		return fmt.Errorf("line %d: identifier %q used but never declared", t.line, txt)
+	}
+	return nil
+}
+
+// isNumberToken reports whether the token is a numeric literal (possibly
+// based, like 16'd0 or 1'b0).
+func isNumberToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	return unicode.IsDigit(rune(s[0]))
+}
+
+// isIdentifier reports whether the token looks like a plain identifier.
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	return isIdentStart(rune(s[0])) && !strings.HasPrefix(s, "$") && !strings.HasPrefix(s, "`")
+}

@@ -1,0 +1,139 @@
+package hwgen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"reghd/internal/hdc"
+)
+
+// This file is a cycle-accurate Go emulation of the generated RTL's
+// register-transfer semantics — the golden-model co-simulation that stands
+// in for a Verilog simulator in this repository: each emu* struct
+// transliterates its module's always-block, so if the emulation reproduces
+// the bit-true expected outputs for every test vector, the template logic
+// is validated. (The textual RTL is additionally covered by CheckVerilog;
+// users with iverilog can run the generated self-checking testbench.)
+
+// emuHamming mirrors hamming_unit.v: a word-serial XOR+popcount
+// accumulator with start/done handshaking.
+type emuHamming struct {
+	distance uint16
+	wordIdx  int
+	running  bool
+	done     bool
+}
+
+// step advances one clock edge. qWord and cWord are the combinational
+// memory reads for the CURRENT wordIdx (exactly as the testbench feeds the
+// DUT); words is the WORDS parameter.
+func (e *emuHamming) step(rst, start bool, qWord, cWord uint64, words int) {
+	switch {
+	case rst:
+		e.distance = 0
+		e.wordIdx = 0
+		e.done = false
+		e.running = false
+	case start:
+		e.distance = 0
+		e.wordIdx = 0
+		e.done = false
+		e.running = true
+	case e.running:
+		e.distance += uint16(bits.OnesCount64(qWord ^ cWord))
+		if e.wordIdx == words-1 {
+			e.running = false
+			e.done = true
+		} else {
+			e.wordIdx++
+		}
+	default:
+		e.done = false
+	}
+}
+
+// emuArgmin mirrors argmin_unit.v (combinational).
+func emuArgmin(distances []uint16) (sel int, best uint16) {
+	best = distances[0]
+	for i := 1; i < len(distances); i++ {
+		if distances[i] < best {
+			best = distances[i]
+			sel = i
+		}
+	}
+	return sel, best
+}
+
+// EmulationResult is the outcome of one emulated query.
+type EmulationResult struct {
+	// ClusterSel is the selected cluster index.
+	ClusterSel int
+	// Score is the selected model's bipolar dot product.
+	Score int
+	// Cycles is the clock count from start pulse to done.
+	Cycles int
+}
+
+// EmulateTop runs one query through the emulated reghd_top datapath.
+func EmulateTop(c Config, clusters, models []*hdc.Binary, query *hdc.Binary) (EmulationResult, error) {
+	if err := c.Validate(); err != nil {
+		return EmulationResult{}, err
+	}
+	if len(clusters) != c.Models || len(models) != c.Models {
+		return EmulationResult{}, fmt.Errorf("hwgen: %d clusters / %d models, want %d", len(clusters), len(models), c.Models)
+	}
+	if query.Dim != c.Dim {
+		return EmulationResult{}, fmt.Errorf("hwgen: query dim %d, want %d", query.Dim, c.Dim)
+	}
+	for i := 0; i < c.Models; i++ {
+		if clusters[i].Dim != c.Dim || models[i].Dim != c.Dim {
+			return EmulationResult{}, fmt.Errorf("hwgen: memory %d has wrong dimension", i)
+		}
+	}
+	words := c.Words()
+	cEng := make([]emuHamming, c.Models)
+	mEng := make([]emuHamming, c.Models)
+
+	// Reset for two cycles, like the testbench.
+	for i := 0; i < 2; i++ {
+		for g := 0; g < c.Models; g++ {
+			cEng[g].step(true, false, 0, 0, words)
+			mEng[g].step(true, false, 0, 0, words)
+		}
+	}
+	// Start pulse, then run until every engine reports done. The word feed
+	// is combinational from engine 0's word index (all engines advance in
+	// lockstep, mirroring `assign word_idx = c_idx[0 +: IDXW]`).
+	start := true
+	cycles := 0
+	for {
+		cycles++
+		if cycles > 4*(words+4) {
+			return EmulationResult{}, fmt.Errorf("hwgen: emulation did not finish (datapath bug)")
+		}
+		idx := cEng[0].wordIdx
+		q := query.Words[idx]
+		for g := 0; g < c.Models; g++ {
+			cEng[g].step(false, start, q, clusters[g].Words[idx], words)
+			mEng[g].step(false, start, q, models[g].Words[idx], words)
+		}
+		start = false
+		allDone := true
+		for g := 0; g < c.Models; g++ {
+			if !cEng[g].done || !mEng[g].done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	dists := make([]uint16, c.Models)
+	for g := 0; g < c.Models; g++ {
+		dists[g] = cEng[g].distance
+	}
+	sel, _ := emuArgmin(dists)
+	score := c.Dim - 2*int(mEng[sel].distance)
+	return EmulationResult{ClusterSel: sel, Score: score, Cycles: cycles}, nil
+}

@@ -1,0 +1,120 @@
+package hwgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+// TestEmulationMatchesReference is the golden-model co-simulation: the
+// cycle-accurate emulation of the generated RTL must reproduce the
+// bit-true expected outputs for every test vector, across configurations.
+func TestEmulationMatchesReference(t *testing.T) {
+	for _, cfg := range []Config{
+		{Dim: 64, Models: 1},
+		{Dim: 256, Models: 2},
+		{Dim: 512, Models: 4},
+		{Dim: 2048, Models: 16},
+	} {
+		rng := rand.New(rand.NewSource(7))
+		clusters := make([]*hdc.Binary, cfg.Models)
+		models := make([]*hdc.Binary, cfg.Models)
+		for i := range clusters {
+			clusters[i] = hdc.RandomBipolarBinary(rng, cfg.Dim)
+			models[i] = hdc.RandomBipolarBinary(rng, cfg.Dim)
+		}
+		for q := 0; q < 25; q++ {
+			query := hdc.RandomBipolarBinary(rng, cfg.Dim)
+			// Reference outputs from the Go kernels.
+			wantSel, bestDist := 0, hdc.Hamming(nil, query, clusters[0])
+			for i := 1; i < cfg.Models; i++ {
+				if d := hdc.Hamming(nil, query, clusters[i]); d < bestDist {
+					wantSel, bestDist = i, d
+				}
+			}
+			wantScore := hdc.DotBinary(nil, query, models[wantSel])
+
+			got, err := EmulateTop(cfg, clusters, models, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ClusterSel != wantSel {
+				t.Fatalf("%+v q%d: emulated sel %d, reference %d", cfg, q, got.ClusterSel, wantSel)
+			}
+			if got.Score != wantScore {
+				t.Fatalf("%+v q%d: emulated score %d, reference %d", cfg, q, got.Score, wantScore)
+			}
+			// The word-serial engines need exactly WORDS+1 cycles (start
+			// pulse + one accumulate per word).
+			if got.Cycles != cfg.Words()+1 {
+				t.Fatalf("%+v: %d cycles, want %d", cfg, got.Cycles, cfg.Words()+1)
+			}
+		}
+	}
+}
+
+// TestEmulationAgainstTestVectors replays the exact stimulus written for
+// the Verilog testbench through the emulation.
+func TestEmulationAgainstTestVectors(t *testing.T) {
+	cfg := Config{Dim: 512, Models: 4}
+	rng := rand.New(rand.NewSource(11))
+	tv, err := GenerateTestVectors(cfg, rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(h string) *hdc.Binary {
+		b := hdc.NewBinary(cfg.Dim)
+		words := cfg.Words()
+		for w := 0; w < words; w++ {
+			var v uint64
+			for _, ch := range h[w*16 : w*16+16] {
+				v <<= 4
+				switch {
+				case ch >= '0' && ch <= '9':
+					v |= uint64(ch - '0')
+				default:
+					v |= uint64(ch-'a') + 10
+				}
+			}
+			b.Words[words-1-w] = v
+		}
+		return b
+	}
+	clusters := make([]*hdc.Binary, cfg.Models)
+	models := make([]*hdc.Binary, cfg.Models)
+	for i := range clusters {
+		clusters[i] = parse(tv.ClusterHex[i])
+		models[i] = parse(tv.ModelHex[i])
+	}
+	for q, qh := range tv.QueryHex {
+		got, err := EmulateTop(cfg, clusters, models, parse(qh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ClusterSel != tv.ExpectedSel[q] || got.Score != tv.ExpectedScore[q] {
+			t.Fatalf("query %d: emulation (%d, %d) != expected (%d, %d)",
+				q, got.ClusterSel, got.Score, tv.ExpectedSel[q], tv.ExpectedScore[q])
+		}
+	}
+}
+
+func TestEmulateTopValidation(t *testing.T) {
+	cfg := Config{Dim: 64, Models: 2}
+	rng := rand.New(rand.NewSource(1))
+	ok := []*hdc.Binary{hdc.RandomBipolarBinary(rng, 64), hdc.RandomBipolarBinary(rng, 64)}
+	q := hdc.RandomBipolarBinary(rng, 64)
+	if _, err := EmulateTop(Config{Dim: 63, Models: 2}, ok, ok, q); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := EmulateTop(cfg, ok[:1], ok, q); err == nil {
+		t.Fatal("wrong cluster count accepted")
+	}
+	if _, err := EmulateTop(cfg, ok, ok, hdc.RandomBipolarBinary(rng, 128)); err == nil {
+		t.Fatal("wrong query dim accepted")
+	}
+	bad := []*hdc.Binary{hdc.RandomBipolarBinary(rng, 128), hdc.RandomBipolarBinary(rng, 128)}
+	if _, err := EmulateTop(cfg, bad, ok, q); err == nil {
+		t.Fatal("wrong memory dim accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package hwgen
+
+import (
+	"fmt"
+
+	"reghd/internal/core"
+	"reghd/internal/hdc"
+)
+
+// ExportTrained writes the full FPGA deployment package for a *trained*
+// RegHD model into dir: the parameterized RTL, the model's binary cluster
+// and model shadows as memory-initialization hex files, the provided
+// feature rows encoded into query stimulus, and a self-checking testbench
+// whose expected outputs follow the RTL's hard-select semantics (argmin
+// Hamming over the cluster shadows, then the selected model's bipolar dot).
+// This closes the paper's loop: train in software, deploy the quantized
+// model to hardware.
+//
+// The model's dimensionality must be a multiple of 64. The deployed
+// hard-select datapath approximates the software model's softmax-weighted
+// prediction; use the fully binary PredictMode during training so the
+// software quality numbers reflect the deployed kernel.
+func ExportTrained(m *core.Model, xs [][]float64, dir string) error {
+	if m == nil {
+		return fmt.Errorf("hwgen: nil model")
+	}
+	if !m.Trained() {
+		return fmt.Errorf("hwgen: model has not been trained")
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("hwgen: no query rows")
+	}
+	cfg := Config{Dim: m.Dim(), Models: m.Models()}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	clusters := make([]*hdc.Binary, cfg.Models)
+	models := make([]*hdc.Binary, cfg.Models)
+	tv := &TestVectors{}
+	for i := 0; i < cfg.Models; i++ {
+		mb, err := m.BinaryModelSnapshot(i)
+		if err != nil {
+			return err
+		}
+		models[i] = mb
+		tv.ModelHex = append(tv.ModelHex, hexWords(mb))
+		if cfg.Models > 1 {
+			cb, err := m.BinaryClusterSnapshot(i)
+			if err != nil {
+				return err
+			}
+			clusters[i] = cb
+		} else {
+			// Single-model designs have no clusters; feed a constant
+			// all-clear memory so the (absent) similarity path is benign.
+			clusters[i] = hdc.NewBinary(cfg.Dim)
+		}
+		tv.ClusterHex = append(tv.ClusterHex, hexWords(clusters[i]))
+	}
+	for r, x := range xs {
+		q, err := m.EncodeBinary(x)
+		if err != nil {
+			return fmt.Errorf("hwgen: encoding query row %d: %w", r, err)
+		}
+		tv.QueryHex = append(tv.QueryHex, hexWords(q))
+		best, bestDist := 0, hdc.Hamming(nil, q, clusters[0])
+		for i := 1; i < cfg.Models; i++ {
+			if d := hdc.Hamming(nil, q, clusters[i]); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		tv.ExpectedSel = append(tv.ExpectedSel, best)
+		tv.ExpectedScore = append(tv.ExpectedScore, hdc.DotBinary(nil, q, models[best]))
+	}
+
+	if err := WriteDir(cfg, dir); err != nil {
+		return err
+	}
+	return WriteTestbench(cfg, tv, dir)
+}

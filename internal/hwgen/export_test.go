@@ -1,0 +1,151 @@
+package hwgen
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// trainModel fits a small fully-binary RegHD model for export tests.
+func trainModel(t *testing.T, dim, k int) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	d := &dataset.Dataset{Name: "x", X: make([][]float64, 200), Y: make([]float64, 200)}
+	for i := range d.X {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.X[i] = []float64{a, b}
+		d.Y[i] = a - 2*b
+	}
+	enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(2)), 2, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Models: k, Epochs: 5, Seed: 3, ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryBoth}
+	if k == 1 {
+		cfg.ClusterMode = core.ClusterInteger
+	}
+	m, err := core.New(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestExportTrainedWritesDeployment(t *testing.T) {
+	m, d := trainModel(t, 512, 4)
+	dir := t.TempDir()
+	if err := ExportTrained(m, d.X[:10], dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"reghd_top.v", "hamming_unit.v", "argmin_unit.v", "popcount64.v",
+		"queries.hex", "clusters.hex", "models.hex", "expected.txt", "reghd_top_tb.v",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	// The exported memories must be the model's real shadows, not random.
+	want, err := m.BinaryModelSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "models.hex"))
+	first := strings.SplitN(string(data), "\n", 2)[0]
+	if first != hexWords(want) {
+		t.Fatal("exported model memory does not match the trained shadow")
+	}
+}
+
+// TestExportedDeploymentEmulates runs the exported trained deployment
+// through the cycle-accurate RTL emulation and checks it reproduces the
+// recorded expectations — the end-to-end train→deploy validation.
+func TestExportedDeploymentEmulates(t *testing.T) {
+	m, d := trainModel(t, 512, 4)
+	cfg := Config{Dim: 512, Models: 4}
+	clusters := make([]*hdc.Binary, 4)
+	models := make([]*hdc.Binary, 4)
+	for i := 0; i < 4; i++ {
+		var err error
+		if clusters[i], err = m.BinaryClusterSnapshot(i); err != nil {
+			t.Fatal(err)
+		}
+		if models[i], err = m.BinaryModelSnapshot(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 15; r++ {
+		q, err := m.EncodeBinary(d.X[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSel, bestDist := 0, hdc.Hamming(nil, q, clusters[0])
+		for i := 1; i < 4; i++ {
+			if dd := hdc.Hamming(nil, q, clusters[i]); dd < bestDist {
+				wantSel, bestDist = i, dd
+			}
+		}
+		wantScore := hdc.DotBinary(nil, q, models[wantSel])
+		got, err := EmulateTop(cfg, clusters, models, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ClusterSel != wantSel || got.Score != wantScore {
+			t.Fatalf("row %d: emulated (%d,%d) != reference (%d,%d)",
+				r, got.ClusterSel, got.Score, wantSel, wantScore)
+		}
+	}
+}
+
+func TestExportTrainedValidation(t *testing.T) {
+	if err := ExportTrained(nil, [][]float64{{1, 2}}, t.TempDir()); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	m, d := trainModel(t, 512, 4)
+	if err := ExportTrained(m, nil, t.TempDir()); err == nil {
+		t.Fatal("no queries accepted")
+	}
+	// Untrained model rejected.
+	enc, _ := encoding.NewNonlinear(rand.New(rand.NewSource(9)), 2, 512)
+	fresh, _ := core.New(enc, core.Config{Models: 2, Epochs: 1, Seed: 1})
+	if err := ExportTrained(fresh, d.X[:1], t.TempDir()); err == nil {
+		t.Fatal("untrained model accepted")
+	}
+	// Dimensionality must be a word multiple.
+	enc100, _ := encoding.NewNonlinear(rand.New(rand.NewSource(10)), 2, 100)
+	m100, _ := core.New(enc100, core.Config{Models: 2, Epochs: 1, Seed: 1})
+	if _, err := m100.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportTrained(m100, d.X[:1], t.TempDir()); err == nil {
+		t.Fatal("non-word-multiple dim accepted")
+	}
+}
+
+func TestExportTrainedSingleModel(t *testing.T) {
+	m, d := trainModel(t, 256, 1)
+	dir := t.TempDir()
+	if err := ExportTrained(m, d.X[:5], dir); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := os.ReadFile(filepath.Join(dir, "expected.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single model: every selection must be cluster 0.
+	for _, line := range strings.Split(strings.TrimSpace(string(exp)), "\n") {
+		if !strings.HasPrefix(line, "0 ") {
+			t.Fatalf("single-model selection not 0: %q", line)
+		}
+	}
+}

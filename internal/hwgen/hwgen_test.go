@@ -1,0 +1,250 @@
+package hwgen
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, Models: 8},
+		{Dim: 100, Models: 8}, // not a multiple of 64
+		{Dim: 1024, Models: 0},
+		{Dim: 1024, Models: 1000},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	good := Config{Dim: 2048, Models: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Words() != 32 {
+		t.Fatalf("Words = %d, want 32", good.Words())
+	}
+}
+
+func TestGenerateProducesAllModules(t *testing.T) {
+	files, err := Generate(Config{Dim: 1024, Models: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"popcount64.v", "hamming_unit.v", "argmin_unit.v", "reghd_top.v"} {
+		src, ok := files[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if !strings.Contains(src, "module ") || !strings.Contains(src, "endmodule") {
+			t.Fatalf("%s is not a Verilog module", name)
+		}
+	}
+	// Parameterization must flow into the RTL.
+	if !strings.Contains(files["reghd_top.v"], "parameter D     = 1024") {
+		t.Fatal("dimension parameter not emitted")
+	}
+	if !strings.Contains(files["reghd_top.v"], "parameter K     = 4") {
+		t.Fatal("model-count parameter not emitted")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Dim: 63, Models: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(Config{Dim: 512, Models: 2}, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d files, want 4", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "reghd_top.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckVerilog(string(data) + "\nmodule hamming_unit; endmodule module argmin_unit; endmodule module popcount64; endmodule"); err == nil {
+		// The concatenated form is what Generate validates; reading back a
+		// single file should at least be non-empty.
+		_ = data
+	}
+	if len(data) == 0 {
+		t.Fatal("empty RTL file")
+	}
+}
+
+func TestPopcountTreeStructure(t *testing.T) {
+	src := popcount64()
+	// 32+16+8+4+2+1 = 63 partial-sum adders.
+	if got := strings.Count(src, "} + {"); got != 63 {
+		t.Fatalf("popcount tree has %d adders, want 63", got)
+	}
+	if err := CheckVerilog(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckVerilogCatchesImbalance(t *testing.T) {
+	cases := []string{
+		"module m;\n", // unclosed module
+		"endmodule\n", // close without open
+		"module m; always @(*) begin endmodule\n",   // unclosed begin
+		"module m; initial begin end end endmodule", // extra end
+	}
+	for i, src := range cases {
+		if err := CheckVerilog(src); err == nil {
+			t.Fatalf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestCheckVerilogCatchesUndeclared(t *testing.T) {
+	src := `module m (input wire a, output wire b);
+    assign b = a & mystery_net;
+endmodule
+`
+	err := CheckVerilog(src)
+	if err == nil {
+		t.Fatal("undeclared identifier accepted")
+	}
+	if !strings.Contains(err.Error(), "mystery_net") {
+		t.Fatalf("error does not name the identifier: %v", err)
+	}
+}
+
+func TestCheckVerilogAcceptsValid(t *testing.T) {
+	src := `// comment
+module m (input wire clk, input wire [3:0] a, output reg [3:0] q);
+    wire [3:0] twice = {a[2:0], 1'b0};
+    always @(posedge clk) begin
+        q <= twice + 4'd1;
+    end
+endmodule
+`
+	if err := CheckVerilog(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestVectorsBitTrue(t *testing.T) {
+	cfg := Config{Dim: 512, Models: 4}
+	rng := rand.New(rand.NewSource(1))
+	tv, err := GenerateTestVectors(cfg, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tv.QueryHex) != 20 || len(tv.ClusterHex) != 4 || len(tv.ModelHex) != 4 {
+		t.Fatalf("vector counts wrong: %d/%d/%d", len(tv.QueryHex), len(tv.ClusterHex), len(tv.ModelHex))
+	}
+	// Re-derive expectations from the hex encodings themselves: parse a
+	// query back and recompute against the parsed clusters/models, proving
+	// the serialized stimulus matches the recorded expectations.
+	parse := func(h string) *hdc.Binary {
+		b := hdc.NewBinary(cfg.Dim)
+		words := cfg.Words()
+		for w := 0; w < words; w++ {
+			// MSW first: word (words-1-w) occupies chars [w*16, w*16+16).
+			var v uint64
+			for _, ch := range h[w*16 : w*16+16] {
+				v <<= 4
+				switch {
+				case ch >= '0' && ch <= '9':
+					v |= uint64(ch - '0')
+				case ch >= 'a' && ch <= 'f':
+					v |= uint64(ch-'a') + 10
+				default:
+					t.Fatalf("bad hex char %q", ch)
+				}
+			}
+			b.Words[words-1-w] = v
+		}
+		return b
+	}
+	clusters := make([]*hdc.Binary, cfg.Models)
+	models := make([]*hdc.Binary, cfg.Models)
+	for i := range clusters {
+		clusters[i] = parse(tv.ClusterHex[i])
+		models[i] = parse(tv.ModelHex[i])
+	}
+	for q, qh := range tv.QueryHex {
+		query := parse(qh)
+		best, bestDist := 0, hdc.Hamming(nil, query, clusters[0])
+		for i := 1; i < cfg.Models; i++ {
+			if d := hdc.Hamming(nil, query, clusters[i]); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best != tv.ExpectedSel[q] {
+			t.Fatalf("query %d: re-derived sel %d != recorded %d", q, best, tv.ExpectedSel[q])
+		}
+		if score := hdc.DotBinary(nil, query, models[best]); score != tv.ExpectedScore[q] {
+			t.Fatalf("query %d: re-derived score %d != recorded %d", q, score, tv.ExpectedScore[q])
+		}
+	}
+}
+
+func TestGenerateTestVectorsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GenerateTestVectors(Config{Dim: 63, Models: 1}, rng, 5); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := GenerateTestVectors(Config{Dim: 64, Models: 1}, rng, 0); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+}
+
+func TestWriteTestbench(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dim: 256, Models: 2}
+	rng := rand.New(rand.NewSource(3))
+	tv, err := GenerateTestVectors(cfg, rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDir(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTestbench(cfg, tv, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"queries.hex", "clusters.hex", "models.hex", "expected.txt", "reghd_top_tb.v"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	tb, _ := os.ReadFile(filepath.Join(dir, "reghd_top_tb.v"))
+	if !strings.Contains(string(tb), "$readmemh") || !strings.Contains(string(tb), "PASS") {
+		t.Fatal("testbench not self-checking")
+	}
+	// The stimulus line widths must match the RTL's word count.
+	q, _ := os.ReadFile(filepath.Join(dir, "queries.hex"))
+	first := strings.SplitN(string(q), "\n", 2)[0]
+	if len(first) != cfg.Words()*16 {
+		t.Fatalf("query hex width %d, want %d", len(first), cfg.Words()*16)
+	}
+}
+
+func TestGeneratedRTLAcrossConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		{Dim: 64, Models: 1},
+		{Dim: 512, Models: 2},
+		{Dim: 4096, Models: 32},
+	} {
+		if _, err := Generate(cfg); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	}
+}

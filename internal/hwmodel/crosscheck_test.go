@@ -1,0 +1,76 @@
+package hwmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// TestAnalyticMatchesInstrumented ties the analytic workload model to the
+// real implementation: a single training epoch's measured operation counts
+// must agree with the analytic counts within tolerance on the dominant
+// operation classes. (The analytic model charges encoding once per epoch;
+// the implementation encodes once per run, so the comparison uses one
+// epoch.)
+func TestAnalyticMatchesInstrumented(t *testing.T) {
+	const (
+		dim     = 512
+		k       = 4
+		feats   = 6
+		samples = 64
+	)
+	rng := rand.New(rand.NewSource(1))
+	train := &dataset.Dataset{X: make([][]float64, samples), Y: make([]float64, samples)}
+	for i := range train.X {
+		x := make([]float64, feats)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		train.X[i] = x
+		train.Y[i] = rng.NormFloat64()
+	}
+	for _, tc := range []struct {
+		cm core.ClusterMode
+		pm core.PredictMode
+	}{
+		{core.ClusterInteger, core.PredictBinaryQuery},
+		{core.ClusterBinary, core.PredictBinaryQuery},
+		{core.ClusterBinary, core.PredictBinaryBoth},
+		{core.ClusterInteger, core.PredictFull},
+	} {
+		enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(2)), feats, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Models: k, Epochs: 1, Tol: 1e-12, Patience: 1000, Seed: 3, ClusterMode: tc.cm, PredictMode: tc.pm}
+		m, err := core.New(enc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.TrainCounter = &hdc.Counter{}
+		if _, err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		measured := m.TrainCounter.Snapshot()
+
+		w := RegHDWorkload{Dim: dim, Models: k, Features: feats, TrainSamples: samples, Epochs: 1, ClusterMode: tc.cm, PredictMode: tc.pm}
+		analytic, err := w.TrainCounts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range []hdc.Op{hdc.OpFloatMul, hdc.OpFloatAdd, hdc.OpExp, hdc.OpPopcnt, hdc.OpCmp} {
+			a, b := float64(analytic[op]), float64(measured[op])
+			if a == 0 && b == 0 {
+				continue
+			}
+			ratio := a / b
+			if b == 0 || ratio < 0.6 || ratio > 1.7 {
+				t.Errorf("%v/%v: %v analytic %v vs measured %v (ratio %.2f)", tc.cm, tc.pm, op, analytic[op], measured[op], ratio)
+			}
+		}
+	}
+}

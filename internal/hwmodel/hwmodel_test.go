@@ -1,0 +1,217 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/hdc"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{FPGA(), ARM()} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := FPGA()
+	p.ClockHz = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	p = FPGA()
+	p.IssueWidth[hdc.OpPopcnt] = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	p = FPGA()
+	p.EnergyPJ[hdc.OpXor] = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative energy accepted")
+	}
+}
+
+func TestEstimateScalesLinearly(t *testing.T) {
+	var c1, c2 Counts
+	c1[hdc.OpFloatMul] = 1000
+	c2[hdc.OpFloatMul] = 2000
+	p := FPGA()
+	p.StaticWatts = 0 // isolate dynamic scaling
+	a, err := Estimate(c1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Estimate(c2, p)
+	if math.Abs(b.Seconds/a.Seconds-2) > 1e-9 || math.Abs(b.Joules/a.Joules-2) > 1e-9 {
+		t.Fatalf("estimate not linear: %+v vs %+v", a, b)
+	}
+}
+
+func TestEstimateStaticPower(t *testing.T) {
+	var c Counts
+	c[hdc.OpIntAdd] = 1 << 20
+	p := FPGA()
+	withStatic, _ := Estimate(c, p)
+	p.StaticWatts = 0
+	without, _ := Estimate(c, p)
+	if withStatic.Joules <= without.Joules {
+		t.Fatal("static power not accounted")
+	}
+	if withStatic.Seconds != without.Seconds {
+		t.Fatal("static power changed runtime")
+	}
+}
+
+func TestSpeedupEfficiencyHelpers(t *testing.T) {
+	a := Cost{Seconds: 1, Joules: 2}
+	b := Cost{Seconds: 4, Joules: 10}
+	if a.Speedup(b) != 4 || a.EnergyEfficiency(b) != 5 {
+		t.Fatal("ratio helpers wrong")
+	}
+}
+
+func TestRegHDWorkloadValidation(t *testing.T) {
+	bad := RegHDWorkload{}
+	if _, err := bad.TrainCounts(); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	w := RegHDWorkload{Dim: 1000, Models: 8, Features: 10, TrainSamples: 100, Epochs: 5}
+	if _, err := w.InferCounts(0); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+}
+
+func TestRegHDMoreModelsCostMore(t *testing.T) {
+	base := RegHDWorkload{Dim: 2000, Models: 2, Features: 10, TrainSamples: 500, Epochs: 10}
+	big := base
+	big.Models = 32
+	cb, err := base.TrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, _ := big.TrainCounts()
+	costB, _ := Estimate(cb, FPGA())
+	costG, _ := Estimate(cg, FPGA())
+	ratio := costG.Seconds / costB.Seconds
+	// Paper Fig. 8: 32-model RegHD is several times slower than 2-model
+	// (2-model is 4.9× faster than 32-model).
+	if ratio < 2 || ratio > 20 {
+		t.Fatalf("32 vs 2 models time ratio %v outside plausible range", ratio)
+	}
+}
+
+func TestQuantizedClusterFaster(t *testing.T) {
+	intw := RegHDWorkload{Dim: 4000, Models: 8, Features: 10, TrainSamples: 1000, Epochs: 10, ClusterMode: core.ClusterInteger, PredictMode: core.PredictBinaryQuery}
+	binw := intw
+	binw.ClusterMode = core.ClusterBinary
+	ci, err := intw.TrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := binw.TrainCounts()
+	costI, _ := Estimate(ci, FPGA())
+	costB, _ := Estimate(cb, FPGA())
+	speedup := costB.Speedup(costI)
+	// Paper Fig. 9: cluster quantization gives ≈1.9× faster training.
+	if speedup < 1.2 || speedup > 4 {
+		t.Fatalf("cluster quantization speedup %v outside plausible range", speedup)
+	}
+	eff := costB.EnergyEfficiency(costI)
+	if eff < 1.2 {
+		t.Fatalf("cluster quantization energy efficiency %v too low", eff)
+	}
+}
+
+func TestBinaryBothFastestInference(t *testing.T) {
+	mk := func(pm core.PredictMode) Cost {
+		w := RegHDWorkload{Dim: 4000, Models: 8, Features: 10, TrainSamples: 1000, Epochs: 10, ClusterMode: core.ClusterBinary, PredictMode: pm}
+		c, err := w.InferCounts(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, _ := Estimate(c, FPGA())
+		return cost
+	}
+	full := mk(core.PredictFull)
+	bq := mk(core.PredictBinaryQuery)
+	bb := mk(core.PredictBinaryBoth)
+	if !(bb.Seconds < bq.Seconds && bq.Seconds < full.Seconds) {
+		t.Fatalf("inference time ordering wrong: full %v, bq %v, bb %v", full.Seconds, bq.Seconds, bb.Seconds)
+	}
+}
+
+func TestDNNWorkload(t *testing.T) {
+	w := DNNWorkload{Layers: []int{13, 64, 64, 1}, TrainSamples: 500, Epochs: 50, BatchSize: 32}
+	tc, err := w.TrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := w.InferCounts(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costT, _ := Estimate(tc, FPGA())
+	costI, _ := Estimate(ic, FPGA())
+	if costT.Seconds <= costI.Seconds {
+		t.Fatal("training should cost more than one inference pass")
+	}
+	bad := DNNWorkload{Layers: []int{5}}
+	if _, err := bad.TrainCounts(); err == nil {
+		t.Fatal("single-layer DNN accepted")
+	}
+	bad2 := DNNWorkload{Layers: []int{5, 0, 1}, TrainSamples: 1, Epochs: 1, BatchSize: 1}
+	if _, err := bad2.TrainCounts(); err == nil {
+		t.Fatal("zero-width layer accepted")
+	}
+	if _, err := w.InferCounts(-1); err == nil {
+		t.Fatal("negative queries accepted")
+	}
+}
+
+func TestBaselineHDWorkload(t *testing.T) {
+	w := BaselineHDWorkload{Dim: 4000, Bins: 64, Features: 10, TrainSamples: 500, Epochs: 20}
+	tc, err := w.TrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc[hdc.OpFloatMul] == 0 {
+		t.Fatal("no float work counted")
+	}
+	if _, err := w.InferCounts(10); err != nil {
+		t.Fatal(err)
+	}
+	bad := BaselineHDWorkload{Dim: 100, Bins: 1, Features: 1, TrainSamples: 1, Epochs: 1}
+	if _, err := bad.TrainCounts(); err == nil {
+		t.Fatal("single bin accepted")
+	}
+	bad2 := BaselineHDWorkload{Dim: 100, Bins: 4, Features: 1, TrainSamples: 1, Epochs: 1, MistakeRate: 2}
+	if _, err := bad2.TrainCounts(); err == nil {
+		t.Fatal("mistake rate 2 accepted")
+	}
+	if _, err := w.InferCounts(0); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+}
+
+func TestDimensionalityScalesCost(t *testing.T) {
+	// Table 2: halving D roughly halves cost.
+	mk := func(d int) Cost {
+		w := RegHDWorkload{Dim: d, Models: 8, Features: 10, TrainSamples: 1000, Epochs: 10, ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery}
+		c, err := w.InferCounts(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, _ := Estimate(c, FPGA())
+		return cost
+	}
+	big := mk(4000)
+	small := mk(1000)
+	ratio := small.Speedup(big) // big.Seconds / small.Seconds… careful: Speedup(other)=other/self
+	ratio = big.Seconds / small.Seconds
+	if ratio < 2.5 || ratio > 5 {
+		t.Fatalf("4k/1k inference time ratio %v, want ≈4", ratio)
+	}
+}

@@ -1,0 +1,147 @@
+// Package hwmodel is the analytical hardware cost model that stands in for
+// the paper's Kintex-7 FPGA and Raspberry Pi measurements. It maps
+// primitive-operation counts (the hdc.Counter classes) to latency and
+// energy on a hardware profile, and provides analytic operation-count
+// builders for the RegHD, DNN, and Baseline-HD workloads.
+//
+// The experiments that consume this package report ratios (speedup, energy
+// efficiency) between algorithm variants on the same profile. Ratios are
+// driven by the operation mix — Hamming popcounts vs float
+// multiply-accumulates, number of models, dimensionality — which the counts
+// capture exactly; the per-op constants only anchor the absolute scale.
+// Per-op energies follow Horowitz's ISSCC'14 figures (45 nm, scaled), and
+// issue widths reflect the parallelism the paper's targets offer: wide
+// bit-level parallelism on the FPGA fabric, narrow superscalar issue on the
+// ARM Cortex-A53.
+package hwmodel
+
+import (
+	"fmt"
+
+	"reghd/internal/hdc"
+)
+
+// Profile describes a hardware target: per-operation energy, how many
+// operations of each class retire per cycle, clock rate, and static power.
+type Profile struct {
+	// Name identifies the target in reports.
+	Name string
+	// ClockHz is the clock frequency.
+	ClockHz float64
+	// EnergyPJ is the dynamic energy per operation, in picojoules.
+	EnergyPJ [hdc.NumOps]float64
+	// IssueWidth is the number of operations of each class that can retire
+	// per cycle (lanes × pipelining).
+	IssueWidth [hdc.NumOps]float64
+	// StaticWatts is the constant power drawn while the workload runs.
+	StaticWatts float64
+}
+
+// Validate rejects profiles with non-positive widths or clock.
+func (p *Profile) Validate() error {
+	if p.ClockHz <= 0 {
+		return fmt.Errorf("hwmodel: profile %q has non-positive clock", p.Name)
+	}
+	for op, w := range p.IssueWidth {
+		if w <= 0 {
+			return fmt.Errorf("hwmodel: profile %q has non-positive issue width for %v", p.Name, hdc.Op(op))
+		}
+	}
+	for op, e := range p.EnergyPJ {
+		if e < 0 {
+			return fmt.Errorf("hwmodel: profile %q has negative energy for %v", p.Name, hdc.Op(op))
+		}
+	}
+	return nil
+}
+
+// FPGA returns a Kintex-7-class profile: 200 MHz fabric clock, hundreds of
+// parallel LUT lanes for bitwise/popcount/integer work, a few hundred DSP
+// slices for float MACs, and expensive iterative transcendentals.
+func FPGA() Profile {
+	p := Profile{Name: "fpga-kintex7", ClockHz: 200e6, StaticWatts: 0.8}
+	set := func(op hdc.Op, pj, width float64) {
+		p.EnergyPJ[op] = pj
+		p.IssueWidth[op] = width
+	}
+	set(hdc.OpIntAdd, 0.1, 512)
+	set(hdc.OpIntMul, 3.0, 128)
+	set(hdc.OpFloatAdd, 1.0, 128)
+	set(hdc.OpFloatMul, 4.0, 128)
+	set(hdc.OpFloatDiv, 15.0, 8)
+	set(hdc.OpPopcnt, 0.4, 256) // 64-bit popcount trees in LUTs
+	set(hdc.OpXor, 0.05, 512)
+	set(hdc.OpCmp, 0.1, 256)
+	// Trigonometric encodings on FPGA fabric are table lookups into BRAM
+	// (the phase is quantized, not evaluated by CORDIC), so an "exp" op
+	// costs about one memory read and parallelizes across BRAM ports.
+	set(hdc.OpExp, 2.0, 64)
+	set(hdc.OpMemRead, 5.0, 64)
+	set(hdc.OpMemWrite, 5.0, 64)
+	return p
+}
+
+// ARM returns a Raspberry Pi 3B+-class profile: Cortex-A53 at 1.4 GHz,
+// narrow dual-issue pipelines, cheap scalar ops but little parallelism,
+// and library-call transcendentals.
+func ARM() Profile {
+	p := Profile{Name: "arm-cortex-a53", ClockHz: 1.4e9, StaticWatts: 1.5}
+	set := func(op hdc.Op, pj, width float64) {
+		p.EnergyPJ[op] = pj
+		p.IssueWidth[op] = width
+	}
+	set(hdc.OpIntAdd, 0.2, 4) // NEON 4-lane integer
+	set(hdc.OpIntMul, 1.5, 2)
+	set(hdc.OpFloatAdd, 1.2, 2)
+	set(hdc.OpFloatMul, 2.0, 2)
+	set(hdc.OpFloatDiv, 8.0, 0.25)
+	set(hdc.OpPopcnt, 0.5, 2) // NEON VCNT
+	set(hdc.OpXor, 0.2, 4)
+	set(hdc.OpCmp, 0.2, 2)
+	set(hdc.OpExp, 30.0, 0.05) // libm call, ≈20 cycles
+	set(hdc.OpMemRead, 8.0, 2)
+	set(hdc.OpMemWrite, 8.0, 2)
+	return p
+}
+
+// Cost is the estimated execution cost of a workload on a profile.
+type Cost struct {
+	// Seconds is the estimated runtime.
+	Seconds float64
+	// Joules is the estimated total energy (dynamic + static).
+	Joules float64
+}
+
+// EnergyEfficiency returns work-per-joule relative to another cost of the
+// same workload: other.Joules / c.Joules.
+func (c Cost) EnergyEfficiency(other Cost) float64 { return other.Joules / c.Joules }
+
+// Speedup returns other.Seconds / c.Seconds.
+func (c Cost) Speedup(other Cost) float64 { return other.Seconds / c.Seconds }
+
+// Estimate converts operation counts into runtime and energy on profile p.
+// Cycles accumulate per operation class (count / issue width); energy is
+// the per-op dynamic energy plus static power over the runtime.
+func Estimate(counts [hdc.NumOps]uint64, p Profile) (Cost, error) {
+	if err := p.Validate(); err != nil {
+		return Cost{}, err
+	}
+	var cycles, dynamicPJ float64
+	for op, n := range counts {
+		if n == 0 {
+			continue
+		}
+		cycles += float64(n) / p.IssueWidth[op]
+		dynamicPJ += float64(n) * p.EnergyPJ[op]
+	}
+	seconds := cycles / p.ClockHz
+	return Cost{
+		Seconds: seconds,
+		Joules:  dynamicPJ*1e-12 + seconds*p.StaticWatts,
+	}, nil
+}
+
+// EstimateCounter is Estimate over a live hdc.Counter snapshot.
+func EstimateCounter(c *hdc.Counter, p Profile) (Cost, error) {
+	return Estimate(c.Snapshot(), p)
+}

@@ -1,0 +1,193 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"reghd/internal/core"
+)
+
+// Resources allocates hardware units to the accelerator: how many parallel
+// lanes each pipeline stage receives. On an FPGA these correspond to DSP
+// slices (MACs), BRAM ports (trig lookup tables), LUT comparators
+// (quantization), popcount trees, and adder trees.
+type Resources struct {
+	// MACLanes is the number of multiply-accumulate lanes for the feature
+	// projection (n·D MACs per query).
+	MACLanes int
+	// TrigLUTs is the number of parallel trig-lookup ports (D lookups).
+	TrigLUTs int
+	// PackLanes is the number of comparators for sign quantization and
+	// bit packing (D comparisons).
+	PackLanes int
+	// SimUnits is the number of similarity engines working on different
+	// clusters concurrently.
+	SimUnits int
+	// PopcountTrees is the number of 64-bit popcount trees inside each
+	// similarity/dot engine (Hamming kernels).
+	PopcountTrees int
+	// DotLanes is the number of adder lanes inside each dot-product engine
+	// (dense kernels).
+	DotLanes int
+	// SoftmaxCycles is the fixed latency of the normalization block.
+	SoftmaxCycles int
+}
+
+// DefaultResources is a mid-sized FPGA allocation.
+func DefaultResources() Resources {
+	return Resources{
+		MACLanes:      128,
+		TrigLUTs:      64,
+		PackLanes:     256,
+		SimUnits:      4,
+		PopcountTrees: 8,
+		DotLanes:      128,
+		SoftmaxCycles: 16,
+	}
+}
+
+// Validate rejects non-positive allocations.
+func (r Resources) Validate() error {
+	if r.MACLanes < 1 || r.TrigLUTs < 1 || r.PackLanes < 1 || r.SimUnits < 1 ||
+		r.PopcountTrees < 1 || r.DotLanes < 1 || r.SoftmaxCycles < 1 {
+		return fmt.Errorf("hwsim: all resource allocations must be positive: %+v", r)
+	}
+	return nil
+}
+
+// Design is the RegHD configuration the accelerator implements.
+type Design struct {
+	// Dim, Models, Features shape the model.
+	Dim, Models, Features int
+	// ClusterMode and PredictMode select the similarity and prediction
+	// kernels.
+	ClusterMode core.ClusterMode
+	PredictMode core.PredictMode
+}
+
+// Validate rejects malformed designs.
+func (d Design) Validate() error {
+	if d.Dim < 1 || d.Models < 1 || d.Features < 1 {
+		return fmt.Errorf("hwsim: design must have positive shape: %+v", d)
+	}
+	return nil
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b, minimum 1.
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 1
+	}
+	c := (a + b - 1) / b
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// BuildInference assembles the inference pipeline for a design on the
+// given resources. Stages:
+//
+//	project → trig → pack → similarity → softmax → dot → accumulate
+//
+// Single-model designs skip the similarity and softmax stages.
+func BuildInference(d Design, r Resources) (*Pipeline, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	words := ceilDiv(d.Dim, 64)
+
+	stages := []*Stage{
+		{Name: "project", Cycles: ceilDiv(d.Features*d.Dim, r.MACLanes)},
+		{Name: "trig", Cycles: ceilDiv(d.Dim, r.TrigLUTs)},
+		{Name: "pack", Cycles: ceilDiv(d.Dim, r.PackLanes)},
+	}
+	if d.Models > 1 {
+		// Similarity of one cluster, times the cluster batches per engine.
+		var perCluster int
+		if d.ClusterMode == core.ClusterInteger {
+			perCluster = ceilDiv(3*d.Dim, r.DotLanes) // dot + two norms
+		} else {
+			perCluster = ceilDiv(words, r.PopcountTrees)
+		}
+		stages = append(stages,
+			&Stage{Name: "similarity", Cycles: perCluster * ceilDiv(d.Models, r.SimUnits)},
+			&Stage{Name: "softmax", Cycles: r.SoftmaxCycles},
+		)
+	}
+	var perModel int
+	switch d.PredictMode {
+	case core.PredictBinaryBoth:
+		perModel = ceilDiv(words, r.PopcountTrees)
+	default: // dense dot (full precision or add-only)
+		perModel = ceilDiv(d.Dim, r.DotLanes)
+	}
+	stages = append(stages,
+		&Stage{Name: "dot", Cycles: perModel * ceilDiv(d.Models, r.SimUnits)},
+		&Stage{Name: "accumulate", Cycles: ceilDiv(d.Models, r.DotLanes)},
+	)
+	return NewPipeline(stages...)
+}
+
+// SimulateInference builds the pipeline and streams the queries through it.
+func SimulateInference(d Design, r Resources, queries int) (Trace, error) {
+	p, err := BuildInference(d, r)
+	if err != nil {
+		return Trace{}, err
+	}
+	return p.Run(queries)
+}
+
+// BuildTraining assembles the training pipeline: the inference front end
+// (the training prediction that produces the error) followed by the
+// confidence-weighted model update and the cluster update, both of which
+// run on the integer state and therefore on the dense adder lanes
+// regardless of the deployment quantization (§3.2).
+func BuildTraining(d Design, r Resources) (*Pipeline, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	words := ceilDiv(d.Dim, 64)
+	stages := []*Stage{
+		{Name: "project", Cycles: ceilDiv(d.Features*d.Dim, r.MACLanes)},
+		{Name: "trig", Cycles: ceilDiv(d.Dim, r.TrigLUTs)},
+		{Name: "pack", Cycles: ceilDiv(d.Dim, r.PackLanes)},
+	}
+	if d.Models > 1 {
+		var perCluster int
+		if d.ClusterMode == core.ClusterInteger {
+			perCluster = ceilDiv(3*d.Dim, r.DotLanes)
+		} else {
+			perCluster = ceilDiv(words, r.PopcountTrees)
+		}
+		stages = append(stages,
+			&Stage{Name: "similarity", Cycles: perCluster * ceilDiv(d.Models, r.SimUnits)},
+			&Stage{Name: "softmax", Cycles: r.SoftmaxCycles},
+		)
+	}
+	// Training prediction always reads the integer models (dense dot).
+	stages = append(stages,
+		&Stage{Name: "dot", Cycles: ceilDiv(d.Dim, r.DotLanes) * ceilDiv(d.Models, r.SimUnits)},
+		// Weighted update: one dense AXPY per model.
+		&Stage{Name: "update", Cycles: ceilDiv(d.Dim, r.DotLanes) * ceilDiv(d.Models, r.SimUnits)},
+	)
+	if d.Models > 1 {
+		stages = append(stages, &Stage{Name: "clusterupd", Cycles: ceilDiv(d.Dim, r.DotLanes)})
+	}
+	return NewPipeline(stages...)
+}
+
+// SimulateTraining streams `samples` training samples through the training
+// pipeline (one pipeline pass per sample; epochs multiply samples).
+func SimulateTraining(d Design, r Resources, samples int) (Trace, error) {
+	p, err := BuildTraining(d, r)
+	if err != nil {
+		return Trace{}, err
+	}
+	return p.Run(samples)
+}

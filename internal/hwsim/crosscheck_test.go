@@ -1,0 +1,65 @@
+package hwsim
+
+import (
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/hwmodel"
+)
+
+// TestSimulatorMatchesAnalyticModel ties the cycle-level simulator to the
+// analytical cost model: for the same design and comparable resource
+// allocations, the analytic per-query cycle count (which serializes all
+// operation classes) must bound the simulator's steady-state throughput
+// from above, and the two must agree within the pipelining factor (the
+// number of overlapping stages).
+func TestSimulatorMatchesAnalyticModel(t *testing.T) {
+	design := Design{
+		Dim: 4096, Models: 8, Features: 10,
+		ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery,
+	}
+	profile := hwmodel.FPGA()
+	// Mirror the profile's issue widths into simulator resources.
+	res := Resources{
+		MACLanes:      128, // profile float-mul width
+		TrigLUTs:      64,  // profile exp width
+		PackLanes:     256, // profile cmp width
+		SimUnits:      8,
+		PopcountTrees: 32,
+		DotLanes:      128, // profile float-add width
+		SoftmaxCycles: 16,
+	}
+
+	w := hwmodel.RegHDWorkload{
+		Dim: design.Dim, Models: design.Models, Features: design.Features,
+		TrainSamples: 1, Epochs: 1,
+		ClusterMode: design.ClusterMode, PredictMode: design.PredictMode,
+	}
+	const queries = 500
+	counts, err := w.InferCounts(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := hwmodel.Estimate(counts, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyticCycles := cost.Seconds * profile.ClockHz / queries
+
+	tr, err := SimulateInference(design, res, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCycles := tr.ThroughputCyclesPerQuery()
+
+	// The simulator overlaps stages, so it must not be slower than the
+	// serialized analytic estimate by more than bookkeeping noise…
+	if simCycles > analyticCycles*1.5 {
+		t.Fatalf("simulator %v cycles/query much slower than analytic %v", simCycles, analyticCycles)
+	}
+	// …and cannot be faster than perfect overlap of the pipeline depth.
+	depth := float64(len(tr.StageOrder))
+	if simCycles < analyticCycles/depth/1.5 {
+		t.Fatalf("simulator %v cycles/query implausibly faster than analytic %v / depth %v", simCycles, analyticCycles, depth)
+	}
+}

@@ -1,0 +1,332 @@
+package hwsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"reghd/internal/core"
+)
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	if _, err := NewPipeline(nil); err == nil {
+		t.Fatal("nil stage accepted")
+	}
+	if _, err := NewPipeline(&Stage{Name: "", Cycles: 1}); err == nil {
+		t.Fatal("unnamed stage accepted")
+	}
+	if _, err := NewPipeline(&Stage{Name: "x", Cycles: 0}); err == nil {
+		t.Fatal("zero-latency stage accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p, _ := NewPipeline(&Stage{Name: "a", Cycles: 1})
+	if _, err := p.Run(0); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+}
+
+func TestSingleStageLaw(t *testing.T) {
+	p, _ := NewPipeline(&Stage{Name: "only", Cycles: 5})
+	tr, err := p.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalCycles != 50 {
+		t.Fatalf("10 queries × 5 cycles = %d, want 50", tr.TotalCycles)
+	}
+	if tr.FirstOutCycle != 5 {
+		t.Fatalf("fill = %d, want 5", tr.FirstOutCycle)
+	}
+	if tr.Utilization["only"] != 1 {
+		t.Fatalf("single stage utilization %v, want 1", tr.Utilization["only"])
+	}
+}
+
+// TestPipelineMakespanLaw checks the classic law for in-order pipelines
+// with single buffering: makespan = Σ latencies + (N−1)·max latency.
+func TestPipelineMakespanLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nStages := rng.Intn(5) + 1
+		stages := make([]*Stage, nStages)
+		sum, maxL := 0, 0
+		for i := range stages {
+			l := rng.Intn(9) + 1
+			stages[i] = &Stage{Name: string(rune('a' + i)), Cycles: l}
+			sum += l
+			if l > maxL {
+				maxL = l
+			}
+		}
+		n := rng.Intn(20) + 1
+		p, err := NewPipeline(stages...)
+		if err != nil {
+			return false
+		}
+		tr, err := p.Run(n)
+		if err != nil {
+			return false
+		}
+		return tr.TotalCycles == sum+(n-1)*maxL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillLatencyIsSumOfLatencies(t *testing.T) {
+	p, _ := NewPipeline(
+		&Stage{Name: "a", Cycles: 2},
+		&Stage{Name: "b", Cycles: 7},
+		&Stage{Name: "c", Cycles: 3},
+	)
+	tr, err := p.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FirstOutCycle != 12 {
+		t.Fatalf("fill = %d, want 12", tr.FirstOutCycle)
+	}
+	if tr.Bottleneck != "b" || tr.BottleneckCycles != 7 {
+		t.Fatalf("bottleneck = %s/%d, want b/7", tr.Bottleneck, tr.BottleneckCycles)
+	}
+}
+
+func TestBottleneckUtilizationApproachesOne(t *testing.T) {
+	p, _ := NewPipeline(
+		&Stage{Name: "fast", Cycles: 1},
+		&Stage{Name: "slow", Cycles: 10},
+	)
+	tr, err := p.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Utilization["slow"] < 0.99 {
+		t.Fatalf("bottleneck utilization %v, want ≈1", tr.Utilization["slow"])
+	}
+	// The fast stage is rate-limited by back-pressure: ~1/10 busy.
+	if u := tr.Utilization["fast"]; u < 0.05 || u > 0.2 {
+		t.Fatalf("fast stage utilization %v, want ≈0.1", u)
+	}
+}
+
+func TestRenderAndAccessors(t *testing.T) {
+	p, _ := NewPipeline(&Stage{Name: "a", Cycles: 1}, &Stage{Name: "b", Cycles: 2})
+	if got := p.Stages(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("Stages = %v", got)
+	}
+	tr, _ := p.Run(5)
+	out := tr.Render()
+	if !strings.Contains(out, "bottleneck: b") || !strings.Contains(out, "cycles/query") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	if tr.ThroughputCyclesPerQuery() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if (Trace{}).ThroughputCyclesPerQuery() != 0 {
+		t.Fatal("empty trace throughput should be 0")
+	}
+}
+
+func TestResourcesDesignValidation(t *testing.T) {
+	if err := (Resources{}).Validate(); err == nil {
+		t.Fatal("zero resources accepted")
+	}
+	if err := DefaultResources().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Design{}).Validate(); err != nil {
+		// zero design must be rejected
+	} else {
+		t.Fatal("zero design accepted")
+	}
+	if _, err := BuildInference(Design{}, DefaultResources()); err == nil {
+		t.Fatal("bad design accepted")
+	}
+	if _, err := BuildInference(Design{Dim: 100, Models: 1, Features: 2}, Resources{}); err == nil {
+		t.Fatal("bad resources accepted")
+	}
+}
+
+func TestSingleModelSkipsSimilarity(t *testing.T) {
+	d := Design{Dim: 1024, Models: 1, Features: 8}
+	p, err := BuildInference(d, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Stages() {
+		if s == "similarity" || s == "softmax" {
+			t.Fatal("single-model pipeline should not search clusters")
+		}
+	}
+	d.Models = 8
+	p, _ = BuildInference(d, DefaultResources())
+	found := false
+	for _, s := range p.Stages() {
+		if s == "similarity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("multi-model pipeline missing similarity stage")
+	}
+}
+
+func TestQuantizedSimilarityFaster(t *testing.T) {
+	res := DefaultResources()
+	intD := Design{Dim: 4096, Models: 8, Features: 10, ClusterMode: core.ClusterInteger, PredictMode: core.PredictBinaryQuery}
+	binD := intD
+	binD.ClusterMode = core.ClusterBinary
+	ti, err := SimulateInference(intD, res, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := SimulateInference(binD, res, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.TotalCycles >= ti.TotalCycles {
+		t.Fatalf("Hamming similarity should be faster: %d vs %d cycles", tb.TotalCycles, ti.TotalCycles)
+	}
+}
+
+func TestFullyBinaryFastestDot(t *testing.T) {
+	res := DefaultResources()
+	base := Design{Dim: 4096, Models: 8, Features: 10, ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery}
+	bin := base
+	bin.PredictMode = core.PredictBinaryBoth
+	tDense, _ := SimulateInference(base, res, 200)
+	tBin, _ := SimulateInference(bin, res, 200)
+	if tBin.TotalCycles > tDense.TotalCycles {
+		t.Fatalf("popcount dot should not be slower: %d vs %d", tBin.TotalCycles, tDense.TotalCycles)
+	}
+}
+
+func TestWideningBottleneckHelps(t *testing.T) {
+	d := Design{Dim: 4096, Models: 8, Features: 10, ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery}
+	res := DefaultResources()
+	base, err := SimulateInference(d, res, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The projection stage (n·D MACs over 128 lanes = 320 cycles) is the
+	// bottleneck at these defaults.
+	if base.Bottleneck != "project" {
+		t.Fatalf("expected projection bottleneck, got %s", base.Bottleneck)
+	}
+	wide := res
+	wide.MACLanes *= 4
+	faster, err := SimulateInference(d, wide, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faster.TotalCycles >= base.TotalCycles {
+		t.Fatal("widening the bottleneck did not improve the makespan")
+	}
+	// Widening a non-bottleneck unit must not change steady-state
+	// throughput (it only trims fill latency at most).
+	idle := res
+	idle.PackLanes *= 4
+	same, err := SimulateInference(d, idle, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.BottleneckCycles != base.BottleneckCycles {
+		t.Fatal("widening a non-bottleneck changed the bottleneck latency")
+	}
+}
+
+func TestDimScalesThroughput(t *testing.T) {
+	res := DefaultResources()
+	mk := func(dim int) float64 {
+		d := Design{Dim: dim, Models: 8, Features: 10, ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery}
+		tr, err := SimulateInference(d, res, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.ThroughputCyclesPerQuery()
+	}
+	big, small := mk(4096), mk(1024)
+	ratio := big / small
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("4k/1k cycles-per-query ratio %v, want ≈4 (Table 2's linear scaling)", ratio)
+	}
+}
+
+func TestDeadlockGuard(t *testing.T) {
+	// The guard cannot trigger with a well-formed pipeline; exercise the
+	// limit arithmetic with a long run instead.
+	p, _ := NewPipeline(&Stage{Name: "a", Cycles: 3}, &Stage{Name: "b", Cycles: 2})
+	if _, err := p.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainingPipeline(t *testing.T) {
+	res := DefaultResources()
+	d := Design{Dim: 4096, Models: 8, Features: 10, ClusterMode: core.ClusterBinary, PredictMode: core.PredictBinaryQuery}
+	train, err := SimulateTraining(d, res, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infer, err := SimulateInference(d, res, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training adds the update stages, so a sample cannot be cheaper than a
+	// query in fill latency.
+	if train.FirstOutCycle <= infer.FirstOutCycle {
+		t.Fatalf("training fill %d not beyond inference fill %d", train.FirstOutCycle, infer.FirstOutCycle)
+	}
+	found := false
+	for _, s := range train.StageOrder {
+		if s == "update" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("training pipeline missing update stage")
+	}
+	// Single-model training skips the cluster machinery.
+	single := d
+	single.Models = 1
+	p, err := BuildTraining(single, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Stages() {
+		if s == "similarity" || s == "clusterupd" {
+			t.Fatal("single-model training should not have cluster stages")
+		}
+	}
+	if _, err := SimulateTraining(Design{}, res, 10); err == nil {
+		t.Fatal("bad design accepted")
+	}
+	if _, err := BuildTraining(d, Resources{}); err == nil {
+		t.Fatal("bad resources accepted")
+	}
+}
+
+func TestQuantizedClusteringSpeedsTraining(t *testing.T) {
+	res := DefaultResources()
+	intD := Design{Dim: 4096, Models: 8, Features: 10, ClusterMode: core.ClusterInteger, PredictMode: core.PredictBinaryQuery}
+	binD := intD
+	binD.ClusterMode = core.ClusterBinary
+	ti, err := SimulateTraining(intD, res, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := SimulateTraining(binD, res, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.TotalCycles >= ti.TotalCycles {
+		t.Fatalf("quantized clustering should speed training: %d vs %d", tb.TotalCycles, ti.TotalCycles)
+	}
+}

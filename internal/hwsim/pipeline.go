@@ -1,0 +1,197 @@
+// Package hwsim is a cycle-level simulator of a pipelined hyperdimensional
+// inference accelerator, the kind of design the paper's FPGA evaluation
+// implements and its related work ([16], [17], [26], [42]) accelerates.
+//
+// Where package hwmodel prices a workload analytically (Σ ops/issue-width),
+// hwsim *executes* the datapath: queries stream through the accelerator's
+// stages — feature projection, trigonometric lookup, quantization/packing,
+// similarity search, confidence normalization, model dot products, and
+// weighted accumulation — each stage a hardware unit with its own latency
+// determined by the allocated resources. The simulation advances cycle by
+// cycle with single-entry skid buffers between stages, reproducing real
+// pipeline behaviour: fill latency, steady-state throughput set by the
+// bottleneck stage, and back-pressure stalls upstream of it. The simulator
+// cross-validates the analytic model (they must agree on steady-state
+// throughput) and answers the design questions the analytic model cannot:
+// which unit to widen next, and what utilization each unit sees.
+package hwsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stage is one hardware unit in the pipeline: it occupies a query for
+// Cycles cycles and then hands it to the next stage when that stage's
+// input buffer is free.
+type Stage struct {
+	// Name identifies the unit in traces.
+	Name string
+	// Cycles is the unit's occupancy per query (≥ 1).
+	Cycles int
+
+	// simulation state
+	busy      int  // remaining cycles for the occupant
+	occupied  bool // a query is in the unit
+	done      bool // the occupant finished and waits for the next buffer
+	busyTotal int  // cycles spent processing (for utilization)
+}
+
+// Pipeline is an in-order chain of stages.
+type Pipeline struct {
+	stages []*Stage
+}
+
+// NewPipeline validates and assembles the stages.
+func NewPipeline(stages ...*Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("hwsim: pipeline needs at least one stage")
+	}
+	for i, s := range stages {
+		if s == nil {
+			return nil, fmt.Errorf("hwsim: stage %d is nil", i)
+		}
+		if s.Name == "" {
+			return nil, fmt.Errorf("hwsim: stage %d has no name", i)
+		}
+		if s.Cycles < 1 {
+			return nil, fmt.Errorf("hwsim: stage %q has non-positive latency %d", s.Name, s.Cycles)
+		}
+	}
+	return &Pipeline{stages: stages}, nil
+}
+
+// Stages returns the stage names in order.
+func (p *Pipeline) Stages() []string {
+	names := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Trace is the outcome of a simulation run.
+type Trace struct {
+	// Queries is the number of queries pushed through.
+	Queries int
+	// TotalCycles is the makespan.
+	TotalCycles int
+	// FirstOutCycle is the cycle at which the first query completed
+	// (pipeline fill latency).
+	FirstOutCycle int
+	// StageOrder lists the stages in pipeline order.
+	StageOrder []string
+	// Utilization maps stage name to busy-fraction over the run.
+	Utilization map[string]float64
+	// Bottleneck is the stage with the largest per-query occupancy.
+	Bottleneck string
+	// BottleneckCycles is that stage's per-query occupancy.
+	BottleneckCycles int
+}
+
+// ThroughputCyclesPerQuery is the steady-state cost per query.
+func (t Trace) ThroughputCyclesPerQuery() float64 {
+	if t.Queries == 0 {
+		return 0
+	}
+	return float64(t.TotalCycles) / float64(t.Queries)
+}
+
+// Run streams the given number of queries through the pipeline and returns
+// the trace. The model: each stage holds at most one query; a finished
+// query advances as soon as the next stage is free (single-entry skid
+// buffering); a new query enters stage 0 whenever it is free.
+func (p *Pipeline) Run(queries int) (Trace, error) {
+	if queries <= 0 {
+		return Trace{}, fmt.Errorf("hwsim: queries must be positive, got %d", queries)
+	}
+	// Reset state.
+	for _, s := range p.stages {
+		s.busy = 0
+		s.occupied = false
+		s.done = false
+		s.busyTotal = 0
+	}
+	injected, completed := 0, 0
+	cycle := 0
+	firstOut := 0
+	// Guard against deadlock bugs: the run cannot legally exceed
+	// queries × Σ latencies + fill.
+	var worst int
+	for _, s := range p.stages {
+		worst += s.Cycles
+	}
+	limit := worst * (queries + len(p.stages) + 1)
+
+	for completed < queries {
+		if cycle > limit {
+			return Trace{}, fmt.Errorf("hwsim: simulation exceeded %d cycles — pipeline deadlock", limit)
+		}
+		cycle++
+		// Issue a fresh query at the cycle's start when the head is free;
+		// it begins working this very cycle.
+		if head := p.stages[0]; injected < queries && !head.occupied {
+			head.occupied = true
+			head.busy = head.Cycles
+			head.done = false
+			injected++
+		}
+		// Advance occupants (downstream first so handoffs land in stages
+		// already visited this cycle, starting work next cycle — a
+		// registered pipeline).
+		for i := len(p.stages) - 1; i >= 0; i-- {
+			s := p.stages[i]
+			if s.occupied && !s.done {
+				s.busy--
+				s.busyTotal++
+				if s.busy == 0 {
+					s.done = true
+				}
+			}
+			if s.occupied && s.done {
+				if i == len(p.stages)-1 {
+					s.occupied = false
+					s.done = false
+					completed++
+					if completed == 1 {
+						firstOut = cycle
+					}
+				} else if next := p.stages[i+1]; !next.occupied {
+					s.occupied = false
+					s.done = false
+					next.occupied = true
+					next.busy = next.Cycles
+					next.done = false
+				}
+			}
+		}
+	}
+
+	tr := Trace{
+		Queries:       queries,
+		TotalCycles:   cycle,
+		FirstOutCycle: firstOut,
+		StageOrder:    p.Stages(),
+		Utilization:   make(map[string]float64, len(p.stages)),
+	}
+	for _, s := range p.stages {
+		tr.Utilization[s.Name] = float64(s.busyTotal) / float64(cycle)
+		if s.Cycles > tr.BottleneckCycles {
+			tr.Bottleneck = s.Name
+			tr.BottleneckCycles = s.Cycles
+		}
+	}
+	return tr, nil
+}
+
+// Render prints the trace as a report.
+func (t Trace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d queries in %d cycles (%.1f cycles/query steady-state, fill %d)\n",
+		t.Queries, t.TotalCycles, t.ThroughputCyclesPerQuery(), t.FirstOutCycle)
+	fmt.Fprintf(&b, "bottleneck: %s (%d cycles/query)\n", t.Bottleneck, t.BottleneckCycles)
+	for _, name := range t.StageOrder {
+		fmt.Fprintf(&b, "  %-12s %5.1f%% busy\n", name, t.Utilization[name]*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+// Package learner defines the minimal contract shared by every regression
+// baseline in the evaluation, plus evaluation helpers. It lets the
+// experiment harness treat RegHD, the DNN, and the classical baselines
+// uniformly when regenerating Table 1.
+package learner
+
+import (
+	"fmt"
+
+	"reghd/internal/dataset"
+)
+
+// Regressor is a supervised scalar regressor.
+type Regressor interface {
+	// Name identifies the learner in reports.
+	Name() string
+	// Fit trains on the dataset, replacing any previous state.
+	Fit(train *dataset.Dataset) error
+	// Predict returns the regression output for one feature vector.
+	Predict(x []float64) (float64, error)
+}
+
+// PredictBatch runs r.Predict over every row of xs.
+func PredictBatch(r Regressor, xs [][]float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		y, err := r.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("learner %s: row %d: %w", r.Name(), i, err)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// MSE evaluates r on d and returns the mean squared error.
+func MSE(r Regressor, d *dataset.Dataset) (float64, error) {
+	pred, err := PredictBatch(r, d.X)
+	if err != nil {
+		return 0, err
+	}
+	return dataset.MSE(pred, d.Y)
+}

@@ -1,0 +1,50 @@
+package learner
+
+import (
+	"errors"
+	"testing"
+
+	"reghd/internal/dataset"
+)
+
+// constant is a trivial Regressor for testing the helpers.
+type constant struct {
+	v    float64
+	fail bool
+}
+
+func (c constant) Name() string               { return "const" }
+func (c constant) Fit(*dataset.Dataset) error { return nil }
+func (c constant) Predict([]float64) (float64, error) {
+	if c.fail {
+		return 0, errors.New("boom")
+	}
+	return c.v, nil
+}
+
+func TestPredictBatch(t *testing.T) {
+	out, err := PredictBatch(constant{v: 3}, [][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 3 || out[1] != 3 {
+		t.Fatalf("PredictBatch = %v", out)
+	}
+}
+
+func TestPredictBatchError(t *testing.T) {
+	if _, err := PredictBatch(constant{fail: true}, [][]float64{{1}}); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestMSEHelper(t *testing.T) {
+	d := &dataset.Dataset{X: [][]float64{{1}, {2}}, Y: []float64{3, 5}}
+	mse, err := MSE(constant{v: 4}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 1 {
+		t.Fatalf("MSE = %v, want 1", mse)
+	}
+}

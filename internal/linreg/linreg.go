@@ -1,0 +1,103 @@
+// Package linreg implements the linear-model baseline of the paper's Table 1
+// (listed there as "Logistic Regression"; for scalar targets the sklearn
+// family member actually applicable is the linear/ridge regressor): ordinary
+// least squares with an L2 (ridge) penalty, solved exactly through the
+// normal equations with a Cholesky factorization.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+
+	"reghd/internal/dataset"
+	"reghd/internal/matrix"
+)
+
+// Config holds the ridge hyper-parameters.
+type Config struct {
+	// Lambda is the L2 penalty; 0 gives ordinary least squares (the
+	// solver still adds a vanishing jitter for numerical safety).
+	Lambda float64
+}
+
+// Model is the trained ridge regressor: ŷ = w·x + b.
+type Model struct {
+	cfg     Config
+	w       []float64
+	b       float64
+	trained bool
+}
+
+// New constructs an untrained ridge regressor.
+func New(cfg Config) (*Model, error) {
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("linreg: Lambda must be non-negative, got %v", cfg.Lambda)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Name implements learner.Regressor.
+func (m *Model) Name() string { return "linreg" }
+
+// Weights returns a copy of the trained weight vector.
+func (m *Model) Weights() []float64 { return append([]float64(nil), m.w...) }
+
+// Intercept returns the trained intercept.
+func (m *Model) Intercept() float64 { return m.b }
+
+// Fit solves (XᵀX + λI)w = Xᵀy on the bias-augmented design matrix.
+func (m *Model) Fit(train *dataset.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	n := train.Len()
+	f := train.Features()
+	// Augment with a constant column for the intercept.
+	x := matrix.New(n, f+1)
+	for i, row := range train.X {
+		copy(x.Row(i)[:f], row)
+		x.Row(i)[f] = 1
+	}
+	gram := matrix.Gram(x)
+	lambda := m.cfg.Lambda
+	if lambda == 0 {
+		lambda = 1e-10 // jitter keeps the factorization positive definite
+	}
+	gram.AddDiagonal(lambda)
+	// The intercept is conventionally unpenalized; undo its ridge term.
+	gram.Data[f*gram.Cols+f] -= lambda - 1e-10
+	xty := make([]float64, f+1)
+	for i, row := range train.X {
+		y := train.Y[i]
+		for j, v := range row {
+			xty[j] += v * y
+		}
+		xty[f] += y
+	}
+	sol, err := matrix.CholeskySolve(gram, xty)
+	if err != nil {
+		return fmt.Errorf("linreg: solving normal equations: %w", err)
+	}
+	m.w = sol[:f]
+	m.b = sol[f]
+	m.trained = true
+	return nil
+}
+
+// ErrNotTrained is returned by Predict before Fit.
+var ErrNotTrained = errors.New("linreg: model has not been trained")
+
+// Predict returns w·x + b.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) != len(m.w) {
+		return 0, fmt.Errorf("linreg: input has %d features, model expects %d", len(x), len(m.w))
+	}
+	y := m.b
+	for j, v := range x {
+		y += m.w[j] * v
+	}
+	return y, nil
+}

@@ -1,0 +1,157 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+)
+
+var _ learner.Regressor = (*Model)(nil)
+
+func makeLinear(rng *rand.Rand, n, feats int, noise float64) (*dataset.Dataset, []float64, float64) {
+	w := make([]float64, feats)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	b := 1.5
+	d := &dataset.Dataset{Name: "lin", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, feats)
+		y := b
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += w[j] * x[j]
+		}
+		d.X[i] = x
+		d.Y[i] = y + noise*rng.NormFloat64()
+	}
+	return d, w, b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Lambda: -1}); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestRecoversExactCoefficients(t *testing.T) {
+	d, w, b := makeLinear(rand.New(rand.NewSource(1)), 500, 5, 0)
+	m, _ := New(Config{})
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Weights()
+	for j := range w {
+		if math.Abs(got[j]-w[j]) > 1e-6 {
+			t.Fatalf("weight %d = %v, want %v", j, got[j], w[j])
+		}
+	}
+	if math.Abs(m.Intercept()-b) > 1e-6 {
+		t.Fatalf("intercept %v, want %v", m.Intercept(), b)
+	}
+}
+
+func TestNoisyFitGeneralizes(t *testing.T) {
+	all, _, _ := makeLinear(rand.New(rand.NewSource(2)), 600, 8, 0.1)
+	train := all.Subset(seq(0, 450))
+	test := all.Subset(seq(450, 600))
+	m, _ := New(Config{Lambda: 0.1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := learner.MSE(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.02 {
+		t.Fatalf("test MSE %v too high (noise floor 0.01)", mse)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	d, _, _ := makeLinear(rand.New(rand.NewSource(3)), 100, 4, 0.1)
+	small, _ := New(Config{Lambda: 0.001})
+	large, _ := New(Config{Lambda: 1000})
+	if err := small.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := large.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	n2 := func(w []float64) float64 {
+		var s float64
+		for _, v := range w {
+			s += v * v
+		}
+		return s
+	}
+	if n2(large.Weights()) >= n2(small.Weights()) {
+		t.Fatal("large ridge penalty did not shrink weights")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	m, _ := New(Config{})
+	if _, err := m.Predict([]float64{1}); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestPredictChecksLength(t *testing.T) {
+	d, _, _ := makeLinear(rand.New(rand.NewSource(4)), 50, 3, 0.1)
+	m, _ := New(Config{})
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	m, _ := New(Config{})
+	if err := m.Fit(&dataset.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestCollinearFeaturesHandled(t *testing.T) {
+	// Duplicate column: OLS normal equations are singular, the jitter and
+	// ridge keep the solve stable.
+	rng := rand.New(rand.NewSource(5))
+	d := &dataset.Dataset{X: make([][]float64, 80), Y: make([]float64, 80)}
+	for i := range d.X {
+		v := rng.NormFloat64()
+		d.X[i] = []float64{v, v}
+		d.Y[i] = 3 * v
+	}
+	m, _ := New(Config{Lambda: 0.01})
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-3) > 0.05 {
+		t.Fatalf("collinear prediction %v, want ≈3", y)
+	}
+}
+
+func TestName(t *testing.T) {
+	m, _ := New(Config{})
+	if m.Name() != "linreg" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

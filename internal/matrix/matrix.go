@@ -1,0 +1,203 @@
+// Package matrix provides the small dense linear-algebra kernel used by the
+// DNN and linear-regression baselines: row-major dense matrices, products,
+// and a Cholesky solver for symmetric positive-definite systems (the normal
+// equations of ridge regression). The Go standard library offers no linear
+// algebra, so the baselines carry their own.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("matrix: empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", r, len(row), m.Cols)
+		}
+		copy(m.Data[r*m.Cols:(r+1)*m.Cols], row)
+	}
+	return m, nil
+}
+
+// At returns the element at row r, column c.
+func (m *Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Row returns the r-th row as a slice sharing storage with m.
+func (m *Dense) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*out.Cols+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return out
+}
+
+// Mul returns a·b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		orow := out.Data[r*out.Cols : (r+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for c, bv := range brow {
+				orow[c] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("matrix: MulVec length %d, want %d", len(v), m.Cols)
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, rv := range row {
+			s += rv * v[c]
+		}
+		out[r] = s
+	}
+	return out, nil
+}
+
+// Gram returns XᵀX for the design matrix X, an SPD matrix when X has full
+// column rank.
+func Gram(x *Dense) *Dense {
+	out := New(x.Cols, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols:]
+			for j := i; j < len(row); j++ {
+				orow[j] += vi * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < out.Rows; i++ {
+		for j := i + 1; j < out.Cols; j++ {
+			out.Data[j*out.Cols+i] = out.Data[i*out.Cols+j]
+		}
+	}
+	return out
+}
+
+// AddDiagonal adds lambda to every diagonal element in place (ridge term).
+func (m *Dense) AddDiagonal(lambda float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += lambda
+	}
+}
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot.
+var ErrNotSPD = errors.New("matrix: matrix is not symmetric positive definite")
+
+// CholeskySolve solves a·x = b for symmetric positive-definite a.
+func CholeskySolve(a *Dense, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: CholeskySolve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: rhs length %d, want %d", len(b), n)
+	}
+	// Factor a = L·Lᵀ.
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotSPD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// RandomUniform fills m with i.i.d. values uniform in [lo, hi).
+func (m *Dense) RandomUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+}

@@ -1,0 +1,214 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 3) did not panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Fatalf("FromRows wrong: %+v", m)
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestSetAtCloneRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone shares storage")
+	}
+	r := m.Row(1)
+	r[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row should share storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("T values wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for r := range want {
+		for cc := range want[r] {
+			if c.At(r, cc) != want[r][cc] {
+				t.Fatalf("Mul = %+v", c)
+			}
+		}
+	}
+	if _, err := Mul(a, New(3, 2)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(7, 4)
+	x.RandomUniform(rng, -1, 1)
+	g := Gram(x)
+	explicit, _ := Mul(x.T(), x)
+	for i := range g.Data {
+		if math.Abs(g.Data[i]-explicit.Data[i]) > 1e-9 {
+			t.Fatal("Gram differs from XᵀX")
+		}
+	}
+	// Symmetry.
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatal("Gram not symmetric")
+			}
+		}
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	m := New(3, 3)
+	m.AddDiagonal(2.5)
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 2.5 {
+			t.Fatal("AddDiagonal wrong")
+		}
+	}
+}
+
+func TestCholeskySolveKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := CholeskySolve(a, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+2y=10, 2x+3y=8 → x=1.75, y=1.5
+	if math.Abs(x[0]-1.75) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Fatalf("solution %v", x)
+	}
+}
+
+func TestCholeskySolveErrors(t *testing.T) {
+	if _, err := CholeskySolve(New(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := CholeskySolve(New(2, 2), []float64{1}); err == nil {
+		t.Fatal("wrong rhs length accepted")
+	}
+	notSPD, _ := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := CholeskySolve(notSPD, []float64{1, 2}); err != ErrNotSPD {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+	indef, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := CholeskySolve(indef, []float64{1, 2}); err != ErrNotSPD {
+		t.Fatalf("indefinite: err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestCholeskySolveResidualProperty(t *testing.T) {
+	// For random SPD systems (Gram + ridge), the solve residual must vanish.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		x := New(n+3, n)
+		x.RandomUniform(rng, -2, 2)
+		a := Gram(x)
+		a.AddDiagonal(0.5)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		sol, err := CholeskySolve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(sol)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 4)
+		b := New(4, 2)
+		c := New(2, 5)
+		a.RandomUniform(rng, -1, 1)
+		b.RandomUniform(rng, -1, 1)
+		c.RandomUniform(rng, -1, 1)
+		ab, _ := Mul(a, b)
+		abc1, _ := Mul(ab, c)
+		bc, _ := Mul(b, c)
+		abc2, _ := Mul(a, bc)
+		for i := range abc1.Data {
+			if math.Abs(abc1.Data[i]-abc2.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package mlp implements the DNN baseline of the paper's evaluation: a
+// fully-connected feed-forward network trained by mini-batch SGD with
+// momentum on the mean-squared-error loss. It stands in for the paper's
+// TensorFlow models and doubles as the workload whose training/inference
+// cost the hardware model compares against RegHD (Fig. 8).
+package mlp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reghd/internal/dataset"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+const (
+	// ReLU is max(0, x), the default.
+	ReLU Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// Config holds the network and optimizer hyper-parameters.
+type Config struct {
+	// Hidden lists the hidden-layer widths, e.g. {64, 64}.
+	Hidden []int
+	// Activation is the hidden nonlinearity.
+	Activation Activation
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient.
+	Momentum float64
+	// L2 is the weight-decay coefficient.
+	L2 float64
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// Epochs caps the number of passes over the training data.
+	Epochs int
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the grid-search center used in the evaluation:
+// two hidden layers of 64 ReLU units, lr 0.01 with momentum 0.9.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       []int{64, 64},
+		Activation:   ReLU,
+		LearningRate: 0.01,
+		Momentum:     0.9,
+		L2:           1e-4,
+		BatchSize:    32,
+		Epochs:       200,
+		Seed:         1,
+	}
+}
+
+// Validate fills defaults and rejects invalid settings.
+func (c *Config) Validate() error {
+	if c.Hidden == nil {
+		c.Hidden = []int{64, 64}
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.01
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("mlp: hidden layer %d has non-positive width %d", i, h)
+		}
+	}
+	switch {
+	case c.LearningRate < 0:
+		return errors.New("mlp: negative learning rate")
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("mlp: momentum must be in [0,1), got %v", c.Momentum)
+	case c.L2 < 0:
+		return errors.New("mlp: negative L2")
+	case c.BatchSize < 0:
+		return errors.New("mlp: negative batch size")
+	case c.Epochs < 0:
+		return errors.New("mlp: negative epochs")
+	}
+	switch c.Activation {
+	case ReLU, Tanh:
+	default:
+		return fmt.Errorf("mlp: unknown activation %d", c.Activation)
+	}
+	return nil
+}
+
+// layer is one dense layer: out = act(W·in + b). Weights are row-major
+// [outDim][inDim].
+type layer struct {
+	in, out int
+	w       []float64
+	b       []float64
+	vw, vb  []float64 // momentum buffers
+}
+
+// Net is the feed-forward regressor.
+type Net struct {
+	cfg     Config
+	layers  []*layer
+	feats   int
+	rng     *rand.Rand
+	trained bool
+}
+
+// New constructs an untrained network for nFeatures inputs.
+func New(nFeatures int, cfg Config) (*Net, error) {
+	if nFeatures <= 0 {
+		return nil, fmt.Errorf("mlp: nFeatures must be positive, got %d", nFeatures)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Net{cfg: cfg, feats: nFeatures, rng: rand.New(rand.NewSource(cfg.Seed))}
+	sizes := append([]int{nFeatures}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	for i := 0; i+1 < len(sizes); i++ {
+		l := &layer{in: sizes[i], out: sizes[i+1]}
+		l.w = make([]float64, l.in*l.out)
+		l.b = make([]float64, l.out)
+		l.vw = make([]float64, len(l.w))
+		l.vb = make([]float64, len(l.b))
+		// Xavier/Glorot uniform initialization.
+		limit := math.Sqrt(6 / float64(l.in+l.out))
+		for j := range l.w {
+			l.w[j] = (n.rng.Float64()*2 - 1) * limit
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}
+
+// Name implements learner.Regressor.
+func (n *Net) Name() string { return "dnn" }
+
+// ParamCount returns the number of trainable parameters, used by the
+// hardware cost model.
+func (n *Net) ParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+func (n *Net) activate(x float64) float64 {
+	switch n.cfg.Activation {
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		if x > 0 {
+			return x
+		}
+		return 0
+	}
+}
+
+func (n *Net) activateGrad(pre float64) float64 {
+	switch n.cfg.Activation {
+	case Tanh:
+		t := math.Tanh(pre)
+		return 1 - t*t
+	default:
+		if pre > 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// forward runs the network, storing pre-activations and activations for
+// backprop when train is true. acts[0] is the input; acts[i+1] the output
+// of layer i.
+func (n *Net) forward(x []float64, pres, acts [][]float64) float64 {
+	copy(acts[0], x)
+	for li, l := range n.layers {
+		in := acts[li]
+		pre := pres[li]
+		out := acts[li+1]
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, wv := range row {
+				s += wv * in[i]
+			}
+			pre[o] = s
+			if li == len(n.layers)-1 {
+				out[o] = s // linear output layer
+			} else {
+				out[o] = n.activate(s)
+			}
+		}
+	}
+	return acts[len(acts)-1][0]
+}
+
+// scratch buffers for one sample's forward/backward pass.
+type scratch struct {
+	pres, acts, deltas [][]float64
+	gw                 [][]float64
+	gb                 [][]float64
+}
+
+func (n *Net) newScratch() *scratch {
+	s := &scratch{}
+	s.acts = append(s.acts, make([]float64, n.feats))
+	for _, l := range n.layers {
+		s.pres = append(s.pres, make([]float64, l.out))
+		s.acts = append(s.acts, make([]float64, l.out))
+		s.deltas = append(s.deltas, make([]float64, l.out))
+		s.gw = append(s.gw, make([]float64, len(l.w)))
+		s.gb = append(s.gb, make([]float64, len(l.b)))
+	}
+	return s
+}
+
+// backward accumulates gradients for one sample given the output error
+// derivative dLoss/dOut.
+func (n *Net) backward(s *scratch, dOut float64) {
+	last := len(n.layers) - 1
+	s.deltas[last][0] = dOut
+	for li := last; li >= 0; li-- {
+		l := n.layers[li]
+		in := s.acts[li]
+		delta := s.deltas[li]
+		gw := s.gw[li]
+		gb := s.gb[li]
+		for o := 0; o < l.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			gb[o] += d
+			row := gw[o*l.in : (o+1)*l.in]
+			for i := range row {
+				row[i] += d * in[i]
+			}
+		}
+		if li == 0 {
+			continue
+		}
+		prev := s.deltas[li-1]
+		prevPre := s.pres[li-1]
+		for i := range prev {
+			var sum float64
+			for o := 0; o < l.out; o++ {
+				sum += s.deltas[li][o] * l.w[o*l.in+i]
+			}
+			prev[i] = sum * n.activateGrad(prevPre[i])
+		}
+	}
+}
+
+// applyGradients performs one momentum-SGD step with the accumulated batch
+// gradients, then clears them.
+func (n *Net) applyGradients(s *scratch, batch float64) {
+	lr := n.cfg.LearningRate / batch
+	for li, l := range n.layers {
+		gw := s.gw[li]
+		gb := s.gb[li]
+		for j := range l.w {
+			g := gw[j] + n.cfg.L2*l.w[j]*batch
+			l.vw[j] = n.cfg.Momentum*l.vw[j] - lr*g
+			l.w[j] += l.vw[j]
+			gw[j] = 0
+		}
+		for j := range l.b {
+			l.vb[j] = n.cfg.Momentum*l.vb[j] - lr*gb[j]
+			l.b[j] += l.vb[j]
+			gb[j] = 0
+		}
+	}
+}
+
+// Fit trains the network with mini-batch SGD.
+func (n *Net) Fit(train *dataset.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	if train.Features() != n.feats {
+		return fmt.Errorf("mlp: dataset has %d features, network expects %d", train.Features(), n.feats)
+	}
+	s := n.newScratch()
+	nSamples := train.Len()
+	for ep := 0; ep < n.cfg.Epochs; ep++ {
+		order := n.rng.Perm(nSamples)
+		for start := 0; start < nSamples; start += n.cfg.BatchSize {
+			end := start + n.cfg.BatchSize
+			if end > nSamples {
+				end = nSamples
+			}
+			for _, idx := range order[start:end] {
+				yhat := n.forward(train.X[idx], s.pres, s.acts)
+				// d/dŷ of ½(ŷ−y)² = (ŷ−y).
+				n.backward(s, yhat-train.Y[idx])
+			}
+			n.applyGradients(s, float64(end-start))
+		}
+	}
+	n.trained = true
+	return nil
+}
+
+// ErrNotTrained is returned by Predict before Fit.
+var ErrNotTrained = errors.New("mlp: network has not been trained")
+
+// Predict returns the network output for x.
+func (n *Net) Predict(x []float64) (float64, error) {
+	if !n.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) != n.feats {
+		return 0, fmt.Errorf("mlp: input has %d features, network expects %d", len(x), n.feats)
+	}
+	s := n.newScratch()
+	return n.forward(x, s.pres, s.acts), nil
+}

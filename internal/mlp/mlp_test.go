@@ -1,0 +1,209 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+)
+
+var _ learner.Regressor = (*Net)(nil)
+
+func makeLinear(rng *rand.Rand, n, feats int, noise float64) *dataset.Dataset {
+	w := make([]float64, feats)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	d := &dataset.Dataset{Name: "lin", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, feats)
+		y := 0.5
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += w[j] * x[j]
+		}
+		d.X[i] = x
+		d.Y[i] = y + noise*rng.NormFloat64()
+	}
+	return d
+}
+
+func makeNonlinear(rng *rand.Rand, n int) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "nl", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.X[i] = []float64{a, b}
+		d.Y[i] = a*b + math.Sin(a) + 0.02*rng.NormFloat64()
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, DefaultConfig()); err == nil {
+		t.Fatal("zero features accepted")
+	}
+	bad := []Config{
+		{Hidden: []int{0}},
+		{LearningRate: -1},
+		{Momentum: 1.5},
+		{Momentum: -0.1},
+		{L2: -1},
+		{BatchSize: -1},
+		{Epochs: -1},
+		{Activation: Activation(9)},
+	}
+	for i, c := range bad {
+		if _, err := New(3, c); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Hidden) == 0 || c.LearningRate == 0 || c.BatchSize == 0 || c.Epochs == 0 {
+		t.Fatalf("defaults missing: %+v", c)
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if ReLU.String() != "relu" || Tanh.String() != "tanh" {
+		t.Fatal("activation names wrong")
+	}
+	if Activation(5).String() == "" {
+		t.Fatal("unknown activation should still render")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	n, _ := New(2, DefaultConfig())
+	if _, err := n.Predict([]float64{1, 2}); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	n, _ := New(2, DefaultConfig())
+	if err := n.Fit(&dataset.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if err := n.Fit(&dataset.Dataset{X: [][]float64{{1}}, Y: []float64{1}}); err == nil {
+		t.Fatal("feature mismatch accepted")
+	}
+}
+
+func TestPredictChecksLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := makeLinear(rng, 50, 2, 0.01)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	n, _ := New(2, cfg)
+	if err := n.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestLearnsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	all := makeLinear(rng, 600, 4, 0.05)
+	train := all.Subset(seq(0, 450))
+	test := all.Subset(seq(450, 600))
+	cfg := DefaultConfig()
+	cfg.Epochs = 100
+	cfg.Seed = 3
+	n, _ := New(4, cfg)
+	if err := n.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := learner.MSE(n, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.1 {
+		t.Fatalf("linear test MSE %v too high", mse)
+	}
+}
+
+func TestLearnsNonlinear(t *testing.T) {
+	all := makeNonlinear(rand.New(rand.NewSource(4)), 900)
+	train := all.Subset(seq(0, 700))
+	test := all.Subset(seq(700, 900))
+	cfg := DefaultConfig()
+	cfg.Epochs = 250
+	cfg.Seed = 5
+	n, _ := New(2, cfg)
+	if err := n.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := learner.MSE(n, test)
+	// Target variance ≈ 1.5; the network must capture the interaction term.
+	if mse > 0.2 {
+		t.Fatalf("nonlinear test MSE %v too high", mse)
+	}
+}
+
+func TestTanhActivationTrains(t *testing.T) {
+	all := makeNonlinear(rand.New(rand.NewSource(6)), 500)
+	cfg := DefaultConfig()
+	cfg.Activation = Tanh
+	cfg.Epochs = 120
+	n, _ := New(2, cfg)
+	if err := n.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := learner.MSE(n, all)
+	if mse > 0.4 {
+		t.Fatalf("tanh training MSE %v too high", mse)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(7)), 200, 3, 0.05)
+	run := func() float64 {
+		cfg := DefaultConfig()
+		cfg.Epochs = 20
+		cfg.Seed = 8
+		n, _ := New(3, cfg)
+		if err := n.Fit(all); err != nil {
+			t.Fatal(err)
+		}
+		y, _ := n.Predict(all.X[0])
+		return y
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different networks")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = []int{10, 5}
+	n, _ := New(3, cfg)
+	// (3·10+10) + (10·5+5) + (5·1+1) = 40 + 55 + 6 = 101
+	if got := n.ParamCount(); got != 101 {
+		t.Fatalf("ParamCount = %d, want 101", got)
+	}
+}
+
+func TestNameAndInterface(t *testing.T) {
+	n, _ := New(2, DefaultConfig())
+	if n.Name() != "dnn" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reghd/internal/core"
+	"reghd/internal/encoding"
+)
+
+// AgentConfig holds the Q-learning hyper-parameters.
+type AgentConfig struct {
+	// Dim is the hypervector dimensionality of each action-value model.
+	Dim int
+	// Bandwidth is the encoder kernel bandwidth over the state vector.
+	Bandwidth float64
+	// Gamma is the discount factor.
+	Gamma float64
+	// LearningRate is the RegHD update rate α used for the TD update.
+	LearningRate float64
+	// EpsilonStart/EpsilonEnd define the linear exploration schedule over
+	// the training episodes.
+	EpsilonStart, EpsilonEnd float64
+	// Models is the number of RegHD cluster/model pairs per action (1 is
+	// the usual choice for smooth value functions).
+	Models int
+	// Seed drives the encoder, models, and exploration.
+	Seed int64
+}
+
+// DefaultAgentConfig returns a configuration that learns both bundled
+// environments.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		Dim:          2000,
+		Bandwidth:    1.0,
+		Gamma:        0.99,
+		LearningRate: 0.1,
+		EpsilonStart: 1.0,
+		EpsilonEnd:   0.05,
+		Models:       1,
+		Seed:         1,
+	}
+}
+
+// Validate fills defaults and rejects invalid settings.
+func (c *AgentConfig) Validate() error {
+	if c.Dim == 0 {
+		c.Dim = 2000
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.EpsilonStart == 0 {
+		c.EpsilonStart = 1
+	}
+	if c.Models == 0 {
+		c.Models = 1
+	}
+	switch {
+	case c.Dim < 0:
+		return fmt.Errorf("rl: negative Dim")
+	case c.Bandwidth < 0:
+		return fmt.Errorf("rl: negative Bandwidth")
+	case c.Gamma < 0 || c.Gamma >= 1:
+		return fmt.Errorf("rl: Gamma must be in [0,1), got %v", c.Gamma)
+	case c.LearningRate <= 0 || c.LearningRate >= 1:
+		return fmt.Errorf("rl: LearningRate must be in (0,1), got %v", c.LearningRate)
+	case c.EpsilonStart < 0 || c.EpsilonStart > 1 || c.EpsilonEnd < 0 || c.EpsilonEnd > c.EpsilonStart:
+		return fmt.Errorf("rl: epsilon schedule must satisfy 0 <= end <= start <= 1")
+	case c.Models < 0:
+		return fmt.Errorf("rl: negative Models")
+	}
+	return nil
+}
+
+// Agent is a Q-learning agent whose action-value function Q(s, a) is one
+// RegHD regression model per action over a shared state encoder: the
+// paper's regression primitive applied exactly where its introduction says
+// it matters ("regression is the main building block to enable accurate
+// reinforcement learning").
+type Agent struct {
+	cfg AgentConfig
+	env Environment
+	q   []*core.Model // one per action
+	rng *rand.Rand
+}
+
+// NewAgent builds an agent for the environment.
+func NewAgent(env Environment, cfg AgentConfig) (*Agent, error) {
+	if err := validateEnv(env); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Agent{cfg: cfg, env: env, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for act := 0; act < env.NumActions(); act++ {
+		enc, err := encoding.NewNonlinearBandwidth(
+			rand.New(rand.NewSource(cfg.Seed+int64(act)*911)),
+			env.StateDim(), cfg.Dim, cfg.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(enc, core.Config{
+			Models:       cfg.Models,
+			LearningRate: cfg.LearningRate,
+			Epochs:       1,
+			Seed:         cfg.Seed + int64(act),
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.q = append(a.q, m)
+	}
+	return a, nil
+}
+
+// qValue returns Q(s, a), treating an untrained model as 0.
+func (a *Agent) qValue(state []float64, action int) (float64, error) {
+	m := a.q[action]
+	if !m.Trained() {
+		return 0, nil
+	}
+	return m.Predict(state)
+}
+
+// Greedy returns the greedy action and its value for a state.
+func (a *Agent) Greedy(state []float64) (int, float64, error) {
+	best, bestV := 0, 0.0
+	for act := range a.q {
+		v, err := a.qValue(state, act)
+		if err != nil {
+			return 0, 0, err
+		}
+		if act == 0 || v > bestV {
+			best, bestV = act, v
+		}
+	}
+	return best, bestV, nil
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	// Episodes is the number of episodes played.
+	Episodes int
+	// Returns holds the (undiscounted) return of each episode.
+	Returns []float64
+	// Steps holds the length of each episode.
+	Steps []int
+}
+
+// MeanReturn averages the returns of the last n episodes (all when n <= 0
+// or larger than the run).
+func (r *TrainResult) MeanReturn(n int) float64 {
+	if len(r.Returns) == 0 {
+		return 0
+	}
+	if n <= 0 || n > len(r.Returns) {
+		n = len(r.Returns)
+	}
+	var s float64
+	for _, v := range r.Returns[len(r.Returns)-n:] {
+		s += v
+	}
+	return s / float64(n)
+}
+
+// Train runs episodic ε-greedy Q-learning: after each transition the model
+// of the taken action receives one RegHD update toward the TD target
+// r + γ·max_a' Q(s', a').
+func (a *Agent) Train(episodes int) (*TrainResult, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("rl: episodes must be positive, got %d", episodes)
+	}
+	res := &TrainResult{Episodes: episodes}
+	for ep := 0; ep < episodes; ep++ {
+		eps := a.cfg.EpsilonStart
+		if episodes > 1 {
+			frac := float64(ep) / float64(episodes-1)
+			eps = a.cfg.EpsilonStart + (a.cfg.EpsilonEnd-a.cfg.EpsilonStart)*frac
+		}
+		state := a.env.Reset(a.rng)
+		var ret float64
+		var steps int
+		for {
+			var action int
+			if a.rng.Float64() < eps {
+				action = a.rng.Intn(a.env.NumActions())
+			} else {
+				var err error
+				action, _, err = a.Greedy(state)
+				if err != nil {
+					return nil, err
+				}
+			}
+			next, reward, done := a.env.Step(action)
+			ret += reward
+			steps++
+			target := reward
+			if !done {
+				_, nextV, err := a.Greedy(next)
+				if err != nil {
+					return nil, err
+				}
+				target += a.cfg.Gamma * nextV
+			}
+			if err := a.q[action].PartialFit(state, target); err != nil {
+				return nil, err
+			}
+			state = next
+			if done {
+				break
+			}
+		}
+		res.Returns = append(res.Returns, ret)
+		res.Steps = append(res.Steps, steps)
+	}
+	return res, nil
+}
+
+// Evaluate plays greedy episodes without learning and returns the mean
+// undiscounted return.
+func (a *Agent) Evaluate(episodes int) (float64, error) {
+	if episodes <= 0 {
+		return 0, fmt.Errorf("rl: episodes must be positive, got %d", episodes)
+	}
+	var total float64
+	for ep := 0; ep < episodes; ep++ {
+		state := a.env.Reset(a.rng)
+		for {
+			action, _, err := a.Greedy(state)
+			if err != nil {
+				return 0, err
+			}
+			next, reward, done := a.env.Step(action)
+			total += reward
+			state = next
+			if done {
+				break
+			}
+		}
+	}
+	return total / float64(episodes), nil
+}
+
+// RandomBaseline plays uniformly random episodes and returns the mean
+// return, the reference the trained agent must beat.
+func (a *Agent) RandomBaseline(episodes int) (float64, error) {
+	if episodes <= 0 {
+		return 0, fmt.Errorf("rl: episodes must be positive, got %d", episodes)
+	}
+	var total float64
+	for ep := 0; ep < episodes; ep++ {
+		a.env.Reset(a.rng)
+		for {
+			_, reward, done := a.env.Step(a.rng.Intn(a.env.NumActions()))
+			total += reward
+			if done {
+				break
+			}
+		}
+	}
+	return total / float64(episodes), nil
+}

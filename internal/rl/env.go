@@ -1,0 +1,173 @@
+// Package rl implements the paper's stated extension ("regression is the
+// main building block to enable accurate reinforcement learning", and the
+// conclusion's "first HD-based reinforcement learning"): semi-gradient
+// Q-learning with RegHD regression models as the action-value
+// approximators, plus two classic continuous-state control environments to
+// exercise it.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Environment is an episodic control task with a continuous state vector
+// and a discrete action set.
+type Environment interface {
+	// Name identifies the environment.
+	Name() string
+	// StateDim returns the state vector length.
+	StateDim() int
+	// NumActions returns the number of discrete actions.
+	NumActions() int
+	// Reset starts a new episode and returns the initial state.
+	Reset(rng *rand.Rand) []float64
+	// Step applies an action and returns the next state, the reward, and
+	// whether the episode ended.
+	Step(action int) (state []float64, reward float64, done bool)
+}
+
+// CartPole is the classic pole-balancing task (Barto, Sutton & Anderson
+// 1983): a cart on a track balances a pole by accelerating left or right.
+// Reward is +1 per step; the episode ends when the pole falls past 12° or
+// the cart leaves ±2.4, or after MaxSteps.
+type CartPole struct {
+	// MaxSteps caps episode length (default 500).
+	MaxSteps int
+
+	x, xDot, theta, thetaDot float64
+	steps                    int
+}
+
+// cartpole physics constants (the canonical values).
+const (
+	cpGravity   = 9.8
+	cpMassCart  = 1.0
+	cpMassPole  = 0.1
+	cpLength    = 0.5 // half pole length
+	cpForce     = 10.0
+	cpTau       = 0.02 // integration step, seconds
+	cpThetaFail = 12 * math.Pi / 180
+	cpXFail     = 2.4
+)
+
+// Name implements Environment.
+func (c *CartPole) Name() string { return "cartpole" }
+
+// StateDim implements Environment.
+func (c *CartPole) StateDim() int { return 4 }
+
+// NumActions implements Environment (push left, push right).
+func (c *CartPole) NumActions() int { return 2 }
+
+// Reset implements Environment.
+func (c *CartPole) Reset(rng *rand.Rand) []float64 {
+	c.x = (rng.Float64()*2 - 1) * 0.05
+	c.xDot = (rng.Float64()*2 - 1) * 0.05
+	c.theta = (rng.Float64()*2 - 1) * 0.05
+	c.thetaDot = (rng.Float64()*2 - 1) * 0.05
+	c.steps = 0
+	return c.state()
+}
+
+func (c *CartPole) state() []float64 {
+	return []float64{c.x, c.xDot, c.theta, c.thetaDot}
+}
+
+// Step implements Environment.
+func (c *CartPole) Step(action int) ([]float64, float64, bool) {
+	force := cpForce
+	if action == 0 {
+		force = -cpForce
+	}
+	cosT, sinT := math.Cos(c.theta), math.Sin(c.theta)
+	totalMass := cpMassCart + cpMassPole
+	poleMassLength := cpMassPole * cpLength
+	temp := (force + poleMassLength*c.thetaDot*c.thetaDot*sinT) / totalMass
+	thetaAcc := (cpGravity*sinT - cosT*temp) /
+		(cpLength * (4.0/3.0 - cpMassPole*cosT*cosT/totalMass))
+	xAcc := temp - poleMassLength*thetaAcc*cosT/totalMass
+
+	c.x += cpTau * c.xDot
+	c.xDot += cpTau * xAcc
+	c.theta += cpTau * c.thetaDot
+	c.thetaDot += cpTau * thetaAcc
+	c.steps++
+
+	maxSteps := c.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 500
+	}
+	done := math.Abs(c.x) > cpXFail || math.Abs(c.theta) > cpThetaFail || c.steps >= maxSteps
+	return c.state(), 1, done
+}
+
+// Chase is a dense-reward 1-D tracking task: the agent moves a point along
+// [−1, 1] toward a randomly placed target. Reward is the negative distance
+// to the target each step; the episode ends after MaxSteps or on capture
+// (distance < 0.05). Its value function is smooth, making it the
+// reliable convergence benchmark for the Q-learner's tests.
+type Chase struct {
+	// MaxSteps caps episode length (default 60).
+	MaxSteps int
+
+	pos, target float64
+	steps       int
+}
+
+// Name implements Environment.
+func (c *Chase) Name() string { return "chase" }
+
+// StateDim implements Environment (agent position and target position).
+func (c *Chase) StateDim() int { return 2 }
+
+// NumActions implements Environment (move left, stay, move right).
+func (c *Chase) NumActions() int { return 3 }
+
+// Reset implements Environment.
+func (c *Chase) Reset(rng *rand.Rand) []float64 {
+	c.pos = rng.Float64()*2 - 1
+	c.target = rng.Float64()*2 - 1
+	c.steps = 0
+	return []float64{c.pos, c.target}
+}
+
+// Step implements Environment.
+func (c *Chase) Step(action int) ([]float64, float64, bool) {
+	const speed = 0.1
+	switch action {
+	case 0:
+		c.pos -= speed
+	case 2:
+		c.pos += speed
+	}
+	if c.pos > 1 {
+		c.pos = 1
+	}
+	if c.pos < -1 {
+		c.pos = -1
+	}
+	c.steps++
+	dist := math.Abs(c.pos - c.target)
+	maxSteps := c.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 60
+	}
+	done := dist < 0.05 || c.steps >= maxSteps
+	return []float64{c.pos, c.target}, -dist, done
+}
+
+// validateEnv sanity-checks an Environment implementation for the agent.
+func validateEnv(env Environment) error {
+	if env == nil {
+		return fmt.Errorf("rl: nil environment")
+	}
+	if env.StateDim() <= 0 {
+		return fmt.Errorf("rl: %s has non-positive state dimension", env.Name())
+	}
+	if env.NumActions() < 2 {
+		return fmt.Errorf("rl: %s needs at least 2 actions", env.Name())
+	}
+	return nil
+}

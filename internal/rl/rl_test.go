@@ -1,0 +1,219 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCartPolePhysics(t *testing.T) {
+	env := &CartPole{}
+	rng := rand.New(rand.NewSource(1))
+	s := env.Reset(rng)
+	if len(s) != env.StateDim() || env.StateDim() != 4 || env.NumActions() != 2 {
+		t.Fatalf("cartpole shape wrong")
+	}
+	for _, v := range s {
+		if math.Abs(v) > 0.05 {
+			t.Fatalf("initial state %v outside ±0.05", s)
+		}
+	}
+	// Constantly pushing one way must topple the pole well before the cap.
+	steps := 0
+	for {
+		_, r, done := env.Step(1)
+		if r != 1 {
+			t.Fatalf("cartpole reward %v, want 1", r)
+		}
+		steps++
+		if done {
+			break
+		}
+		if steps > 500 {
+			t.Fatal("episode never ended")
+		}
+	}
+	if steps >= 500 {
+		t.Fatalf("one-sided policy survived %d steps", steps)
+	}
+}
+
+func TestCartPoleMaxStepsCap(t *testing.T) {
+	env := &CartPole{MaxSteps: 7}
+	rng := rand.New(rand.NewSource(2))
+	env.Reset(rng)
+	for i := 0; i < 6; i++ {
+		alt := i % 2
+		if _, _, done := env.Step(alt); done {
+			return // early physical failure is fine
+		}
+	}
+	if _, _, done := env.Step(0); !done {
+		t.Fatal("MaxSteps cap not applied")
+	}
+}
+
+func TestChaseDynamics(t *testing.T) {
+	env := &Chase{}
+	rng := rand.New(rand.NewSource(3))
+	s := env.Reset(rng)
+	if len(s) != 2 || env.NumActions() != 3 {
+		t.Fatal("chase shape wrong")
+	}
+	// Re-roll until the target is far enough that two steps toward it
+	// cannot overshoot, then moving toward it must increase the reward.
+	for math.Abs(s[1]-s[0]) < 0.3 {
+		s = env.Reset(rng)
+	}
+	dir := 2
+	if s[1] < s[0] {
+		dir = 0
+	}
+	_, r1, _ := env.Step(dir)
+	_, r2, done := env.Step(dir)
+	if !done && r2 < r1 {
+		t.Fatalf("moving toward target decreased reward: %v then %v", r1, r2)
+	}
+	// Position clamps at the boundary.
+	env2 := &Chase{}
+	env2.Reset(rng)
+	for i := 0; i < 50; i++ {
+		st, _, done := env2.Step(2)
+		if st[0] > 1+1e-12 {
+			t.Fatalf("position %v beyond +1", st[0])
+		}
+		if done {
+			break
+		}
+	}
+}
+
+func TestAgentConfigValidation(t *testing.T) {
+	env := &Chase{}
+	bad := []AgentConfig{
+		{Dim: -1},
+		{Bandwidth: -1},
+		{Gamma: 1.5},
+		{LearningRate: -0.1},
+		{EpsilonStart: 0.1, EpsilonEnd: 0.5},
+		{Models: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewAgent(env, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewAgent(nil, DefaultAgentConfig()); err == nil {
+		t.Fatal("nil environment accepted")
+	}
+	var c AgentConfig
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim == 0 || c.Gamma == 0 || c.LearningRate == 0 {
+		t.Fatal("defaults not filled")
+	}
+}
+
+func TestAgentLearnsChase(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	cfg.Dim = 1000
+	cfg.Gamma = 0.9
+	cfg.Seed = 4
+	agent, err := NewAgent(&Chase{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := agent.RandomBaseline(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.Train(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 300 || len(res.Returns) != 300 || len(res.Steps) != 300 {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	trained, err := agent.Evaluate(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chase returns are negative distances summed; the trained agent must
+	// clearly beat a random walker.
+	if trained < random*0.6 {
+		t.Fatalf("trained return %v not clearly better than random %v", trained, random)
+	}
+	// Learning curve: late returns better than early returns.
+	if res.MeanReturn(50) <= mean(res.Returns[:50]) {
+		t.Fatalf("no improvement: early %v late %v", mean(res.Returns[:50]), res.MeanReturn(50))
+	}
+}
+
+func TestAgentImprovesCartPole(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	cfg.Dim = 1000
+	cfg.Bandwidth = 0.3
+	cfg.Gamma = 0.95
+	cfg.Seed = 5
+	env := &CartPole{MaxSteps: 200}
+	agent, err := NewAgent(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := agent.RandomBaseline(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(600); err != nil {
+		t.Fatal(err)
+	}
+	trained, err := agent.Evaluate(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random balances ~20-30 steps; the trained agent must clearly beat it
+	// (Q-learning with function approximation is noisy, so the threshold
+	// leaves margin below the typical ~3x result).
+	if trained < random*1.8 {
+		t.Fatalf("trained return %v not clearly better than random %v", trained, random)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	agent, err := NewAgent(&Chase{}, DefaultAgentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(0); err == nil {
+		t.Fatal("zero episodes accepted")
+	}
+	if _, err := agent.Evaluate(-1); err == nil {
+		t.Fatal("negative evaluate accepted")
+	}
+	if _, err := agent.RandomBaseline(0); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}
+
+func TestMeanReturn(t *testing.T) {
+	r := &TrainResult{Returns: []float64{1, 2, 3, 4}}
+	if r.MeanReturn(2) != 3.5 {
+		t.Fatalf("MeanReturn(2) = %v", r.MeanReturn(2))
+	}
+	if r.MeanReturn(0) != 2.5 || r.MeanReturn(99) != 2.5 {
+		t.Fatal("MeanReturn bounds wrong")
+	}
+	empty := &TrainResult{}
+	if empty.MeanReturn(3) != 0 {
+		t.Fatal("empty MeanReturn should be 0")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

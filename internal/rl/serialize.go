@@ -1,0 +1,68 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"reghd/internal/core"
+)
+
+// agentState is the wire form of a trained agent: the configuration plus
+// each action's serialized RegHD model.
+type agentState struct {
+	Cfg    AgentConfig
+	Models [][]byte
+}
+
+// Save serializes the agent's action-value models, so a trained policy can
+// be deployed without retraining.
+func (a *Agent) Save(w io.Writer) error {
+	st := agentState{Cfg: a.cfg}
+	for _, m := range a.q {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			return fmt.Errorf("rl: saving action model: %w", err)
+		}
+		st.Models = append(st.Models, buf.Bytes())
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("rl: saving agent: %w", err)
+	}
+	return nil
+}
+
+// LoadAgent restores an agent previously written with Save, attached to the
+// given environment (environments carry physics, not learned state, so they
+// are provided fresh). The environment's action and state arity must match
+// the saved models.
+func LoadAgent(env Environment, r io.Reader) (*Agent, error) {
+	if err := validateEnv(env); err != nil {
+		return nil, err
+	}
+	var st agentState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("rl: loading agent: %w", err)
+	}
+	if err := st.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("rl: loaded agent config: %w", err)
+	}
+	if len(st.Models) != env.NumActions() {
+		return nil, fmt.Errorf("rl: saved agent has %d actions, environment has %d", len(st.Models), env.NumActions())
+	}
+	a := &Agent{cfg: st.Cfg, env: env, rng: rand.New(rand.NewSource(st.Cfg.Seed))}
+	for i, raw := range st.Models {
+		m, err := core.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("rl: loading action %d model: %w", i, err)
+		}
+		if m.Encoder().Features() != env.StateDim() {
+			return nil, fmt.Errorf("rl: action %d model expects %d state features, environment has %d",
+				i, m.Encoder().Features(), env.StateDim())
+		}
+		a.q = append(a.q, m)
+	}
+	return a, nil
+}

@@ -1,0 +1,74 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	cfg.Dim = 512
+	cfg.Gamma = 0.9
+	cfg.Seed = 1
+	agent, err := NewAgent(&Chase{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(100); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := agent.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadAgent(&Chase{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy policy must agree on arbitrary states.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		state := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		a1, v1, err := agent.Greedy(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, v2, err := restored.Greedy(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1 != a2 || v1 != v2 {
+			t.Fatalf("state %v: policies diverge (%d,%v) vs (%d,%v)", state, a1, v1, a2, v2)
+		}
+	}
+}
+
+func TestLoadAgentValidation(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	cfg.Dim = 128
+	agent, err := NewAgent(&Chase{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := agent.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	if _, err := LoadAgent(nil, bytes.NewReader(saved)); err == nil {
+		t.Fatal("nil environment accepted")
+	}
+	// Chase has 3 actions; CartPole has 2 — arity mismatch must fail.
+	if _, err := LoadAgent(&CartPole{}, bytes.NewReader(saved)); err == nil {
+		t.Fatal("action-count mismatch accepted")
+	}
+	if _, err := LoadAgent(&Chase{}, strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,240 @@
+// Package svr implements the support-vector-regression baseline of the
+// paper's Table 1: ε-insensitive loss with L2 regularization, trained in
+// the primal by averaged stochastic subgradient descent (Pegasos-style).
+// A random-Fourier-feature variant approximates the RBF kernel, mirroring
+// sklearn's kernelized SVR while staying in the primal.
+package svr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reghd/internal/dataset"
+)
+
+// Kernel selects the feature map.
+type Kernel int
+
+const (
+	// Linear trains on the raw features.
+	Linear Kernel = iota
+	// RBF trains on random Fourier features approximating the Gaussian
+	// kernel exp(−γ‖Δx‖²).
+	RBF
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case RBF:
+		return "rbf"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// Config holds the SVR hyper-parameters.
+type Config struct {
+	// Kernel selects linear or RBF-approximate features.
+	Kernel Kernel
+	// C is the inverse regularization strength (sklearn convention).
+	C float64
+	// Epsilon is the width of the insensitive tube.
+	Epsilon float64
+	// Gamma is the RBF kernel coefficient (RBF only). Zero means 1/n.
+	Gamma float64
+	// Components is the number of random Fourier features (RBF only).
+	Components int
+	// Epochs caps the SGD passes.
+	Epochs int
+	// Seed drives feature sampling and shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the grid-search center used in the evaluation.
+func DefaultConfig() Config {
+	return Config{Kernel: RBF, C: 1, Epsilon: 0.1, Components: 256, Epochs: 60, Seed: 1}
+}
+
+// Validate fills defaults and rejects invalid settings.
+func (c *Config) Validate() error {
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	if c.Components == 0 {
+		c.Components = 256
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	switch {
+	case c.C < 0:
+		return errors.New("svr: negative C")
+	case c.Epsilon < 0:
+		return errors.New("svr: negative Epsilon")
+	case c.Gamma < 0:
+		return errors.New("svr: negative Gamma")
+	case c.Components < 0:
+		return errors.New("svr: negative Components")
+	case c.Epochs < 0:
+		return errors.New("svr: negative Epochs")
+	}
+	switch c.Kernel {
+	case Linear, RBF:
+	default:
+		return fmt.Errorf("svr: unknown kernel %d", c.Kernel)
+	}
+	return nil
+}
+
+// Model is the trained SVR.
+type Model struct {
+	cfg     Config
+	feats   int
+	w       []float64 // weights over the feature map
+	b       float64
+	rffW    []float64 // Components×feats RFF frequencies
+	rffB    []float64 // Components phases
+	trained bool
+}
+
+// New constructs an untrained SVR.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Name implements learner.Regressor.
+func (m *Model) Name() string { return "svr" }
+
+// featureDim returns the dimensionality of the feature map.
+func (m *Model) featureDim() int {
+	if m.cfg.Kernel == RBF {
+		return m.cfg.Components
+	}
+	return m.feats
+}
+
+// features maps x through the configured feature map into out.
+func (m *Model) features(x []float64, out []float64) {
+	if m.cfg.Kernel == Linear {
+		copy(out, x)
+		return
+	}
+	scale := math.Sqrt(2 / float64(m.cfg.Components))
+	for c := 0; c < m.cfg.Components; c++ {
+		row := m.rffW[c*m.feats : (c+1)*m.feats]
+		s := m.rffB[c]
+		for j, wv := range row {
+			s += wv * x[j]
+		}
+		out[c] = scale * math.Cos(s)
+	}
+}
+
+// Fit trains by averaged stochastic subgradient descent on
+//
+//	λ/2‖w‖² + mean_i max(0, |w·φ(x_i)+b − y_i| − ε),  λ = 1/(C·n).
+func (m *Model) Fit(train *dataset.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	m.feats = train.Features()
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	if m.cfg.Kernel == RBF {
+		gamma := m.cfg.Gamma
+		if gamma == 0 {
+			gamma = 1 / float64(m.feats)
+		}
+		sigma := math.Sqrt(2 * gamma)
+		m.rffW = make([]float64, m.cfg.Components*m.feats)
+		m.rffB = make([]float64, m.cfg.Components)
+		for i := range m.rffW {
+			m.rffW[i] = sigma * rng.NormFloat64()
+		}
+		for i := range m.rffB {
+			m.rffB[i] = rng.Float64() * 2 * math.Pi
+		}
+	}
+	fd := m.featureDim()
+	w := make([]float64, fd)
+	avgW := make([]float64, fd)
+	var b, avgB float64
+	phi := make([]float64, fd)
+	n := train.Len()
+	lambda := 1 / (m.cfg.C * float64(n))
+	step := 0
+	for ep := 0; ep < m.cfg.Epochs; ep++ {
+		order := rng.Perm(n)
+		for _, i := range order {
+			step++
+			eta := 1 / (lambda * float64(step+10))
+			m.features(train.X[i], phi)
+			pred := b
+			for j, v := range phi {
+				pred += w[j] * v
+			}
+			resid := pred - train.Y[i]
+			// Subgradient of the ε-insensitive loss.
+			var g float64
+			switch {
+			case resid > m.cfg.Epsilon:
+				g = 1
+			case resid < -m.cfg.Epsilon:
+				g = -1
+			}
+			decay := 1 - eta*lambda
+			if decay < 0 {
+				decay = 0
+			}
+			for j := range w {
+				w[j] *= decay
+				if g != 0 {
+					w[j] -= eta * g * phi[j]
+				}
+			}
+			if g != 0 {
+				b -= eta * g
+			}
+			// Polyak averaging for a stable final model.
+			inv := 1 / float64(step)
+			for j := range avgW {
+				avgW[j] += (w[j] - avgW[j]) * inv
+			}
+			avgB += (b - avgB) * inv
+		}
+	}
+	m.w = avgW
+	m.b = avgB
+	m.trained = true
+	return nil
+}
+
+// ErrNotTrained is returned by Predict before Fit.
+var ErrNotTrained = errors.New("svr: model has not been trained")
+
+// Predict returns w·φ(x) + b.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) != m.feats {
+		return 0, fmt.Errorf("svr: input has %d features, model expects %d", len(x), m.feats)
+	}
+	phi := make([]float64, m.featureDim())
+	m.features(x, phi)
+	y := m.b
+	for j, v := range phi {
+		y += m.w[j] * v
+	}
+	return y, nil
+}

@@ -1,0 +1,196 @@
+package svr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+)
+
+var _ learner.Regressor = (*Model)(nil)
+
+func makeLinear(rng *rand.Rand, n, feats int, noise float64) *dataset.Dataset {
+	w := make([]float64, feats)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	d := &dataset.Dataset{Name: "lin", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, feats)
+		y := 0.7
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y += w[j] * x[j]
+		}
+		d.X[i] = x
+		d.Y[i] = y + noise*rng.NormFloat64()
+	}
+	return d
+}
+
+func makeNonlinear(rng *rand.Rand, n int) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "nl", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		d.X[i] = []float64{x}
+		d.Y[i] = math.Sin(2*x) + 0.02*rng.NormFloat64()
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{C: -1},
+		{Epsilon: -0.1},
+		{Gamma: -1},
+		{Components: -5},
+		{Epochs: -1},
+		{Kernel: Kernel(9)},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.C == 0 || c.Epsilon == 0 || c.Components == 0 || c.Epochs == 0 {
+		t.Fatal("defaults not filled")
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if Linear.String() != "linear" || RBF.String() != "rbf" {
+		t.Fatal("kernel names wrong")
+	}
+	if Kernel(3).String() == "" {
+		t.Fatal("unknown kernel should render")
+	}
+}
+
+func TestLinearKernelLearnsLinear(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(1)), 800, 4, 0.05)
+	train := all.Subset(seq(0, 600))
+	test := all.Subset(seq(600, 800))
+	cfg := Config{Kernel: Linear, C: 10, Epsilon: 0.05, Epochs: 80, Seed: 2}
+	m, _ := New(cfg)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, err := learner.MSE(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target variance ≈ 4; an SVR must be far below.
+	if mse > 0.3 {
+		t.Fatalf("linear SVR test MSE %v too high", mse)
+	}
+}
+
+func TestRBFKernelLearnsNonlinear(t *testing.T) {
+	all := makeNonlinear(rand.New(rand.NewSource(3)), 900)
+	train := all.Subset(seq(0, 700))
+	test := all.Subset(seq(700, 900))
+	cfg := Config{Kernel: RBF, C: 10, Epsilon: 0.02, Gamma: 2, Components: 300, Epochs: 80, Seed: 4}
+	m, _ := New(cfg)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := learner.MSE(m, test)
+	// Target variance ≈ 0.5; RBF features must capture the sinusoid.
+	if mse > 0.1 {
+		t.Fatalf("RBF SVR test MSE %v too high", mse)
+	}
+}
+
+func TestLinearKernelFailsOnNonlinear(t *testing.T) {
+	// Sanity: the sinusoid has near-zero linear correlation, so the linear
+	// kernel should do clearly worse than RBF.
+	all := makeNonlinear(rand.New(rand.NewSource(5)), 600)
+	lin, _ := New(Config{Kernel: Linear, C: 10, Epochs: 60, Seed: 6})
+	rbf, _ := New(Config{Kernel: RBF, C: 10, Gamma: 2, Components: 300, Epochs: 60, Seed: 6})
+	if err := lin.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := rbf.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	linMSE, _ := learner.MSE(lin, all)
+	rbfMSE, _ := learner.MSE(rbf, all)
+	if rbfMSE >= linMSE {
+		t.Fatalf("RBF (%v) should beat linear (%v) on sinusoid", rbfMSE, linMSE)
+	}
+}
+
+func TestEpsilonTubeIgnoresSmallNoise(t *testing.T) {
+	// With a wide tube, residuals inside ε produce no updates, so the
+	// model stays near zero weights for targets inside the tube.
+	d := &dataset.Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []float64{0.01, -0.01, 0.02}}
+	m, _ := New(Config{Kernel: Linear, C: 1, Epsilon: 1, Epochs: 10, Seed: 7})
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := m.Predict([]float64{2})
+	if math.Abs(y) > 0.2 {
+		t.Fatalf("wide-tube prediction %v should stay near 0", y)
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	if _, err := m.Predict([]float64{1}); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestPredictChecksLength(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(8)), 100, 3, 0.05)
+	m, _ := New(DefaultConfig())
+	if err := m.Fit(all); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	if err := m.Fit(&dataset.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	all := makeLinear(rand.New(rand.NewSource(9)), 150, 3, 0.05)
+	run := func() float64 {
+		m, _ := New(Config{Kernel: RBF, Seed: 10, Epochs: 10})
+		if err := m.Fit(all); err != nil {
+			t.Fatal(err)
+		}
+		y, _ := m.Predict(all.X[0])
+		return y
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different models")
+	}
+}
+
+func TestName(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	if m.Name() != "svr" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"reghd/internal/dataset"
+)
+
+func TestSpecsShapes(t *testing.T) {
+	want := map[string][2]int{
+		"diabetes": {442, 10},
+		"boston":   {506, 13},
+		"airfoil":  {1503, 5},
+		"wine":     {4898, 11},
+		"facebook": {500, 7},
+		"ccpp":     {9568, 4},
+		"forest":   {517, 12},
+	}
+	specs := Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", s.Name)
+		}
+		if s.Samples != w[0] || s.Features != w[1] {
+			t.Fatalf("%s shape %dx%d, want %dx%d", s.Name, s.Samples, s.Features, w[0], w[1])
+		}
+	}
+}
+
+func TestGenerateAllValid(t *testing.T) {
+	all, err := LoadAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range all {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		spec, _ := SpecByName(name)
+		if d.Len() != spec.Samples || d.Features() != spec.Features {
+			t.Fatalf("%s wrong shape", name)
+		}
+		lo, hi := d.TargetRange()
+		if lo < spec.YMin-1e-9 || hi > spec.YMax+1e-9 {
+			t.Fatalf("%s target [%v,%v] outside clamp [%v,%v]", name, lo, hi, spec.YMin, spec.YMax)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Load("airfoil", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Load("airfoil", 7)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same seed gave different targets")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed gave different features")
+			}
+		}
+	}
+}
+
+func TestGenerateSeedMatters(t *testing.T) {
+	a, _ := Load("boston", 1)
+	b, _ := Load("boston", 2)
+	same := true
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical datasets")
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("mnist", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := SpecByName(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Samples: 0, Features: 1, Experts: 1, YStd: 1},
+		{Name: "x", Samples: 1, Features: 0, Experts: 1, YStd: 1},
+		{Name: "x", Samples: 1, Features: 1, Experts: 0, YStd: 1},
+		{Name: "x", Samples: 1, Features: 1, Experts: 1, NoiseStd: -1, YStd: 1},
+		{Name: "x", Samples: 1, Features: 1, Experts: 1, YStd: 0},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s, 1); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestHeavyTailSkew(t *testing.T) {
+	d, err := Load("forest", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy-tail targets: the mean should sit well above the median.
+	ys := append([]float64(nil), d.Y...)
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	med := median(ys)
+	if mean <= med {
+		t.Fatalf("forest target not right-skewed: mean %v, median %v", mean, med)
+	}
+}
+
+func TestTargetLocationScale(t *testing.T) {
+	d, err := Load("ccpp", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := SpecByName("ccpp")
+	var mean float64
+	for _, y := range d.Y {
+		mean += y
+	}
+	mean /= float64(len(d.Y))
+	if math.Abs(mean-spec.YMean) > spec.YStd {
+		t.Fatalf("ccpp target mean %v too far from spec %v", mean, spec.YMean)
+	}
+	var variance float64
+	for _, y := range d.Y {
+		variance += (y - mean) * (y - mean)
+	}
+	std := math.Sqrt(variance / float64(len(d.Y)))
+	if std < spec.YStd*0.5 || std > spec.YStd*2 {
+		t.Fatalf("ccpp target std %v out of range of spec %v", std, spec.YStd)
+	}
+}
+
+func TestMultiModalStructure(t *testing.T) {
+	// Inputs come from distinct clusters: the pairwise distance distribution
+	// should be bimodal — verify the max inter-sample distance is much
+	// larger than the typical within-cluster distance (~√(2n)).
+	d, err := Load("airfoil", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := math.Sqrt(2 * float64(d.Features()))
+	var maxDist float64
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			var s float64
+			for k := range d.X[i] {
+				dv := d.X[i][k] - d.X[j][k]
+				s += dv * dv
+			}
+			if dist := math.Sqrt(s); dist > maxDist {
+				maxDist = dist
+			}
+		}
+	}
+	if maxDist < 2*within {
+		t.Fatalf("inputs do not look clustered: max dist %v vs within %v", maxDist, within)
+	}
+}
+
+func TestNoiseFloorMSE(t *testing.T) {
+	spec, _ := SpecByName("ccpp")
+	floor := NoiseFloorMSE(spec)
+	if floor <= 0 || floor > spec.YStd*spec.YStd {
+		t.Fatalf("noise floor %v out of range", floor)
+	}
+	// Zero noise → zero floor.
+	spec.NoiseStd = 0
+	if NoiseFloorMSE(spec) != 0 {
+		t.Fatal("zero noise should give zero floor")
+	}
+}
+
+func TestNamesAndSortedNames(t *testing.T) {
+	if len(Names()) != 7 || len(SortedNames()) != 7 {
+		t.Fatal("expected 7 dataset names")
+	}
+	sorted := SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatal("SortedNames not sorted")
+		}
+	}
+}
+
+func TestSplitsUsable(t *testing.T) {
+	d, _ := Load("diabetes", 1)
+	var ds *dataset.Dataset = d
+	if ds.Len() == 0 {
+		t.Fatal("empty")
+	}
+	med := median(append([]float64(nil), d.Y...))
+	if med < 25 || med > 346 {
+		t.Fatalf("diabetes median %v outside range", med)
+	}
+}
+
+func median(xs []float64) float64 {
+	// Simple selection for tests.
+	n := len(xs)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if xs[j] < xs[i] {
+				xs[i], xs[j] = xs[j], xs[i]
+			}
+		}
+	}
+	return xs[n/2]
+}

@@ -1,0 +1,143 @@
+// Package tune implements the hyper-parameter selection protocol of the
+// paper's evaluation ("we exploit the common practice of the grid search to
+// identify the best hyper-parameters for each model"): k-fold
+// cross-validated grid search over arbitrary learner candidates.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+)
+
+// Candidate is one point of the grid: a named learner factory. The factory
+// is called once per fold so every evaluation starts untrained.
+type Candidate struct {
+	// Name identifies the hyper-parameter combination, e.g. "k=8 lr=0.1".
+	Name string
+	// Make constructs a fresh untrained learner.
+	Make func() (learner.Regressor, error)
+}
+
+// Result summarizes a grid search.
+type Result struct {
+	// Scores maps candidate name to mean validation MSE across folds.
+	Scores map[string]float64
+	// Stds maps candidate name to the across-fold standard deviation.
+	Stds map[string]float64
+	// Order lists candidate names sorted by ascending score.
+	Order []string
+	// Best is the lowest-score candidate name.
+	Best string
+	// Folds is the number of folds used.
+	Folds int
+}
+
+// GridSearch evaluates every candidate with k-fold cross-validation
+// (features and target standardized per fold on the training part, exactly
+// like the experiment pipeline) and returns the per-candidate scores.
+func GridSearch(d *dataset.Dataset, folds int, seed int64, candidates []Candidate) (*Result, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("tune: no candidates")
+	}
+	seen := make(map[string]bool, len(candidates))
+	for _, c := range candidates {
+		if c.Name == "" || c.Make == nil {
+			return nil, fmt.Errorf("tune: candidate with empty name or nil factory")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("tune: duplicate candidate %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	rng := rand.New(rand.NewSource(seed))
+	splits, err := dataset.KFold(d, folds, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scores: make(map[string]float64, len(candidates)),
+		Stds:   make(map[string]float64, len(candidates)),
+		Folds:  folds,
+	}
+	for _, c := range candidates {
+		var scores []float64
+		for fi, fold := range splits {
+			r, err := c.Make()
+			if err != nil {
+				return nil, fmt.Errorf("tune: building %q: %w", c.Name, err)
+			}
+			mse, err := evalFold(r, fold)
+			if err != nil {
+				return nil, fmt.Errorf("tune: %q fold %d: %w", c.Name, fi, err)
+			}
+			scores = append(scores, mse)
+		}
+		var mean float64
+		for _, s := range scores {
+			mean += s
+		}
+		mean /= float64(len(scores))
+		var variance float64
+		for _, s := range scores {
+			variance += (s - mean) * (s - mean)
+		}
+		res.Scores[c.Name] = mean
+		res.Stds[c.Name] = math.Sqrt(variance / float64(len(scores)))
+	}
+	for name := range res.Scores {
+		res.Order = append(res.Order, name)
+	}
+	sort.Slice(res.Order, func(i, j int) bool {
+		return res.Scores[res.Order[i]] < res.Scores[res.Order[j]]
+	})
+	res.Best = res.Order[0]
+	return res, nil
+}
+
+// evalFold standardizes on the fold's training part, fits, and scores the
+// validation part in original units.
+func evalFold(r learner.Regressor, fold dataset.Fold) (float64, error) {
+	sc, err := dataset.FitScaler(fold.Train, true)
+	if err != nil {
+		return 0, err
+	}
+	trainS, err := sc.Transform(fold.Train)
+	if err != nil {
+		return 0, err
+	}
+	valS, err := sc.Transform(fold.Val)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Fit(trainS); err != nil {
+		return 0, err
+	}
+	preds, err := learner.PredictBatch(r, valS.X)
+	if err != nil {
+		return 0, err
+	}
+	for i := range preds {
+		preds[i] = sc.InverseY(preds[i])
+	}
+	return dataset.MSE(preds, fold.Val.Y)
+}
+
+// Render prints the leaderboard.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid search (%d-fold CV, MSE ± std)\n", r.Folds)
+	for i, name := range r.Order {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s %-24s %12.4f ± %.4f\n", marker, name, r.Scores[name], r.Stds[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package tune
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"reghd/internal/dataset"
+	"reghd/internal/learner"
+	"reghd/internal/linreg"
+)
+
+func makeLinear(rng *rand.Rand, n int) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "lin", X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.X[i] = []float64{a, b}
+		d.Y[i] = 2*a - b + 0.05*rng.NormFloat64()
+	}
+	return d
+}
+
+// meanLearner ignores inputs and predicts the training mean.
+type meanLearner struct{ mean float64 }
+
+func (m *meanLearner) Name() string { return "mean" }
+func (m *meanLearner) Fit(d *dataset.Dataset) error {
+	m.mean = 0
+	for _, y := range d.Y {
+		m.mean += y
+	}
+	m.mean /= float64(d.Len())
+	return nil
+}
+func (m *meanLearner) Predict([]float64) (float64, error) { return m.mean, nil }
+
+func TestKFoldPartitions(t *testing.T) {
+	d := makeLinear(rand.New(rand.NewSource(1)), 53)
+	folds, err := dataset.KFold(d, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	totalVal := 0
+	for _, f := range folds {
+		totalVal += f.Val.Len()
+		if f.Train.Len()+f.Val.Len() != d.Len() {
+			t.Fatal("fold does not partition the dataset")
+		}
+	}
+	if totalVal != d.Len() {
+		t.Fatalf("validation parts cover %d of %d samples", totalVal, d.Len())
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	d := makeLinear(rand.New(rand.NewSource(3)), 10)
+	rng := rand.New(rand.NewSource(4))
+	if _, err := dataset.KFold(d, 1, rng); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := dataset.KFold(d, 11, rng); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := dataset.KFold(&dataset.Dataset{}, 2, rng); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestGridSearchPicksBetterModel(t *testing.T) {
+	d := makeLinear(rand.New(rand.NewSource(5)), 200)
+	res, err := GridSearch(d, 4, 6, []Candidate{
+		{Name: "ridge", Make: func() (learner.Regressor, error) { return linreg.New(linreg.Config{Lambda: 0.01}) }},
+		{Name: "mean", Make: func() (learner.Regressor, error) { return &meanLearner{}, nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != "ridge" {
+		t.Fatalf("best = %q, want ridge (scores %v)", res.Best, res.Scores)
+	}
+	if res.Scores["ridge"] >= res.Scores["mean"] {
+		t.Fatal("ridge should score lower MSE than the mean predictor")
+	}
+	if res.Order[0] != "ridge" {
+		t.Fatalf("order = %v", res.Order)
+	}
+	if !strings.Contains(res.Render(), "* ridge") {
+		t.Fatalf("render should mark the winner:\n%s", res.Render())
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	d := makeLinear(rand.New(rand.NewSource(7)), 50)
+	if _, err := GridSearch(d, 3, 1, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	if _, err := GridSearch(d, 3, 1, []Candidate{{Name: ""}}); err == nil {
+		t.Fatal("unnamed candidate accepted")
+	}
+	dup := Candidate{Name: "x", Make: func() (learner.Regressor, error) { return &meanLearner{}, nil }}
+	if _, err := GridSearch(d, 3, 1, []Candidate{dup, dup}); err == nil {
+		t.Fatal("duplicate candidates accepted")
+	}
+	failing := Candidate{Name: "boom", Make: func() (learner.Regressor, error) { return nil, errors.New("boom") }}
+	if _, err := GridSearch(d, 3, 1, []Candidate{failing}); err == nil {
+		t.Fatal("factory error not propagated")
+	}
+}
+
+func TestGridSearchDeterministic(t *testing.T) {
+	d := makeLinear(rand.New(rand.NewSource(8)), 120)
+	mk := []Candidate{
+		{Name: "r1", Make: func() (learner.Regressor, error) { return linreg.New(linreg.Config{Lambda: 0.1}) }},
+		{Name: "r2", Make: func() (learner.Regressor, error) { return linreg.New(linreg.Config{Lambda: 10}) }},
+	}
+	a, err := GridSearch(d, 3, 9, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GridSearch(d, 3, 9, mk)
+	for name := range a.Scores {
+		if a.Scores[name] != b.Scores[name] {
+			t.Fatal("grid search not deterministic")
+		}
+	}
+}

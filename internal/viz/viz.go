@@ -1,0 +1,92 @@
+// Package viz renders terminal charts for the experiment harness, so the
+// paper's *figures* come back as figures: horizontal bar charts for the
+// comparison plots (Figs. 6–9) and line plots for the curves (Fig. 3a).
+// Pure text, deterministic, no dependencies.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar renders a horizontal bar chart: one row per label, bars scaled to
+// width characters against the maximum value. Values must be non-negative.
+func Bar(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 || width < 1 {
+		return ""
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] < 0 || math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return ""
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := int(math.Round(values[i] / maxVal * float64(width)))
+		fmt.Fprintf(&b, "%-*s |%s%s %.3g\n", maxLabel, l,
+			strings.Repeat("█", n), strings.Repeat(" ", width-n), values[i])
+	}
+	return b.String()
+}
+
+// Line renders a y-vs-index line plot on a width×height character canvas
+// with a left axis carrying the min/max values.
+func Line(ys []float64, width, height int) string {
+	if len(ys) < 2 || width < 2 || height < 2 {
+		return ""
+	}
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return ""
+		}
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		// Sample the series at this column.
+		pos := float64(c) / float64(width-1) * float64(len(ys)-1)
+		i := int(pos)
+		frac := pos - float64(i)
+		y := ys[i]
+		if i+1 < len(ys) {
+			y = ys[i]*(1-frac) + ys[i+1]*frac
+		}
+		row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+		grid[row][c] = '*'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		prefix := "        "
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%7.3g ", hi)
+		case height - 1:
+			prefix = fmt.Sprintf("%7.3g ", lo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", prefix, string(row))
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarBasics(t *testing.T) {
+	out := Bar([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// The max value fills the width; the half value fills half.
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Fatalf("max bar not full:\n%s", out)
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 5)) {
+		t.Fatalf("half bar wrong:\n%s", out)
+	}
+	// Labels aligned.
+	if !strings.HasPrefix(lines[0], "a ") || !strings.HasPrefix(lines[1], "bb") {
+		t.Fatalf("labels misaligned:\n%s", out)
+	}
+}
+
+func TestBarEdgeCases(t *testing.T) {
+	if Bar(nil, nil, 10) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if Bar([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Fatal("mismatched lengths should render nothing")
+	}
+	if Bar([]string{"a"}, []float64{-1}, 10) != "" {
+		t.Fatal("negative value should render nothing")
+	}
+	if Bar([]string{"a"}, []float64{math.NaN()}, 10) != "" {
+		t.Fatal("NaN should render nothing")
+	}
+	// All-zero values must not divide by zero.
+	out := Bar([]string{"a"}, []float64{0}, 10)
+	if out == "" || strings.Contains(out, "█") {
+		t.Fatalf("zero bar wrong: %q", out)
+	}
+}
+
+func TestLineBasics(t *testing.T) {
+	ys := []float64{10, 8, 6, 4, 2, 0}
+	out := Line(ys, 20, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d rows", len(lines))
+	}
+	// Monotone decreasing series: the first column's mark is in the top
+	// row, the last column's in the bottom row.
+	if !strings.Contains(lines[0], "*") || lines[0][9] != '*' {
+		t.Fatalf("top-left mark missing:\n%s", out)
+	}
+	last := lines[len(lines)-1]
+	if last[len(last)-1] != '*' {
+		t.Fatalf("bottom-right mark missing:\n%s", out)
+	}
+	// Axis labels carry the extremes.
+	if !strings.Contains(lines[0], "10") || !strings.Contains(last, "0") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLineEdgeCases(t *testing.T) {
+	if Line([]float64{1}, 10, 5) != "" {
+		t.Fatal("single point should render nothing")
+	}
+	if Line([]float64{1, math.Inf(1)}, 10, 5) != "" {
+		t.Fatal("infinite value should render nothing")
+	}
+	// Constant series must not divide by zero.
+	out := Line([]float64{3, 3, 3}, 10, 4)
+	if out == "" || !strings.Contains(out, "*") {
+		t.Fatalf("constant series wrong: %q", out)
+	}
+}
+
+func TestBarDeterministic(t *testing.T) {
+	a := Bar([]string{"x", "y"}, []float64{3, 7}, 15)
+	b := Bar([]string{"x", "y"}, []float64{3, 7}, 15)
+	if a != b {
+		t.Fatal("Bar not deterministic")
+	}
+}

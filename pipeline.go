@@ -1,0 +1,155 @@
+package reghd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+)
+
+// Pipeline bundles a RegHD model with feature/target standardization: Fit
+// learns the scaler from the training data, trains the model on
+// standardized samples, and Predict returns outputs in the original target
+// units. This mirrors the preprocessing used throughout the paper's
+// evaluation.
+type Pipeline struct {
+	model  *Model
+	scaler *Scaler
+}
+
+// NewPipeline wraps an untrained model.
+func NewPipeline(m *Model) *Pipeline { return &Pipeline{model: m} }
+
+// Model returns the wrapped model.
+func (p *Pipeline) Model() *Model { return p.model }
+
+// Scaler returns the fitted standardization, or nil before Fit.
+func (p *Pipeline) Scaler() *Scaler { return p.scaler }
+
+// Fit standardizes train and trains the model, returning the training
+// summary.
+func (p *Pipeline) Fit(train *Dataset) (*TrainResult, error) {
+	sc, err := dataset.FitScaler(train, true)
+	if err != nil {
+		return nil, err
+	}
+	trainS, err := sc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.model.Fit(trainS)
+	if err != nil {
+		return nil, err
+	}
+	p.scaler = sc
+	return res, nil
+}
+
+// Predict returns the regression output for x in original target units.
+func (p *Pipeline) Predict(x []float64) (float64, error) {
+	if p.scaler == nil {
+		return 0, errors.New("reghd: pipeline has not been fitted")
+	}
+	row := append([]float64(nil), x...)
+	if err := p.scaler.TransformRow(row); err != nil {
+		return 0, err
+	}
+	y, err := p.model.Predict(row)
+	if err != nil {
+		return 0, err
+	}
+	return p.scaler.InverseY(y), nil
+}
+
+// PredictBatch predicts every row of xs.
+func (p *Pipeline) PredictBatch(xs [][]float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		y, err := p.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("reghd: predicting row %d: %w", i, err)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Evaluate returns the pipeline's MSE on a dataset in original units.
+func (p *Pipeline) Evaluate(d *Dataset) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	pred, err := p.PredictBatch(d.X)
+	if err != nil {
+		return 0, err
+	}
+	return dataset.MSE(pred, d.Y)
+}
+
+// pipelineState is the wire form of a fitted pipeline: the scaler plus the
+// model's own serialization.
+type pipelineState struct {
+	Scaler *Scaler
+	Model  []byte
+}
+
+// Save serializes the fitted pipeline — model and standardization together,
+// so a restored pipeline predicts in original units immediately.
+func (p *Pipeline) Save(w io.Writer) error {
+	if p.scaler == nil {
+		return errors.New("reghd: pipeline has not been fitted")
+	}
+	var mbuf bytes.Buffer
+	if err := p.model.Save(&mbuf); err != nil {
+		return err
+	}
+	st := pipelineState{Scaler: p.scaler, Model: mbuf.Bytes()}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("reghd: saving pipeline: %w", err)
+	}
+	return nil
+}
+
+// SaveFile saves the pipeline to a file path.
+func (p *Pipeline) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("reghd: %w", err)
+	}
+	if err := p.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPipeline restores a pipeline previously written with Save.
+func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	var st pipelineState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("reghd: loading pipeline: %w", err)
+	}
+	if st.Scaler == nil {
+		return nil, errors.New("reghd: loaded pipeline has no scaler")
+	}
+	m, err := core.Load(bytes.NewReader(st.Model))
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{model: m, scaler: st.Scaler}, nil
+}
+
+// LoadPipelineFile restores a pipeline from a file path.
+func LoadPipelineFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reghd: %w", err)
+	}
+	defer f.Close()
+	return LoadPipeline(f)
+}

@@ -1,0 +1,46 @@
+package reghd
+
+import (
+	"io"
+
+	"reghd/internal/rl"
+)
+
+// The rl types implement the paper's stated extension: HD-based
+// reinforcement learning, with RegHD regression models as the Q-function
+// approximators ("regression is the main building block to enable accurate
+// reinforcement learning").
+
+// RLEnvironment is an episodic control task with continuous states and
+// discrete actions.
+type RLEnvironment = rl.Environment
+
+// CartPole is the classic pole-balancing control task.
+type CartPole = rl.CartPole
+
+// Chase is a dense-reward 1-D tracking task.
+type Chase = rl.Chase
+
+// QAgent is a Q-learning agent with one RegHD model per action.
+type QAgent = rl.Agent
+
+// QAgentConfig holds the Q-learning hyper-parameters.
+type QAgentConfig = rl.AgentConfig
+
+// RLTrainResult summarizes an agent training run.
+type RLTrainResult = rl.TrainResult
+
+// NewQAgent builds a Q-learning agent for the environment.
+func NewQAgent(env RLEnvironment, cfg QAgentConfig) (*QAgent, error) {
+	return rl.NewAgent(env, cfg)
+}
+
+// DefaultQAgentConfig returns hyper-parameters that learn the bundled
+// environments.
+func DefaultQAgentConfig() QAgentConfig { return rl.DefaultAgentConfig() }
+
+// LoadQAgent restores an agent previously written with QAgent.Save,
+// attached to a fresh environment of the same shape.
+func LoadQAgent(env RLEnvironment, r io.Reader) (*QAgent, error) {
+	return rl.LoadAgent(env, r)
+}
