@@ -2,18 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-quick experiments fuzz examples clean
+.PHONY: all build vet test race race-quick cover bench bench-quick experiments fuzz examples clean
 
-all: build test
+# Tier-1 flow: build, vet, tests, and the full race-detector pass, so the
+# concurrency contracts (Snapshot serving, pooled Predict scratch) can never
+# regress silently.
+all: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
+	$(GO) test -race ./...
+
+# Race pass over just the concurrency-bearing packages (fast iteration).
+race-quick:
 	$(GO) test -race ./internal/core/ ./internal/hdc/ .
 
 cover:
@@ -42,6 +51,7 @@ examples:
 	$(GO) run ./examples/edge
 	$(GO) run ./examples/robustness
 	$(GO) run ./examples/streaming
+	$(GO) run ./examples/serving
 	$(GO) run ./examples/forecast
 	$(GO) run ./examples/classify
 	$(GO) run ./examples/rlcontrol

@@ -129,7 +129,10 @@ func BenchmarkTrainEpochMultiModel(b *testing.B) {
 	}
 }
 
-func BenchmarkPredictMultiModel(b *testing.B) {
+// benchTrainedModel fits the multi-model configuration the prediction
+// benchmarks share.
+func benchTrainedModel(b *testing.B) (*core.Model, *Dataset) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(9))
 	train := &Dataset{Name: "bench", X: make([][]float64, 200), Y: make([]float64, 200)}
 	for i := range train.X {
@@ -154,6 +157,11 @@ func BenchmarkPredictMultiModel(b *testing.B) {
 	if _, err := m.Fit(train); err != nil {
 		b.Fatal(err)
 	}
+	return m, train
+}
+
+func BenchmarkPredictMultiModel(b *testing.B) {
+	m, train := benchTrainedModel(b)
 	x := train.X[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -161,4 +169,76 @@ func BenchmarkPredictMultiModel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Concurrent-serving benchmarks: throughput of the race-free prediction
+// paths under GOMAXPROCS-way parallel load (compare ns/op against the
+// serial BenchmarkPredictMultiModel to see the scaling).
+
+func BenchmarkPredictConcurrentModel(b *testing.B) {
+	m, train := benchTrainedModel(b)
+	x := train.X[0]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := m.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPredictConcurrentSnapshot(b *testing.B) {
+	m, train := benchTrainedModel(b)
+	snap := m.Snapshot()
+	x := train.X[0]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := snap.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineServeWhileTraining measures read throughput while a writer
+// goroutine streams PartialFit updates and republishes snapshots — the
+// serve-while-training workload the engine exists for.
+func BenchmarkEngineServeWhileTraining(b *testing.B) {
+	m, train := benchTrainedModel(b)
+	e, err := NewEngine(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetPublishEvery(32)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := i % len(train.X)
+			if err := e.PartialFit(train.X[r], train.Y[r]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	x := train.X[0]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
 }

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+// trainSmall fits a small multi-model configuration for the concurrency
+// tests: Models > 1 exercises the similarity/softmax scratch that the
+// seed's shared-buffer Predict raced on.
+func trainSmall(t *testing.T, cfg Config) (*Model, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	train := makePiecewise(rng, 200, 4, 0.05)
+	m := newModel(t, 4, 256, cfg)
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	return m, train.X
+}
+
+// TestPredictConcurrentScratch hammers Model.Predict from many goroutines
+// with nil counters and asserts every result matches the serial answer
+// exactly. Against the seed's shared m.sims/m.conf scratch this fails under
+// -race (and intermittently corrupts the softmax blend even without it);
+// with pooled per-call scratch the documented contract holds.
+func TestPredictConcurrentScratch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m, xs := trainSmall(t, cfg)
+
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		y, err := m.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = y
+	}
+
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w*rounds + r) % len(xs)
+				y, err := m.Predict(xs[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if y != want[i] {
+					t.Errorf("concurrent Predict(row %d) = %v, serial = %v", i, y, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotServesDuringPartialFit is the serving stress test: reader
+// goroutines predict against a frozen Snapshot while one writer streams
+// PartialFit updates and periodically refreshes the binary shadows on the
+// live model. Readers must observe finite predictions that are bit-exact
+// against the frozen snapshot's pre-computed answers, no matter what the
+// writer does.
+func TestSnapshotServesDuringPartialFit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	cfg.ClusterMode = ClusterBinary
+	cfg.PredictMode = PredictBinaryBoth
+	m, xs := trainSmall(t, cfg)
+
+	snap := m.Snapshot()
+	frozen, err := snap.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := makePiecewise(rand.New(rand.NewSource(7)), 400, 4, 0.05)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, x := range stream.X {
+			if err := m.PartialFit(x, stream.Y[i]); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%50 == 49 {
+				if err := m.RefreshShadows(nil, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	const readers = 6
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 80; r++ {
+				i := (w*80 + r) % len(xs)
+				y, err := snap.Predict(xs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.IsNaN(y) || math.IsInf(y, 0) {
+					t.Errorf("snapshot prediction for row %d not finite: %v", i, y)
+					return
+				}
+				if y != frozen[i] {
+					t.Errorf("snapshot prediction for row %d drifted: %v != %v", i, y, frozen[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// A fresh snapshot after the stream picks up the writer's updates and
+	// still predicts finite values.
+	after, err := m.Snapshot().PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range after {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			t.Fatalf("post-stream prediction for row %d not finite: %v", i, y)
+		}
+	}
+}
+
+// TestSnapshotImmuneToModelMutation corrupts the source model after taking
+// a snapshot and checks the snapshot's answers never move.
+func TestSnapshotImmuneToModelMutation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m, xs := trainSmall(t, cfg)
+	snap := m.Snapshot()
+	before, err := snap.PredictBatch(xs[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CorruptModelComponents(rand.New(rand.NewSource(3)), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs[:20] {
+		if err := m.PartialFit(xs[i], 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := snap.PredictBatch(xs[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("snapshot row %d moved after model mutation: %v != %v", i, before[i], after[i])
+		}
+	}
+	// The live model, by contrast, must have moved.
+	live, err := m.PredictBatch(xs[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range live {
+		if live[i] != before[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("model predictions unchanged by corruption + PartialFit; mutation test is vacuous")
+	}
+}
+
+// TestSnapshotCountsOps verifies the atomic counting path: concurrent
+// snapshot predictions with an installed AtomicCounter account the same
+// total operations as the same predictions counted serially on the model.
+func TestSnapshotCountsOps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m, xs := trainSmall(t, cfg)
+	n := 32
+
+	m.InferCounter = &hdc.Counter{}
+	if _, err := m.PredictBatch(xs[:n]); err != nil {
+		t.Fatal(err)
+	}
+	want := m.InferCounter.Snapshot()
+	m.InferCounter = nil
+
+	snap := m.Snapshot()
+	ac := &hdc.AtomicCounter{}
+	snap.SetCounter(ac)
+	if _, err := snap.PredictBatchParallel(xs[:n], 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.Snapshot(); got != want {
+		t.Fatalf("atomic op counts diverge from serial: got %v want %v", got, want)
+	}
+}
+
+// TestPredictBatchParallelErrorRow plants malformed rows in several worker
+// chunks and checks the error reports the lowest failing row index, and
+// that per-worker op counters are merged even on the failure path.
+func TestPredictBatchParallelErrorRow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m, xs := trainSmall(t, cfg)
+
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = xs[i%len(xs)]
+	}
+	bad := []float64{1, 2} // wrong feature count: encoder expects 4
+	rows[21] = bad
+	rows[55] = bad
+
+	m.InferCounter = &hdc.Counter{}
+	_, err := m.PredictBatchParallel(rows, 4)
+	if err == nil {
+		t.Fatal("malformed rows accepted")
+	}
+	if !strings.Contains(err.Error(), "row 21") {
+		t.Fatalf("error should name the lowest failing row 21, got: %v", err)
+	}
+	if m.InferCounter.Total() == 0 {
+		t.Fatal("partial op counts dropped on the error path")
+	}
+}
+
+// TestSnapshotUntrained checks the not-trained guard survives the snapshot
+// path.
+func TestSnapshotUntrained(t *testing.T) {
+	m := newModel(t, 4, 64, DefaultConfig())
+	snap := m.Snapshot()
+	if _, err := snap.Predict([]float64{1, 2, 3, 4}); err != ErrNotTrained {
+		t.Fatalf("expected ErrNotTrained, got %v", err)
+	}
+	if _, err := snap.PredictBatchParallel([][]float64{{1, 2, 3, 4}}, 2); err != ErrNotTrained {
+		t.Fatalf("expected ErrNotTrained, got %v", err)
+	}
+}

@@ -3,18 +3,19 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"reghd/internal/encoding"
 	"reghd/internal/hdc"
 )
 
-// Model is a RegHD regressor: k cluster hypervectors routing each encoded
-// input to k regression hypervectors, with optional binary shadows for the
-// quantized similarity and prediction kernels.
-//
-// A Model is not safe for concurrent mutation; Predict* methods are safe to
-// call concurrently after training only when the optional counters are nil.
-type Model struct {
+// params is the read-only state one prediction needs: the configuration,
+// the encoder, and the learned hypervectors with their quantized shadows
+// and output calibration. It is embedded by the mutable Model (where the
+// training loop rewrites it in place) and copied wholesale into the
+// immutable Snapshot, so every prediction kernel is written once, against
+// params, and serves both.
+type params struct {
 	cfg Config
 	enc encoding.Encoder
 	dim int
@@ -31,20 +32,67 @@ type Model struct {
 	// least-squares fit of (a, b) on the training predictions restores the
 	// output scale. Identity (1, 0) for integer-model modes.
 	calibA, calibB float64
+}
+
+// Model is a RegHD regressor: k cluster hypervectors routing each encoded
+// input to k regression hypervectors, with optional binary shadows for the
+// quantized similarity and prediction kernels.
+//
+// A Model is not safe for concurrent mutation, and prediction must not
+// overlap with mutation (Fit, PartialFit, RefreshShadows, Sparsify, fault
+// injection) — take a Snapshot for that. Predict* methods are safe to call
+// concurrently with each other when the optional counters are nil: each
+// call draws private scratch from an internal pool.
+type Model struct {
+	params
 
 	rng     *rand.Rand
 	trained bool
 
-	// sims and conf are per-call scratch (cluster similarities and softmax
-	// confidences).
+	// sims and conf are the training-path scratch (cluster similarities
+	// and softmax confidences): predictTraining leaves them filled for the
+	// subsequent update, which is why the training loop — single-writer by
+	// contract — keeps shared buffers while Predict* uses pooled scratch.
 	sims, conf []float64
+
+	// scratch pools per-call prediction workspaces so concurrent Predict*
+	// calls never share similarity/confidence buffers.
+	scratch *scratchPool
 
 	// TrainCounter, when non-nil, accumulates the primitive operations of
 	// every training-phase kernel; InferCounter does the same for
-	// prediction. They feed the hardware cost model cross-checks.
+	// prediction. They feed the hardware cost model cross-checks. Non-nil
+	// counters are plain accumulators and revoke Predict*'s concurrency
+	// safety; use Snapshot with an AtomicCounter to count concurrent
+	// serving.
 	TrainCounter *hdc.Counter
 	InferCounter *hdc.Counter
 }
+
+// scratch is one prediction call's private workspace: cluster similarities,
+// softmax confidences, and a local op counter that concurrent paths merge
+// into an AtomicCounter after the call.
+type scratch struct {
+	sims, conf []float64
+	ctr        hdc.Counter
+}
+
+// scratchPool recycles scratch workspaces across prediction calls.
+type scratchPool struct {
+	pool sync.Pool
+}
+
+func newScratchPool(models int) *scratchPool {
+	return &scratchPool{pool: sync.Pool{New: func() any {
+		return &scratch{
+			sims: make([]float64, models),
+			conf: make([]float64, models),
+		}
+	}}}
+}
+
+func (p *scratchPool) get() *scratch  { return p.pool.Get().(*scratch) }
+func (p *scratchPool) put(s *scratch) { p.pool.Put(s) }
 
 // New constructs an untrained RegHD model over the given encoder.
 func New(enc encoding.Encoder, cfg Config) (*Model, error) {
@@ -55,11 +103,14 @@ func New(enc encoding.Encoder, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{
-		cfg:    cfg,
-		enc:    enc,
-		dim:    enc.Dim(),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		calibA: 1,
+		params: params{
+			cfg:    cfg,
+			enc:    enc,
+			dim:    enc.Dim(),
+			calibA: 1,
+		},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		scratch: newScratchPool(cfg.Models),
 	}
 	m.models = make([]hdc.Vector, cfg.Models)
 	for i := range m.models {
@@ -92,17 +143,17 @@ func New(enc encoding.Encoder, cfg Config) (*Model, error) {
 	return m, nil
 }
 
-// Config returns the model's validated configuration.
-func (m *Model) Config() Config { return m.cfg }
+// Config returns the validated configuration.
+func (p *params) Config() Config { return p.cfg }
 
 // Dim returns the hyperdimensional size D.
-func (m *Model) Dim() int { return m.dim }
+func (p *params) Dim() int { return p.dim }
 
 // Models returns the number of cluster/regression model pairs k.
-func (m *Model) Models() int { return m.cfg.Models }
+func (p *params) Models() int { return p.cfg.Models }
 
 // Encoder returns the encoder the model was built with.
-func (m *Model) Encoder() encoding.Encoder { return m.enc }
+func (p *params) Encoder() encoding.Encoder { return p.enc }
 
 // Trained reports whether Fit has completed at least one epoch.
 func (m *Model) Trained() bool { return m.trained }
@@ -117,17 +168,17 @@ type encoded struct {
 }
 
 // encode produces the representations of x required by the configuration.
-func (m *Model) encode(ctr *hdc.Counter, x []float64) (encoded, error) {
+func (p *params) encode(ctr *hdc.Counter, x []float64) (encoded, error) {
 	var e encoded
-	if m.cfg.PredictMode.UsesRawQuery() {
-		raw, s, err := m.enc.EncodeBoth(ctr, x)
+	if p.cfg.PredictMode.UsesRawQuery() {
+		raw, s, err := p.enc.EncodeBoth(ctr, x)
 		if err != nil {
 			return encoded{}, err
 		}
 		e.raw = raw
 		e.s = s
 	} else {
-		s, err := m.enc.EncodeBipolar(ctr, x)
+		s, err := p.enc.EncodeBipolar(ctr, x)
 		if err != nil {
 			return encoded{}, err
 		}
@@ -139,14 +190,14 @@ func (m *Model) encode(ctr *hdc.Counter, x []float64) (encoded, error) {
 
 // clusterSimilaritiesInto fills sims with the similarity of the encoded
 // sample to each cluster, using the configured similarity kernel.
-func (m *Model) clusterSimilaritiesInto(ctr *hdc.Counter, e encoded, sims []float64) {
-	switch m.cfg.ClusterMode {
+func (p *params) clusterSimilaritiesInto(ctr *hdc.Counter, e encoded, sims []float64) {
+	switch p.cfg.ClusterMode {
 	case ClusterInteger:
-		for i, c := range m.clusters {
+		for i, c := range p.clusters {
 			sims[i] = hdc.Cosine(ctr, e.s, c)
 		}
 	default: // ClusterBinary, ClusterNaiveBinary
-		for i, cb := range m.clustersBin {
+		for i, cb := range p.clustersBin {
 			sims[i] = hdc.HammingSimilarity(ctr, e.packed, cb)
 		}
 	}
@@ -154,17 +205,17 @@ func (m *Model) clusterSimilaritiesInto(ctr *hdc.Counter, e encoded, sims []floa
 
 // modelDot computes the raw per-model regression output ŷ_i = query·M_i / D
 // with the deployment kernel selected by PredictMode.
-func (m *Model) modelDot(ctr *hdc.Counter, e encoded, i int) float64 {
-	d := float64(m.dim)
-	switch m.cfg.PredictMode {
+func (p *params) modelDot(ctr *hdc.Counter, e encoded, i int) float64 {
+	d := float64(p.dim)
+	switch p.cfg.PredictMode {
 	case PredictFull:
-		return hdc.Dot(ctr, e.raw, m.models[i]) / d
+		return hdc.Dot(ctr, e.raw, p.models[i]) / d
 	case PredictBinaryQuery:
-		return hdc.DotBinaryDense(ctr, e.packed, m.models[i]) / d
+		return hdc.DotBinaryDense(ctr, e.packed, p.models[i]) / d
 	case PredictBinaryModel:
-		return m.modelScale[i] * hdc.DotBinaryDense(ctr, m.modelsBin[i], e.raw) / d
+		return p.modelScale[i] * hdc.DotBinaryDense(ctr, p.modelsBin[i], e.raw) / d
 	case PredictBinaryBoth:
-		return m.modelScale[i] * float64(hdc.DotBinary(ctr, e.packed, m.modelsBin[i])) / d
+		return p.modelScale[i] * float64(hdc.DotBinary(ctr, e.packed, p.modelsBin[i])) / d
 	default:
 		panic("core: invalid PredictMode")
 	}
@@ -175,52 +226,58 @@ func (m *Model) modelDot(ctr *hdc.Counter, e encoded, i int) float64 {
 // the integer model regardless of the deployment kernel: the binary shadow
 // only refreshes per epoch, so using it for the training error would remove
 // the feedback that keeps the LMS update convergent.
-func (m *Model) trainModelDot(ctr *hdc.Counter, e encoded, i int) float64 {
-	d := float64(m.dim)
-	if m.cfg.PredictMode.UsesRawQuery() {
-		return hdc.Dot(ctr, e.raw, m.models[i]) / d
+func (p *params) trainModelDot(ctr *hdc.Counter, e encoded, i int) float64 {
+	d := float64(p.dim)
+	if p.cfg.PredictMode.UsesRawQuery() {
+		return hdc.Dot(ctr, e.raw, p.models[i]) / d
 	}
-	return hdc.DotBinaryDense(ctr, e.packed, m.models[i]) / d
+	return hdc.DotBinaryDense(ctr, e.packed, p.models[i]) / d
 }
 
-// predictWith runs the prediction pipeline of Fig. 4 with the supplied
-// per-model dot kernel: cluster similarity search, softmax normalization,
-// and the confidence-weighted accumulation of all per-model outputs
-// (Eq. 6). It leaves the similarities/confidences in m.sims/m.conf for the
-// training update.
+// predictWith runs the prediction pipeline of Fig. 4 against the Model's
+// shared training scratch. It leaves the similarities/confidences in
+// m.sims/m.conf for the training update, so it must only be called from
+// single-writer training paths (predictTraining, RefreshShadows,
+// calibrate).
 func (m *Model) predictWith(ctr *hdc.Counter, e encoded, dot func(*hdc.Counter, encoded, int) float64) float64 {
 	return m.predictWithScratch(ctr, e, dot, m.sims, m.conf)
 }
 
-// predictWithScratch is predictWith over caller-supplied similarity and
-// confidence buffers, allowing concurrent read-only prediction.
-func (m *Model) predictWithScratch(ctr *hdc.Counter, e encoded, dot func(*hdc.Counter, encoded, int) float64, sims, conf []float64) float64 {
-	if m.cfg.Models == 1 {
+// predictWithScratch runs the prediction pipeline of Fig. 4 with the
+// supplied per-model dot kernel over caller-supplied similarity and
+// confidence buffers: cluster similarity search, softmax normalization, and
+// the confidence-weighted accumulation of all per-model outputs (Eq. 6).
+// With private buffers it is safe to run concurrently against frozen
+// params.
+func (p *params) predictWithScratch(ctr *hdc.Counter, e encoded, dot func(*hdc.Counter, encoded, int) float64, sims, conf []float64) float64 {
+	if p.cfg.Models == 1 {
 		return dot(ctr, e, 0)
 	}
-	m.clusterSimilaritiesInto(ctr, e, sims)
-	hdc.Softmax(ctr, conf, sims, m.cfg.SoftmaxBeta)
+	p.clusterSimilaritiesInto(ctr, e, sims)
+	hdc.Softmax(ctr, conf, sims, p.cfg.SoftmaxBeta)
 	var y float64
-	for i := range m.models {
+	for i := range p.models {
 		y += conf[i] * dot(ctr, e, i)
 	}
-	ctr.Add(hdc.OpFloatMul, uint64(m.cfg.Models))
-	ctr.Add(hdc.OpFloatAdd, uint64(m.cfg.Models))
+	ctr.Add(hdc.OpFloatMul, uint64(p.cfg.Models))
+	ctr.Add(hdc.OpFloatAdd, uint64(p.cfg.Models))
 	return y
 }
 
-// predictEncoded is the deployment prediction path.
-func (m *Model) predictEncoded(ctr *hdc.Counter, e encoded) float64 {
-	y := m.predictWith(ctr, e, m.modelDot)
-	if m.cfg.PredictMode.UsesBinaryModel() {
-		y = m.calibA*y + m.calibB
+// predictEncoded is the deployment prediction path (Eq. 6 plus the output
+// calibration of binary-model modes) over caller-supplied scratch.
+func (p *params) predictEncoded(ctr *hdc.Counter, e encoded, sims, conf []float64) float64 {
+	y := p.predictWithScratch(ctr, e, p.modelDot, sims, conf)
+	if p.cfg.PredictMode.UsesBinaryModel() {
+		y = p.calibA*y + p.calibB
 		ctr.Add(hdc.OpFloatMul, 1)
 		ctr.Add(hdc.OpFloatAdd, 1)
 	}
 	return y
 }
 
-// predictTraining is the training-time prediction path (integer model).
+// predictTraining is the training-time prediction path (integer model). It
+// fills the shared m.sims/m.conf for the subsequent update.
 func (m *Model) predictTraining(ctr *hdc.Counter, e encoded) float64 {
 	return m.predictWith(ctr, e, m.trainModelDot)
 }
@@ -234,7 +291,10 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.predictEncoded(m.InferCounter, e), nil
+	s := m.scratch.get()
+	y := m.predictEncoded(m.InferCounter, e, s.sims, s.conf)
+	m.scratch.put(s)
+	return y, nil
 }
 
 // PredictBatch returns predictions for each row of xs.
@@ -269,13 +329,13 @@ func (m *Model) refreshBinaryShadows(ctr *hdc.Counter) {
 }
 
 // ModelVector returns a copy of the integer regression hypervector M_i.
-func (m *Model) ModelVector(i int) hdc.Vector { return m.models[i].Clone() }
+func (p *params) ModelVector(i int) hdc.Vector { return p.models[i].Clone() }
 
 // ClusterVector returns a copy of the integer cluster hypervector C_i.
 // It returns nil for single-model configurations.
-func (m *Model) ClusterVector(i int) hdc.Vector {
-	if m.clusters == nil {
+func (p *params) ClusterVector(i int) hdc.Vector {
+	if p.clusters == nil {
 		return nil
 	}
-	return m.clusters[i].Clone()
+	return p.clusters[i].Clone()
 }

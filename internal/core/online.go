@@ -11,6 +11,11 @@ import "reghd/internal/hdc"
 // Binary shadows are NOT refreshed here (that costs a full re-quantization
 // per model); call RefreshShadows periodically — e.g. every few hundred
 // samples — when running a quantized configuration.
+//
+// PartialFit mutates the model, so it must not overlap with any other call
+// on the same Model. To serve predictions concurrently with a PartialFit
+// stream, publish Snapshots between updates (see Model.Snapshot and the
+// reghd facade's Engine).
 func (m *Model) PartialFit(x []float64, y float64) error {
 	e, err := m.encode(m.TrainCounter, x)
 	if err != nil {

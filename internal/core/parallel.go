@@ -8,26 +8,97 @@ import (
 	"reghd/internal/hdc"
 )
 
+// rowErr pairs a row index with its error so parallel batch paths report
+// the first failure in row order regardless of worker scheduling.
+type rowErr struct {
+	row int
+	err error
+}
+
+// firstRowErr returns the recorded error with the lowest row index, or nil.
+func firstRowErr(errs []rowErr) error {
+	var first error
+	best := -1
+	for _, re := range errs {
+		if re.err != nil && (best < 0 || re.row < best) {
+			best = re.row
+			first = re.err
+		}
+	}
+	return first
+}
+
+// clampWorkers resolves a worker count request against n items: 0 means
+// GOMAXPROCS, and the count never exceeds the number of items.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// forEachRowParallel splits [0, n) into contiguous per-worker chunks and
+// applies fn to every index; each worker stops its chunk at its first
+// error. It returns the error of the lowest failing row index. With one
+// worker (or one item) it runs inline.
+func forEachRowParallel(n, workers int, fn func(i int) error) error {
+	workers = clampWorkers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]rowErr, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := fn(i); err != nil {
+					errs[w] = rowErr{row: i, err: err}
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return firstRowErr(errs)
+}
+
 // PredictBatchParallel predicts every row of xs using the given number of
 // worker goroutines (0 means GOMAXPROCS). Prediction only reads model
-// state, so workers share the model and carry private scratch buffers —
+// state, so workers share the model and carry private pooled scratch —
 // the data parallelism the paper highlights as inherent to HD computing.
-// Operation counting is aggregated across workers into InferCounter.
+// Operation counting is aggregated across workers into InferCounter, on
+// both the success and the failure path, so instrumentation stays
+// consistent with the work actually performed; on error the failure with
+// the lowest row index is returned.
 func (m *Model) PredictBatchParallel(xs [][]float64, workers int) ([]float64, error) {
 	if !m.trained {
 		return nil, ErrNotTrained
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
+	workers = clampWorkers(workers, len(xs))
 	if workers <= 1 {
 		return m.PredictBatch(xs)
 	}
 	out := make([]float64, len(xs))
-	errs := make([]error, workers)
+	errs := make([]rowErr, workers)
 	counters := make([]*hdc.Counter, workers)
 	var wg sync.WaitGroup
 	chunk := (len(xs) + workers - 1) / workers
@@ -48,35 +119,26 @@ func (m *Model) PredictBatchParallel(xs [][]float64, workers int) ([]float64, er
 		}
 		go func(w, lo, hi int, ctr *hdc.Counter) {
 			defer wg.Done()
-			var sims, conf []float64
-			if m.cfg.Models > 1 {
-				sims = make([]float64, m.cfg.Models)
-				conf = make([]float64, m.cfg.Models)
-			}
+			sc := m.scratch.get()
+			defer m.scratch.put(sc)
 			for i := lo; i < hi; i++ {
 				e, err := m.encode(ctr, xs[i])
 				if err != nil {
-					errs[w] = fmt.Errorf("core: predicting row %d: %w", i, err)
+					errs[w] = rowErr{row: i, err: fmt.Errorf("core: predicting row %d: %w", i, err)}
 					return
 				}
-				y := m.predictWithScratch(ctr, e, m.modelDot, sims, conf)
-				if m.cfg.PredictMode.UsesBinaryModel() {
-					y = m.calibA*y + m.calibB
-					ctr.Add(hdc.OpFloatMul, 1)
-					ctr.Add(hdc.OpFloatAdd, 1)
-				}
-				out[i] = y
+				out[i] = m.predictEncoded(ctr, e, sc.sims, sc.conf)
 			}
 		}(w, lo, hi, ctr)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+	// Merge per-worker counters before the error check: a failed batch
+	// must still account for the operations its workers performed.
 	for _, ctr := range counters {
 		m.InferCounter.AddCounter(ctr)
+	}
+	if err := firstRowErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

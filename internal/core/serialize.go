@@ -82,18 +82,21 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: loaded model vectors: %w", err)
 	}
 	m := &Model{
-		cfg:         st.Cfg,
-		enc:         st.Encoder,
-		dim:         dim,
-		clusters:    st.Clusters,
-		clustersBin: st.ClustersBin,
-		models:      st.Models,
-		modelsBin:   st.ModelsBin,
-		modelScale:  st.ModelScale,
-		calibA:      st.CalibA,
-		calibB:      st.CalibB,
-		trained:     st.Trained,
-		rng:         rand.New(rand.NewSource(st.Cfg.Seed)),
+		params: params{
+			cfg:         st.Cfg,
+			enc:         st.Encoder,
+			dim:         dim,
+			clusters:    st.Clusters,
+			clustersBin: st.ClustersBin,
+			models:      st.Models,
+			modelsBin:   st.ModelsBin,
+			modelScale:  st.ModelScale,
+			calibA:      st.CalibA,
+			calibB:      st.CalibB,
+		},
+		trained: st.Trained,
+		rng:     rand.New(rand.NewSource(st.Cfg.Seed)),
+		scratch: newScratchPool(st.Cfg.Models),
 	}
 	if m.cfg.Models > 1 {
 		m.sims = make([]float64, m.cfg.Models)

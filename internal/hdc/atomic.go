@@ -1,0 +1,99 @@
+package hdc
+
+import "sync/atomic"
+
+// AtomicCounter is a Counter whose accumulation is safe for concurrent use:
+// many goroutines may Add or merge into it while others read totals. It is
+// the aggregation point for concurrent serving, where per-call scratch
+// counters (plain Counters, written single-threaded inside one prediction)
+// are merged with one atomic add per operation class.
+//
+// A nil *AtomicCounter is valid everywhere and counts nothing, mirroring the
+// nil-Counter convention of the instrumented kernels.
+type AtomicCounter struct {
+	counts [NumOps]atomic.Uint64
+}
+
+// Add atomically records n occurrences of op. Add on a nil counter is a
+// no-op.
+func (c *AtomicCounter) Add(op Op, n uint64) {
+	if c == nil {
+		return
+	}
+	c.counts[op].Add(n)
+}
+
+// AddCounter atomically merges the counts of a plain Counter into c — the
+// intended hot path: kernels count into a goroutine-local Counter, and the
+// caller merges once per prediction (NumOps atomic adds, independent of how
+// many primitive ops the prediction performed).
+func (c *AtomicCounter) AddCounter(other *Counter) {
+	if c == nil || other == nil {
+		return
+	}
+	for i := range other.counts {
+		if n := other.counts[i]; n != 0 {
+			c.counts[i].Add(n)
+		}
+	}
+}
+
+// Count reports the accumulated count for op. A nil counter reports zero.
+func (c *AtomicCounter) Count(op Op) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[op].Load()
+}
+
+// Total reports the sum of all operation counts.
+func (c *AtomicCounter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.counts {
+		t += c.counts[i].Load()
+	}
+	return t
+}
+
+// Reset zeroes all counts. Concurrent Adds racing a Reset land either before
+// or after it; each class is zeroed atomically.
+func (c *AtomicCounter) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i].Store(0)
+	}
+}
+
+// Snapshot returns a copy of the current counts indexed by Op. Classes are
+// loaded one at a time, so a snapshot taken under concurrent writes is a
+// consistent point per class, not across classes.
+func (c *AtomicCounter) Snapshot() [NumOps]uint64 {
+	var out [NumOps]uint64
+	if c == nil {
+		return out
+	}
+	for i := range c.counts {
+		out[i] = c.counts[i].Load()
+	}
+	return out
+}
+
+// Counter returns the current counts as a plain Counter, for handing to
+// code that consumes the single-threaded type (reports, the hardware cost
+// model).
+func (c *AtomicCounter) Counter() *Counter {
+	return &Counter{counts: c.Snapshot()}
+}
+
+// String renders the non-zero counts, for debugging and reports.
+func (c *AtomicCounter) String() string {
+	if c == nil {
+		return "hdc.AtomicCounter(nil)"
+	}
+	return "atomic " + c.Counter().String()
+}

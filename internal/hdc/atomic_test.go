@@ -1,0 +1,65 @@
+package hdc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicCounterConcurrentAdds(t *testing.T) {
+	var ac AtomicCounter
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := &Counter{}
+			for i := 0; i < perWorker; i++ {
+				ac.Add(OpFloatAdd, 2)
+				local.Add(OpPopcnt, 3)
+			}
+			ac.AddCounter(local)
+		}()
+	}
+	wg.Wait()
+	if got, want := ac.Count(OpFloatAdd), uint64(workers*perWorker*2); got != want {
+		t.Errorf("OpFloatAdd = %d, want %d", got, want)
+	}
+	if got, want := ac.Count(OpPopcnt), uint64(workers*perWorker*3); got != want {
+		t.Errorf("OpPopcnt = %d, want %d", got, want)
+	}
+	if got, want := ac.Total(), uint64(workers*perWorker*5); got != want {
+		t.Errorf("Total = %d, want %d", got, want)
+	}
+}
+
+func TestAtomicCounterNilSafe(t *testing.T) {
+	var ac *AtomicCounter
+	ac.Add(OpXor, 5)
+	ac.AddCounter(&Counter{})
+	ac.Reset()
+	if ac.Count(OpXor) != 0 || ac.Total() != 0 {
+		t.Error("nil AtomicCounter should count nothing")
+	}
+	if ac.Snapshot() != ([NumOps]uint64{}) {
+		t.Error("nil AtomicCounter snapshot should be zero")
+	}
+	if ac.String() != "hdc.AtomicCounter(nil)" {
+		t.Errorf("nil String = %q", ac.String())
+	}
+}
+
+func TestAtomicCounterConversion(t *testing.T) {
+	var ac AtomicCounter
+	ac.Add(OpIntMul, 7)
+	ac.Add(OpExp, 2)
+	c := ac.Counter()
+	if c.Count(OpIntMul) != 7 || c.Count(OpExp) != 2 {
+		t.Errorf("Counter conversion lost counts: %v", c)
+	}
+	ac.Reset()
+	if ac.Total() != 0 {
+		t.Errorf("Reset left %d counts", ac.Total())
+	}
+}

@@ -66,17 +66,29 @@ func (p *Pipeline) Predict(x []float64) (float64, error) {
 	return p.scaler.InverseY(y), nil
 }
 
-// PredictBatch predicts every row of xs.
+// PredictBatch predicts every row of xs: the batch is standardized once and
+// fanned out over GOMAXPROCS prediction workers, with outputs mapped back
+// to original target units.
 func (p *Pipeline) PredictBatch(xs [][]float64) ([]float64, error) {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		y, err := p.Predict(x)
-		if err != nil {
-			return nil, fmt.Errorf("reghd: predicting row %d: %w", i, err)
-		}
-		out[i] = y
+	if p.scaler == nil {
+		return nil, errors.New("reghd: pipeline has not been fitted")
 	}
-	return out, nil
+	rows := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := append([]float64(nil), x...)
+		if err := p.scaler.TransformRow(row); err != nil {
+			return nil, fmt.Errorf("reghd: standardizing row %d: %w", i, err)
+		}
+		rows[i] = row
+	}
+	ys, err := p.model.PredictBatchParallel(rows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("reghd: %w", err)
+	}
+	for i := range ys {
+		ys[i] = p.scaler.InverseY(ys[i])
+	}
+	return ys, nil
 }
 
 // Evaluate returns the pipeline's MSE on a dataset in original units.

@@ -17,7 +17,10 @@
 //
 // The Pipeline standardizes features and target around the model, which is
 // how every experiment in the paper's evaluation is run; use Model directly
-// for pre-standardized data or streaming updates.
+// for pre-standardized data or streaming updates. For concurrent serving —
+// lock-free prediction while a writer streams PartialFit updates — wrap the
+// model (or fitted pipeline) in an Engine, which publishes immutable
+// Snapshots through an atomic pointer.
 package reghd
 
 import (
@@ -51,7 +54,9 @@ type ClusterMode = core.ClusterMode
 type PredictMode = core.PredictMode
 
 // OpCounter accumulates primitive-operation counts for the hardware cost
-// model; attach one to Model.TrainCounter or Model.InferCounter.
+// model; attach one to Model.TrainCounter or Model.InferCounter. It is a
+// plain (single-threaded) accumulator; for concurrent serving use
+// AtomicOpCounter via Snapshot.SetCounter or Engine.EnableOpCounting.
 type OpCounter = hdc.Counter
 
 // Re-exported mode constants.

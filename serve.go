@@ -1,0 +1,272 @@
+package reghd
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"reghd/internal/core"
+	"reghd/internal/hdc"
+)
+
+// Snapshot is an immutable copy of a model's prediction state. Every method
+// is safe from any number of goroutines, concurrently with further training
+// of the source model.
+type Snapshot = core.Snapshot
+
+// AtomicOpCounter accumulates primitive-operation counts with atomic adds,
+// safe for concurrent serving; install one on a Snapshot (SetCounter) or an
+// Engine (EnableOpCounting).
+type AtomicOpCounter = hdc.AtomicCounter
+
+// Engine is a snapshot-publication serving engine: readers predict against
+// an immutable Snapshot reached through one atomic pointer load — no locks,
+// no shared scratch — while a single writer streams PartialFit updates into
+// the live model and republishes at will. This is the concurrency pattern
+// RegHD's single-pass streaming story needs in production: training and
+// serving proceed simultaneously, and every reader observes a consistent
+// frozen model rather than a half-updated one.
+//
+// Reader methods (Predict, PredictBatch, Snapshot) may be called from any
+// number of goroutines. Writer methods (PartialFit, Publish, Update,
+// EnableOpCounting, SetPublishEvery) serialize on an internal mutex, so
+// multiple producers may feed the engine too. Reads never block on writes.
+type Engine struct {
+	mu    sync.Mutex // serializes writers and snapshot publication
+	model *core.Model
+	// scaler, when non-nil, standardizes features/target on the way in and
+	// de-standardizes predictions on the way out (engines built from a
+	// fitted Pipeline).
+	scaler *Scaler
+	snap   atomic.Pointer[core.Snapshot]
+
+	counter *AtomicOpCounter
+
+	publishEvery int
+	sincePublish int
+
+	// recentX/recentY ring-buffer the last calibWindow standardized
+	// PartialFit samples for binary-model configurations: republication
+	// passes them to RefreshShadows so the output calibration (a, b) tracks
+	// the stream instead of freezing at its Fit-time value.
+	recentX   [][]float64
+	recentY   []float64
+	recentPos int
+	recentLen int
+}
+
+// calibWindow is how many recent streaming samples the engine retains for
+// the calibration refresh of binary-model configurations.
+const calibWindow = 256
+
+// DefaultPublishEvery is the default number of PartialFit updates between
+// automatic snapshot republications (and binary-shadow refreshes). Each
+// publication deep-copies k·D model state, so per-sample publication would
+// dominate small-D streaming workloads; a few dozen samples of staleness is
+// the usual serving trade.
+const DefaultPublishEvery = 64
+
+// NewEngine wraps a trained model for concurrent serving and publishes its
+// first snapshot. The engine takes over mutation of the model: do not call
+// the model's own writer methods directly afterwards.
+func NewEngine(m *Model) (*Engine, error) {
+	if m == nil {
+		return nil, errors.New("reghd: nil model")
+	}
+	if !m.Trained() {
+		return nil, ErrNotTrained
+	}
+	e := &Engine{model: m, publishEvery: DefaultPublishEvery}
+	e.publishLocked()
+	return e, nil
+}
+
+// NewPipelineEngine wraps a fitted pipeline: the engine standardizes
+// features before prediction, returns outputs in original target units,
+// and PartialFit standardizes the incoming sample the same way.
+func NewPipelineEngine(p *Pipeline) (*Engine, error) {
+	if p == nil || p.scaler == nil {
+		return nil, errors.New("reghd: pipeline has not been fitted")
+	}
+	e, err := NewEngine(p.model)
+	if err != nil {
+		return nil, err
+	}
+	e.scaler = p.scaler
+	return e, nil
+}
+
+// publishLocked snapshots the live model and swaps the published pointer.
+// Callers must hold e.mu (or be the constructor).
+func (e *Engine) publishLocked() {
+	s := e.model.Snapshot()
+	s.SetCounter(e.counter)
+	e.snap.Store(s)
+	e.sincePublish = 0
+}
+
+// Snapshot returns the currently published snapshot. The result stays valid
+// (and frozen) indefinitely; callers holding it across republications simply
+// serve the older model state.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// refreshLocked re-quantizes the binary shadows and, when recent streaming
+// samples are buffered, refits the binary-model output calibration on them.
+// Callers must hold e.mu.
+func (e *Engine) refreshLocked() error {
+	if e.recentLen == 0 {
+		return e.model.RefreshShadows(nil, nil)
+	}
+	return e.model.RefreshShadows(e.recentX[:e.recentLen], e.recentY[:e.recentLen])
+}
+
+// Publish refreshes the binary shadows (and, for binary-model
+// configurations, the output calibration against the recent streaming
+// window) from the live integer state and publishes a fresh snapshot.
+// Writers that want predictions to observe their updates immediately call
+// this after mutating; PartialFit also triggers it automatically every
+// SetPublishEvery updates.
+func (e *Engine) Publish() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.refreshLocked(); err != nil {
+		return err
+	}
+	e.publishLocked()
+	return nil
+}
+
+// SetPublishEvery sets how many PartialFit updates elapse between automatic
+// republications; n <= 0 disables automatic publication (the writer then
+// controls visibility explicitly with Publish).
+func (e *Engine) SetPublishEvery(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.publishEvery = n
+}
+
+// EnableOpCounting installs an atomic inference counter on all future
+// snapshots, republishes, and returns the counter. Every prediction served
+// from the engine afterwards is accounted; the counter may be read at any
+// time while serving continues.
+func (e *Engine) EnableOpCounting() *AtomicOpCounter {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.counter == nil {
+		e.counter = &AtomicOpCounter{}
+	}
+	e.publishLocked()
+	return e.counter
+}
+
+// PartialFit applies one streaming update to the live model (standardized
+// through the pipeline scaler when the engine wraps one). Readers keep
+// serving the published snapshot untouched; the update becomes visible at
+// the next publication.
+func (e *Engine) PartialFit(x []float64, y float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scaler != nil {
+		row := append([]float64(nil), x...)
+		if err := e.scaler.TransformRow(row); err != nil {
+			return err
+		}
+		x = row
+		y = e.scaler.ScaleY(y)
+	}
+	if err := e.model.PartialFit(x, y); err != nil {
+		return err
+	}
+	if e.model.Config().PredictMode.UsesBinaryModel() {
+		e.remember(x, y)
+	}
+	if e.publishEvery > 0 {
+		e.sincePublish++
+		if e.sincePublish >= e.publishEvery {
+			if err := e.refreshLocked(); err != nil {
+				return err
+			}
+			e.publishLocked()
+		}
+	}
+	return nil
+}
+
+// remember records a standardized streaming sample in the calibration ring
+// buffer. Callers must hold e.mu.
+func (e *Engine) remember(x []float64, y float64) {
+	if e.recentX == nil {
+		e.recentX = make([][]float64, calibWindow)
+		e.recentY = make([]float64, calibWindow)
+	}
+	e.recentX[e.recentPos] = append([]float64(nil), x...)
+	e.recentY[e.recentPos] = y
+	e.recentPos = (e.recentPos + 1) % calibWindow
+	if e.recentLen < calibWindow {
+		e.recentLen++
+	}
+}
+
+// Update runs fn against the live model under the writer lock and publishes
+// a fresh snapshot afterwards — the escape hatch for writer operations the
+// engine does not wrap (Fit on new data, Sparsify, fault injection). Unlike
+// Publish, binary shadows are NOT refreshed: fn controls the exact state
+// that becomes visible.
+func (e *Engine) Update(fn func(*Model) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := fn(e.model); err != nil {
+		return err
+	}
+	e.publishLocked()
+	return nil
+}
+
+// Predict serves one prediction from the published snapshot: one atomic
+// pointer load, pooled scratch, no locks. With a pipeline scaler the input
+// is standardized and the output returned in original target units.
+func (e *Engine) Predict(x []float64) (float64, error) {
+	snap := e.snap.Load()
+	if e.scaler != nil {
+		row := append([]float64(nil), x...)
+		if err := e.scaler.TransformRow(row); err != nil {
+			return 0, err
+		}
+		x = row
+	}
+	y, err := snap.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if e.scaler != nil {
+		y = e.scaler.InverseY(y)
+	}
+	return y, nil
+}
+
+// PredictBatch serves a batch from one consistent published snapshot,
+// fanned out over GOMAXPROCS workers.
+func (e *Engine) PredictBatch(xs [][]float64) ([]float64, error) {
+	snap := e.snap.Load()
+	rows := xs
+	if e.scaler != nil {
+		rows = make([][]float64, len(xs))
+		for i, x := range xs {
+			row := append([]float64(nil), x...)
+			if err := e.scaler.TransformRow(row); err != nil {
+				return nil, err
+			}
+			rows[i] = row
+		}
+	}
+	ys, err := snap.PredictBatchParallel(rows, 0)
+	if err != nil {
+		return nil, err
+	}
+	if e.scaler != nil {
+		for i := range ys {
+			ys[i] = e.scaler.InverseY(ys[i])
+		}
+	}
+	return ys, nil
+}

@@ -1,0 +1,217 @@
+package reghd
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fitServeFixture returns a fitted pipeline plus held-out rows in original
+// units.
+func fitServeFixture(t *testing.T) (*Pipeline, *Dataset) {
+	t.Helper()
+	d, err := SyntheticDataset("ccpp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.X = d.X[:400]
+	d.Y = d.Y[:400]
+	enc, err := NewEncoder(d.Features(), 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 8
+	m, err := NewModel(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(m)
+	if _, err := p.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+func TestEngineRequiresTrainedModel(t *testing.T) {
+	enc, err := NewEncoder(3, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(enc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(m); err != ErrNotTrained {
+		t.Fatalf("expected ErrNotTrained, got %v", err)
+	}
+	if _, err := NewPipelineEngine(NewPipeline(m)); err == nil {
+		t.Fatal("unfitted pipeline accepted")
+	}
+}
+
+func TestPipelineEngineMatchesPipeline(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.PredictBatch(d.X[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.PredictBatch(d.X[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("engine row %d = %v, pipeline = %v", i, got[i], want[i])
+		}
+	}
+	y1, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 != want[0] {
+		t.Fatalf("engine Predict = %v, pipeline = %v", y1, want[0])
+	}
+}
+
+// TestEngineServeWhileTraining is the facade-level stress test: concurrent
+// readers hit Engine.Predict while a writer streams PartialFit updates with
+// automatic republication. Readers must always observe finite predictions,
+// and any snapshot they pin must stay deterministic.
+func TestEngineServeWhileTraining(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPublishEvery(25)
+
+	pinned := e.Snapshot()
+	row := append([]float64(nil), d.X[0]...)
+	if err := p.Scaler().TransformRow(row); err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := pinned.Predict(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := SyntheticDataset("ccpp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if err := e.PartialFit(stream.X[i], stream.Y[i]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const readers = 6
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for r := 0; r < 100; r++ {
+				y, err := e.Predict(d.X[rng.Intn(len(d.X))])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.IsNaN(y) || math.IsInf(y, 0) {
+					t.Errorf("engine prediction not finite: %v", y)
+					return
+				}
+				if yf, err := pinned.Predict(row); err != nil || yf != frozen {
+					t.Errorf("pinned snapshot drifted: %v (err %v) != %v", yf, err, frozen)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The writer's 300 updates crossed the publish interval many times, so
+	// the engine must now serve a newer snapshot than the pinned one.
+	if e.Snapshot() == pinned {
+		t.Fatal("engine never republished during the PartialFit stream")
+	}
+}
+
+func TestEnginePublishAndUpdate(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot()
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Snapshot() == before {
+		t.Fatal("Publish did not swap the snapshot")
+	}
+	prev, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(func(m *Model) error {
+		return m.Sparsify(0.9)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == prev {
+		t.Fatal("Update's mutation not visible after republication")
+	}
+}
+
+func TestEngineOpCounting(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := e.EnableOpCounting()
+	if _, err := e.PredictBatch(d.X[:32]); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Total() == 0 {
+		t.Fatal("op counter saw no operations")
+	}
+	n := ctr.Total()
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Total() <= n {
+		t.Fatal("op counter did not advance on Predict")
+	}
+}
+
+func TestPipelinePredictBatchUnfitted(t *testing.T) {
+	enc, err := NewEncoder(3, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(enc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(m).PredictBatch([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("unfitted pipeline PredictBatch accepted")
+	}
+}
