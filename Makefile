@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick experiments fuzz examples clean
+.PHONY: all build vet test race race-quick cover bench bench-quick experiments fuzz examples serve-demo metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, and the full race-detector pass, so the
 # concurrency contracts (Snapshot serving, pooled Predict scratch) can never
@@ -23,7 +23,7 @@ race:
 
 # Race pass over just the concurrency-bearing packages (fast iteration).
 race-quick:
-	$(GO) test -race ./internal/core/ ./internal/hdc/ .
+	$(GO) test -race ./internal/core/ ./internal/hdc/ ./internal/obs/ .
 
 cover:
 	$(GO) test -cover ./...
@@ -36,6 +36,21 @@ bench:
 # Only the kernel micro-benchmarks (fast).
 bench-quick:
 	$(GO) test -bench='Encode|Hamming|Cosine|DotBinary|Predict' -benchmem .
+
+# Metrics-off vs metrics-on serving throughput (the < 5% overhead check).
+bench-metrics:
+	$(GO) test -run xxx -bench 'EnginePredictMetrics' -count=5 .
+
+# Observability demo server: trains on a synthetic dataset, generates
+# reader/writer traffic, and exposes /metrics + /debug/pprof/.
+# See docs/OBSERVABILITY.md for a guided session against it.
+serve-demo:
+	$(GO) run ./cmd/reghd-serve
+
+# Check docs/OBSERVABILITY.md and the exported metric structs against each
+# other: every metric in code must be documented, and vice versa.
+metrics-lint:
+	$(GO) test -run TestMetricsDocumented -count=1 ./internal/obs/
 
 # Regenerate every paper table and figure.
 experiments:

@@ -242,3 +242,44 @@ func BenchmarkEngineServeWhileTraining(b *testing.B) {
 	close(stop)
 	<-done
 }
+
+// benchEngine returns a serving engine over a trained model plus an input
+// row, shared by the metrics-overhead pair below.
+func benchEngine(b *testing.B) (*Engine, []float64) {
+	b.Helper()
+	m, train := benchTrainedModel(b)
+	e, err := NewEngine(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, train.X[0]
+}
+
+// BenchmarkEnginePredictMetricsOff / MetricsOn measure the cost of the
+// instrumentation layer on the hot read path. The acceptance bar for the
+// observability work is < 5% throughput overhead; compare ns/op of the
+// two with benchstat (or by eye).
+func BenchmarkEnginePredictMetricsOff(b *testing.B) {
+	e, x := benchEngine(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEnginePredictMetricsOn(b *testing.B) {
+	e, x := benchEngine(b)
+	e.EnableMetrics()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

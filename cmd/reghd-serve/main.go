@@ -1,0 +1,179 @@
+// Command reghd-serve is the observability demo server: it trains a RegHD
+// pipeline on a synthetic evaluation dataset, wraps it in a concurrent
+// serving engine with full instrumentation, and exposes the serving stack
+// over HTTP so an operator can watch (and profile) it live:
+//
+//	GET  /metrics       expvar JSON: latency histograms, throughput,
+//	                    snapshot staleness, per-stage timing, and live
+//	                    hardware cost estimates (reghd.engine / reghd.hw)
+//	GET  /debug/pprof/  net/http/pprof profiles of the running server
+//	GET  /debug/vars    stdlib expvar endpoint (same JSON as /metrics)
+//	POST /predict       {"x":[...]} -> {"y":...} one prediction
+//	GET  /healthz       liveness probe
+//
+// By default it also generates its own traffic — reader goroutines issuing
+// predictions and a writer streaming PartialFit updates through concept
+// drift — so /metrics shows a serving system under load the moment the
+// process is up. Disable with -traffic=false to drive it externally.
+// docs/OBSERVABILITY.md walks through a curl + go tool pprof session
+// against this server.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"time"
+
+	"reghd"
+	"reghd/internal/obs"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		synthName    = flag.String("synth", "ccpp", "synthetic training dataset")
+		dim          = flag.Int("dim", 2000, "hypervector dimensionality D")
+		models       = flag.Int("models", 8, "number of cluster/model pairs k")
+		epochs       = flag.Int("epochs", 5, "training epochs before serving")
+		publishEvery = flag.Int("publish-every", 64, "PartialFit updates between snapshot publications")
+		traffic      = flag.Bool("traffic", true, "generate synthetic reader/writer load")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("reghd-serve: ")
+
+	data, err := reghd.SyntheticDataset(*synthName, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := data.Split(rng, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enc, err := reghd.NewEncoder(data.Features(), *dim, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := reghd.DefaultConfig()
+	cfg.Models = *models
+	cfg.Epochs = *epochs
+	model, err := reghd.NewModel(enc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := reghd.NewPipeline(model)
+	log.Printf("training on %s (%d samples, %d features, D=%d, k=%d)...",
+		*synthName, train.Len(), data.Features(), *dim, *models)
+	t0 := time.Now()
+	if _, err := pipe.Fit(train); err != nil {
+		log.Fatal(err)
+	}
+	mse, err := pipe.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained in %v, test MSE %.4f", time.Since(t0).Round(time.Millisecond), mse)
+
+	engine, err := reghd.NewPipelineEngine(pipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.SetPublishEvery(*publishEvery)
+	engine.EnableMetrics()
+	ops := engine.EnableOpCounting()
+
+	// Live hardware view: the op counts of the actually-served traffic,
+	// priced on the paper's two targets, amortized per served prediction.
+	bridge, err := obs.NewHWBridge(ops, reghd.FPGAProfile(), reghd.ARMProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bridge.SetQueries(func() uint64 {
+		m := engine.Metrics()
+		return m.Predict.Count + m.PredictBatchRows
+	})
+
+	obs.Publish(obs.EngineVar, func() any { return engine.Metrics() })
+	obs.Publish(obs.HWVar, func() any {
+		r, err := bridge.Report()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return r
+	})
+
+	if *traffic {
+		startTraffic(engine, test)
+		log.Printf("synthetic traffic on (readers + PartialFit writer); disable with -traffic=false")
+	}
+
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	http.Handle("/metrics", obs.Handler())
+	http.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			X []float64 `json:"x"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		y, err := engine.Predict(req.X)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]float64{"y": y})
+	})
+
+	log.Printf("serving on http://%s — try:", *addr)
+	log.Printf("  curl -s http://%s/metrics | head", *addr)
+	log.Printf(`  curl -s -d '{"x":[14.96,41.76,1024.07,73.17]}' http://%s/predict`, *addr)
+	log.Printf("  go tool pprof http://%s/debug/pprof/profile?seconds=10", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+// startTraffic launches the synthetic load: two reader goroutines issuing
+// single predictions, one issuing small batches, and a writer streaming
+// PartialFit updates drawn from a fresh synthetic stream — enough activity
+// that every metric (latency quantiles, throughput, snapshot age, publish
+// counts, hardware estimates) is non-trivial within a second of startup.
+func startTraffic(engine *reghd.Engine, test *reghd.Dataset) {
+	for r := 0; r < 2; r++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for range time.Tick(2 * time.Millisecond) {
+				if _, err := engine.Predict(test.X[rng.Intn(len(test.X))]); err != nil {
+					log.Printf("reader: %v", err)
+				}
+			}
+		}(100 + int64(r))
+	}
+	go func() {
+		rng := rand.New(rand.NewSource(200))
+		for range time.Tick(50 * time.Millisecond) {
+			lo := rng.Intn(len(test.X) - 16)
+			if _, err := engine.PredictBatch(test.X[lo : lo+16]); err != nil {
+				log.Printf("batch reader: %v", err)
+			}
+		}
+	}()
+	go func() {
+		i := 0
+		for range time.Tick(5 * time.Millisecond) {
+			if err := engine.PartialFit(test.X[i%len(test.X)], test.Y[i%len(test.Y)]); err != nil {
+				log.Printf("writer: %v", err)
+			}
+			i++
+		}
+	}()
+}

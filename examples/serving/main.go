@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"reghd"
 )
@@ -67,6 +68,7 @@ func main() {
 	}
 	engine.SetPublishEvery(100)
 	ops := engine.EnableOpCounting()
+	engine.EnableMetrics()
 
 	// Pin the pre-drift snapshot: it stays frozen and serviceable forever,
 	// and at the end shows what serving would look like without
@@ -136,6 +138,18 @@ func main() {
 		served.Load(), readers, streamLen)
 	fmt.Printf("mean served MSE under drift: %.3f\n", servedMSE)
 	fmt.Printf("inference ops (atomic aggregation): %v\n", ops.Counter())
+
+	// The engine's own view of the run (see docs/OBSERVABILITY.md): latency
+	// quantiles, stage breakdown, and how far behind the published snapshot
+	// ended up.
+	m := engine.Metrics()
+	fmt.Printf("metrics: p50 %s p99 %s (%.0f predictions/s), %d publishes, %d updates unpublished\n",
+		time.Duration(m.Predict.P50NS), time.Duration(m.Predict.P99NS),
+		m.Predict.RatePerSec, m.Snapshot.Publishes, m.Snapshot.UpdatesSincePublish)
+	fmt.Printf("stage means: encode %s, similarity %s, readout %s\n",
+		time.Duration(m.Stages.Encode.MeanNS),
+		time.Duration(m.Stages.Similarity.MeanNS),
+		time.Duration(m.Stages.Readout.MeanNS))
 
 	// The payoff of republication: on the fully drifted regime, the final
 	// published snapshot stays accurate while the pinned pre-drift snapshot

@@ -24,3 +24,11 @@ func ARMProfile() HardwareProfile { return hwmodel.ARM() }
 func EstimateCost(c *OpCounter, p HardwareProfile) (HardwareCost, error) {
 	return hwmodel.EstimateCounter(c, p)
 }
+
+// EstimateCostAtomic is EstimateCost over a concurrent-serving counter
+// (Engine.EnableOpCounting / Snapshot.SetCounter): it prices the operations
+// of the traffic served so far, and may be called while serving continues.
+// cmd/reghd-serve publishes the same estimate continuously at /metrics.
+func EstimateCostAtomic(c *AtomicOpCounter, p HardwareProfile) (HardwareCost, error) {
+	return hwmodel.Estimate(c.Snapshot(), p)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"reghd/internal/encoding"
 	"reghd/internal/hdc"
@@ -67,6 +68,13 @@ type Model struct {
 	// serving.
 	TrainCounter *hdc.Counter
 	InferCounter *hdc.Counter
+
+	// Stages, when non-nil, accumulates per-stage wall time
+	// (encode/similarity/readout) for every Predict call. StageTimes
+	// records atomically, so it does not affect Predict*'s concurrency
+	// safety — but install it before serving begins, not concurrently with
+	// predictions.
+	Stages *StageTimes
 }
 
 // scratch is one prediction call's private workspace: cluster similarities,
@@ -282,19 +290,65 @@ func (m *Model) predictTraining(ctr *hdc.Counter, e encoded) float64 {
 	return m.predictWith(ctr, e, m.trainModelDot)
 }
 
+// encodeStaged is encode with the wall time recorded as StageEncode.
+func (p *params) encodeStaged(ctr *hdc.Counter, x []float64, st *StageTimes) (encoded, error) {
+	t0 := time.Now()
+	e, err := p.encode(ctr, x)
+	if err == nil {
+		st.Observe(StageEncode, time.Since(t0))
+	}
+	return e, err
+}
+
+// predictStaged is predictEncoded with the similarity search and the
+// readout timed as separate stages. It must stay behaviorally identical to
+// predictEncoded/predictWithScratch (same kernels, same op-count charges);
+// only the timestamps differ.
+func (p *params) predictStaged(ctr *hdc.Counter, e encoded, sims, conf []float64, st *StageTimes) float64 {
+	var y float64
+	t0 := time.Now()
+	if p.cfg.Models == 1 {
+		y = p.modelDot(ctr, e, 0)
+	} else {
+		p.clusterSimilaritiesInto(ctr, e, sims)
+		hdc.Softmax(ctr, conf, sims, p.cfg.SoftmaxBeta)
+		t1 := time.Now()
+		st.Observe(StageSimilarity, t1.Sub(t0))
+		t0 = t1
+		for i := range p.models {
+			y += conf[i] * p.modelDot(ctr, e, i)
+		}
+		ctr.Add(hdc.OpFloatMul, uint64(p.cfg.Models))
+		ctr.Add(hdc.OpFloatAdd, uint64(p.cfg.Models))
+	}
+	if p.cfg.PredictMode.UsesBinaryModel() {
+		y = p.calibA*y + p.calibB
+		ctr.Add(hdc.OpFloatMul, 1)
+		ctr.Add(hdc.OpFloatAdd, 1)
+	}
+	st.Observe(StageReadout, time.Since(t0))
+	return y
+}
+
 // Predict returns the model's regression output for the feature vector x.
 func (m *Model) Predict(x []float64) (float64, error) {
 	if !m.trained {
 		return 0, ErrNotTrained
 	}
+	s := m.scratch.get()
+	defer m.scratch.put(s)
+	if st := m.Stages; st != nil {
+		e, err := m.encodeStaged(m.InferCounter, x, st)
+		if err != nil {
+			return 0, err
+		}
+		return m.predictStaged(m.InferCounter, e, s.sims, s.conf, st), nil
+	}
 	e, err := m.encode(m.InferCounter, x)
 	if err != nil {
 		return 0, err
 	}
-	s := m.scratch.get()
-	y := m.predictEncoded(m.InferCounter, e, s.sims, s.conf)
-	m.scratch.put(s)
-	return y, nil
+	return m.predictEncoded(m.InferCounter, e, s.sims, s.conf), nil
 }
 
 // PredictBatch returns predictions for each row of xs.

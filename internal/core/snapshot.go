@@ -27,6 +27,12 @@ type Snapshot struct {
 	// per-call scratch counters, merged atomically after each call, so
 	// op-counting no longer forces single-threaded serving.
 	counter *hdc.AtomicCounter
+
+	// stages, when non-nil, accumulates per-stage wall time
+	// (encode/similarity/readout) for every prediction served from this
+	// snapshot; recording is atomic, so it is safe under unlimited
+	// concurrent serving.
+	stages *StageTimes
 }
 
 // Snapshot returns an immutable copy of the model's current prediction
@@ -82,6 +88,18 @@ func (s *Snapshot) SetCounter(ctr *hdc.AtomicCounter) { s.counter = ctr }
 // Counter returns the installed AtomicCounter, or nil.
 func (s *Snapshot) Counter() *hdc.AtomicCounter { return s.counter }
 
+// SetStages installs a StageTimes accumulator that receives the per-stage
+// wall time (encode / similarity / readout) of every prediction served from
+// this snapshot (nil disables stage timing). Like SetCounter, install it
+// before sharing the snapshot across goroutines; the accumulator itself may
+// then be summarized concurrently with serving. Several snapshots may share
+// one accumulator — the serving engine does exactly that across
+// republications, so stage totals survive snapshot turnover.
+func (s *Snapshot) SetStages(st *StageTimes) { s.stages = st }
+
+// Stages returns the installed StageTimes accumulator, or nil.
+func (s *Snapshot) Stages() *StageTimes { return s.stages }
+
 // Predict returns the snapshot's regression output for the feature vector
 // x. Safe for unlimited concurrent use.
 func (s *Snapshot) Predict(x []float64) (float64, error) {
@@ -95,11 +113,20 @@ func (s *Snapshot) Predict(x []float64) (float64, error) {
 		sc.ctr.Reset()
 		ctr = &sc.ctr
 	}
-	e, err := s.encode(ctr, x)
-	if err != nil {
-		return 0, err
+	var y float64
+	if st := s.stages; st != nil {
+		e, err := s.encodeStaged(ctr, x, st)
+		if err != nil {
+			return 0, err
+		}
+		y = s.predictStaged(ctr, e, sc.sims, sc.conf, st)
+	} else {
+		e, err := s.encode(ctr, x)
+		if err != nil {
+			return 0, err
+		}
+		y = s.predictEncoded(ctr, e, sc.sims, sc.conf)
 	}
-	y := s.predictEncoded(ctr, e, sc.sims, sc.conf)
 	s.counter.AddCounter(ctr)
 	return y, nil
 }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+
+	"reghd/internal/hdc"
+	"reghd/internal/hwmodel"
+)
+
+// HWBridge feeds live operation counts into the analytical hardware cost
+// model: the same hdc.AtomicCounter an Engine or Snapshot accumulates
+// during concurrent serving is priced, on demand, on one or more hwmodel
+// profiles. Where the `fig8`/`fig9` experiments estimate cost for analytic
+// workloads, the bridge estimates it for the traffic actually served — how
+// long the queries handled so far would have taken, and what they would
+// have cost in energy, on the modeled FPGA or ARM target.
+//
+// The bridge holds no state of its own; Report reads the counter at call
+// time, so it is safe to call concurrently with serving.
+type HWBridge struct {
+	counter  *hdc.AtomicCounter
+	profiles []hwmodel.Profile
+	queries  func() uint64
+}
+
+// NewHWBridge builds a bridge over the given live counter and hardware
+// profiles. Profiles are validated on construction so Report cannot fail on
+// a malformed profile later.
+func NewHWBridge(ctr *hdc.AtomicCounter, profiles ...hwmodel.Profile) (*HWBridge, error) {
+	if ctr == nil {
+		return nil, fmt.Errorf("obs: nil op counter")
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("obs: no hardware profiles")
+	}
+	for i := range profiles {
+		if err := profiles[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &HWBridge{counter: ctr, profiles: profiles}, nil
+}
+
+// SetQueries installs a query-count source (e.g. the engine's served
+// prediction count) so Report can amortize cost per query. Optional; without
+// it the per-query fields stay zero.
+func (b *HWBridge) SetQueries(f func() uint64) { b.queries = f }
+
+// HWEstimate is the modeled cost of the served traffic on one profile.
+type HWEstimate struct {
+	// ModelSeconds is the estimated runtime of the served operation mix on
+	// this hardware target (not the wall time the Go process spent).
+	ModelSeconds float64 `json:"model_seconds"`
+	// ModelJoules is the estimated total energy, dynamic plus static.
+	ModelJoules float64 `json:"model_joules"`
+	// USPerQuery and UJPerQuery amortize the estimates over the served
+	// query count (microseconds / microjoules per prediction); zero when no
+	// query source is installed or no queries were served.
+	USPerQuery float64 `json:"us_per_query"`
+	UJPerQuery float64 `json:"uj_per_query"`
+}
+
+// HWReport is the JSON-ready live hardware view: the raw operation counts
+// accumulated by serving, and their modeled cost on every profile.
+type HWReport struct {
+	// Ops maps operation-class names (hdc.Op.String) to live counts.
+	Ops map[string]uint64 `json:"ops"`
+	// TotalOps is the sum over all classes.
+	TotalOps uint64 `json:"total_ops"`
+	// Queries is the served query count (0 without a query source).
+	Queries uint64 `json:"queries"`
+	// Estimates maps profile names to modeled costs.
+	Estimates map[string]HWEstimate `json:"estimates"`
+}
+
+// Report prices the counter's current counts on every profile.
+func (b *HWBridge) Report() (HWReport, error) {
+	counts := b.counter.Snapshot()
+	r := HWReport{
+		Ops:       make(map[string]uint64, hdc.NumOps),
+		Estimates: make(map[string]HWEstimate, len(b.profiles)),
+	}
+	for op, n := range counts {
+		if n != 0 {
+			r.Ops[hdc.Op(op).String()] = n
+		}
+		r.TotalOps += n
+	}
+	if b.queries != nil {
+		r.Queries = b.queries()
+	}
+	for _, p := range b.profiles {
+		cost, err := hwmodel.Estimate(counts, p)
+		if err != nil {
+			return HWReport{}, err
+		}
+		est := HWEstimate{ModelSeconds: cost.Seconds, ModelJoules: cost.Joules}
+		if r.Queries > 0 {
+			est.USPerQuery = cost.Seconds * 1e6 / float64(r.Queries)
+			est.UJPerQuery = cost.Joules * 1e6 / float64(r.Queries)
+		}
+		r.Estimates[p.Name] = est
+	}
+	return r, nil
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+	"reghd/internal/hwmodel"
+)
+
+// servedFixture trains a small model, serves `queries` predictions from a
+// counted snapshot (the live path the bridge observes), and returns the
+// counter plus the workload description matching what was served.
+func servedFixture(t *testing.T, queries int) (*hdc.AtomicCounter, hwmodel.RegHDWorkload) {
+	t.Helper()
+	const (
+		dim   = 512
+		k     = 4
+		feats = 6
+	)
+	rng := rand.New(rand.NewSource(1))
+	train := &dataset.Dataset{X: make([][]float64, 64), Y: make([]float64, 64)}
+	for i := range train.X {
+		x := make([]float64, feats)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		train.X[i] = x
+		train.Y[i] = rng.NormFloat64()
+	}
+	enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(2)), feats, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Models: k, Epochs: 2, Tol: 1e-12, Patience: 1000, Seed: 3,
+		ClusterMode: core.ClusterInteger, PredictMode: core.PredictFull}
+	m, err := core.New(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	ctr := &hdc.AtomicCounter{}
+	snap.SetCounter(ctr)
+	for i := 0; i < queries; i++ {
+		if _, err := snap.Predict(train.X[i%len(train.X)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctr, hwmodel.RegHDWorkload{
+		Dim: dim, Models: k, Features: feats, TrainSamples: 64, Epochs: 1,
+		ClusterMode: core.ClusterInteger, PredictMode: core.PredictFull,
+	}
+}
+
+// TestBridgeMatchesAnalytic ties the live bridge to the analytic cost
+// model: for a fixed served workload, the op counts the bridge reads from
+// the serving counter must agree with hwmodel's analytic inference counts
+// on the dominant operation classes (same tolerances as the hwmodel
+// crosscheck), and the priced estimates must agree to the same degree.
+func TestBridgeMatchesAnalytic(t *testing.T) {
+	const queries = 50
+	ctr, w := servedFixture(t, queries)
+
+	analytic, err := w.InferCounts(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := ctr.Snapshot()
+	for _, op := range []hdc.Op{hdc.OpFloatMul, hdc.OpFloatAdd, hdc.OpExp, hdc.OpMemRead} {
+		a, b := float64(analytic[op]), float64(measured[op])
+		if a == 0 && b == 0 {
+			continue
+		}
+		ratio := a / b
+		if b == 0 || ratio < 0.6 || ratio > 1.7 {
+			t.Errorf("%v: analytic %v vs served %v (ratio %.2f)", op, analytic[op], measured[op], ratio)
+		}
+	}
+
+	profile := hwmodel.FPGA()
+	bridge, err := NewHWBridge(ctr, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge.SetQueries(func() uint64 { return queries })
+	rep, err := bridge.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != queries {
+		t.Fatalf("queries = %d, want %d", rep.Queries, queries)
+	}
+	if rep.TotalOps != ctr.Total() {
+		t.Fatalf("total ops %d != counter total %d", rep.TotalOps, ctr.Total())
+	}
+	est, ok := rep.Estimates[profile.Name]
+	if !ok {
+		t.Fatalf("no estimate for %q in %v", profile.Name, rep.Estimates)
+	}
+	want, err := hwmodel.Estimate(analytic, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := est.ModelSeconds / want.Seconds; r < 0.6 || r > 1.7 {
+		t.Errorf("live runtime estimate %.3g s vs analytic %.3g s (ratio %.2f)", est.ModelSeconds, want.Seconds, r)
+	}
+	if r := est.ModelJoules / want.Joules; r < 0.6 || r > 1.7 {
+		t.Errorf("live energy estimate %.3g J vs analytic %.3g J (ratio %.2f)", est.ModelJoules, want.Joules, r)
+	}
+	if est.USPerQuery <= 0 || est.UJPerQuery <= 0 {
+		t.Errorf("per-query amortization not populated: %+v", est)
+	}
+}
+
+func TestBridgeValidation(t *testing.T) {
+	if _, err := NewHWBridge(nil, hwmodel.FPGA()); err == nil {
+		t.Fatal("nil counter accepted")
+	}
+	if _, err := NewHWBridge(&hdc.AtomicCounter{}); err == nil {
+		t.Fatal("empty profile list accepted")
+	}
+	bad := hwmodel.FPGA()
+	bad.ClockHz = 0
+	if _, err := NewHWBridge(&hdc.AtomicCounter{}, bad); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+// TestPublishReplaces exercises the re-publishable expvar indirection.
+func TestPublishReplaces(t *testing.T) {
+	Publish("obs.test.var", func() any { return 1 })
+	Publish("obs.test.var", func() any { return 2 }) // must not panic
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: durations are counted in nanoseconds in log-spaced buckets
+// with 8 linear sub-buckets per power of two ("octave"). Values below 8 ns
+// get exact buckets; above that, a bucket spans 1/8 of its octave, so any
+// quantile read from the histogram is within ±6.25% of the true value
+// (the midpoint of a bucket whose width is 12.5% of its lower bound). The
+// full range of int64 nanoseconds (≈292 years) fits in 496 buckets, so
+// nothing is ever clamped.
+const (
+	subBuckets    = 8 // per octave; must be a power of two
+	subBucketLog2 = 3
+	numBuckets    = subBuckets * (64 - subBucketLog2 + 1) // 496
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	major := bits.Len64(v) - 1 // position of the top set bit, ≥ subBucketLog2
+	sub := (v >> (major - subBucketLog2)) & (subBuckets - 1)
+	return subBuckets*(major-subBucketLog2+1) + int(sub)
+}
+
+// bucketMid returns the representative (midpoint) nanosecond value of a
+// bucket, used when extracting quantiles.
+func bucketMid(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	major := idx/subBuckets + subBucketLog2 - 1
+	sub := uint64(idx % subBuckets)
+	lo := uint64(1)<<major | sub<<(major-subBucketLog2)
+	width := uint64(1) << (major - subBucketLog2)
+	return int64(lo + width/2)
+}
+
+// Histogram is a lock-free latency histogram: recording is three atomic adds
+// plus an atomic max, with no locks and no allocation, so any number of
+// goroutines may Record concurrently while others read quantiles. The zero
+// value is ready to use.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// Record adds one observation. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(v)
+	for {
+		cur := h.maxNS.Load()
+		if v <= cur || h.maxNS.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the current state into a plain value for quantile
+// extraction and merging. Buckets are loaded one at a time, so a snapshot
+// taken under concurrent recording is consistent per bucket, not across
+// buckets — fine for monitoring, where the error is at most the handful of
+// records in flight.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	s.MaxNS = h.maxNS.Load()
+	return s
+}
+
+// Quantile is a convenience for Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) time.Duration { s := h.Snapshot(); return s.Quantile(q) }
+
+// HistSnapshot is a frozen histogram state: a plain value safe to copy,
+// merge, and query without synchronization.
+type HistSnapshot struct {
+	Counts [numBuckets]uint64
+	Count  uint64
+	SumNS  int64
+	MaxNS  int64
+}
+
+// Merge adds another snapshot into s: buckets, counts, and sums accumulate,
+// and the max is the larger of the two. Because buckets are fixed and
+// identical across all histograms, merging is exact — the merged quantiles
+// carry the same ±6.25% bucket error as either input, never more. This is
+// how per-shard or per-process histograms aggregate.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	if o.MaxNS > s.MaxNS {
+		s.MaxNS = o.MaxNS
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded durations, to
+// bucket resolution: the midpoint of the bucket holding the rank, clamped to
+// the exact observed maximum. Returns 0 for an empty histogram.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(s.MaxNS)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(s.Count-1)) // 0-based nearest rank
+	var cum uint64
+	for i, n := range s.Counts {
+		cum += n
+		if cum > rank {
+			v := bucketMid(i)
+			if v > s.MaxNS {
+				v = s.MaxNS
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.MaxNS)
+}
+
+// Mean returns the exact mean of the recorded durations (the sum is kept
+// outside the buckets, so the mean has no bucket error).
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.SumNS) / s.Count)
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every value lands in a bucket whose representative
+// is within the documented ±6.25% (exact below 8 ns), and bucket indices
+// are monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 5, 7, 8, 9, 15, 16, 100, 1023, 1024, 4096, 1e6, 123456789, 1e12}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		mid := bucketMid(idx)
+		if v < subBuckets {
+			if uint64(mid) != v {
+				t.Errorf("small value %d: representative %d, want exact", v, mid)
+			}
+			continue
+		}
+		lo, hi := float64(v)*(1-0.0625), float64(v)*(1+0.0625)
+		if float64(mid) < lo-1 || float64(mid) > hi+1 {
+			t.Errorf("value %d: representative %d outside ±6.25%%", v, mid)
+		}
+	}
+	prev := -1
+	for v := uint64(0); v < 1<<14; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// trueQuantile returns the exact nearest-rank quantile of vs.
+func trueQuantile(vs []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1))]
+}
+
+// checkQuantiles records vs and compares histogram quantiles against exact
+// ones within the bucket error bound.
+func checkQuantiles(t *testing.T, name string, vs []time.Duration) {
+	t.Helper()
+	var h Histogram
+	for _, v := range vs {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(vs)) {
+		t.Fatalf("%s: count %d, want %d", name, s.Count, len(vs))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := float64(s.Quantile(q))
+		want := float64(trueQuantile(vs, q))
+		// ±6.25% bucket error plus one-rank slack for duplicate-heavy sets.
+		if got < want*0.92 || got > want*1.08 {
+			t.Errorf("%s: p%.0f = %v, exact %v (off by %.1f%%)",
+				name, q*100, time.Duration(int64(got)), time.Duration(int64(want)), 100*(got-want)/want)
+		}
+	}
+	if s.Quantile(1) != trueQuantile(vs, 1) {
+		t.Errorf("%s: max %v, exact %v", name, s.Quantile(1), trueQuantile(vs, 1))
+	}
+	var sum time.Duration
+	for _, v := range vs {
+		sum += v
+	}
+	if s.Mean() != sum/time.Duration(len(vs)) {
+		t.Errorf("%s: mean %v, exact %v", name, s.Mean(), sum/time.Duration(len(vs)))
+	}
+}
+
+// TestQuantilesKnownDistributions checks the histogram against exact
+// quantiles on uniform, exponential, and heavy-tailed samples.
+func TestQuantilesKnownDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	uniform := make([]time.Duration, 20000)
+	for i := range uniform {
+		uniform[i] = time.Duration(1+rng.Intn(1_000_000)) * time.Microsecond
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	exp := make([]time.Duration, 20000)
+	for i := range exp {
+		exp[i] = time.Duration(1000 + rng.ExpFloat64()*50_000)
+	}
+	checkQuantiles(t, "exponential", exp)
+
+	// Bimodal with a long tail: the shape a serving hiccup produces.
+	tail := make([]time.Duration, 20000)
+	for i := range tail {
+		if rng.Float64() < 0.95 {
+			tail[i] = time.Duration(80_000 + rng.Intn(20_000))
+		} else {
+			tail[i] = time.Duration(2_000_000 + rng.Intn(8_000_000))
+		}
+	}
+	checkQuantiles(t, "bimodal-tail", tail)
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Count != 0 {
+		t.Fatalf("empty histogram not zero: %+v", s)
+	}
+}
+
+// TestMerge: merging shard snapshots must agree exactly with one histogram
+// that recorded everything (buckets are identical across instances).
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Histogram
+	for i := 0; i < 10000; i++ {
+		v := time.Duration(rng.Intn(10_000_000))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	bs := b.Snapshot()
+	merged.Merge(&bs)
+	want := all.Snapshot()
+	if merged != want {
+		t.Fatal("merged snapshot differs from single-histogram snapshot")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// readers take snapshots — the serving pattern; run under -race by the
+// tier-1 flow.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				if s.Quantile(0.99) < 0 {
+					t.Error("negative quantile")
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Intn(1_000_000)))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("lost records: %d, want %d", got, writers*per)
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	var s OpStats
+	s.Observe(time.Millisecond, nil)
+	s.Observe(2*time.Millisecond, errTest)
+	s.Observe(3*time.Millisecond, nil)
+	sum := s.Summary(3 * time.Second)
+	if sum.Count != 3 || sum.Errors != 1 {
+		t.Fatalf("count/errors = %d/%d, want 3/1", sum.Count, sum.Errors)
+	}
+	if sum.RatePerSec < 0.99 || sum.RatePerSec > 1.01 {
+		t.Fatalf("rate = %v, want 1/s", sum.RatePerSec)
+	}
+	if sum.MeanNS != int64(2*time.Millisecond) {
+		t.Fatalf("mean = %d", sum.MeanNS)
+	}
+	if sum.MaxNS != int64(3*time.Millisecond) {
+		t.Fatalf("max = %d", sum.MaxNS)
+	}
+	if zero := (&OpStats{}).Summary(0); zero.RatePerSec != 0 || zero.Count != 0 {
+		t.Fatalf("zero stats not zero: %+v", zero)
+	}
+}
+
+var errTest = errorString("test error")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

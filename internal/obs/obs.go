@@ -1,0 +1,26 @@
+// Package obs is the stdlib-only observability layer of the serving stack:
+// lock-free latency histograms, per-operation throughput/error statistics,
+// an expvar-based /metrics handler, and a bridge that prices live
+// hdc.AtomicCounter operation counts on the internal/hwmodel hardware
+// profiles so a running server reports energy/latency estimates for the
+// traffic it actually served — the runtime counterpart of the paper's
+// measured-cost evaluation (Table 1, Figs. 7–9).
+//
+// Everything here is safe for concurrent use: recording paths are a handful
+// of atomic adds (no locks, no allocation), so instrumentation can stay on
+// while any number of goroutines serve predictions. Readers (Summary,
+// Quantile, Report) observe per-field-consistent snapshots.
+//
+// The package is consumed three ways:
+//
+//   - reghd.Engine records into OpStats/StageTimes and exposes the result
+//     as the plain struct reghd.EngineMetrics (Engine.Metrics()).
+//   - Publish/Handler export any metrics producer as expvar JSON; mount
+//     Handler at /metrics (cmd/reghd-serve does).
+//   - HWBridge turns the op counts of live serving into hardware cost
+//     estimates (internal/hwmodel) published alongside the latency metrics.
+//
+// docs/OBSERVABILITY.md documents every exported metric; the
+// TestMetricsDocumented lint (make metrics-lint) keeps code and docs in
+// sync.
+package obs

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OpStats instruments one operation of the serving surface (for the engine:
+// Predict, PredictBatch, PartialFit): a latency histogram plus an error
+// counter. Recording is lock-free; Observe costs a few atomic adds on top
+// of the two timestamps the caller takes.
+type OpStats struct {
+	hist Histogram
+	errs atomic.Uint64
+}
+
+// Observe records one call that took d. Failed calls are recorded in the
+// histogram too (their latency is real serving time) and additionally
+// counted as errors.
+func (s *OpStats) Observe(d time.Duration, err error) {
+	s.hist.Record(d)
+	if err != nil {
+		s.errs.Add(1)
+	}
+}
+
+// Count reports the number of observed calls.
+func (s *OpStats) Count() uint64 { return s.hist.Count() }
+
+// Hist returns a snapshot of the latency histogram, for merging or custom
+// quantiles.
+func (s *OpStats) Hist() HistSnapshot { return s.hist.Snapshot() }
+
+// OpSummary is the JSON-ready digest of one operation's statistics, the
+// unit the /metrics endpoint and Engine.Metrics() report. Latencies are
+// nanoseconds; P50/P95/P99 carry the histogram's ±6.25% bucket error while
+// MeanNS and MaxNS are exact.
+type OpSummary struct {
+	// Count is the number of calls observed since metrics were enabled.
+	Count uint64 `json:"count"`
+	// Errors is how many of those calls returned an error.
+	Errors uint64 `json:"errors"`
+	// RatePerSec is Count divided by the observation window — the
+	// sustained throughput of this operation.
+	RatePerSec float64 `json:"rate_per_s"`
+	// MeanNS, P50NS, P95NS, P99NS, MaxNS describe the latency
+	// distribution, in nanoseconds.
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// Summary digests the current state. elapsed is the observation window
+// (time since the stats were enabled) used for the throughput rate; a
+// non-positive window reports a zero rate.
+func (s *OpStats) Summary(elapsed time.Duration) OpSummary {
+	h := s.hist.Snapshot()
+	out := OpSummary{
+		Count:  h.Count,
+		Errors: s.errs.Load(),
+		MeanNS: int64(h.Mean()),
+		P50NS:  int64(h.Quantile(0.50)),
+		P95NS:  int64(h.Quantile(0.95)),
+		P99NS:  int64(h.Quantile(0.99)),
+		MaxNS:  h.MaxNS,
+	}
+	if elapsed > 0 {
+		out.RatePerSec = float64(h.Count) / elapsed.Seconds()
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"reghd/internal/core"
 	"reghd/internal/dataset"
@@ -17,9 +18,20 @@ import (
 // standardized samples, and Predict returns outputs in the original target
 // units. This mirrors the preprocessing used throughout the paper's
 // evaluation.
+//
+// For observability, EnableStageTiming breaks prediction latency down by
+// stage (standardize/encode/similarity/readout); to serve a fitted pipeline
+// concurrently with full metrics, wrap it in an Engine
+// (NewPipelineEngine) and call EnableMetrics there.
 type Pipeline struct {
 	model  *Model
 	scaler *Scaler
+
+	// stages, when non-nil, accumulates per-stage prediction wall time:
+	// the standardize stage is recorded here, the encode/similarity/
+	// readout stages by the model (Model.Stages points at the same
+	// accumulator).
+	stages *StageTimes
 }
 
 // NewPipeline wraps an untrained model.
@@ -30,6 +42,24 @@ func (p *Pipeline) Model() *Model { return p.model }
 
 // Scaler returns the fitted standardization, or nil before Fit.
 func (p *Pipeline) Scaler() *Scaler { return p.scaler }
+
+// EnableStageTiming turns on per-stage prediction timing
+// (standardize/encode/similarity/readout) and returns the accumulator;
+// summarize it with StageTimes.Summary. Idempotent. Install before serving
+// begins — recording itself is atomic and safe under concurrent
+// prediction. Timing costs two timestamps per stage, so leave it off for
+// throughput-critical runs.
+func (p *Pipeline) EnableStageTiming() *StageTimes {
+	if p.stages == nil {
+		p.stages = &StageTimes{}
+		p.model.Stages = p.stages
+	}
+	return p.stages
+}
+
+// StageTimes returns the per-stage timing accumulator, or nil when stage
+// timing was never enabled.
+func (p *Pipeline) StageTimes() *StageTimes { return p.stages }
 
 // Fit standardizes train and trains the model, returning the training
 // summary.
@@ -55,9 +85,16 @@ func (p *Pipeline) Predict(x []float64) (float64, error) {
 	if p.scaler == nil {
 		return 0, errors.New("reghd: pipeline has not been fitted")
 	}
+	var ts time.Time
+	if p.stages != nil {
+		ts = time.Now()
+	}
 	row := append([]float64(nil), x...)
 	if err := p.scaler.TransformRow(row); err != nil {
 		return 0, err
+	}
+	if p.stages != nil {
+		p.stages.Observe(StageStandardize, time.Since(ts))
 	}
 	y, err := p.model.Predict(row)
 	if err != nil {
@@ -73,6 +110,10 @@ func (p *Pipeline) PredictBatch(xs [][]float64) ([]float64, error) {
 	if p.scaler == nil {
 		return nil, errors.New("reghd: pipeline has not been fitted")
 	}
+	var ts time.Time
+	if p.stages != nil {
+		ts = time.Now()
+	}
 	rows := make([][]float64, len(xs))
 	for i, x := range xs {
 		row := append([]float64(nil), x...)
@@ -80,6 +121,9 @@ func (p *Pipeline) PredictBatch(xs [][]float64) ([]float64, error) {
 			return nil, fmt.Errorf("reghd: standardizing row %d: %w", i, err)
 		}
 		rows[i] = row
+	}
+	if p.stages != nil {
+		p.stages.Observe(StageStandardize, time.Since(ts))
 	}
 	ys, err := p.model.PredictBatchParallel(rows, 0)
 	if err != nil {

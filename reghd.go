@@ -21,6 +21,11 @@
 // lock-free prediction while a writer streams PartialFit updates — wrap the
 // model (or fitted pipeline) in an Engine, which publishes immutable
 // Snapshots through an atomic pointer.
+//
+// The serving stack is observable: Engine.EnableMetrics adds latency
+// histograms, per-stage timing, and snapshot-staleness gauges read back
+// with Engine.Metrics (see docs/OBSERVABILITY.md for the metric reference,
+// and cmd/reghd-serve for an instrumented demo server).
 package reghd
 
 import (

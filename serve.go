@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"reghd/internal/core"
 	"reghd/internal/hdc"
@@ -27,10 +28,16 @@ type AtomicOpCounter = hdc.AtomicCounter
 // serving proceed simultaneously, and every reader observes a consistent
 // frozen model rather than a half-updated one.
 //
-// Reader methods (Predict, PredictBatch, Snapshot) may be called from any
-// number of goroutines. Writer methods (PartialFit, Publish, Update,
-// EnableOpCounting, SetPublishEvery) serialize on an internal mutex, so
-// multiple producers may feed the engine too. Reads never block on writes.
+// Reader methods (Predict, PredictBatch, Snapshot, Metrics) may be called
+// from any number of goroutines. Writer methods (PartialFit, Publish,
+// Update, EnableOpCounting, EnableMetrics, SetPublishEvery) serialize on an
+// internal mutex, so multiple producers may feed the engine too. Reads
+// never block on writes.
+//
+// Observability is opt-in: EnableMetrics installs latency histograms,
+// per-stage timing, and snapshot-staleness gauges (read them with Metrics);
+// EnableOpCounting accounts primitive operations for the hardware cost
+// model. Both keep the read path lock-free.
 type Engine struct {
 	mu    sync.Mutex // serializes writers and snapshot publication
 	model *core.Model
@@ -41,6 +48,11 @@ type Engine struct {
 	snap   atomic.Pointer[core.Snapshot]
 
 	counter *AtomicOpCounter
+
+	// stats, when non-nil, is the serving instrumentation installed by
+	// EnableMetrics; readers reach it with one atomic load, so metrics-off
+	// serving pays a single pointer check.
+	stats atomic.Pointer[serveStats]
 
 	publishEvery int
 	sincePublish int
@@ -96,11 +108,18 @@ func NewPipelineEngine(p *Pipeline) (*Engine, error) {
 	return e, nil
 }
 
-// publishLocked snapshots the live model and swaps the published pointer.
-// Callers must hold e.mu (or be the constructor).
+// publishLocked snapshots the live model and swaps the published pointer,
+// updating the staleness gauges when metrics are enabled. Callers must hold
+// e.mu (or be the constructor).
 func (e *Engine) publishLocked() {
 	s := e.model.Snapshot()
 	s.SetCounter(e.counter)
+	if st := e.stats.Load(); st != nil {
+		s.SetStages(&st.stages)
+		st.publishes.Add(1)
+		st.updatesSincePublish.Store(0)
+		st.lastPublishNS.Store(time.Now().UnixNano())
+	}
 	e.snap.Store(s)
 	e.sincePublish = 0
 }
@@ -164,6 +183,18 @@ func (e *Engine) EnableOpCounting() *AtomicOpCounter {
 // serving the published snapshot untouched; the update becomes visible at
 // the next publication.
 func (e *Engine) PartialFit(x []float64, y float64) error {
+	st := e.stats.Load()
+	if st == nil {
+		return e.partialFit(x, y)
+	}
+	t0 := time.Now()
+	err := e.partialFit(x, y)
+	st.partialFit.Observe(time.Since(t0), err)
+	return err
+}
+
+// partialFit is the uninstrumented PartialFit body.
+func (e *Engine) partialFit(x []float64, y float64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.scaler != nil {
@@ -176,6 +207,9 @@ func (e *Engine) PartialFit(x []float64, y float64) error {
 	}
 	if err := e.model.PartialFit(x, y); err != nil {
 		return err
+	}
+	if st := e.stats.Load(); st != nil {
+		st.updatesSincePublish.Add(1)
 	}
 	if e.model.Config().PredictMode.UsesBinaryModel() {
 		e.remember(x, y)
@@ -226,11 +260,32 @@ func (e *Engine) Update(fn func(*Model) error) error {
 // pointer load, pooled scratch, no locks. With a pipeline scaler the input
 // is standardized and the output returned in original target units.
 func (e *Engine) Predict(x []float64) (float64, error) {
+	st := e.stats.Load()
+	if st == nil {
+		return e.predict(nil, x)
+	}
+	t0 := time.Now()
+	y, err := e.predict(st, x)
+	st.predict.Observe(time.Since(t0), err)
+	return y, err
+}
+
+// predict is the prediction body; st, when non-nil, receives the
+// standardization stage time (encode/similarity/readout are timed inside
+// the snapshot).
+func (e *Engine) predict(st *serveStats, x []float64) (float64, error) {
 	snap := e.snap.Load()
 	if e.scaler != nil {
+		var ts time.Time
+		if st != nil {
+			ts = time.Now()
+		}
 		row := append([]float64(nil), x...)
 		if err := e.scaler.TransformRow(row); err != nil {
 			return 0, err
+		}
+		if st != nil {
+			st.stages.Observe(core.StageStandardize, time.Since(ts))
 		}
 		x = row
 	}
@@ -245,11 +300,32 @@ func (e *Engine) Predict(x []float64) (float64, error) {
 }
 
 // PredictBatch serves a batch from one consistent published snapshot,
-// fanned out over GOMAXPROCS workers.
+// fanned out over GOMAXPROCS workers. Metrics time the call as a whole (one
+// histogram entry per batch, with rows accounted separately).
 func (e *Engine) PredictBatch(xs [][]float64) ([]float64, error) {
+	st := e.stats.Load()
+	if st == nil {
+		return e.predictBatch(nil, xs)
+	}
+	t0 := time.Now()
+	ys, err := e.predictBatch(st, xs)
+	st.predictBatch.Observe(time.Since(t0), err)
+	if err == nil {
+		st.batchRows.Add(uint64(len(xs)))
+	}
+	return ys, err
+}
+
+// predictBatch is the batch-prediction body; st, when non-nil, receives the
+// standardization stage time (one observation covering the whole batch).
+func (e *Engine) predictBatch(st *serveStats, xs [][]float64) ([]float64, error) {
 	snap := e.snap.Load()
 	rows := xs
 	if e.scaler != nil {
+		var ts time.Time
+		if st != nil {
+			ts = time.Now()
+		}
 		rows = make([][]float64, len(xs))
 		for i, x := range xs {
 			row := append([]float64(nil), x...)
@@ -257,6 +333,9 @@ func (e *Engine) PredictBatch(xs [][]float64) ([]float64, error) {
 				return nil, err
 			}
 			rows[i] = row
+		}
+		if st != nil {
+			st.stages.Observe(core.StageStandardize, time.Since(ts))
 		}
 	}
 	ys, err := snap.PredictBatchParallel(rows, 0)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // fitServeFixture returns a fitted pipeline plus held-out rows in original
@@ -199,6 +200,203 @@ func TestEngineOpCounting(t *testing.T) {
 	}
 	if ctr.Total() <= n {
 		t.Fatal("op counter did not advance on Predict")
+	}
+}
+
+func TestEngineMetricsDisabled(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MetricsEnabled() {
+		t.Fatal("metrics enabled before EnableMetrics")
+	}
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Enabled || m.Predict.Count != 0 || m.Snapshot.Publishes != 0 {
+		t.Fatalf("disabled metrics not zero: %+v", m)
+	}
+}
+
+// TestEngineMetricsUnderLoad is the observability version of the serving
+// race-stress test: concurrent readers and a PartialFit writer run with
+// metrics enabled, and every acceptance metric — latency quantiles,
+// throughput, stage timing, snapshot staleness — must come out non-zero
+// and internally consistent.
+func TestEngineMetricsUnderLoad(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPublishEvery(25)
+	e.EnableMetrics()
+	e.EnableMetrics() // idempotent
+
+	stream, err := SyntheticDataset("ccpp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const updates = 300
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < updates; i++ {
+			if err := e.PartialFit(stream.X[i], stream.Y[i]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	const readers, perReader = 6, 100
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for r := 0; r < perReader; r++ {
+				if _, err := e.Predict(d.X[rng.Intn(len(d.X))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := e.PredictBatch(d.X[:40]); err != nil {
+		t.Fatal(err)
+	}
+
+	m := e.Metrics()
+	if !m.Enabled {
+		t.Fatal("metrics not enabled")
+	}
+	if m.Predict.Count != readers*perReader || m.Predict.Errors != 0 {
+		t.Fatalf("predict count/errors = %d/%d, want %d/0", m.Predict.Count, m.Predict.Errors, readers*perReader)
+	}
+	if m.Predict.P50NS <= 0 || m.Predict.P99NS < m.Predict.P50NS || m.Predict.MaxNS < m.Predict.P99NS {
+		t.Fatalf("latency quantiles inconsistent: %+v", m.Predict)
+	}
+	if m.Predict.RatePerSec <= 0 {
+		t.Fatalf("throughput not positive: %v", m.Predict.RatePerSec)
+	}
+	if m.PartialFit.Count != updates || m.PartialFit.P50NS <= 0 {
+		t.Fatalf("partial_fit digest wrong: %+v", m.PartialFit)
+	}
+	if m.PredictBatch.Count != 1 || m.PredictBatchRows != 40 {
+		t.Fatalf("batch digest wrong: %+v rows %d", m.PredictBatch, m.PredictBatchRows)
+	}
+	// Stage accounting: every served prediction passes standardize and
+	// encode; multi-model configs also search and read out.
+	wantStaged := int64(readers*perReader + 40)
+	if m.Stages.Encode.Calls != wantStaged || m.Stages.Readout.Calls != wantStaged {
+		t.Fatalf("stage calls = %+v, want %d encodes", m.Stages, wantStaged)
+	}
+	if m.Stages.Standardize.Calls != readers*perReader+1 { // one per call, batch counts once
+		t.Fatalf("standardize calls = %d", m.Stages.Standardize.Calls)
+	}
+	if m.Stages.Encode.TotalNS <= 0 || m.Stages.Encode.MeanNS <= 0 {
+		t.Fatalf("encode stage not timed: %+v", m.Stages.Encode)
+	}
+	// The writer crossed the publish interval repeatedly.
+	if m.Snapshot.Publishes < 2 {
+		t.Fatalf("publishes = %d, want several", m.Snapshot.Publishes)
+	}
+	if m.Snapshot.AgeSeconds < 0 || m.UptimeSeconds <= 0 {
+		t.Fatalf("gauges inconsistent: %+v", m.Snapshot)
+	}
+}
+
+// TestEngineSnapshotStaleness pins the staleness gauges' semantics: updates
+// accumulate the publish lag, Publish resets both the lag and the age.
+func TestEngineSnapshotStaleness(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPublishEvery(0) // manual publication only
+	e.EnableMetrics()
+	for i := 0; i < 5; i++ {
+		if err := e.PartialFit(d.X[i], d.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	m := e.Metrics()
+	if m.Snapshot.UpdatesSincePublish != 5 {
+		t.Fatalf("updates_since_publish = %d, want 5", m.Snapshot.UpdatesSincePublish)
+	}
+	if m.Snapshot.AgeSeconds < 0.02 {
+		t.Fatalf("age_s = %v, want ≥ 20ms", m.Snapshot.AgeSeconds)
+	}
+	publishes := m.Snapshot.Publishes
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.Snapshot.UpdatesSincePublish != 0 {
+		t.Fatalf("publish did not reset lag: %d", m.Snapshot.UpdatesSincePublish)
+	}
+	if m.Snapshot.Publishes != publishes+1 {
+		t.Fatalf("publishes = %d, want %d", m.Snapshot.Publishes, publishes+1)
+	}
+	if m.Snapshot.AgeSeconds > 0.02 {
+		t.Fatalf("age_s = %v after publish, want fresh", m.Snapshot.AgeSeconds)
+	}
+	// PartialFit-triggered auto-publication resets the gauge too.
+	e.SetPublishEvery(3)
+	for i := 0; i < 3; i++ {
+		if err := e.PartialFit(d.X[i], d.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m = e.Metrics(); m.Snapshot.UpdatesSincePublish != 0 {
+		t.Fatalf("auto-publish did not reset lag: %d", m.Snapshot.UpdatesSincePublish)
+	}
+}
+
+// TestEngineMetricsErrors: failed calls land in the error counters.
+func TestEngineMetricsErrors(t *testing.T) {
+	p, _ := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableMetrics()
+	if _, err := e.Predict([]float64{1}); err == nil {
+		t.Fatal("short feature vector accepted")
+	}
+	if m := e.Metrics(); m.Predict.Errors != 1 || m.Predict.Count != 1 {
+		t.Fatalf("errors/count = %d/%d, want 1/1", m.Predict.Errors, m.Predict.Count)
+	}
+}
+
+func TestPipelineStageTiming(t *testing.T) {
+	p, d := fitServeFixture(t)
+	st := p.EnableStageTiming()
+	if st != p.EnableStageTiming() || st != p.StageTimes() {
+		t.Fatal("EnableStageTiming not idempotent")
+	}
+	if _, err := p.Predict(d.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictBatch(d.X[:8]); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Summary()
+	if s.Standardize.Calls != 2 { // one Predict + one batch observation
+		t.Fatalf("standardize calls = %d, want 2", s.Standardize.Calls)
+	}
+	if s.Encode.Calls != 9 || s.Similarity.Calls != 9 || s.Readout.Calls != 9 {
+		t.Fatalf("stage calls = %+v, want 9 each", s)
+	}
+	if s.Encode.TotalNS <= 0 {
+		t.Fatalf("encode not timed: %+v", s.Encode)
 	}
 }
 
