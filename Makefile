@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick experiments fuzz examples serve-demo metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json experiments fuzz examples serve-demo metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, and the full race-detector pass, so the
 # concurrency contracts (Snapshot serving, pooled Predict scratch) can never
@@ -23,7 +23,7 @@ race:
 
 # Race pass over just the concurrency-bearing packages (fast iteration).
 race-quick:
-	$(GO) test -race ./internal/core/ ./internal/hdc/ ./internal/obs/ .
+	$(GO) test -race ./internal/core/ ./internal/encoding/ ./internal/hdc/ ./internal/obs/ .
 
 cover:
 	$(GO) test -cover ./...
@@ -36,6 +36,13 @@ bench:
 # Only the kernel micro-benchmarks (fast).
 bench-quick:
 	$(GO) test -bench='Encode|Hamming|Cosine|DotBinary|Predict' -benchmem .
+
+# Kernel before/after record: runs the paired kernel benchmarks
+# (bench_kernels_test.go) and writes BENCH_kernels.json with ns/op plus
+# baseline→optimized speedups. See docs/PERFORMANCE.md.
+bench-json:
+	$(GO) test -run xxx -bench 'Project$$|Encode$$|EncodeBatch$$|SimilarityK$$|EnginePredict$$' -benchtime=1s -count=3 . \
+		| $(GO) run ./cmd/reghd-benchjson -o BENCH_kernels.json
 
 # Metrics-off vs metrics-on serving throughput (the < 5% overhead check).
 bench-metrics:

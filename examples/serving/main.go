@@ -150,6 +150,8 @@ func main() {
 		time.Duration(m.Stages.Encode.MeanNS),
 		time.Duration(m.Stages.Similarity.MeanNS),
 		time.Duration(m.Stages.Readout.MeanNS))
+	fmt.Printf("encode throughput: %.0f rows/s (see docs/PERFORMANCE.md for the kernels behind it)\n",
+		m.EncodeRowsPerSec)
 
 	// The payoff of republication: on the fully drifted regime, the final
 	// published snapshot stays accurate while the pinned pre-drift snapshot

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// unbufferedEncoder hides the BufferedEncoder methods of the wrapped
+// encoder: embedding the Encoder interface promotes only the allocating
+// methods, so models built over it exercise the fallback encode path.
+type unbufferedEncoder struct {
+	encoding.Encoder
+}
+
+// newEncoderPair returns the same Nonlinear encoder twice: once as itself
+// (buffered) and once wrapped so core sees a plain Encoder.
+func newEncoderPair(t *testing.T, feats, dim int, kind encoding.Projection) (encoding.Encoder, encoding.Encoder) {
+	t.Helper()
+	mk := func() encoding.Encoder {
+		enc, err := encoding.NewNonlinearProjection(rand.New(rand.NewSource(99)), feats, dim, 1.0, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	return mk(), unbufferedEncoder{mk()}
+}
+
+// TestBufferedPredictMatchesFallback is the core differential for the
+// pooled-scratch encode path: a model whose encoder implements
+// BufferedEncoder must produce bit-identical predictions and identical
+// inference op counts to one whose (otherwise identical) encoder does not —
+// across prediction modes, cluster modes, projection kinds, and the
+// Model/Snapshot/parallel-batch entry points.
+func TestBufferedPredictMatchesFallback(t *testing.T) {
+	const feats, dim = 5, 512
+	rng := rand.New(rand.NewSource(42))
+	data := makeLinear(rng, 120, feats, 0.05)
+
+	for _, tc := range []struct {
+		name    string
+		kind    encoding.Projection
+		cluster ClusterMode
+		predict PredictMode
+	}{
+		{"full-integer-gaussian", encoding.ProjGaussian, ClusterInteger, PredictFull},
+		{"full-binary-bipolar", encoding.ProjBipolar, ClusterBinary, PredictFull},
+		{"binboth-binary-bipolar", encoding.ProjBipolar, ClusterBinary, PredictBinaryBoth},
+		{"binquery-integer-gaussian", encoding.ProjGaussian, ClusterInteger, PredictBinaryQuery},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Models = 4
+			cfg.Epochs = 8
+			cfg.Seed = 7
+			cfg.ClusterMode = tc.cluster
+			cfg.PredictMode = tc.predict
+
+			buf, plain := newEncoderPair(t, feats, dim, tc.kind)
+			mBuf, err := New(buf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mPlain, err := New(plain, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mBuf.bufEnc == nil {
+				t.Fatal("Nonlinear encoder not detected as buffered")
+			}
+			if mPlain.bufEnc != nil {
+				t.Fatal("wrapped encoder leaked BufferedEncoder")
+			}
+			if _, err := mBuf.Fit(data); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mPlain.Fit(data); err != nil {
+				t.Fatal(err)
+			}
+
+			var ctrBuf, ctrPlain hdc.Counter
+			mBuf.InferCounter = &ctrBuf
+			mPlain.InferCounter = &ctrPlain
+			for i, x := range data.X[:32] {
+				yb, err := mBuf.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				yp, err := mPlain.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(yb) != math.Float64bits(yp) {
+					t.Fatalf("row %d: buffered %v, fallback %v (not bit-identical)", i, yb, yp)
+				}
+			}
+			if ctrBuf != ctrPlain {
+				t.Fatalf("inference op counts diverge:\nbuffered: %v\nfallback: %v", &ctrBuf, &ctrPlain)
+			}
+			mBuf.InferCounter, mPlain.InferCounter = nil, nil
+
+			// Snapshot serving path, with atomic op counting.
+			sBuf, sPlain := mBuf.Snapshot(), mPlain.Snapshot()
+			var aBuf, aPlain hdc.AtomicCounter
+			sBuf.SetCounter(&aBuf)
+			sPlain.SetCounter(&aPlain)
+			for i, x := range data.X[:16] {
+				yb, err := sBuf.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				yp, err := sPlain.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(yb) != math.Float64bits(yp) {
+					t.Fatalf("snapshot row %d: buffered %v, fallback %v", i, yb, yp)
+				}
+			}
+			if aBuf.Snapshot() != aPlain.Snapshot() {
+				t.Fatal("snapshot op counts diverge between buffered and fallback encoders")
+			}
+
+			// Parallel batch path: buffered workers encode into pooled
+			// scratch; results must match the serial fallback exactly.
+			want, err := mPlain.PredictBatch(data.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mBuf.PredictBatchParallel(data.X, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("parallel row %d: %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBufferedScratchReuse drives many sequential predictions through one
+// model to confirm pooled encode buffers are fully overwritten between
+// calls: any stale state would break agreement with the fresh-allocation
+// fallback.
+func TestBufferedScratchReuse(t *testing.T) {
+	const feats, dim = 3, 256
+	cfg := DefaultConfig()
+	cfg.Models = 4
+	cfg.Epochs = 6
+	cfg.Seed = 3
+	buf, plain := newEncoderPair(t, feats, dim, encoding.ProjBipolar)
+	mBuf, err := New(buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPlain, err := New(plain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	data := makeLinear(rng, 80, feats, 0.1)
+	if _, err := mBuf.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mPlain.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i, x := range data.X {
+			yb, err := mBuf.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yp, err := mPlain.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(yb) != math.Float64bits(yp) {
+				t.Fatalf("round %d row %d: %v != %v", round, i, yb, yp)
+			}
+		}
+	}
+}

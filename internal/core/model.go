@@ -21,6 +21,12 @@ type params struct {
 	enc encoding.Encoder
 	dim int
 
+	// bufEnc is enc's zero-allocation view when the encoder provides one
+	// (non-nil exactly when enc implements encoding.BufferedEncoder).
+	// Prediction paths use it to encode into pooled scratch buffers; when
+	// nil they fall back to the allocating Encoder methods.
+	bufEnc encoding.BufferedEncoder
+
 	clusters    []hdc.Vector  // integer cluster hypervectors C_i
 	clustersBin []*hdc.Binary // binary shadows C_i^b (binary cluster modes)
 	models      []hdc.Vector  // integer regression hypervectors M_i
@@ -78,10 +84,14 @@ type Model struct {
 }
 
 // scratch is one prediction call's private workspace: cluster similarities,
-// softmax confidences, and a local op counter that concurrent paths merge
-// into an AtomicCounter after the call.
+// softmax confidences, the D-length encode buffers (raw/bipolar/bit-packed
+// query representations, reused across calls via BufferedEncoder's Into
+// methods), and a local op counter that concurrent paths merge into an
+// AtomicCounter after the call.
 type scratch struct {
 	sims, conf []float64
+	raw, s     hdc.Vector  // raw is nil unless the mode reads the raw query
+	packed     *hdc.Binary // nil when the encoder is not buffered
 	ctr        hdc.Counter
 }
 
@@ -90,12 +100,25 @@ type scratchPool struct {
 	pool sync.Pool
 }
 
-func newScratchPool(models int) *scratchPool {
+// newScratchPool sizes the per-call workspaces: models similarity slots,
+// dim-length encode buffers (the raw buffer only for modes that read the
+// raw query), and a bit-packed query. buffered selects whether encode
+// buffers are allocated at all — without a BufferedEncoder they would sit
+// unused.
+func newScratchPool(models, dim int, needRaw, buffered bool) *scratchPool {
 	return &scratchPool{pool: sync.Pool{New: func() any {
-		return &scratch{
+		s := &scratch{
 			sims: make([]float64, models),
 			conf: make([]float64, models),
 		}
+		if buffered {
+			s.s = hdc.NewVector(dim)
+			s.packed = hdc.NewBinary(dim)
+			if needRaw {
+				s.raw = hdc.NewVector(dim)
+			}
+		}
+		return s
 	}}}
 }
 
@@ -110,15 +133,17 @@ func New(enc encoding.Encoder, cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	bufEnc, _ := enc.(encoding.BufferedEncoder)
 	m := &Model{
 		params: params{
 			cfg:    cfg,
 			enc:    enc,
+			bufEnc: bufEnc,
 			dim:    enc.Dim(),
 			calibA: 1,
 		},
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		scratch: newScratchPool(cfg.Models),
+		scratch: newScratchPool(cfg.Models, enc.Dim(), cfg.PredictMode.UsesRawQuery(), bufEnc != nil),
 	}
 	m.models = make([]hdc.Vector, cfg.Models)
 	for i := range m.models {
@@ -196,18 +221,44 @@ func (p *params) encode(ctr *hdc.Counter, x []float64) (encoded, error) {
 	return e, nil
 }
 
+// encodeScratch is encode writing into the pooled per-call buffers of sc
+// instead of allocating: the returned encoded aliases sc, so it is only
+// valid until sc is returned to the pool. Results and op charges are
+// identical to encode (the BufferedEncoder contract); without a buffered
+// encoder it falls back to the allocating path.
+func (p *params) encodeScratch(ctr *hdc.Counter, x []float64, sc *scratch) (encoded, error) {
+	if p.bufEnc == nil || sc.packed == nil {
+		return p.encode(ctr, x)
+	}
+	var e encoded
+	if p.cfg.PredictMode.UsesRawQuery() {
+		if err := p.bufEnc.EncodeBothInto(ctr, x, sc.raw, sc.s); err != nil {
+			return encoded{}, err
+		}
+		e.raw = sc.raw
+		e.s = sc.s
+	} else {
+		if err := p.bufEnc.EncodeBipolarInto(ctr, x, sc.s); err != nil {
+			return encoded{}, err
+		}
+		e.s = sc.s
+	}
+	hdc.PackInto(ctr, sc.packed, e.s)
+	e.packed = sc.packed
+	return e, nil
+}
+
 // clusterSimilaritiesInto fills sims with the similarity of the encoded
-// sample to each cluster, using the configured similarity kernel.
+// sample to each cluster, using the configured similarity kernel. Both modes
+// run the fused k-way kernels, which read the query once for all k clusters
+// while staying bit-identical (and op-count-identical) to the per-cluster
+// loops they replaced.
 func (p *params) clusterSimilaritiesInto(ctr *hdc.Counter, e encoded, sims []float64) {
 	switch p.cfg.ClusterMode {
 	case ClusterInteger:
-		for i, c := range p.clusters {
-			sims[i] = hdc.Cosine(ctr, e.s, c)
-		}
+		hdc.CosineK(ctr, e.s, p.clusters, sims)
 	default: // ClusterBinary, ClusterNaiveBinary
-		for i, cb := range p.clustersBin {
-			sims[i] = hdc.HammingSimilarity(ctr, e.packed, cb)
-		}
+		hdc.HammingSimilarityK(ctr, e.packed, p.clustersBin, sims)
 	}
 }
 
@@ -290,10 +341,10 @@ func (m *Model) predictTraining(ctr *hdc.Counter, e encoded) float64 {
 	return m.predictWith(ctr, e, m.trainModelDot)
 }
 
-// encodeStaged is encode with the wall time recorded as StageEncode.
-func (p *params) encodeStaged(ctr *hdc.Counter, x []float64, st *StageTimes) (encoded, error) {
+// encodeStaged is encodeScratch with the wall time recorded as StageEncode.
+func (p *params) encodeStaged(ctr *hdc.Counter, x []float64, sc *scratch, st *StageTimes) (encoded, error) {
 	t0 := time.Now()
-	e, err := p.encode(ctr, x)
+	e, err := p.encodeScratch(ctr, x, sc)
 	if err == nil {
 		st.Observe(StageEncode, time.Since(t0))
 	}
@@ -338,13 +389,13 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	s := m.scratch.get()
 	defer m.scratch.put(s)
 	if st := m.Stages; st != nil {
-		e, err := m.encodeStaged(m.InferCounter, x, st)
+		e, err := m.encodeStaged(m.InferCounter, x, s, st)
 		if err != nil {
 			return 0, err
 		}
 		return m.predictStaged(m.InferCounter, e, s.sims, s.conf, st), nil
 	}
-	e, err := m.encode(m.InferCounter, x)
+	e, err := m.encodeScratch(m.InferCounter, x, s)
 	if err != nil {
 		return 0, err
 	}

@@ -122,7 +122,7 @@ func (m *Model) PredictBatchParallel(xs [][]float64, workers int) ([]float64, er
 			sc := m.scratch.get()
 			defer m.scratch.put(sc)
 			for i := lo; i < hi; i++ {
-				e, err := m.encode(ctr, xs[i])
+				e, err := m.encodeScratch(ctr, xs[i], sc)
 				if err != nil {
 					errs[w] = rowErr{row: i, err: fmt.Errorf("core: predicting row %d: %w", i, err)}
 					return

@@ -81,10 +81,12 @@ func Load(r io.Reader) (*Model, error) {
 	if err := hdc.CheckDims(dim, st.Models...); err != nil {
 		return nil, fmt.Errorf("core: loaded model vectors: %w", err)
 	}
+	bufEnc, _ := st.Encoder.(encoding.BufferedEncoder)
 	m := &Model{
 		params: params{
 			cfg:         st.Cfg,
 			enc:         st.Encoder,
+			bufEnc:      bufEnc,
 			dim:         dim,
 			clusters:    st.Clusters,
 			clustersBin: st.ClustersBin,
@@ -96,7 +98,7 @@ func Load(r io.Reader) (*Model, error) {
 		},
 		trained: st.Trained,
 		rng:     rand.New(rand.NewSource(st.Cfg.Seed)),
-		scratch: newScratchPool(st.Cfg.Models),
+		scratch: newScratchPool(st.Cfg.Models, dim, st.Cfg.PredictMode.UsesRawQuery(), bufEnc != nil),
 	}
 	if m.cfg.Models > 1 {
 		m.sims = make([]float64, m.cfg.Models)

@@ -43,7 +43,7 @@ func (m *Model) Snapshot() *Snapshot {
 	s := &Snapshot{
 		params:  m.params,
 		trained: m.trained,
-		scratch: newScratchPool(m.cfg.Models),
+		scratch: newScratchPool(m.cfg.Models, m.dim, m.cfg.PredictMode.UsesRawQuery(), m.bufEnc != nil),
 	}
 	s.clusters = cloneVectors(m.clusters)
 	s.clustersBin = cloneBinaries(m.clustersBin)
@@ -115,13 +115,13 @@ func (s *Snapshot) Predict(x []float64) (float64, error) {
 	}
 	var y float64
 	if st := s.stages; st != nil {
-		e, err := s.encodeStaged(ctr, x, st)
+		e, err := s.encodeStaged(ctr, x, sc, st)
 		if err != nil {
 			return 0, err
 		}
 		y = s.predictStaged(ctr, e, sc.sims, sc.conf, st)
 	} else {
-		e, err := s.encode(ctr, x)
+		e, err := s.encodeScratch(ctr, x, sc)
 		if err != nil {
 			return 0, err
 		}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"reghd/internal/hdc"
 )
@@ -50,6 +52,17 @@ type Nonlinear struct {
 	proj      []float64 // features*dim projection, row k = B_k
 	bias      []float64 // dim biases b_j in [0, 2π)
 	center    []float64 // per-dimension constant −sin(b_j)/2 of the Eq. 1 product
+
+	// packed is the bit-packed sign form of proj, non-nil exactly when every
+	// projection entry is ±1 (ProjBipolar). The projection then runs as a
+	// sign-selected add/sub kernel over 64×-smaller, cache-resident state —
+	// bit-for-bit identical to the dense multiply (see hdc.SignMatrix).
+	packed *hdc.SignMatrix
+
+	// pool recycles D-length projection scratch across Encode* calls that
+	// never hand the buffer to the caller (EncodeBinary's direct raw→packed
+	// path), so the binary serving path allocates nothing per encode.
+	pool sync.Pool
 }
 
 // NewNonlinear constructs an encoder for nFeatures-dimensional inputs into
@@ -106,6 +119,7 @@ func NewNonlinearProjection(rng *rand.Rand, nFeatures, dim int, bandwidth float6
 				e.proj[i] = -1
 			}
 		}
+		e.packed, _ = hdc.PackSignsFlat(e.proj, nFeatures, dim)
 	default:
 		return nil, fmt.Errorf("encoding: unknown projection kind %d", kind)
 	}
@@ -133,43 +147,106 @@ func (e *Nonlinear) Base(k int) hdc.Vector {
 	return v
 }
 
-// project computes F·B_j for every j into out (length dim). The projection
-// rows are bipolar, so it is an add/sub-only kernel; we still count it as
-// float multiply-add because the feature values are real.
+// project computes F·B_j for every j into out (length dim). When the
+// projection is bipolar it runs as the bit-packed sign-selected add/sub
+// kernel (hdc.SignMatrix.ProjectAccum) — zero float multiplies and 64× less
+// projection-matrix traffic — and falls back to the dense multiply-add
+// otherwise. Both kernels charge the identical Counter ops (the dense
+// form), so the hwmodel cost estimates do not depend on which one ran.
 func (e *Nonlinear) project(ctr *hdc.Counter, out []float64, x []float64) {
-	for j := range out {
-		out[j] = 0
+	if e.packed != nil {
+		e.packed.ProjectAccum(ctr, out, x)
+		return
 	}
-	for k, f := range x {
-		row := e.proj[k*e.dim : (k+1)*e.dim]
-		for j, b := range row {
-			out[j] += f * b
+	hdc.ProjectDense(ctr, out, x, e.proj)
+}
+
+// checkInput validates the feature count of x.
+func (e *Nonlinear) checkInput(x []float64) error {
+	if len(x) != e.features {
+		return fmt.Errorf("encoding: input has %d features, encoder expects %d", len(x), e.features)
+	}
+	return nil
+}
+
+// checkDst validates a caller-supplied D-length destination buffer.
+func (e *Nonlinear) checkDst(dst []float64) error {
+	if len(dst) != e.dim {
+		return fmt.Errorf("encoding: destination has dim %d, encoder produces %d", len(dst), e.dim)
+	}
+	return nil
+}
+
+// getBuf returns a pooled D-length projection scratch buffer.
+func (e *Nonlinear) getBuf() []float64 {
+	if v := e.pool.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return make([]float64, e.dim)
+}
+
+// putBuf returns a scratch buffer to the pool.
+func (e *Nonlinear) putBuf(b []float64) { e.pool.Put(&b) }
+
+// nonlinearize applies the Eq. 1 trigonometric nonlinearity in place over
+// the projection values: h_j ← cos(p_j + b_j)·sin(p_j) with p_j = h_j/bw,
+// computed through the product-to-sum identity
+//
+//	cos(p + b)·sin(p) = ½·sin(2p + b) − ½·sin(b)
+//
+// whose second term is the precomputed per-dimension center_j = −½·sin(b_j):
+// one trig evaluation per dimension instead of two. The op accounting stays
+// the canonical Eq. 1 form (two trig evaluations) by the hwmodel cost
+// contract — the identity is a software shortcut, not a cheaper algorithm
+// for the hardware targets.
+func (e *Nonlinear) nonlinearize(ctr *hdc.Counter, h []float64) {
+	inv := 1 / e.bandwidth
+	for j, p := range h {
+		p *= inv
+		h[j] = 0.5*math.Sin(2*p+e.bias[j]) + e.center[j]
+	}
+	d := uint64(e.dim)
+	ctr.Add(hdc.OpExp, 2*d) // cos + sin of the canonical form
+	ctr.Add(hdc.OpFloatAdd, d)
+	ctr.Add(hdc.OpFloatMul, d)
+	ctr.Add(hdc.OpMemWrite, d)
+}
+
+// quantizeInto writes the centered-sign quantization S_j = sign(raw_j −
+// center_j) into dst (dst may alias raw for in-place quantization).
+func (e *Nonlinear) quantizeInto(ctr *hdc.Counter, dst, raw []float64) {
+	for j, v := range raw {
+		if v >= e.center[j] {
+			dst[j] = 1
+		} else {
+			dst[j] = -1
 		}
 	}
-	n := uint64(e.features) * uint64(e.dim)
-	ctr.Add(hdc.OpFloatMul, n)
-	ctr.Add(hdc.OpFloatAdd, n)
-	ctr.Add(hdc.OpMemRead, n)
+	ctr.Add(hdc.OpCmp, uint64(e.dim))
 }
 
 // Encode maps x into the raw (real-valued) hypervector H of Eq. 1.
 func (e *Nonlinear) Encode(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
-	if len(x) != e.features {
-		return nil, fmt.Errorf("encoding: input has %d features, encoder expects %d", len(x), e.features)
-	}
 	h := make(hdc.Vector, e.dim)
-	e.project(ctr, h, x)
-	inv := 1 / e.bandwidth
-	for j, p := range h {
-		p *= inv
-		h[j] = math.Cos(p+e.bias[j]) * math.Sin(p)
+	if err := e.EncodeInto(ctr, x, h); err != nil {
+		return nil, err
 	}
-	d := uint64(e.dim)
-	ctr.Add(hdc.OpExp, 2*d) // cos + sin
-	ctr.Add(hdc.OpFloatAdd, d)
-	ctr.Add(hdc.OpFloatMul, d)
-	ctr.Add(hdc.OpMemWrite, d)
 	return h, nil
+}
+
+// EncodeInto is Encode writing into a caller-supplied D-length buffer, so
+// hot prediction paths can pool their encode scratch instead of allocating
+// per call.
+func (e *Nonlinear) EncodeInto(ctr *hdc.Counter, x []float64, dst hdc.Vector) error {
+	if err := e.checkInput(x); err != nil {
+		return err
+	}
+	if err := e.checkDst(dst); err != nil {
+		return err
+	}
+	e.project(ctr, dst, x)
+	e.nonlinearize(ctr, dst)
+	return nil
 }
 
 // EncodeBipolar maps x into the quantized bipolar hypervector
@@ -187,56 +264,179 @@ func (e *Nonlinear) EncodeBipolar(ctr *hdc.Counter, x []float64) (hdc.Vector, er
 	if err != nil {
 		return nil, err
 	}
-	for j, v := range h {
-		if v >= e.center[j] {
-			h[j] = 1
-		} else {
-			h[j] = -1
-		}
-	}
-	ctr.Add(hdc.OpCmp, uint64(e.dim))
+	e.quantizeInto(ctr, h, h)
 	return h, nil
+}
+
+// EncodeBipolarInto is EncodeBipolar writing into a caller-supplied
+// D-length buffer.
+func (e *Nonlinear) EncodeBipolarInto(ctr *hdc.Counter, x []float64, dst hdc.Vector) error {
+	if err := e.EncodeInto(ctr, x, dst); err != nil {
+		return err
+	}
+	e.quantizeInto(ctr, dst, dst)
+	return nil
 }
 
 // EncodeBinary maps x into the bit-packed binary hypervector S^b used by the
 // quantized similarity kernels (Section 3.1). Bit j is set exactly when
 // EncodeBipolar would produce +1.
 func (e *Nonlinear) EncodeBinary(ctr *hdc.Counter, x []float64) (*hdc.Binary, error) {
-	s, err := e.EncodeBipolar(ctr, x)
-	if err != nil {
+	b := hdc.NewBinary(e.dim)
+	if err := e.EncodeBinaryInto(ctr, x, b); err != nil {
 		return nil, err
 	}
-	return hdc.Pack(ctr, s), nil
+	return b, nil
+}
+
+// EncodeBinaryInto encodes x straight into a bit-packed hypervector: the
+// projection lands in pooled scratch and each component is thresholded
+// against center_j directly into the destination words, never materializing
+// the intermediate ±1 float vector. Bits are identical to
+// Pack(EncodeBipolar(x)) — both set bit j exactly when H_j >= center_j —
+// and the op charges equal the materializing path's (Encode + quantize +
+// Pack), keeping the hwmodel cost contract.
+func (e *Nonlinear) EncodeBinaryInto(ctr *hdc.Counter, x []float64, dst *hdc.Binary) error {
+	if err := e.checkInput(x); err != nil {
+		return err
+	}
+	if dst.Dim != e.dim {
+		return fmt.Errorf("encoding: destination has dim %d, encoder produces %d", dst.Dim, e.dim)
+	}
+	buf := e.getBuf()
+	defer e.putBuf(buf)
+	e.project(ctr, buf, x)
+	inv := 1 / e.bandwidth
+	words := dst.Words
+	for w := range words {
+		words[w] = 0
+	}
+	for j, p := range buf {
+		p *= inv
+		// The same identity-form H_j the materializing path computes, so the
+		// threshold decision is bit-identical to quantizeInto's.
+		if 0.5*math.Sin(2*p+e.bias[j])+e.center[j] >= e.center[j] {
+			words[j/64] |= 1 << uint(j%64)
+		}
+	}
+	// Charge what the materializing reference path charges after the
+	// projection: the nonlinearity (Encode), the centered-sign threshold
+	// (EncodeBipolar), and the bit-pack (hdc.Pack).
+	d := uint64(e.dim)
+	ctr.Add(hdc.OpExp, 2*d)
+	ctr.Add(hdc.OpFloatAdd, d)
+	ctr.Add(hdc.OpFloatMul, d)
+	ctr.Add(hdc.OpMemWrite, d)
+	ctr.Add(hdc.OpCmp, 2*d)
+	ctr.Add(hdc.OpMemRead, d)
+	ctr.Add(hdc.OpMemWrite, uint64(len(words)))
+	return nil
 }
 
 // EncodeBoth returns the raw hypervector H and its centered-sign bipolar
 // quantization S from a single projection pass.
 func (e *Nonlinear) EncodeBoth(ctr *hdc.Counter, x []float64) (raw, bipolar hdc.Vector, err error) {
-	raw, err = e.Encode(ctr, x)
-	if err != nil {
+	raw = make(hdc.Vector, e.dim)
+	bipolar = make(hdc.Vector, e.dim)
+	if err := e.EncodeBothInto(ctr, x, raw, bipolar); err != nil {
 		return nil, nil, err
 	}
-	bipolar = make(hdc.Vector, e.dim)
-	for j, v := range raw {
-		if v >= e.center[j] {
-			bipolar[j] = 1
-		} else {
-			bipolar[j] = -1
-		}
-	}
-	ctr.Add(hdc.OpCmp, uint64(e.dim))
 	return raw, bipolar, nil
 }
 
-// EncodeBatch encodes each row of xs with EncodeBipolar.
+// EncodeBothInto is EncodeBoth writing into caller-supplied D-length
+// buffers.
+func (e *Nonlinear) EncodeBothInto(ctr *hdc.Counter, x []float64, raw, bipolar hdc.Vector) error {
+	if err := e.EncodeInto(ctr, x, raw); err != nil {
+		return err
+	}
+	if err := e.checkDst(bipolar); err != nil {
+		return err
+	}
+	e.quantizeInto(ctr, bipolar, raw)
+	return nil
+}
+
+// EncodeBatch encodes each row of xs with EncodeBipolar, fanning the rows
+// out over GOMAXPROCS workers (the encoder is read-only, so batch encoding
+// is embarrassingly parallel). On success, results and accumulated op
+// counts are identical to the serial loop; on invalid rows the error with
+// the lowest row index is reported (workers may have counted rows past it).
 func (e *Nonlinear) EncodeBatch(ctr *hdc.Counter, xs [][]float64) ([]hdc.Vector, error) {
+	return e.EncodeBatchParallel(ctr, xs, 0)
+}
+
+// EncodeBatchParallel is EncodeBatch with an explicit worker count
+// (0 means GOMAXPROCS, 1 forces the serial loop).
+func (e *Nonlinear) EncodeBatchParallel(ctr *hdc.Counter, xs [][]float64, workers int) ([]hdc.Vector, error) {
 	out := make([]hdc.Vector, len(xs))
-	for i, x := range xs {
-		s, err := e.EncodeBipolar(ctr, x)
-		if err != nil {
-			return nil, fmt.Errorf("encoding row %d: %w", i, err)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		for i, x := range xs {
+			s, err := e.EncodeBipolar(ctr, x)
+			if err != nil {
+				return nil, fmt.Errorf("encoding row %d: %w", i, err)
+			}
+			out[i] = s
 		}
-		out[i] = s
+		return out, nil
+	}
+	type rowErr struct {
+		row int
+		err error
+	}
+	errs := make([]rowErr, workers)
+	counters := make([]*hdc.Counter, workers)
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		var wctr *hdc.Counter
+		if ctr != nil {
+			wctr = &hdc.Counter{}
+			counters[w] = wctr
+		}
+		go func(w, lo, hi int, wctr *hdc.Counter) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s, err := e.EncodeBipolar(wctr, xs[i])
+				if err != nil {
+					errs[w] = rowErr{row: i, err: fmt.Errorf("encoding row %d: %w", i, err)}
+					return
+				}
+				out[i] = s
+			}
+		}(w, lo, hi, wctr)
+	}
+	wg.Wait()
+	// Merge per-worker counters before the error check so a failed batch
+	// still accounts for the encodes its workers performed.
+	for _, wctr := range counters {
+		ctr.AddCounter(wctr)
+	}
+	var first error
+	best := -1
+	for _, re := range errs {
+		if re.err != nil && (best < 0 || re.row < best) {
+			best = re.row
+			first = re.err
+		}
+	}
+	if first != nil {
+		return nil, first
 	}
 	return out, nil
 }

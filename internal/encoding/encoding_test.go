@@ -3,6 +3,7 @@ package encoding
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -226,5 +227,293 @@ func TestEncodeCountsOps(t *testing.T) {
 	}
 	if c.Count(hdc.OpFloatMul) < 400 {
 		t.Fatalf("mul count = %d, want >= n*D", c.Count(hdc.OpFloatMul))
+	}
+}
+
+// newBipolarPair returns two identically-seeded bipolar-projection encoders,
+// the second with the packed sign matrix removed so it runs the dense naive
+// projection kernel — the pre-packing reference path.
+func newBipolarPair(t *testing.T, seed int64, n, dim int) (packed, naive *Nonlinear) {
+	t.Helper()
+	packed, err := NewNonlinearProjection(rand.New(rand.NewSource(seed)), n, dim, 2, ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err = NewNonlinearProjection(rand.New(rand.NewSource(seed)), n, dim, 2, ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive.packed = nil
+	if packed.packed == nil {
+		t.Fatal("bipolar projection was not sign-packed at construction")
+	}
+	return packed, naive
+}
+
+// TestPackedProjectionMatchesNaive is the encoder-level differential: the
+// packed sign-selected projection must reproduce the dense float kernel
+// bit-for-bit across every encode entry point, with identical op counts.
+func TestPackedProjectionMatchesNaive(t *testing.T) {
+	for _, tc := range []struct{ n, dim int }{{1, 64}, {6, 333}, {32, 4096}} {
+		ep, en := newBipolarPair(t, 11, tc.n, tc.dim)
+		rng := rand.New(rand.NewSource(12))
+		x := make([]float64, tc.n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+
+		var cp, cn hdc.Counter
+		hp, err := ep.Encode(&cp, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hn, err := en.Encode(&cn, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range hp {
+			if math.Float64bits(hp[j]) != math.Float64bits(hn[j]) {
+				t.Fatalf("n=%d D=%d: raw[%d] packed %v != naive %v", tc.n, tc.dim, j, hp[j], hn[j])
+			}
+		}
+		if cp != cn {
+			t.Fatalf("n=%d D=%d: Encode op counts diverge: packed %v, naive %v", tc.n, tc.dim, &cp, &cn)
+		}
+
+		cp.Reset()
+		cn.Reset()
+		sp, _ := ep.EncodeBipolar(&cp, x)
+		sn, _ := en.EncodeBipolar(&cn, x)
+		for j := range sp {
+			if sp[j] != sn[j] {
+				t.Fatalf("n=%d D=%d: bipolar[%d] diverges", tc.n, tc.dim, j)
+			}
+		}
+		if cp != cn {
+			t.Fatalf("n=%d D=%d: EncodeBipolar op counts diverge", tc.n, tc.dim)
+		}
+
+		cp.Reset()
+		cn.Reset()
+		bp, _ := ep.EncodeBinary(&cp, x)
+		bn, _ := en.EncodeBinary(&cn, x)
+		if !bp.Equal(bn) {
+			t.Fatalf("n=%d D=%d: binary encodings diverge", tc.n, tc.dim)
+		}
+		if cp != cn {
+			t.Fatalf("n=%d D=%d: EncodeBinary op counts diverge", tc.n, tc.dim)
+		}
+	}
+}
+
+// TestEncodeBinaryDirectMatchesMaterialized pins the satellite contract: the
+// direct raw→packed path must produce the exact bits of Pack(EncodeBipolar)
+// and charge the identical op counts, for both projection kinds.
+func TestEncodeBinaryDirectMatchesMaterialized(t *testing.T) {
+	for _, kind := range []Projection{ProjGaussian, ProjBipolar} {
+		e, err := NewNonlinearProjection(rand.New(rand.NewSource(13)), 7, 1000, 3, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(14))
+		for trial := 0; trial < 5; trial++ {
+			x := make([]float64, 7)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			var cDirect, cRef hdc.Counter
+			direct, err := e.EncodeBinary(&cDirect, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := e.EncodeBipolar(&cRef, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := hdc.Pack(&cRef, s)
+			if !direct.Equal(ref) {
+				t.Fatalf("kind=%v: direct binary encoding differs from Pack(EncodeBipolar)", kind)
+			}
+			if cDirect != cRef {
+				t.Fatalf("kind=%v: op counts diverge: direct %v, materialized %v", kind, &cDirect, &cRef)
+			}
+		}
+	}
+}
+
+// TestEncodeIntoMatchesAlloc checks every Into variant against its
+// allocating counterpart: same values, same op counts, and reusable
+// destination buffers.
+func TestEncodeIntoMatchesAlloc(t *testing.T) {
+	e, err := NewNonlinearProjection(rand.New(rand.NewSource(15)), 5, 200, 2, ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7, 1.1, 0.2, -0.4}
+	raw := make(hdc.Vector, 200)
+	bip := make(hdc.Vector, 200)
+	bin := hdc.NewBinary(200)
+
+	var cInto, cAlloc hdc.Counter
+	if err := e.EncodeInto(&cInto, x, raw); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := e.Encode(&cAlloc, x)
+	for j := range h {
+		if math.Float64bits(raw[j]) != math.Float64bits(h[j]) {
+			t.Fatalf("EncodeInto diverges at %d", j)
+		}
+	}
+	if cInto != cAlloc {
+		t.Fatal("EncodeInto op counts diverge from Encode")
+	}
+
+	cInto.Reset()
+	cAlloc.Reset()
+	if err := e.EncodeBipolarInto(&cInto, x, bip); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := e.EncodeBipolar(&cAlloc, x)
+	for j := range s {
+		if bip[j] != s[j] {
+			t.Fatalf("EncodeBipolarInto diverges at %d", j)
+		}
+	}
+	if cInto != cAlloc {
+		t.Fatal("EncodeBipolarInto op counts diverge from EncodeBipolar")
+	}
+
+	cInto.Reset()
+	cAlloc.Reset()
+	if err := e.EncodeBothInto(&cInto, x, raw, bip); err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, _ := e.EncodeBoth(&cAlloc, x)
+	for j := range r2 {
+		if math.Float64bits(raw[j]) != math.Float64bits(r2[j]) || bip[j] != s2[j] {
+			t.Fatalf("EncodeBothInto diverges at %d", j)
+		}
+	}
+	if cInto != cAlloc {
+		t.Fatal("EncodeBothInto op counts diverge from EncodeBoth")
+	}
+
+	cInto.Reset()
+	cAlloc.Reset()
+	if err := e.EncodeBinaryInto(&cInto, x, bin); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := e.EncodeBinary(&cAlloc, x)
+	if !bin.Equal(b2) {
+		t.Fatal("EncodeBinaryInto diverges from EncodeBinary")
+	}
+	if cInto != cAlloc {
+		t.Fatal("EncodeBinaryInto op counts diverge from EncodeBinary")
+	}
+
+	// Destination validation.
+	if err := e.EncodeInto(nil, x, make(hdc.Vector, 10)); err == nil {
+		t.Fatal("EncodeInto accepted a wrong-size destination")
+	}
+	if err := e.EncodeBinaryInto(nil, x, hdc.NewBinary(10)); err == nil {
+		t.Fatal("EncodeBinaryInto accepted a wrong-size destination")
+	}
+	if err := e.EncodeBothInto(nil, x, raw, make(hdc.Vector, 10)); err == nil {
+		t.Fatal("EncodeBothInto accepted a wrong-size bipolar destination")
+	}
+}
+
+// TestEncodeBatchParallelMatchesSerial checks that the parallel batch path
+// produces the rows and op counts of the serial loop.
+func TestEncodeBatchParallelMatchesSerial(t *testing.T) {
+	e, err := NewNonlinearProjection(rand.New(rand.NewSource(16)), 4, 300, 2, ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	xs := make([][]float64, 37)
+	for i := range xs {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		xs[i] = row
+	}
+	var cSerial, cParallel hdc.Counter
+	serial, err := e.EncodeBatchParallel(&cSerial, xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := e.EncodeBatchParallel(&cParallel, xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		for j := range serial[i] {
+			if serial[i][j] != parallel[i][j] {
+				t.Fatalf("row %d diverges at %d", i, j)
+			}
+		}
+	}
+	if cSerial != cParallel {
+		t.Fatalf("batch op counts diverge: serial %v, parallel %v", &cSerial, &cParallel)
+	}
+	// Lowest-index error reporting across workers.
+	bad := make([][]float64, 16)
+	for i := range bad {
+		bad[i] = make([]float64, 4)
+	}
+	bad[3] = []float64{1}
+	bad[11] = []float64{1}
+	_, err = e.EncodeBatchParallel(nil, bad, 4)
+	if err == nil {
+		t.Fatal("parallel batch accepted bad rows")
+	}
+	if want := "encoding row 3"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the lowest failing row", err)
+	}
+}
+
+// TestGobRoundTripRestoresPackedProjection ensures a restored bipolar
+// encoder re-derives the packed sign matrix and keeps encoding identically.
+func TestGobRoundTripRestoresPackedProjection(t *testing.T) {
+	e, err := NewNonlinearProjection(rand.New(rand.NewSource(18)), 5, 256, 2, ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Nonlinear
+	if err := restored.GobDecode(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.packed == nil {
+		t.Fatal("restored bipolar encoder lost its packed projection")
+	}
+	x := []float64{0.2, -0.5, 0.9, -0.1, 0.7}
+	h1, _ := e.Encode(nil, x)
+	h2, _ := restored.Encode(nil, x)
+	for j := range h1 {
+		if math.Float64bits(h1[j]) != math.Float64bits(h2[j]) {
+			t.Fatalf("restored encoder diverges at %d", j)
+		}
+	}
+	// A Gaussian encoder must stay unpacked after the round trip.
+	g, err := NewNonlinear(rand.New(rand.NewSource(19)), 5, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err = g.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gr Nonlinear
+	if err := gr.GobDecode(blob); err != nil {
+		t.Fatal(err)
+	}
+	if gr.packed != nil {
+		t.Fatal("Gaussian encoder acquired a packed projection on load")
 	}
 }

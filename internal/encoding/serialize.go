@@ -56,6 +56,14 @@ func (e *Nonlinear) GobDecode(data []byte) error {
 	for j, b := range st.Bias {
 		e.center[j] = -math.Sin(b) / 2
 	}
+	// Re-derive the bit-packed projection: when every entry is ±1 (bipolar
+	// base hypervectors) the restored encoder runs the same sign-selected
+	// add/sub kernel as the one that was saved.
+	if sm, ok := hdc.PackSignsFlat(e.proj, e.features, e.dim); ok {
+		e.packed = sm
+	} else {
+		e.packed = nil
+	}
 	return nil
 }
 

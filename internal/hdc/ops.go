@@ -1,6 +1,9 @@
 package hdc
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Op identifies a primitive operation class counted by the instrumented
 // kernels. The classes are chosen so that package hwmodel can assign each a
@@ -114,17 +117,19 @@ func (c *Counter) String() string {
 	if c == nil {
 		return "hdc.Counter(nil)"
 	}
-	s := "hdc.Counter{"
+	var b strings.Builder
+	b.WriteString("hdc.Counter{")
 	first := true
 	for op, n := range c.counts {
 		if n == 0 {
 			continue
 		}
 		if !first {
-			s += ", "
+			b.WriteString(", ")
 		}
-		s += fmt.Sprintf("%s: %d", Op(op), n)
+		fmt.Fprintf(&b, "%s: %d", Op(op), n)
 		first = false
 	}
-	return s + "}"
+	b.WriteString("}")
+	return b.String()
 }

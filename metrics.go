@@ -80,6 +80,13 @@ type EngineMetrics struct {
 	// regression localizes: standardize (scaler), encode, similarity,
 	// readout. Stage totals accumulate across snapshot republications.
 	Stages StageSummary `json:"stages"`
+	// EncodeRowsPerSec is the encode-stage throughput: rows encoded per
+	// second of wall time actually spent encoding (stage calls over stage
+	// total time, not over uptime). It gauges the encoding kernels'
+	// capacity — the ceiling on serving throughput when encode dominates —
+	// independent of how idle the engine is. Zero until the encode stage
+	// has run.
+	EncodeRowsPerSec float64 `json:"encode_rows_per_sec"`
 	// Snapshot gauges publication staleness.
 	Snapshot SnapshotMetrics `json:"snapshot"`
 }
@@ -135,6 +142,11 @@ func (e *Engine) Metrics() EngineMetrics {
 		return EngineMetrics{}
 	}
 	elapsed := time.Since(st.start)
+	encode := st.stages.Stat(core.StageEncode)
+	var encodeRate float64
+	if encode.TotalNS > 0 {
+		encodeRate = float64(encode.Calls) / (float64(encode.TotalNS) * 1e-9)
+	}
 	return EngineMetrics{
 		Enabled:          true,
 		UptimeSeconds:    elapsed.Seconds(),
@@ -143,6 +155,7 @@ func (e *Engine) Metrics() EngineMetrics {
 		PredictBatchRows: st.batchRows.Load(),
 		PartialFit:       st.partialFit.Summary(elapsed),
 		Stages:           st.stages.Summary(),
+		EncodeRowsPerSec: encodeRate,
 		Snapshot: SnapshotMetrics{
 			UpdatesSincePublish: st.updatesSincePublish.Load(),
 			AgeSeconds:          time.Since(time.Unix(0, st.lastPublishNS.Load())).Seconds(),
