@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json experiments fuzz examples serve-demo metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json experiments fuzz fuzz-smoke examples serve-demo lint metrics-lint bench-metrics clean
 
-# Tier-1 flow: build, vet, tests, and the full race-detector pass, so the
-# concurrency contracts (Snapshot serving, pooled Predict scratch) can never
-# regress silently.
-all: build vet test race
+# Tier-1 flow: build, vet, tests, the full race-detector pass, and the
+# static-analysis suite, so the concurrency contracts (Snapshot serving,
+# pooled Predict scratch) and the op-accounting contract can never regress
+# silently.
+all: build vet test race lint
 
 build:
 	$(GO) build ./...
@@ -54,6 +55,14 @@ bench-metrics:
 serve-demo:
 	$(GO) run ./cmd/reghd-serve
 
+# The in-tree static-analysis suite (cmd/reghd-lint): five go/ast+go/types
+# analyzers enforcing Snapshot immutability, pooled-scratch hygiene, kernel
+# op-accounting, atomic-access discipline, and the float-equality ban.
+# Lints every package, including the lint package and command themselves.
+# See docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/reghd-lint ./...
+
 # Check docs/OBSERVABILITY.md and the exported metric structs against each
 # other: every metric in code must be documented, and vice versa.
 metrics-lint:
@@ -66,6 +75,11 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dataset/
 	$(GO) test -fuzz=FuzzPackUnpack -fuzztime=10s ./internal/hdc/
+
+# Quick CI-friendly fuzz pass over the differential sign-projection target:
+# the bit-packed encode path must keep agreeing with the reference form.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzSignProject -fuzztime=20s ./internal/hdc/
 
 examples:
 	$(GO) run ./examples/quickstart

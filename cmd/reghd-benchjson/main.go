@@ -118,6 +118,7 @@ func parse(r *bufio.Scanner) (*Report, error) {
 					continue
 				}
 				counter := rep.Results[idx]
+				//lint:ignore floatcmp exact-zero NsPerOp is the missing-benchmark sentinel
 				if counter.NsPerOp == 0 {
 					continue
 				}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	cleanFixture    = "../../internal/lint/testdata/src/clean"
+	dirtyFixture    = "../../internal/lint/testdata/src/floatfix"
+	brokenNoSuchDir = "../../internal/lint/testdata/no-such-dir"
+)
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunList(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range []string{"snapshotmut", "poolescape", "countercharge", "atomicmix", "floatcmp"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunCleanFixture(t *testing.T) {
+	code, out, errb := runLint(t, cleanFixture)
+	if code != 0 || out != "" {
+		t.Fatalf("clean fixture: exit=%d stdout=%q stderr=%q", code, out, errb)
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	code, out, _ := runLint(t, dirtyFixture)
+	if code != 1 {
+		t.Fatalf("dirty fixture: exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "floatcmp") {
+		t.Errorf("output should name the analyzer:\n%s", out)
+	}
+	if !strings.Contains(out, "floatfix.go:") {
+		t.Errorf("output should carry path:line positions:\n%s", out)
+	}
+}
+
+func TestRunAnalyzerSubset(t *testing.T) {
+	// The dirty fixture only violates floatcmp; restricting the run to
+	// another analyzer must come back clean.
+	code, out, _ := runLint(t, "-analyzers", "snapshotmut", dirtyFixture)
+	if code != 0 || out != "" {
+		t.Fatalf("subset run: exit=%d stdout=%q", code, out)
+	}
+}
+
+func TestRunBadDirExitTwo(t *testing.T) {
+	code, _, errb := runLint(t, brokenNoSuchDir)
+	if code != 2 {
+		t.Fatalf("missing dir: exit = %d, want 2 (stderr=%q)", code, errb)
+	}
+}
+
+func TestRunUnknownAnalyzerExitTwo(t *testing.T) {
+	code, _, errb := runLint(t, "-analyzers", "nosuch")
+	if code != 2 || !strings.Contains(errb, "unknown analyzer") {
+		t.Fatalf("unknown analyzer: exit=%d stderr=%q", code, errb)
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	root := t.TempDir()
+	mk := func(rel, file string) {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if file != "" {
+			if err := os.WriteFile(filepath.Join(dir, file), []byte("package x\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("a", "a.go")
+	mk("a/b", "b.go")
+	mk("a/testdata", "fixture.go")
+	mk("a/.hidden", "h.go")
+	mk("a/_skip", "s.go")
+	mk("a/onlytests", "x_test.go")
+	mk("a/empty", "")
+
+	dirs, err := expandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		filepath.Join(root, "a"):      true,
+		filepath.Join(root, "a", "b"): true,
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("want %d dirs, got %v", len(want), dirs)
+	}
+	for _, d := range dirs {
+		if !want[d] {
+			t.Errorf("unexpected dir %s", d)
+		}
+	}
+}
+
+// TestBinaryExitsNonzero is the end-to-end regression test: the built binary
+// must exit 1 on a fixture with a known violation, so a CI wiring mistake
+// that swallows findings cannot go unnoticed.
+func TestBinaryExitsNonzero(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "reghd-lint")
+	build := exec.Command(gobin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reghd-lint: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, dirtyFixture)
+	out, err := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("binary exit = %d (err=%v), want 1\n%s", code, err, out)
+	}
+	if !strings.Contains(string(out), "floatcmp") {
+		t.Errorf("binary output should name the analyzer:\n%s", out)
+	}
+}

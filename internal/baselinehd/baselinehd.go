@@ -132,6 +132,7 @@ func (m *Model) Fit(train *dataset.Dataset) error {
 		return fmt.Errorf("baselinehd: dataset has %d features, encoder expects %d", train.Features(), m.enc.Features())
 	}
 	m.lo, m.hi = train.TargetRange()
+	//lint:ignore floatcmp degenerate constant-target guard before the range division
 	if m.lo == m.hi {
 		m.hi = m.lo + 1 // degenerate constant target
 	}

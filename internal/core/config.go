@@ -174,15 +174,18 @@ func (c *Config) Validate() error {
 	if c.Models == 0 {
 		c.Models = 8
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.LearningRate == 0 {
 		c.LearningRate = 0.1
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.SoftmaxBeta == 0 {
 		c.SoftmaxBeta = 10
 	}
 	if c.Epochs == 0 {
 		c.Epochs = 60
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.Tol == 0 {
 		c.Tol = 0.005
 	}

@@ -83,6 +83,8 @@ func (s *Snapshot) Trained() bool { return s.trained }
 // operations of every prediction served from this snapshot (nil disables
 // counting). Install it before sharing the snapshot across goroutines; the
 // counter itself may then be read concurrently with serving.
+//
+//lint:ignore snapshotmut pre-publication install hook: documented to run before the snapshot is shared with readers
 func (s *Snapshot) SetCounter(ctr *hdc.AtomicCounter) { s.counter = ctr }
 
 // Counter returns the installed AtomicCounter, or nil.
@@ -95,6 +97,8 @@ func (s *Snapshot) Counter() *hdc.AtomicCounter { return s.counter }
 // then be summarized concurrently with serving. Several snapshots may share
 // one accumulator — the serving engine does exactly that across
 // republications, so stage totals survive snapshot turnover.
+//
+//lint:ignore snapshotmut pre-publication install hook: documented to run before the snapshot is shared with readers
 func (s *Snapshot) SetStages(st *StageTimes) { s.stages = st }
 
 // Stages returns the installed StageTimes accumulator, or nil.

@@ -52,6 +52,7 @@ func (m *Model) ModelSparsity() float64 {
 	var zeros, total int
 	for _, mv := range m.models {
 		for _, v := range mv {
+			//lint:ignore floatcmp sparsity is defined as exactly-zero components produced by hard thresholding
 			if v == 0 {
 				zeros++
 			}

@@ -62,6 +62,7 @@ func R2(pred, target []float64) (float64, error) {
 		d := y - mean
 		ssTot += d * d
 	}
+	//lint:ignore floatcmp exact-zero variance guard before division (constant target)
 	if ssTot == 0 {
 		return 0, nil
 	}

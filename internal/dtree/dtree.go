@@ -116,7 +116,7 @@ func (t *Tree) Fit(train *dataset.Dataset) error {
 
 // stats holds the sufficient statistics of a sample set for variance math.
 type stats struct {
-	n          float64
+	n          int
 	sum, sumSq float64
 }
 
@@ -128,14 +128,14 @@ func (s *stats) sse() float64 {
 	if s.n == 0 {
 		return 0
 	}
-	return s.sumSq - s.sum*s.sum/s.n
+	return s.sumSq - s.sum*s.sum/float64(s.n)
 }
 
 func (s *stats) mean() float64 {
 	if s.n == 0 {
 		return 0
 	}
-	return s.sum / s.n
+	return s.sum / float64(s.n)
 }
 
 // grow recursively builds the subtree over the samples at idx.
@@ -146,7 +146,7 @@ func (t *Tree) grow(d *dataset.Dataset, idx []int, dep int) *node {
 		total.add(d.Y[i])
 	}
 	leaf := &node{feature: -1, value: total.mean()}
-	if dep >= t.cfg.MaxDepth || len(idx) < t.cfg.MinSamplesSplit || total.sse() == 0 {
+	if dep >= t.cfg.MaxDepth || len(idx) < t.cfg.MinSamplesSplit || total.sse() <= 0 {
 		return leaf
 	}
 
@@ -164,6 +164,7 @@ func (t *Tree) grow(d *dataset.Dataset, idx []int, dep int) *node {
 			right.remove(y)
 			xCur := d.X[order[pos]][f]
 			xNext := d.X[order[pos+1]][f]
+			//lint:ignore floatcmp sorted adjacent duplicates: a split threshold between equal values is undefined, and the values are untransformed inputs
 			if xCur == xNext {
 				continue // cannot split between equal values
 			}

@@ -154,6 +154,7 @@ func (r *Table1Result) AverageImprovement(a, b string) float64 {
 	for _, d := range r.Datasets {
 		ma, okA := r.MSE[a][d]
 		mb, okB := r.MSE[b][d]
+		//lint:ignore floatcmp a baseline MSE of exactly zero cannot be improved on; guard before division
 		if !okA || !okB || mb == 0 {
 			continue
 		}

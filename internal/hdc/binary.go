@@ -104,6 +104,8 @@ func Unpack(b *Binary) Vector {
 
 // UnpackInto expands b into dst, which must have length b.Dim. It lets hot
 // loops reuse a scratch vector instead of allocating per sample.
+//
+//lint:nocount software training-cache expansion: the canonical accounting charges the encode that produced S once, so re-materializing the cached S must not move the hwmodel training costs
 func UnpackInto(dst Vector, b *Binary) {
 	if len(dst) != b.Dim {
 		panic(fmt.Sprintf("hdc: UnpackInto dimension mismatch %d != %d", len(dst), b.Dim))
@@ -187,6 +189,8 @@ func DotBinaryDense(ctr *Counter, b *Binary, v Vector) float64 {
 
 // FlipBits flips the bits of b at the given component indices, used by fault
 // injection experiments to model memory errors in a deployed binary model.
+//
+//lint:nocount fault-injection harness for the robustness experiments; it models memory corruption, it is not an algorithm kernel
 func (b *Binary) FlipBits(indices []int) {
 	for _, i := range indices {
 		b.Words[i/64] ^= 1 << uint(i%64)
@@ -194,6 +198,8 @@ func (b *Binary) FlipBits(indices []int) {
 }
 
 // OnesCount returns the number of +1 components.
+//
+//lint:nocount diagnostic bit count for tests and capacity analysis, off the counted data path
 func (b *Binary) OnesCount() int {
 	var n int
 	for _, w := range b.Words {
@@ -203,6 +209,8 @@ func (b *Binary) OnesCount() int {
 }
 
 // Equal reports whether a and b have the same dimension and components.
+//
+//lint:nocount exact-equality diagnostic for tests and serialization checks, off the counted data path
 func (b *Binary) Equal(o *Binary) bool {
 	if b.Dim != o.Dim {
 		return false

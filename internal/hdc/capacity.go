@@ -31,6 +31,8 @@ func gaussianTail(z float64) float64 {
 // CapacityLimit returns the largest number of random bipolar patterns P that
 // can be bundled into a D-dimensional hypervector while keeping the
 // false-positive rate of Eq. 4 at or below maxFP for threshold t.
+//
+//lint:nocount offline analytical capacity study, not a runtime kernel
 func CapacityLimit(d int, t, maxFP float64) int {
 	if d <= 0 {
 		return 0
@@ -54,6 +56,8 @@ func CapacityLimit(d int, t, maxFP float64) int {
 // it bundles p random bipolar hypervectors of dimension d into M, then
 // measures how often an unrelated random query exceeds the normalized
 // similarity threshold t. trials controls the number of queries.
+//
+//lint:nocount offline Monte-Carlo capacity study, not a runtime kernel
 func MonteCarloFalsePositive(rng *rand.Rand, d, p, trials int, t float64) float64 {
 	m := NewVector(d)
 	for i := 0; i < p; i++ {

@@ -47,6 +47,8 @@ type SignMatrix struct {
 // all exactly ±1 into a SignMatrix. The second return is false (with a nil
 // matrix) when any entry is not ±1 — callers use it to detect whether a
 // projection is sign-packable at all.
+//
+//lint:nocount one-time encoder construction: packs the projection matrix before any sample is served; the per-sample kernels charge the canonical projection ops
 func PackSignsFlat(m []float64, rows, dim int) (*SignMatrix, bool) {
 	if rows < 0 || dim < 0 || len(m) != rows*dim {
 		return nil, false
@@ -274,6 +276,7 @@ func CosineK(ctr *Counter, q Vector, cs []Vector, sims []float64) {
 			nc2 += w * w
 		}
 		nc := math.Sqrt(nc2)
+		//lint:ignore floatcmp exact zero-norm guard before division (Cosine defines zero-norm similarity as 0)
 		if nq == 0 || nc == 0 {
 			sims[i] = 0
 		} else {

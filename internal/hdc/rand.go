@@ -6,6 +6,8 @@ import "math/rand"
 // i.i.d. uniform ±1 components. Randomly drawn bipolar hypervectors are
 // nearly orthogonal in high dimension (cosine ≈ 0 with deviation O(1/√D)),
 // which is the property the encoder's base vectors rely on.
+//
+//lint:nocount model/encoder initialization, off the per-sample counted path
 func RandomBipolar(rng *rand.Rand, d int) Vector {
 	v := make(Vector, d)
 	for i := range v {
@@ -19,6 +21,8 @@ func RandomBipolar(rng *rand.Rand, d int) Vector {
 }
 
 // RandomBipolarBinary returns a random bit-packed bipolar hypervector.
+//
+//lint:nocount model/encoder initialization, off the per-sample counted path
 func RandomBipolarBinary(rng *rand.Rand, d int) *Binary {
 	b := NewBinary(d)
 	for i := range b.Words {
@@ -31,6 +35,8 @@ func RandomBipolarBinary(rng *rand.Rand, d int) *Binary {
 // RandomGaussian returns a hypervector with i.i.d. standard normal
 // components, used to initialize cluster hypervectors when integer (dense)
 // cluster representation is selected.
+//
+//lint:nocount model/encoder initialization, off the per-sample counted path
 func RandomGaussian(rng *rand.Rand, d int) Vector {
 	v := make(Vector, d)
 	for i := range v {
@@ -41,6 +47,8 @@ func RandomGaussian(rng *rand.Rand, d int) Vector {
 
 // RandomUniform returns a hypervector with i.i.d. components uniform in
 // [lo, hi).
+//
+//lint:nocount model/encoder initialization, off the per-sample counted path
 func RandomUniform(rng *rand.Rand, d int, lo, hi float64) Vector {
 	v := make(Vector, d)
 	for i := range v {

@@ -30,6 +30,8 @@ func (v Vector) Clone() Vector {
 }
 
 // Zero resets all components to 0 in place.
+//
+//lint:nocount scratch (re)initialization helper; the counted kernels charge their own memory writes
 func (v Vector) Zero() {
 	for i := range v {
 		v[i] = 0
@@ -75,6 +77,7 @@ func Cosine(ctr *Counter, v, w Vector) float64 {
 	nw := Norm(ctr, w)
 	ctr.Add(OpFloatMul, 1)
 	ctr.Add(OpFloatDiv, 1)
+	//lint:ignore floatcmp exact zero-norm guard before division (zero-norm similarity is defined as 0)
 	if nv == 0 || nw == 0 {
 		return 0
 	}
@@ -153,8 +156,11 @@ func Sign(ctr *Counter, v Vector) Vector {
 }
 
 // IsBipolar reports whether every component of v is exactly ±1.
+//
+//lint:nocount validation predicate for tests and serialization checks, off the counted data path
 func (v Vector) IsBipolar() bool {
 	for _, x := range v {
+		//lint:ignore floatcmp bipolarity is defined as exactly-±1 components (the encoder emits exact ±1)
 		if x != 1 && x != -1 {
 			return false
 		}
@@ -164,6 +170,8 @@ func (v Vector) IsBipolar() bool {
 
 // CheckDims returns a wrapped ErrDimensionMismatch unless all vectors share
 // dimension d.
+//
+//lint:nocount shape validation, no per-dimension data-path work is charged by the paper's accounting
 func CheckDims(d int, vs ...Vector) error {
 	for i, v := range vs {
 		if len(v) != d {

@@ -378,6 +378,7 @@ type BaselineHDWorkload struct {
 
 // Validate rejects malformed workloads and fills the mistake-rate default.
 func (w *BaselineHDWorkload) Validate() error {
+	//lint:ignore floatcmp zero value selects the default mistake rate
 	if w.MistakeRate == 0 {
 		w.MistakeRate = 0.3
 	}

@@ -60,6 +60,7 @@ func (m *Model) Fit(train *dataset.Dataset) error {
 	}
 	gram := matrix.Gram(x)
 	lambda := m.cfg.Lambda
+	//lint:ignore floatcmp zero value selects the default jitter
 	if lambda == 0 {
 		lambda = 1e-10 // jitter keeps the factorization positive definite
 	}

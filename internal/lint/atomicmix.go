@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces the all-atomic-or-never discipline for shared state:
+// a word that is ever accessed through sync/atomic must be accessed that
+// way everywhere (one plain load racing one atomic store is still a data
+// race), and values of the declared atomic types (atomic.Uint64,
+// atomic.Pointer[T], hdc.AtomicCounter, arrays of them) must never be
+// copied or overwritten wholesale — copying tears the value out of the
+// synchronization domain the type exists to provide.
+//
+// Two checks:
+//
+//  1. mixed access — any variable or field passed by address to a
+//     sync/atomic function anywhere in the package is flagged at every
+//     other plain (non-atomic) read, write, or address-take;
+//  2. value copy — an expression of declared-atomic type used as a value
+//     (assigned, passed, returned, placed in a composite literal, or bound
+//     to a range value variable) is flagged; using it as a method receiver,
+//     indexing it, or taking its address is fine.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag non-atomic access to state that is elsewhere accessed via sync/atomic, and value-copies of declared atomic types",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+	// Pass 1: every `atomic.F(&x, ...)` call marks x's object as
+	// atomic-domain and records the exact AST nodes that constitute the
+	// sanctioned atomic access.
+	atomicObjs := make(map[types.Object]ast.Node) // object -> first atomic use
+	sanctioned := make(map[ast.Node]bool)         // nodes inside atomic call args
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			obj := addressedObject(info, ue.X, sanctioned)
+			if obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = ue
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: flag every other appearance of an atomic-domain object, and
+	// every value-copy of a declared-atomic expression.
+	for _, file := range pass.Pkg.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			switch e := n.(type) {
+			case *ast.Ident:
+				if len(stack) > 0 {
+					if se, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && se.Sel == e {
+						return // handled at the SelectorExpr
+					}
+				}
+				obj := info.Uses[e]
+				if obj == nil {
+					return
+				}
+				checkMixed(pass, e, obj, atomicObjs, sanctioned)
+				checkAtomicValueUse(pass, info, e, stack)
+			case *ast.SelectorExpr:
+				obj := info.Uses[e.Sel]
+				if obj == nil {
+					return
+				}
+				checkMixed(pass, e, obj, atomicObjs, sanctioned)
+				checkAtomicValueUse(pass, info, e, stack)
+			case *ast.RangeStmt:
+				// Ranging with a value variable over an array of atomics
+				// copies every element.
+				if e.Value == nil {
+					return
+				}
+				if t := info.TypeOf(e.X); t != nil {
+					if arr, ok := t.Underlying().(*types.Array); ok && isDeclaredAtomic(arr.Elem()) {
+						pass.Reportf(e.Value.Pos(), "range value copies %s elements out of their atomic domain; range by index instead", arr.Elem())
+					}
+				}
+			}
+		})
+	}
+}
+
+// addressedObject resolves the operand of &x in an atomic call to the
+// variable or field object being addressed, marking the traversed selector
+// and identifier nodes as sanctioned atomic accesses.
+func addressedObject(info *types.Info, e ast.Expr, sanctioned map[ast.Node]bool) types.Object {
+	for {
+		sanctioned[e] = true
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			sanctioned[v.Sel] = true
+			obj := info.Uses[v.Sel]
+			if _, ok := obj.(*types.Var); ok {
+				return obj
+			}
+			return nil
+		case *ast.Ident:
+			obj := identObject(info, v)
+			if _, ok := obj.(*types.Var); ok {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// checkMixed reports node when it is a plain access to an object that is
+// elsewhere in the package accessed through sync/atomic.
+func checkMixed(pass *Pass, node ast.Expr, obj types.Object, atomicObjs map[types.Object]ast.Node, sanctioned map[ast.Node]bool) {
+	first, isAtomic := atomicObjs[obj]
+	if !isAtomic || sanctioned[node] {
+		return
+	}
+	if se, ok := node.(*ast.SelectorExpr); ok && sanctioned[se.Sel] {
+		return
+	}
+	pass.Reportf(node.Pos(), "%s is accessed via sync/atomic (e.g. at %s); this plain access races with the atomic ones",
+		obj.Name(), pass.Pkg.Fset.Position(first.Pos()))
+}
+
+// isDeclaredAtomic reports whether t is one of the declared atomic types —
+// anything named in sync/atomic (Bool, Int64, Uint64, Pointer[T], Value,
+// ...), an hdc.AtomicCounter, or an array of such. Pointers to atomic types
+// are not atomic values: copying a *AtomicCounter shares the counter, which
+// is exactly what the types are for.
+func isDeclaredAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); ok {
+		return false
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isDeclaredAtomic(arr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic" || (obj.Pkg().Name() == "hdc" && obj.Name() == "AtomicCounter")
+}
+
+// checkAtomicValueUse reports e when it denotes a declared-atomic value
+// used in a copying position.
+func checkAtomicValueUse(pass *Pass, info *types.Info, e ast.Expr, stack []ast.Node) {
+	tv, ok := info.Types[e]
+	if !ok || !tv.IsValue() || !isDeclaredAtomic(tv.Type) {
+		return
+	}
+	if len(stack) == 0 {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+		return // base of a field/method access or further navigation
+	case *ast.UnaryExpr:
+		return // &x: addressing, not copying
+	case *ast.RangeStmt:
+		return // reported once at the RangeStmt case with a better message
+	case *ast.AssignStmt, *ast.ValueSpec, *ast.CallExpr, *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		pass.Reportf(e.Pos(), "%s is a declared atomic type; copying or reassigning the whole value bypasses its synchronization — operate through its methods or a pointer", tv.Type)
+	default:
+		_ = parent
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CounterCharge enforces the op-accounting contract behind the reproduced
+// hardware numbers: every hwmodel cost estimate (the paper's Table 1 and
+// Fig. 8 comparisons) is priced from hdc.Counter op classes, so an hdc
+// kernel that does per-dimension work without charging the counter silently
+// skews every downstream energy/latency figure. The contract is a property
+// of the algorithm, not the implementation — optimized kernels must charge
+// exactly what the reference form charges (see docs/PERFORMANCE.md).
+//
+// Mechanically, in packages named hdc every exported function must satisfy
+// one of:
+//
+//   - it takes a *hdc.Counter and either calls a Counter/AtomicCounter Add*
+//     method or forwards a counter to a callee (delegation, e.g. Cosine
+//     charging through Dot);
+//   - it takes no counter and contains no loop (constant-time accessors do
+//     not move the op totals);
+//   - it carries a //lint:nocount <reason> annotation in its doc comment
+//     stating why it is exempt from accounting.
+//
+// Methods on the accounting machinery itself (Counter, AtomicCounter, Op)
+// are exempt: they implement the bookkeeping, they are not kernels.
+var CounterCharge = &Analyzer{
+	Name: "countercharge",
+	Doc:  "require exported hdc kernels to charge a Counter or carry //lint:nocount",
+	Run:  runCounterCharge,
+}
+
+// isCounterType reports whether t is hdc.Counter or hdc.AtomicCounter.
+func isCounterType(t types.Type) bool {
+	return isNamedIn(t, "hdc", "Counter") || isNamedIn(t, "hdc", "AtomicCounter")
+}
+
+func runCounterCharge(pass *Pass) {
+	if pass.Pkg.Types.Name() != "hdc" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if recvIsAccounting(info, fn) {
+				continue
+			}
+			reason, annotated, apos := nocountDirective(fn)
+			if annotated {
+				if reason == "" {
+					pass.Reportf(apos, "//lint:nocount needs a written reason: //lint:nocount <reason>")
+				}
+				continue
+			}
+			switch {
+			case funcTakesCounter(info, fn):
+				if !bodyChargesCounter(info, fn.Body) {
+					pass.Reportf(fn.Name.Pos(), "exported kernel %s takes a *hdc.Counter but never charges it (call a Counter.Add* method or forward the counter to an instrumented callee), or annotate //lint:nocount <reason>", fn.Name.Name)
+				}
+			case bodyHasLoop(fn.Body):
+				pass.Reportf(fn.Name.Pos(), "exported hdc function %s loops over data without a *hdc.Counter parameter: charge the canonical op classes or annotate //lint:nocount <reason>", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// recvIsAccounting reports whether fn is a method on Counter, AtomicCounter,
+// or Op — the accounting machinery itself.
+func recvIsAccounting(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	n := namedType(info.TypeOf(fn.Recv.List[0].Type))
+	if n == nil {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Counter", "AtomicCounter", "Op":
+		return true
+	}
+	return false
+}
+
+// funcTakesCounter reports whether any parameter is a Counter (the repo's
+// convention passes *hdc.Counter as the first kernel parameter).
+func funcTakesCounter(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if isCounterType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyChargesCounter reports whether the body charges a counter directly
+// (an Add* method call on a Counter/AtomicCounter receiver) or forwards a
+// counter as a call argument.
+func bodyChargesCounter(info *types.Info, body *ast.BlockStmt) bool {
+	charges := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if charges {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if se, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if len(se.Sel.Name) >= 3 && se.Sel.Name[:3] == "Add" && isCounterType(info.TypeOf(se.X)) {
+				charges = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if isCounterType(info.TypeOf(arg)) {
+				charges = true
+				return false
+			}
+		}
+		return true
+	})
+	return charges
+}
+
+// bodyHasLoop reports whether the body contains a for or range statement —
+// the analyzer's proxy for O(D) per-dimension work.
+func bodyHasLoop(body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			has = true
+		}
+		return !has
+	})
+	return has
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suite understands two comment directives:
+//
+//	//lint:ignore <analyzer> <reason>
+//	//lint:nocount <reason>
+//
+// ignore suppresses the named analyzer's findings on the directive's own
+// line or the line directly below it (so it works both as a trailing comment
+// and as a comment above the offending statement). nocount is countercharge's
+// function-level annotation: placed in a function's doc comment it marks an
+// exported hdc function as intentionally uncounted. Both require a written
+// reason; a directive without one is itself reported.
+
+// ignoreDirective is one parsed //lint:ignore.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+}
+
+// directives indexes a package's parsed directives for suppression lookup.
+type directives struct {
+	// ignores maps filename -> line -> directives on that line.
+	ignores  map[string]map[int][]ignoreDirective
+	problems []Diagnostic
+}
+
+// collectDirectives scans every comment in the package, indexing ignore
+// directives and reporting malformed or unknown ones.
+func collectDirectives(pkg *Package) *directives {
+	d := &directives{ignores: make(map[string]map[int][]ignoreDirective)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(pkg, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) parseComment(pkg *Package, c *ast.Comment) {
+	rest, ok := strings.CutPrefix(c.Text, "//lint:")
+	if !ok {
+		return
+	}
+	d.parseDirective(pkg.Fset.Position(c.Pos()), rest)
+}
+
+// parseDirective parses the text after "//lint:" found at pos.
+func (d *directives) parseDirective(pos token.Position, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.problem(pos, "empty //lint: directive")
+		return
+	}
+	switch fields[0] {
+	case "ignore":
+		if len(fields) < 3 {
+			d.problem(pos, "//lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>")
+			return
+		}
+		byLine := d.ignores[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]ignoreDirective)
+			d.ignores[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+			analyzer: fields[1],
+			reason:   strings.Join(fields[2:], " "),
+		})
+	case "nocount":
+		// Validated by countercharge, which knows which function the
+		// annotation is attached to; nothing to index here.
+	default:
+		d.problem(pos, "unknown directive //lint:%s (known: ignore, nocount)", fields[0])
+	}
+}
+
+func (d *directives) problem(pos token.Position, format string, args ...any) {
+	d.problems = append(d.problems, Diagnostic{
+		Analyzer: "directive",
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether an ignore directive for the analyzer covers a
+// diagnostic at pos (directive on the same line, or on the line above).
+func (d *directives) suppressed(analyzer string, pos token.Position) bool {
+	byLine := d.ignores[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, ig := range byLine[line] {
+			if ig.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nocountDirective returns the //lint:nocount annotation on fn's doc
+// comment, if any: the written reason, whether the annotation is present,
+// and its position.
+func nocountDirective(fn *ast.FuncDecl) (reason string, ok bool, pos token.Pos) {
+	if fn.Doc == nil {
+		return "", false, token.NoPos
+	}
+	for _, c := range fn.Doc.List {
+		rest, found := strings.CutPrefix(c.Text, "//lint:nocount")
+		if !found {
+			continue
+		}
+		return strings.TrimSpace(rest), true, c.Pos()
+	}
+	return "", false, token.NoPos
+}

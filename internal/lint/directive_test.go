@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirectiveIgnore(t *testing.T) {
+	d := &directives{ignores: make(map[string]map[int][]ignoreDirective)}
+	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	d.parseDirective(at(10), "ignore floatcmp exact sentinel by contract")
+
+	if !d.suppressed("floatcmp", at(10)) {
+		t.Error("directive should suppress on its own line")
+	}
+	if !d.suppressed("floatcmp", at(11)) {
+		t.Error("directive should suppress on the line below")
+	}
+	if d.suppressed("floatcmp", at(12)) {
+		t.Error("directive must not suppress two lines below")
+	}
+	if d.suppressed("snapshotmut", at(10)) {
+		t.Error("directive must not suppress other analyzers")
+	}
+	if d.suppressed("floatcmp", token.Position{Filename: "g.go", Line: 10}) {
+		t.Error("directive must not suppress in other files")
+	}
+	if len(d.problems) != 0 {
+		t.Errorf("well-formed directive reported problems: %v", d.problems)
+	}
+}
+
+func TestParseDirectiveProblems(t *testing.T) {
+	d := &directives{ignores: make(map[string]map[int][]ignoreDirective)}
+	pos := token.Position{Filename: "f.go", Line: 1}
+	d.parseDirective(pos, "ignore floatcmp") // missing reason
+	d.parseDirective(pos, "bogus whatever")  // unknown directive
+	d.parseDirective(pos, "")                // empty
+	d.parseDirective(pos, "nocount fine")    // valid, handled by countercharge
+	if len(d.problems) != 3 {
+		t.Fatalf("want 3 problems, got %d: %v", len(d.problems), d.problems)
+	}
+}
+
+func TestNocountDirective(t *testing.T) {
+	src := `package p
+
+// Kernel does init-time work.
+//lint:nocount   init-time only
+func Kernel() {}
+
+// Plain has no annotation.
+func Plain() {}
+
+//lint:nocount
+func Empty() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make(map[string]*ast.FuncDecl)
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			fns[fn.Name.Name] = fn
+		}
+	}
+
+	reason, ok, _ := nocountDirective(fns["Kernel"])
+	if !ok || reason != "init-time only" {
+		t.Errorf("Kernel: want (init-time only, true), got (%q, %v)", reason, ok)
+	}
+	if _, ok, _ := nocountDirective(fns["Plain"]); ok {
+		t.Error("Plain: unexpected nocount annotation")
+	}
+	reason, ok, pos := nocountDirective(fns["Empty"])
+	if !ok || reason != "" {
+		t.Errorf("Empty: want empty reason with ok=true, got (%q, %v)", reason, ok)
+	}
+	if !pos.IsValid() {
+		t.Error("Empty: annotation position should be valid for error reporting")
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp bans == and != on floating-point operands: rounding makes exact
+// float equality order- and optimization-dependent, and the kernel rewrites
+// in internal/hdc are only allowed because differential tests pin their
+// outputs bit-for-bit — ad-hoc equality in production code is how such
+// contracts rot silently.
+//
+// Exemptions: _test.go files (never loaded by the suite, and excluded here
+// for safety), comparisons where both operands are compile-time constants
+// (exact by definition), and the bodies of the approved epsilon helpers
+// below, which need an exact fast path. Intentional exact comparisons
+// elsewhere (IEEE-754 sentinel checks and the like) carry a
+// //lint:ignore floatcmp annotation with the justification.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on float operands outside approved epsilon helpers and test files",
+	Run:  runFloatCmp,
+}
+
+// floatCmpApproved names the epsilon-comparison helpers whose bodies may use
+// exact float equality (the conventional |a-b|<=eps helpers need an exact
+// fast path for infinities and identical values). Documented in
+// docs/STATIC_ANALYSIS.md; extend deliberately.
+var floatCmpApproved = map[string]bool{
+	"approxEqual": true,
+	"ApproxEqual": true,
+	"almostEqual": true,
+	"AlmostEqual": true,
+	"EqualWithin": true,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return
+			}
+			if !isFloatOperand(info, be.X) && !isFloatOperand(info, be.Y) {
+				return
+			}
+			if isConstExpr(info, be.X) && isConstExpr(info, be.Y) {
+				return
+			}
+			if fd := enclosingFuncDecl(stack); fd != nil && floatCmpApproved[fd.Name.Name] {
+				return
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison: use an approved epsilon helper, or annotate the intentional exact comparison with //lint:ignore floatcmp <reason>", be.Op)
+		})
+	}
+}
+
+// isFloatOperand reports whether e's type is (or is named with underlying)
+// float32/float64 or a complex type.
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

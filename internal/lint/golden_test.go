@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// The golden tests load fixture packages under testdata/src and compare the
+// suite's diagnostics against // want comments in the fixtures:
+//
+//	s.counter++ // want `write to Snapshot field counter`
+//
+// expects a diagnostic on that line whose message matches the backquoted
+// regexp. The variant
+//
+//	// want+2 `needs a written reason`
+//
+// expects the diagnostic N lines below — used when the flagged line is
+// itself a comment (a malformed //lint: directive) and cannot carry a second
+// comment. Every diagnostic must be covered by a want and every want must
+// match a diagnostic.
+
+// testLoader returns a Loader rooted at the repository module with the
+// fixture tree mounted as FixtureRoot so fixtures can import each other.
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.FixtureRoot = fr
+	return l
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("^// want(\\+[0-9]+)?[ \t]+`([^`]*)`$")
+
+// collectWants parses the fixture's // want comments into file -> line ->
+// expectations.
+func collectWants(t *testing.T, pkg *Package) map[string]map[int][]*want {
+	t.Helper()
+	wants := make(map[string]map[int][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						t.Fatalf("%s: bad want offset %q: %v", pos, m[1], err)
+					}
+					line += off
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, m[2], err)
+				}
+				byLine := wants[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*want)
+					wants[pos.Filename] = byLine
+				}
+				byLine[line] = append(byLine[line], &want{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads each fixture package and checks the given analyzers'
+// diagnostics (plus directive problems, which RunAnalyzers always emits)
+// against the fixture's // want comments.
+func runGolden(t *testing.T, analyzers []*Analyzer, fixtures ...string) {
+	t.Helper()
+	l := testLoader(t)
+	for _, fx := range fixtures {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", fx))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fx, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range RunAnalyzers(pkg, analyzers) {
+			matched := false
+			for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+				if w.re.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+		for file, byLine := range wants {
+			for line, ws := range byLine {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s:%d: want `%s` matched no diagnostic", file, line, w.re)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotMutGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{SnapshotMut}, "core", "snapuser")
+}
+
+func TestPoolEscapeGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{PoolEscape}, "poolfix")
+}
+
+func TestCounterChargeGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{CounterCharge}, "hdc")
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{AtomicMix}, "atomicfix")
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{FloatCmp}, "floatfix")
+}
+
+// TestDirectiveProblemsGolden runs no analyzers at all: the diagnostics come
+// purely from the directive parser.
+func TestDirectiveProblemsGolden(t *testing.T) {
+	runGolden(t, nil, "directive")
+}
+
+// TestCleanFixture pins the clean fixture used by the reghd-lint command
+// tests: the full suite must report nothing on it.
+func TestCleanFixture(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkg, All()); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}

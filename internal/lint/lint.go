@@ -1,0 +1,107 @@
+// Package lint is reghd's in-tree static-analysis suite: a small analyzer
+// framework built purely on the standard library's go/parser, go/ast, and
+// go/types packages, plus five project-specific analyzers that mechanically
+// enforce the repo's load-bearing invariants — Snapshot immutability
+// (snapshotmut), pooled-scratch hygiene (poolescape), kernel op-accounting
+// (countercharge), atomic-access discipline (atomicmix), and float equality
+// bans (floatcmp). See docs/STATIC_ANALYSIS.md for the invariant each
+// analyzer guards and how to extend the suite.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by reghd-lint -list.
+	Doc string
+	// Run inspects the pass's package and reports findings via Reportf.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, positioned for path:line:col reporting.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass is the per-(package, analyzer) unit of work handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{SnapshotMut, PoolEscape, CounterCharge, AtomicMix, FloatCmp}
+}
+
+// RunAnalyzers runs each analyzer over the package, filters findings through
+// the package's //lint:ignore directives, appends any malformed-directive
+// diagnostics, and returns everything sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	dirs := collectDirectives(pkg)
+	out := append([]Diagnostic(nil), dirs.problems...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if dirs.suppressed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// walkStack is ast.Inspect with an ancestor stack: fn receives each node
+// together with the path of its ancestors (stack[0] is the root; the direct
+// parent is stack[len(stack)-1]).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	gopath "path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully loaded, type-checked package: the parsed files (with
+// comments, so directive and golden-comment scanning work), the type-checked
+// *types.Package, and the types.Info side tables the analyzers query.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages using only the standard library:
+// go/build selects files under the active build constraints, go/parser reads
+// them, and go/types checks them against dependencies that the Loader itself
+// resolves recursively from source. Resolution order for an import path is
+// the module (via the go.mod module path), the optional FixtureRoot (a
+// GOPATH/src-style tree used by the golden tests), GOROOT/src, and
+// GOROOT/src/vendor (the stdlib's vendored golang.org/x dependencies).
+//
+// Dependencies are type-checked with IgnoreFuncBodies for speed — analyzers
+// only need their exported API — and cached for the Loader's lifetime, so
+// linting ./... pays for the stdlib closure once. A Loader is not safe for
+// concurrent use.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	// FixtureRoot, when non-empty, is a directory whose subdirectories
+	// resolve import paths directly (FixtureRoot/<path>), letting test
+	// fixtures under testdata/src import each other.
+	FixtureRoot string
+
+	ctxt    build.Context
+	sizes   types.Sizes
+	deps    map[string]*depResult
+	loading map[string]bool
+}
+
+type depResult struct {
+	pkg *types.Package
+	err error
+}
+
+// NewLoader builds a Loader rooted at the module directory containing
+// go.mod. Cgo is disabled so go/build selects the pure-Go variant of every
+// stdlib package, which keeps source type-checking self-contained.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module dir: %w", err)
+	}
+	mp, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	sizes := types.SizesFor(ctxt.Compiler, ctxt.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: mp,
+		ModuleDir:  abs,
+		ctxt:       ctxt,
+		sizes:      sizes,
+		deps:       make(map[string]*depResult),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if rest != "" {
+				return strings.Trim(rest, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// LoadDir parses and type-checks the package in dir for analysis: full
+// function bodies, comments, and a populated types.Info. Parse and type
+// errors abort the load with an error that lists every problem.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %w", dir, err)
+	}
+	bp, err := l.ctxt.ImportDir(abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: scanning %s: %w", abs, err)
+	}
+	files, perrs := l.parseFiles(abs, bp.GoFiles, parser.ParseComments|parser.SkipObjectResolution)
+	if len(perrs) > 0 {
+		return nil, fmt.Errorf("lint: parsing %s:\n\t%s", abs, strings.Join(perrs, "\n\t"))
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var terrs []string
+	conf := types.Config{
+		Importer: l,
+		Sizes:    l.sizes,
+		Error:    func(err error) { terrs = append(terrs, err.Error()) },
+	}
+	tpkg, _ := conf.Check(l.dirImportPath(abs), l.Fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n\t%s", abs, strings.Join(terrs, "\n\t"))
+	}
+	return &Package{
+		Path:  tpkg.Path(),
+		Dir:   abs,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// parseFiles parses the named files in dir, returning the parsed files and
+// the accumulated error strings.
+func (l *Loader) parseFiles(dir string, names []string, mode parser.Mode) ([]*ast.File, []string) {
+	sort.Strings(names)
+	var files []*ast.File
+	var errs []string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, errs
+}
+
+// dirImportPath derives the import path for a directory: module-relative
+// when under the module, fixture-relative when under FixtureRoot, and the
+// slashed directory itself otherwise (the path only labels diagnostics; it
+// does not need to be importable).
+func (l *Loader) dirImportPath(dir string) string {
+	if rel, err := filepath.Rel(l.ModuleDir, dir); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return gopath.Join(l.ModulePath, filepath.ToSlash(rel))
+	}
+	if l.FixtureRoot != "" {
+		if rel, err := filepath.Rel(l.FixtureRoot, dir); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) && rel != "." {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(dir)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: it resolves path to a source
+// directory, type-checks it (bodies ignored), caches it, and returns it.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if r, ok := l.deps[path]; ok {
+		return r.pkg, r.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.loadDep(path)
+	l.deps[path] = &depResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// loadDep type-checks the package at import path from source, skipping
+// function bodies.
+func (l *Loader) loadDep(path string) (*types.Package, error) {
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("scanning %q (%s): %w", path, dir, err)
+	}
+	files, perrs := l.parseFiles(dir, bp.GoFiles, parser.SkipObjectResolution)
+	if len(perrs) > 0 {
+		return nil, fmt.Errorf("parsing %q: %s", path, strings.Join(perrs, "; "))
+	}
+	var terrs []string
+	conf := types.Config{
+		Importer:         l,
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: true,
+		Error:            func(err error) { terrs = append(terrs, err.Error()) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("type-checking %q: %s", path, strings.Join(terrs, "; "))
+	}
+	return pkg, nil
+}
+
+// resolve maps an import path to its source directory.
+func (l *Loader) resolve(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	if l.FixtureRoot != "" {
+		if dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path)); isDir(dir) {
+			return dir, nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	if dir := filepath.Join(goroot, "src", filepath.FromSlash(path)); isDir(dir) {
+		return dir, nil
+	}
+	if dir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)); isDir(dir) {
+		return dir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q", path)
+}
+
+func isDir(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

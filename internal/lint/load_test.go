@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDirSyntaxError(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"bad.go": "package bad\n\nfunc {\n",
+	})
+	if _, err := testLoader(t).LoadDir(dir); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("want parse error, got %v", err)
+	}
+}
+
+func TestLoadDirTypeError(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"bad.go": "package bad\n\nvar x = undefinedIdent\n",
+	})
+	_, err := testLoader(t).LoadDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want type-check error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "undefinedIdent") {
+		t.Fatalf("error should name the offending identifier, got %v", err)
+	}
+}
+
+func TestLoadDirUnresolvableImport(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"bad.go": "package bad\n\nimport \"no/such/pkg\"\n\nvar _ = pkg.Thing\n",
+	})
+	_, err := testLoader(t).LoadDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "no/such/pkg") {
+		t.Fatalf("want unresolvable-import error, got %v", err)
+	}
+}
+
+func TestLoadDirMultiFile(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go": "package multi\n\ntype point struct{ x, y float64 }\n",
+		"b.go": "package multi\n\nfunc origin() point { return point{} }\n",
+	})
+	pkg, err := testLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("want 2 files, got %d", len(pkg.Files))
+	}
+	if pkg.Types.Name() != "multi" {
+		t.Fatalf("want package multi, got %s", pkg.Types.Name())
+	}
+}
+
+// TestLoadDirTestFilesExcluded pins that _test.go files are not part of the
+// analyzed package: the suite lints production code only.
+func TestLoadDirTestFilesExcluded(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go":      "package p\n\nfunc V() int { return 1 }\n",
+		"a_test.go": "package p\n\nvar brokenOnPurpose = undefinedIdent\n",
+	})
+	pkg, err := testLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("want 1 file (test file excluded), got %d", len(pkg.Files))
+	}
+}
+
+// TestLoadRealPackage smoke-tests the source importer against a real module
+// package with a non-trivial dependency closure.
+func TestLoadRealPackage(t *testing.T) {
+	pkg, err := testLoader(t).LoadDir(filepath.Join("..", "hdc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "hdc" {
+		t.Fatalf("want package hdc, got %s", pkg.Types.Name())
+	}
+	if pkg.Path != "reghd/internal/hdc" {
+		t.Fatalf("want module-relative import path, got %s", pkg.Path)
+	}
+}
+
+func TestReadModulePath(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"go.mod": "// a comment\nmodule example.com/m\n\ngo 1.22\n",
+	})
+	mp, err := readModulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp != "example.com/m" {
+		t.Fatalf("want example.com/m, got %q", mp)
+	}
+	if _, err := readModulePath(filepath.Join(dir, "missing.mod")); err == nil {
+		t.Fatal("want error for missing go.mod")
+	}
+	bad := writeFiles(t, map[string]string{"go.mod": "go 1.22\n"})
+	if _, err := readModulePath(filepath.Join(bad, "go.mod")); err == nil {
+		t.Fatal("want error for go.mod without module line")
+	}
+}

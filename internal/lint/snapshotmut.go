@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotMut enforces the Snapshot immutability contract that the whole
+// serving stack leans on: once (*Model).Snapshot returns, the snapshot is
+// published to an unbounded number of reader goroutines through an atomic
+// pointer, so any later write to a core.Snapshot (or to its embedded
+// core.params) is a data race by construction.
+//
+// Mechanically: every assignment or ++/-- whose l-value is reached through
+// an expression of type core.Snapshot or core.params is flagged, unless the
+// enclosing function returns a Snapshot — i.e. is a constructor still
+// building its private copy. Writes through *Model are untouched: Model
+// embeds params precisely so the single-writer training loop can rewrite it
+// in place. The pre-publication install hooks (SetCounter, SetStages) carry
+// //lint:ignore annotations with their justification.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc:  "flag writes to core.Snapshot/core.params fields outside their constructors",
+	Run:  runSnapshotMut,
+}
+
+// protectedSnapshotType reports whether t is core.Snapshot or core.params.
+func protectedSnapshotType(t types.Type) bool {
+	return isNamedIn(t, "core", "Snapshot") || isNamedIn(t, "core", "params")
+}
+
+// snapshotConstructor reports whether fn returns a Snapshot (by value or
+// pointer), which marks it as a constructor allowed to initialize fields.
+func snapshotConstructor(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if isNamedIn(info.TypeOf(field.Type), "core", "Snapshot") {
+			return true
+		}
+	}
+	return false
+}
+
+func runSnapshotMut(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || snapshotConstructor(info, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkSnapshotWrite(pass, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkSnapshotWrite(pass, st.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSnapshotWrite reports lhs when it writes through a Snapshot- or
+// params-typed expression (field assignment, or element assignment into a
+// field's backing array).
+func checkSnapshotWrite(pass *Pass, lhs ast.Expr) {
+	se := selectorBase(lhs)
+	if se == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	sel := info.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	base := info.TypeOf(se.X)
+	if base == nil || !protectedSnapshotType(base) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to %s field %s outside a Snapshot constructor: snapshots are published to concurrent readers and must stay immutable",
+		namedType(base).Obj().Name(), se.Sel.Name)
+}

@@ -1,0 +1,73 @@
+// Package atomicfix exercises the atomicmix analyzer: mixed plain/atomic
+// access to the same word, value-copies of declared atomic types, and the
+// allowed forms (method calls, address-takes, pointer hand-offs).
+package atomicfix
+
+import "sync/atomic"
+
+type server struct {
+	hits  uint64
+	state atomic.Uint64
+}
+
+// bump is the sanctioned atomic access that puts hits in the atomic domain.
+func (s *server) bump() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// read races with bump.
+func (s *server) read() uint64 {
+	return s.hits // want `accessed via sync/atomic`
+}
+
+// reset races with bump too.
+func (s *server) reset() {
+	s.hits = 0 // want `plain access races`
+}
+
+// readRelaxed documents a construction-phase read before sharing.
+func (s *server) readRelaxed() uint64 {
+	//lint:ignore atomicmix construction-phase read before the server is shared
+	return s.hits
+}
+
+// store drives the declared atomic type through its methods: fine.
+func (s *server) store(v uint64) {
+	s.state.Store(v)
+}
+
+// copyState copies the atomic value out of its synchronization domain.
+func (s *server) copyState() atomic.Uint64 {
+	return s.state // want `declared atomic type`
+}
+
+// share hands out a pointer to the atomic, which is fine.
+func (s *server) share() *atomic.Uint64 {
+	return &s.state
+}
+
+var slots [4]atomic.Int64
+
+// drainSlots ranges by value, copying every atomic element.
+func drainSlots() int64 {
+	var total int64
+	for _, s := range slots { // want `range value copies`
+		total += s.Load()
+	}
+	return total
+}
+
+// sumSlots ranges by index, which copies nothing.
+func sumSlots() int64 {
+	var total int64
+	for i := range slots {
+		total += slots[i].Load()
+	}
+	return total
+}
+
+// snapshotSlot copies an element out of the array.
+func snapshotSlot() atomic.Int64 {
+	v := slots[0]
+	return v // want `declared atomic type`
+}

@@ -1,0 +1,6 @@
+// Package clean is a fixture with nothing to report; the reghd-lint command
+// tests use it to assert the zero exit status.
+package clean
+
+// Add adds two integers.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,53 @@
+// Package core mirrors the real core package's snapshot types for the
+// snapshotmut golden test: the analyzer matches by package name and type
+// name, so this fixture exercises exactly the production rules.
+package core
+
+// params is the immutable-after-construction parameter block.
+type params struct {
+	dim   int
+	scale float64
+}
+
+// Snapshot is a published, immutable view of a model.
+type Snapshot struct {
+	params
+	counter int
+	// Stages is exported so cross-package fixtures can attempt writes.
+	Stages int
+}
+
+// NewSnapshot is a constructor: it returns a Snapshot, so its field writes
+// are initialization of a private copy, not mutation of a published value.
+func NewSnapshot(dim int) *Snapshot {
+	s := &Snapshot{}
+	s.dim = dim
+	s.counter = 1
+	return s
+}
+
+// Bump mutates a published snapshot.
+func (s *Snapshot) Bump() {
+	s.counter++ // want `write to Snapshot field counter`
+}
+
+// Rescale writes through the embedded params.
+func (s *Snapshot) Rescale(f float64) {
+	s.scale = f // want `write to Snapshot field scale`
+}
+
+// tune mutates a raw params value.
+func tune(p *params, d int) {
+	p.dim = d // want `write to params field dim`
+}
+
+// SetCounter is a pre-publication install hook with a documented exemption.
+func (s *Snapshot) SetCounter(c int) {
+	//lint:ignore snapshotmut install hook runs before the snapshot is published
+	s.counter = c
+}
+
+// Dim reads are always fine.
+func (s *Snapshot) Dim() int {
+	return s.dim
+}

@@ -1,0 +1,21 @@
+// Package directive exercises the directive parser's error reporting:
+// unknown and malformed //lint: directives are themselves diagnostics.
+// want+2 `unknown directive`
+//
+//lint:frobnicate all the things
+package directive
+
+// Scale doubles x; its ignore directive is missing the reason.
+// want+2 `needs an analyzer name and a reason`
+//
+//lint:ignore floatcmp
+func Scale(x float64) float64 {
+	return x * 2
+}
+
+// Shift is annotated correctly; a well-formed ignore is inert here because
+// no analyzer fires on this line.
+func Shift(x float64) float64 {
+	//lint:ignore floatcmp documented and well-formed
+	return x + 1
+}

@@ -1,0 +1,40 @@
+// Package floatfix exercises the floatcmp analyzer: exact float equality is
+// flagged, while int comparisons, constant-constant comparisons, approved
+// epsilon helpers, and annotated sentinels pass.
+package floatfix
+
+const eps = 1e-9
+
+// Bad compares floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// BadNeq compares floats for exact inequality.
+func BadNeq(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// Ints compares integers, which is always exact.
+func Ints(a, b int) bool { return a == b }
+
+// Consts compares compile-time constants: exact by definition.
+func Consts() bool { return eps == 1e-9 }
+
+// approxEqual is an approved epsilon helper whose exact fast path is allowed.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// Sentinel documents an intentional exact comparison.
+func Sentinel(x float64) bool {
+	//lint:ignore floatcmp exact-zero sentinel by contract
+	return x == 0
+}

@@ -1,0 +1,85 @@
+// Package hdc mirrors the real hdc package's accounting types for the
+// countercharge golden test: the analyzer keys off the package name and the
+// Counter/AtomicCounter type names.
+package hdc
+
+// Op is an accounted operation class.
+type Op int
+
+// Counter accumulates op counts; its methods are accounting machinery and
+// are exempt from the kernel rules.
+type Counter struct{ counts [4]uint64 }
+
+// Add charges n ops of class op.
+func (c *Counter) Add(op Op, n uint64) { c.counts[op] += n }
+
+// Total sums the counts (a loop on the accounting type itself is fine).
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// AtomicCounter is the concurrent flavor.
+type AtomicCounter struct{ counts [4]uint64 }
+
+// AddInt charges n integer ops.
+func (a *AtomicCounter) AddInt(n uint64) { a.counts[0] += n }
+
+// Dot charges the counter per element: the canonical kernel shape.
+func Dot(c *Counter, a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	c.Add(0, uint64(len(a)))
+	return s
+}
+
+// Cosine delegates its accounting to Dot by forwarding the counter.
+func Cosine(c *Counter, a, b []float64) float64 {
+	return Dot(c, a, b) / 2
+}
+
+// Norm takes a counter but forgets to charge it.
+func Norm(c *Counter, a []float64) float64 { // want `takes a \*hdc.Counter but never charges it`
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	_ = c
+	return s
+}
+
+// Sum loops over data with no counter at all.
+func Sum(a []float64) float64 { // want `loops over data without`
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Dim is a constant-time accessor; no loop, no counter needed.
+func Dim(a []float64) int { return len(a) }
+
+// Fill is initialization scratch work with a documented exemption.
+//
+//lint:nocount initialization helper, off the counted path
+func Fill(a []float64, v float64) {
+	for i := range a {
+		a[i] = v
+	}
+}
+
+// Drain spins without charging, and its annotation gives no reason.
+// want+2 `needs a written reason`
+//
+//lint:nocount
+func Drain(a []float64) {
+	for range a {
+		_ = a
+	}
+}

@@ -1,0 +1,71 @@
+// Package poolfix exercises the poolescape analyzer: getter/putter wrapper
+// classification, the balanced get/defer-put idiom, missing puts, leaking
+// early returns, and the two escape forms (return and struct-field store).
+package poolfix
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+// getBuf is a getter wrapper: it hands the pool value to its caller.
+func getBuf() []byte {
+	v := bufPool.Get()
+	return *(v.(*[]byte))
+}
+
+// putBuf is a putter wrapper.
+func putBuf(b []byte) {
+	bufPool.Put(&b)
+}
+
+// use consumes a buffer.
+func use(b []byte) { _ = b }
+
+// UseBalanced is the approved idiom: get, defer put, use.
+func UseBalanced() int {
+	b := getBuf()
+	defer putBuf(b)
+	return len(b)
+}
+
+// LeakNoPut never returns the buffer to the pool.
+func LeakNoPut() int {
+	b := getBuf() // want `obtained from a pool but never returned with Put`
+	return len(b)
+}
+
+// LeakEarlyReturn has a return path that skips the Put.
+func LeakEarlyReturn(skip bool) int {
+	b := getBuf()
+	if skip {
+		return 0 // want `return path between the Get`
+	}
+	putBuf(b)
+	return len(b)
+}
+
+// EscapeReturn hands the pooled buffer to the caller from an exported
+// function, so the pool may recycle it while the caller still uses it.
+func EscapeReturn() []byte {
+	b := getBuf() // want `obtained from a pool but never returned with Put`
+	return b      // want `escapes via return`
+}
+
+type holder struct{ buf []byte }
+
+// EscapeField parks the pooled buffer in a struct field.
+func EscapeField(h *holder) {
+	b := getBuf()
+	defer putBuf(b)
+	h.buf = b // want `stored in a struct field`
+}
+
+// EscapeInline returns the raw pool value without ever binding it.
+func EscapeInline() *[]byte {
+	return bufPool.Get().(*[]byte) // want `escapes via return`
+}
+
+// UseInline loses the only handle that could return the value.
+func UseInline() {
+	use(*(bufPool.Get().(*[]byte))) // want `bind the pool-obtained value`
+}

@@ -1,0 +1,16 @@
+// Package snapuser mutates core snapshots from outside the defining
+// package, proving snapshotmut follows the type across package boundaries
+// (and that the loader resolves fixture imports through FixtureRoot).
+package snapuser
+
+import "core"
+
+// Tamper writes to a snapshot owned by another package.
+func Tamper(s *core.Snapshot) {
+	s.Stages = 3 // want `write to Snapshot field Stages`
+}
+
+// Inspect only reads, which is the whole point of snapshots.
+func Inspect(s *core.Snapshot) int {
+	return s.Stages
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deref strips one level of pointer indirection.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedType returns the named type behind t (through one pointer), or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// isNamedIn reports whether t (through one pointer) is the named type
+// pkgName.typeName. Matching is by package *name*, not full import path, so
+// the analyzers work unchanged over the golden-test fixture packages, which
+// mirror the real package names (core, hdc) under testdata/src.
+func isNamedIn(t types.Type, pkgName, typeName string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// isNamedPath reports whether t (through one pointer) is a named type
+// declared in the package with the exact import path pkgPath. typeName ""
+// matches any type from that package.
+func isNamedPath(t types.Type, pkgPath, typeName string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	return typeName == "" || obj.Name() == typeName
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// selectorBase peels index, star, and paren wrappers off an expression
+// until it reaches a selector, returning that selector (or nil). It turns
+// the l-values `s.field`, `s.field[i]`, and `(*s.field)[i]` all into the
+// `s.field` selector whose base the write analyzers classify.
+func selectorBase(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves a call's callee to its *types.Func (function or
+// method), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// usesObject reports whether the expression tree contains an identifier
+// resolving to obj.
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// identObject resolves an identifier to its object, checking uses then
+// definitions.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// enclosingFuncDecl returns the innermost *ast.FuncDecl on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -78,6 +78,7 @@ func Mul(a, b *Dense) (*Dense, error) {
 		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
 		orow := out.Data[r*out.Cols : (r+1)*out.Cols]
 		for k, av := range arow {
+			//lint:ignore floatcmp exact-zero sparse skip: pure optimization, bit-identical result
 			if av == 0 {
 				continue
 			}
@@ -114,6 +115,7 @@ func Gram(x *Dense) *Dense {
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		for i, vi := range row {
+			//lint:ignore floatcmp exact-zero sparse skip: pure optimization, bit-identical result
 			if vi == 0 {
 				continue
 			}

@@ -76,6 +76,7 @@ func (c *Config) Validate() error {
 	if c.Hidden == nil {
 		c.Hidden = []int{64, 64}
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.LearningRate == 0 {
 		c.LearningRate = 0.01
 	}
@@ -252,6 +253,7 @@ func (n *Net) backward(s *scratch, dOut float64) {
 		gb := s.gb[li]
 		for o := 0; o < l.out; o++ {
 			d := delta[o]
+			//lint:ignore floatcmp exact-zero gradient skip: pure optimization, bit-identical result
 			if d == 0 {
 				continue
 			}

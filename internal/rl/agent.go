@@ -48,15 +48,19 @@ func (c *AgentConfig) Validate() error {
 	if c.Dim == 0 {
 		c.Dim = 2000
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.Bandwidth == 0 {
 		c.Bandwidth = 1
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.Gamma == 0 {
 		c.Gamma = 0.99
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.LearningRate == 0 {
 		c.LearningRate = 0.1
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.EpsilonStart == 0 {
 		c.EpsilonStart = 1
 	}

@@ -62,9 +62,11 @@ func DefaultConfig() Config {
 
 // Validate fills defaults and rejects invalid settings.
 func (c *Config) Validate() error {
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.C == 0 {
 		c.C = 1
 	}
+	//lint:ignore floatcmp zero value selects the documented default
 	if c.Epsilon == 0 {
 		c.Epsilon = 0.1
 	}
@@ -152,6 +154,7 @@ func (m *Model) Fit(train *dataset.Dataset) error {
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
 	if m.cfg.Kernel == RBF {
 		gamma := m.cfg.Gamma
+		//lint:ignore floatcmp zero value selects the default kernel width
 		if gamma == 0 {
 			gamma = 1 / float64(m.feats)
 		}
@@ -198,10 +201,12 @@ func (m *Model) Fit(train *dataset.Dataset) error {
 			}
 			for j := range w {
 				w[j] *= decay
+				//lint:ignore floatcmp exact-zero gradient skip: pure optimization, bit-identical result
 				if g != 0 {
 					w[j] -= eta * g * phi[j]
 				}
 			}
+			//lint:ignore floatcmp exact-zero gradient skip: pure optimization, bit-identical result
 			if g != 0 {
 				b -= eta * g
 			}

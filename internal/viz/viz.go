@@ -28,6 +28,7 @@ func Bar(labels []string, values []float64, width int) string {
 			maxVal = values[i]
 		}
 	}
+	//lint:ignore floatcmp degenerate all-zero range guard for the plot scale
 	if maxVal == 0 {
 		maxVal = 1
 	}
@@ -58,6 +59,7 @@ func Line(ys []float64, width, height int) string {
 			hi = y
 		}
 	}
+	//lint:ignore floatcmp degenerate flat-range guard for the plot scale
 	if hi == lo {
 		hi = lo + 1
 	}
