@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json experiments fuzz fuzz-smoke examples serve-demo lint metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json experiments fuzz fuzz-smoke chaos examples serve-demo lint metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, the full race-detector pass, and the
 # static-analysis suite, so the concurrency contracts (Snapshot serving,
@@ -80,6 +80,16 @@ fuzz:
 # the bit-packed encode path must keep agreeing with the reference form.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSignProject -fuzztime=20s ./internal/hdc/
+
+# Fault-injection chaos pass (docs/ROBUSTNESS.md): the serving-hardening
+# stress tests under the race detector — readers hammering an engine whose
+# writer fails mid-stream, panics from poisoned state, admission shedding —
+# plus the fault-injector suite and a short fuzz of the bit-flip
+# self-inverse contract the transient fault mode depends on.
+chaos:
+	$(GO) test -race -count=1 -run 'TestEngineChaos|TestEnginePanicContainment|TestEngineDegradedMode|TestEngineAdmissionGate|TestEngineMetricsErrors' .
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -fuzz=FuzzBitFlip -fuzztime=15s ./internal/fault/
 
 examples:
 	$(GO) run ./examples/quickstart

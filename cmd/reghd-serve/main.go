@@ -9,7 +9,11 @@
 //	GET  /debug/pprof/  net/http/pprof profiles of the running server
 //	GET  /debug/vars    stdlib expvar endpoint (same JSON as /metrics)
 //	POST /predict       {"x":[...]} -> {"y":...} one prediction
-//	GET  /healthz       liveness probe
+//	                    400 on invalid input, 429 when shed by the
+//	                    admission gate, 504 on deadline expiry
+//	GET  /healthz       liveness probe; reports "degraded" (still 200,
+//	                    last known-good snapshot keeps serving) when a
+//	                    writer failure put the engine in degraded mode
 //
 // By default it also generates its own traffic — reader goroutines issuing
 // predictions and a writer streaming PartialFit updates through concept
@@ -20,7 +24,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +48,8 @@ func main() {
 		epochs       = flag.Int("epochs", 5, "training epochs before serving")
 		publishEvery = flag.Int("publish-every", 64, "PartialFit updates between snapshot publications")
 		traffic      = flag.Bool("traffic", true, "generate synthetic reader/writer load")
+		maxInFlight  = flag.Int("max-inflight", 256, "bounded in-flight prediction limit, 0 = unlimited")
+		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request prediction deadline, 0 = none")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -86,6 +94,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine.SetPublishEvery(*publishEvery)
+	engine.SetMaxInFlight(*maxInFlight)
 	engine.EnableMetrics()
 	ops := engine.EnableOpCounting()
 
@@ -115,6 +124,13 @@ func main() {
 	}
 
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Degraded mode still serves (last known-good snapshot), so the
+		// probe stays 200; the body and the degraded_mode gauge carry the
+		// signal for alerting.
+		if engine.Degraded() {
+			fmt.Fprintln(w, "degraded")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	http.Handle("/metrics", obs.Handler())
@@ -126,9 +142,15 @@ func main() {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		y, err := engine.Predict(req.X)
+		ctx := r.Context()
+		if *reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *reqTimeout)
+			defer cancel()
+		}
+		y, err := engine.PredictCtx(ctx, req.X)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), predictStatus(err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -140,6 +162,24 @@ func main() {
 	log.Printf(`  curl -s -d '{"x":[14.96,41.76,1024.07,73.17]}' http://%s/predict`, *addr)
 	log.Printf("  go tool pprof http://%s/debug/pprof/profile?seconds=10", *addr)
 	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+// predictStatus maps the engine's typed serving errors onto HTTP status
+// codes.
+func predictStatus(err error) int {
+	var pe *reghd.PanicError
+	switch {
+	case errors.Is(err, reghd.ErrInvalidInput):
+		return http.StatusBadRequest
+	case errors.Is(err, reghd.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // startTraffic launches the synthetic load: two reader goroutines issuing

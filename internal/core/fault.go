@@ -4,7 +4,70 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"reghd/internal/hdc"
 )
+
+// FaultView gives fault-injection harnesses (internal/fault) direct,
+// mutable access to the live hypervector stores of a model: the slices
+// alias the model's own state, so writing through them corrupts exactly the
+// memory a deployed accelerator would hold. It exists for experiments that
+// model hardware bit errors — production code must never mutate a model
+// through it.
+//
+// The single-writer contract applies: mutate through a FaultView only while
+// no prediction or training call is in flight on the same model (the fault
+// wrapper serializes on its own lock; experiment code is single-threaded by
+// construction). Nil fields mean the configuration does not materialize
+// that store.
+type FaultView struct {
+	// Clusters are the integer cluster hypervectors C_i (nil when k = 1).
+	Clusters []hdc.Vector
+	// ClustersBin are the binary cluster shadows C_i^b (binary cluster
+	// modes only).
+	ClustersBin []*hdc.Binary
+	// Models are the integer regression hypervectors M_i.
+	Models []hdc.Vector
+	// ModelsBin are the binary model shadows M_i^b (binary model modes
+	// only).
+	ModelsBin []*hdc.Binary
+}
+
+// FaultView returns mutable aliases of the model's hypervector stores for
+// fault injection. See the FaultView type for the access contract.
+func (m *Model) FaultView() FaultView {
+	return FaultView{
+		Clusters:    m.clusters,
+		ClustersBin: m.clustersBin,
+		Models:      m.models,
+		ModelsBin:   m.modelsBin,
+	}
+}
+
+// Clone returns an independent deep copy of the model: mutating the clone
+// (training it further, injecting faults) never affects the original. The
+// clone's shuffling stream is re-seeded from the configuration, so a clone
+// trained further diverges from the original only through that stream. The
+// encoder is shared (read-only after construction), and the optional
+// counters/stage accumulators are not carried over.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		params:  m.params,
+		trained: m.trained,
+		rng:     rand.New(rand.NewSource(m.cfg.Seed)),
+		scratch: newScratchPool(m.cfg.Models, m.dim, m.cfg.PredictMode.UsesRawQuery(), m.bufEnc != nil),
+	}
+	c.clusters = cloneVectors(m.clusters)
+	c.clustersBin = cloneBinaries(m.clustersBin)
+	c.models = cloneVectors(m.models)
+	c.modelsBin = cloneBinaries(m.modelsBin)
+	c.modelScale = append([]float64(nil), m.modelScale...)
+	if m.cfg.Models > 1 {
+		c.sims = make([]float64, m.cfg.Models)
+		c.conf = make([]float64, m.cfg.Models)
+	}
+	return c
+}
 
 // FlipModelBits injects hardware faults into the binary model shadows by
 // flipping the given fraction of randomly chosen bits in every M_i^b. It

@@ -16,7 +16,19 @@ import "reghd/internal/hdc"
 // on the same Model. To serve predictions concurrently with a PartialFit
 // stream, publish Snapshots between updates (see Model.Snapshot and the
 // reghd facade's Engine).
+//
+// The sample is validated before any state changes: a NaN/Inf target or a
+// nil/wrong-length/non-finite feature vector returns an error wrapping
+// ErrInvalidInput and leaves the model untouched. Without this gate one bad
+// streaming sample would push non-finite values into the cluster and model
+// hypervectors, permanently poisoning them.
 func (m *Model) PartialFit(x []float64, y float64) error {
+	if err := ValidateRow(x, m.enc.Features()); err != nil {
+		return err
+	}
+	if err := ValidateTarget(y); err != nil {
+		return err
+	}
 	e, err := m.encode(m.TrainCounter, x)
 	if err != nil {
 		return err

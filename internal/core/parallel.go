@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -45,9 +46,22 @@ func clampWorkers(workers, n int) int {
 // error. It returns the error of the lowest failing row index. With one
 // worker (or one item) it runs inline.
 func forEachRowParallel(n, workers int, fn func(i int) error) error {
+	return forEachRowParallelCtx(context.Background(), n, workers, fn)
+}
+
+// forEachRowParallelCtx is forEachRowParallel with per-row cancellation:
+// every worker checks ctx before each row, so a deadline or cancellation
+// stops the batch at row granularity instead of running it to completion.
+// The reported error for a cancelled row wraps ctx.Err(). The background
+// context's Err is a constant nil, so the uncancellable path pays only a
+// dynamic method call per row — noise against a D-dimensional prediction.
+func forEachRowParallelCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	workers = clampWorkers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: row %d cancelled: %w", i, err)
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -70,6 +84,10 @@ func forEachRowParallel(n, workers int, fn func(i int) error) error {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[w] = rowErr{row: i, err: fmt.Errorf("core: row %d cancelled: %w", i, err)}
+					return
+				}
 				if err := fn(i); err != nil {
 					errs[w] = rowErr{row: i, err: err}
 					return

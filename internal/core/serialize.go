@@ -2,14 +2,23 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"reghd/internal/encoding"
 	"reghd/internal/hdc"
 )
+
+// ErrCorruptModel is the sentinel wrapped by Load/LoadFile when the stored
+// bytes cannot be decoded into a structurally valid model — a truncated
+// write, bit rot, or a file that was never a model checkpoint. Callers
+// match it with errors.Is to distinguish a damaged checkpoint (fall back to
+// an older one) from an I/O error such as a missing file.
+var ErrCorruptModel = errors.New("core: corrupt model file")
 
 // modelState is the wire form of a trained model. The encoder travels as an
 // encoding.Encoder interface value (the concrete encoders register
@@ -47,17 +56,41 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile saves the model to a file path.
+// SaveFile saves the model to a file path atomically: the state is written
+// to a temporary file in the same directory, synced, and renamed over the
+// destination. A crash (or full disk) mid-save can therefore never leave a
+// truncated or half-written model at path — readers observe either the old
+// complete checkpoint or the new one, which is what a serving deployment
+// reloading checkpoints needs.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	if err := m.Save(f); err != nil {
+	tmp := f.Name()
+	// Any failure from here on removes the temp file; the destination is
+	// only ever touched by the final rename.
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := m.Save(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("core: syncing model file: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: closing model file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: publishing model file: %w", err)
+	}
+	return nil
 }
 
 // Load deserializes a model previously written by Save. The restored model
@@ -66,20 +99,20 @@ func (m *Model) SaveFile(path string) error {
 func Load(r io.Reader) (*Model, error) {
 	var st modelState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("core: loading model: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrCorruptModel, err)
 	}
 	if st.Encoder == nil {
-		return nil, fmt.Errorf("core: loaded model has no encoder")
+		return nil, fmt.Errorf("%w: no encoder", ErrCorruptModel)
 	}
 	if err := st.Cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("core: loaded model config: %w", err)
+		return nil, fmt.Errorf("%w: config: %v", ErrCorruptModel, err)
 	}
 	if len(st.Models) != st.Cfg.Models {
-		return nil, fmt.Errorf("core: loaded model has %d model vectors, config says %d", len(st.Models), st.Cfg.Models)
+		return nil, fmt.Errorf("%w: %d model vectors, config says %d", ErrCorruptModel, len(st.Models), st.Cfg.Models)
 	}
 	dim := st.Encoder.Dim()
 	if err := hdc.CheckDims(dim, st.Models...); err != nil {
-		return nil, fmt.Errorf("core: loaded model vectors: %w", err)
+		return nil, fmt.Errorf("%w: model vectors: %v", ErrCorruptModel, err)
 	}
 	bufEnc, _ := st.Encoder.(encoding.BufferedEncoder)
 	m := &Model{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"reghd/internal/hdc"
@@ -152,11 +153,20 @@ func (s *Snapshot) PredictBatch(xs [][]float64) ([]float64, error) {
 // worker goroutines (0 means GOMAXPROCS). On error it returns the failure
 // with the lowest row index.
 func (s *Snapshot) PredictBatchParallel(xs [][]float64, workers int) ([]float64, error) {
+	return s.PredictBatchParallelCtx(context.Background(), xs, workers)
+}
+
+// PredictBatchParallelCtx is PredictBatchParallel with per-row
+// cancellation: workers check ctx before every row, so a deadline or
+// cancellation abandons the remaining rows instead of serving a doomed
+// batch to completion. The returned error wraps ctx.Err() when the batch
+// was cut short.
+func (s *Snapshot) PredictBatchParallelCtx(ctx context.Context, xs [][]float64, workers int) ([]float64, error) {
 	if !s.trained {
 		return nil, ErrNotTrained
 	}
 	out := make([]float64, len(xs))
-	err := forEachRowParallel(len(xs), workers, func(i int) error {
+	err := forEachRowParallelCtx(ctx, len(xs), workers, func(i int) error {
 		y, err := s.Predict(xs[i])
 		if err != nil {
 			return fmt.Errorf("core: predicting row %d: %w", i, err)

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidInput is the sentinel wrapped by every input-validation failure:
+// non-finite feature values, non-finite streaming targets, and feature-count
+// mismatches. Serving layers match it with errors.Is to distinguish a bad
+// request (reject the one call) from an engine fault.
+var ErrInvalidInput = errors.New("core: invalid input")
+
+// ValidateRow rejects feature vectors the model must never ingest: a nil or
+// wrong-length row, or any NaN/Inf component. A single non-finite component
+// would propagate through the encoder into every hypervector it touches —
+// and, on a PartialFit path, poison a cluster hypervector permanently — so
+// both training and hardened serving paths call this before any state is
+// read or written. features <= 0 skips the length check (callers that do
+// not know the expected arity).
+func ValidateRow(x []float64, features int) error {
+	if x == nil {
+		return fmt.Errorf("%w: nil feature vector", ErrInvalidInput)
+	}
+	if features > 0 && len(x) != features {
+		return fmt.Errorf("%w: feature vector has %d components, model expects %d", ErrInvalidInput, len(x), features)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: feature %d is %v", ErrInvalidInput, i, v)
+		}
+	}
+	return nil
+}
+
+// ValidateTarget rejects NaN/Inf regression targets. The LMS update (Eq. 7)
+// adds α(y−ŷ)·S into the model hypervectors, so a single non-finite y turns
+// every component of the updated models non-finite in one step.
+func ValidateTarget(y float64) error {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("%w: target is %v", ErrInvalidInput, y)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/fault"
+)
+
+// bitFlipConfig is one deployment configuration of the bit-flip sweep.
+type bitFlipConfig struct {
+	label string
+	cm    core.ClusterMode
+	pm    core.PredictMode
+}
+
+// bitFlipConfigs are the four prediction deployments the paper's robustness
+// argument compares: the full-precision baseline and the three quantized
+// configurations of Section 3.2. Order is the column order of the table.
+var bitFlipConfigs = []bitFlipConfig{
+	{"full", core.ClusterInteger, core.PredictFull},
+	{"bquery-imodel", core.ClusterBinary, core.PredictBinaryQuery},
+	{"iquery-bmodel", core.ClusterBinary, core.PredictBinaryModel},
+	{"bquery-bmodel", core.ClusterBinary, core.PredictBinaryBoth},
+}
+
+// BitFlipResult is the quality-vs-bit-error-rate curve behind the paper's
+// robustness claim: test MSE of each deployment configuration after
+// injecting random bit flips into the hypervector stores its prediction
+// path reads, at increasing bit-error rates. Full-precision deployments
+// store 64 IEEE-754 bits per component — one exponent flip can move a
+// component by orders of magnitude — while quantized deployments store one
+// bounded bit per component, so their curves should stay flat far longer.
+type BitFlipResult struct {
+	// Dataset names the workload.
+	Dataset string
+	// BERs lists the injected bit-error rates.
+	BERs []float64
+	// Configs lists the deployment labels in column order.
+	Configs []string
+	// TargetBits maps each config to the size (in bits) of the faulted
+	// stores — the physical surface a given BER acts on.
+	TargetBits map[string]int
+	// Clean maps each config to its fault-free test MSE (original target
+	// units).
+	Clean map[string]float64
+	// MSE maps config -> BER -> faulted test MSE. Non-finite values are
+	// real measurements: they mean the deployment failed catastrophically.
+	MSE map[string]map[float64]float64
+}
+
+// Degradation returns MSE(config, ber) / clean MSE — the relative quality
+// loss, with non-finite measurements reported as +Inf (a catastrophic
+// failure dominates every finite degradation).
+func (r *BitFlipResult) Degradation(config string, ber float64) float64 {
+	mse := r.MSE[config][ber]
+	if math.IsNaN(mse) || math.IsInf(mse, 0) {
+		return math.Inf(1)
+	}
+	return mse / r.Clean[config]
+}
+
+// BitFlipSweep trains the four deployment configurations on the airfoil
+// stand-in, then measures test MSE under sticky bit-flip injection
+// (internal/fault) at each bit-error rate. Every (config, BER) cell wraps a
+// fresh clone of the trained model, so faults never accumulate across
+// cells, and every injection is seeded deterministically from Options.Seed
+// — the whole sweep is reproducible bit-for-bit.
+func BitFlipSweep(o Options) (*BitFlipResult, error) {
+	o = o.withDefaults()
+	train, test, err := loadSplit("airfoil", o)
+	if err != nil {
+		return nil, err
+	}
+	res := &BitFlipResult{
+		Dataset:    "airfoil",
+		BERs:       []float64{0.0001, 0.001, 0.01, 0.05, 0.10},
+		TargetBits: map[string]int{},
+		Clean:      map[string]float64{},
+		MSE:        map[string]map[float64]float64{},
+	}
+	if o.Quick {
+		res.BERs = []float64{0.01, 0.10}
+	}
+
+	sc, err := dataset.FitScaler(train, true)
+	if err != nil {
+		return nil, err
+	}
+	trainS, err := sc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	testS, err := sc.Transform(test)
+	if err != nil {
+		return nil, err
+	}
+	yScale := sc.YStd * sc.YStd
+
+	for ci, cfg := range bitFlipConfigs {
+		res.Configs = append(res.Configs, cfg.label)
+		r, err := newRegHD(train.Features(), o, 8, cfg.cm, cfg.pm)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.m.Fit(trainS); err != nil {
+			return nil, err
+		}
+		clean, err := r.m.Evaluate(testS)
+		if err != nil {
+			return nil, err
+		}
+		res.Clean[cfg.label] = clean * yScale
+		res.MSE[cfg.label] = map[float64]float64{}
+		for bi, ber := range res.BERs {
+			inj, err := fault.New(r.m, fault.Config{
+				BER:  ber,
+				Mode: fault.Sticky,
+				Seed: o.Seed + int64(1000*ci+bi),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: wrapping %s at BER %v: %w", cfg.label, ber, err)
+			}
+			res.TargetBits[cfg.label] = inj.TargetBits()
+			mse, err := inj.Evaluate(testS)
+			if err != nil {
+				return nil, err
+			}
+			res.MSE[cfg.label][ber] = mse * yScale
+		}
+	}
+	return res, nil
+}
+
+// Table implements Tabular: one row per (config, BER) cell, including the
+// clean baseline as BER 0.
+func (r *BitFlipResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, c := range r.Configs {
+		rows = append(rows, []string{c, f(0), strconv.Itoa(r.TargetBits[c]), f(r.Clean[c]), f(1)})
+		for _, ber := range r.BERs {
+			rows = append(rows, []string{
+				c, f(ber), strconv.Itoa(r.TargetBits[c]),
+				f(r.MSE[c][ber]), f(r.Degradation(c, ber)),
+			})
+		}
+	}
+	return []string{"config", "ber", "store_bits", "test_mse", "degradation"}, rows
+}
+
+// fmtMSE prints an MSE cell, keeping catastrophic (non-finite) cells
+// legible.
+func fmtMSE(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "blown-up"
+	}
+	if v >= 1e6 {
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Render prints the sweep as a paper-style table: absolute MSE per cell
+// plus the relative degradation of the quantized deployments versus
+// full precision.
+func (r *BitFlipResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§3 robustness: stored-model bit flips on %s (test MSE, sticky faults)\n", r.Dataset)
+	fmt.Fprintf(&b, "%-10s", "config")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	fmt.Fprintf(&b, "\n%-10s", "store bits")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, " %14d", r.TargetBits[c])
+	}
+	fmt.Fprintf(&b, "\n%-10s", "clean")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, " %14s", fmtMSE(r.Clean[c]))
+	}
+	b.WriteString("\n")
+	for _, ber := range r.BERs {
+		fmt.Fprintf(&b, "%-10.4f", ber)
+		for _, c := range r.Configs {
+			fmt.Fprintf(&b, " %14s", fmtMSE(r.MSE[c][ber]))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("degradation (MSE / clean):\n")
+	for _, ber := range r.BERs {
+		fmt.Fprintf(&b, "%-10.4f", ber)
+		for _, c := range r.Configs {
+			switch d := r.Degradation(c, ber); {
+			case math.IsInf(d, 1):
+				fmt.Fprintf(&b, " %14s", "inf")
+			case d >= 1000:
+				fmt.Fprintf(&b, " %13.3gx", d)
+			default:
+				fmt.Fprintf(&b, " %13.2fx", d)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

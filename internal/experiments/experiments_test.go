@@ -20,7 +20,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablate", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "platforms", "robust", "sparse", "table1", "table2"}
+	want := []string{"ablate", "bitflip", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "platforms", "robust", "sparse", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

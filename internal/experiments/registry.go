@@ -27,6 +27,7 @@ var registry = map[string]Runner{
 	"table2":    func(o Options) (Renderer, error) { return Table2Dimensionality(o) },
 	"cap":       func(o Options) (Renderer, error) { return CapacityAnalysis(o) },
 	"robust":    func(o Options) (Renderer, error) { return RobustnessSweep(o) },
+	"bitflip":   func(o Options) (Renderer, error) { return BitFlipSweep(o) },
 	"ablate":    func(o Options) (Renderer, error) { return AblationSweep(o) },
 	"sparse":    func(o Options) (Renderer, error) { return SparsitySweep(o) },
 	"dse":       func(o Options) (Renderer, error) { return DesignSpaceExploration(o) },

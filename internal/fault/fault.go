@@ -1,0 +1,99 @@
+// Package fault is the deterministic fault-injection substrate behind the
+// paper's robustness claim (the "R" in RegHD): hyperdimensional models
+// spread information holographically across thousands of components, so
+// random bit errors in the stored hypervectors — the dominant failure mode
+// of dense on-chip memories running at reduced voltage — should degrade
+// prediction quality gracefully, and most gracefully for the quantized
+// models of Section 3, whose single-bit components cannot be knocked into
+// huge magnitudes the way an IEEE-754 exponent bit can.
+//
+// The package provides two layers:
+//
+//   - Bit-flip primitives over the three hypervector representations the
+//     system stores: dense float64 vectors (faults flip raw IEEE-754 word
+//     bits), bipolar ±1 vectors (faults flip component signs), and
+//     bit-packed binary vectors (faults flip packed bits). Every primitive
+//     is self-inverse — applying the same flip set twice restores the
+//     vector bit-exactly — which is what makes transient faults revertible
+//     and is pinned by FuzzBitFlip.
+//
+//   - An Injector that wraps a private clone of a core.Model and applies
+//     faults, at a configurable bit-error rate, to exactly the stores the
+//     configured prediction path reads (integer or binary clusters,
+//     integer or binary regression models). Transient mode redraws faults
+//     on every read and reverts them afterwards, modeling soft errors on
+//     the read path; Sticky mode corrupts the stored state persistently
+//     and accumulates further rounds on Advance, modeling hard errors and
+//     aging.
+//
+// Everything is seeded: the same Config against the same model and call
+// sequence produces bit-identical faults, so the robustness experiments
+// (internal/experiments, `reghd-bench -exp bitflip`) and the serving chaos
+// tests are reproducible. See docs/ROBUSTNESS.md.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects how long injected faults live.
+type Mode int
+
+const (
+	// Transient redraws faults on every read and reverts them afterwards:
+	// each Predict observes an independently corrupted view of the stored
+	// hypervectors while the storage itself stays pristine. This is the
+	// soft-error model (radiation upsets, read disturbs).
+	Transient Mode = iota
+	// Sticky corrupts the stored hypervectors persistently: one round of
+	// faults is injected when the Injector is built, every Advance call
+	// injects another, and nothing is ever reverted. This is the hard-error
+	// model (stuck-at cells, retention failures accumulating over time).
+	Sticky
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Transient:
+		return "transient"
+	case Sticky:
+		return "sticky"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// BER is the bit-error rate: the probability that any single bit of
+	// the faulted stores flips, per read (Transient) or per injection
+	// round (Sticky). The realized flip count per round is
+	// ⌊BER·bits + carry⌋ with the fractional residue carried to the next
+	// round, so long runs average to the exact rate even when
+	// BER·bits < 1.
+	BER float64
+	// Mode selects transient (per-read) or sticky (persistent) faults.
+	Mode Mode
+	// Seed drives the fault positions. Equal seeds reproduce equal fault
+	// sequences.
+	Seed int64
+}
+
+// Validate rejects out-of-range settings.
+func (c Config) Validate() error {
+	if c.BER < 0 || c.BER > 1 {
+		return fmt.Errorf("fault: BER must be in [0,1], got %v", c.BER)
+	}
+	switch c.Mode {
+	case Transient, Sticky:
+	default:
+		return fmt.Errorf("fault: unknown mode %d", int(c.Mode))
+	}
+	return nil
+}
+
+// ErrNoTarget is returned when the wrapped model materializes none of the
+// stores the injector would fault (an untrained or degenerate model).
+var ErrNoTarget = errors.New("fault: model has no faultable hypervector stores")

@@ -1,0 +1,371 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// trainedModel returns a small trained model for the given modes.
+func trainedModel(t *testing.T, cm core.ClusterMode, pm core.PredictMode) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	n, feats := 200, 3
+	d := &dataset.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := range d.X {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		d.X[i] = x
+		d.Y[i] = 0.8*x[0] - 0.5*x[1] + 0.3*x[2]*x[2] + 0.02*rng.NormFloat64()
+	}
+	enc, err := encoding.NewNonlinear(rand.New(rand.NewSource(9)), feats, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(enc, core.Config{Models: 4, Epochs: 5, Seed: 3, ClusterMode: cm, PredictMode: pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{BER: -0.1}).Validate(); err == nil {
+		t.Fatal("negative BER accepted")
+	}
+	if err := (Config{BER: 1.5}).Validate(); err == nil {
+		t.Fatal("BER > 1 accepted")
+	}
+	if err := (Config{BER: 0.1, Mode: Mode(9)}).Validate(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := (Config{BER: 0.01, Mode: Sticky}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// vecEqual compares two dense vectors bit-exactly (NaN payloads included,
+// which float == would miss).
+func vecEqual(a, b hdc.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFlipPrimitivesSelfInverse pins the XOR/negation round-trip for all
+// three representations: applying the same flip set twice is an exact
+// identity.
+func TestFlipPrimitivesSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dense := make(hdc.Vector, 97)
+	for i := range dense {
+		dense[i] = rng.NormFloat64() * 100
+	}
+	orig := dense.Clone()
+	bits := sampleBits(rng, 64*len(dense), 200)
+	FlipDenseBits(dense, bits)
+	if vecEqual(dense, orig) {
+		t.Fatal("dense flips were a no-op")
+	}
+	FlipDenseBits(dense, bits)
+	if !vecEqual(dense, orig) {
+		t.Fatal("dense double-flip did not restore the vector")
+	}
+
+	bipolar := hdc.RandomBipolar(rng, 131)
+	borig := bipolar.Clone()
+	idx := sampleBits(rng, len(bipolar), 40)
+	FlipSigns(bipolar, idx)
+	if vecEqual(bipolar, borig) {
+		t.Fatal("sign flips were a no-op")
+	}
+	FlipSigns(bipolar, idx)
+	if !vecEqual(bipolar, borig) {
+		t.Fatal("sign double-flip did not restore the vector")
+	}
+
+	packed := hdc.Pack(nil, hdc.RandomBipolar(rng, 200))
+	porig := packed.Clone()
+	pidx := sampleBits(rng, packed.Dim, 60)
+	FlipPackedBits(packed, pidx)
+	if packed.Equal(porig) {
+		t.Fatal("packed flips were a no-op")
+	}
+	FlipPackedBits(packed, pidx)
+	if !packed.Equal(porig) {
+		t.Fatal("packed double-flip did not restore the vector")
+	}
+}
+
+func TestSampleBitsDistinctInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, k int }{{100, 0}, {100, 1}, {100, 50}, {100, 100}, {100, 150}, {7, 7}} {
+		pos := sampleBits(rng, tc.n, tc.k)
+		want := tc.k
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(pos) != want {
+			t.Fatalf("sampleBits(%d,%d) returned %d positions", tc.n, tc.k, len(pos))
+		}
+		seen := map[int]bool{}
+		for _, p := range pos {
+			if p < 0 || p >= tc.n {
+				t.Fatalf("position %d out of range [0,%d)", p, tc.n)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate position %d", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestTransientLeavesStoresPristine is the transient contract: after any
+// number of reads, the wrapped model's serialized state is bit-identical
+// to a fault-free clone's.
+func TestTransientLeavesStoresPristine(t *testing.T) {
+	m, d := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+	in, err := New(m, Config{BER: 0.02, Mode: Transient, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := m.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := in.Predict(d.X[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.BitsFlipped() == 0 {
+		t.Fatal("no faults were injected")
+	}
+	var got bytes.Buffer
+	if err := in.model.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("transient faults leaked into the stored model state")
+	}
+}
+
+// TestStickyPersists: sticky faults move predictions and stay applied.
+func TestStickyPersists(t *testing.T) {
+	m, d := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+	in, err := New(m, Config{BER: 0.05, Mode: Sticky, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BitsFlipped() == 0 {
+		t.Fatal("sticky construction injected nothing")
+	}
+	clean, err := m.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty1, err := in.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty2, err := in.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty1 != faulty2 {
+		t.Fatalf("sticky faults should be stable across reads: %v vs %v", faulty1, faulty2)
+	}
+	if faulty1 == clean {
+		t.Fatal("5% sticky BER did not move the prediction at all")
+	}
+	before := in.BitsFlipped()
+	if err := in.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if in.BitsFlipped() <= before {
+		t.Fatal("Advance injected nothing")
+	}
+}
+
+func TestTransientAdvanceRejected(t *testing.T) {
+	m, _ := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+	in, err := New(m, Config{BER: 0.01, Mode: Transient, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Advance(); err == nil {
+		t.Fatal("Advance accepted in transient mode")
+	}
+}
+
+// TestDeterminism: equal seeds reproduce equal fault sequences and hence
+// equal predictions; different seeds diverge.
+func TestDeterminism(t *testing.T) {
+	m, d := trainedModel(t, core.ClusterBinary, core.PredictBinaryQuery)
+	run := func(seed int64) []float64 {
+		in, err := New(m, Config{BER: 0.01, Mode: Transient, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys, err := in.PredictBatch(d.X[:30])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ys
+	}
+	// Bit-exact comparison: dense-store faults can legitimately produce
+	// NaN predictions, which plain == would misjudge.
+	a, b, c := run(7), run(7), run(8)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("row %d: same seed diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestZeroBERIsIdentity: a zero error rate never flips anything and
+// predictions match the clean model exactly.
+func TestZeroBERIsIdentity(t *testing.T) {
+	for _, mode := range []Mode{Transient, Sticky} {
+		m, d := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+		in, err := New(m, Config{BER: 0, Mode: mode, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			want, err := m.Predict(d.X[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := in.Predict(d.X[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != got {
+				t.Fatalf("%s: zero BER changed prediction %d: %v vs %v", mode, i, want, got)
+			}
+		}
+		if in.BitsFlipped() != 0 {
+			t.Fatalf("%s: zero BER flipped %d bits", mode, in.BitsFlipped())
+		}
+	}
+}
+
+// TestTargetStores: the injector faults exactly the representations the
+// prediction path reads.
+func TestTargetStores(t *testing.T) {
+	for _, tc := range []struct {
+		cm   core.ClusterMode
+		pm   core.PredictMode
+		want []string
+	}{
+		{core.ClusterInteger, core.PredictFull, []string{"clusters", "models"}},
+		{core.ClusterBinary, core.PredictBinaryQuery, []string{"clusters-bin", "models"}},
+		{core.ClusterBinary, core.PredictBinaryBoth, []string{"clusters-bin", "models-bin"}},
+		{core.ClusterBinary, core.PredictBinaryModel, []string{"clusters-bin", "models-bin"}},
+	} {
+		m, _ := trainedModel(t, tc.cm, tc.pm)
+		in, err := New(m, Config{BER: 0.01, Mode: Sticky, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := in.Stores()
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s/%s: stores %v, want %v", tc.cm, tc.pm, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s/%s: stores %v, want %v", tc.cm, tc.pm, got, tc.want)
+			}
+		}
+		if in.TargetBits() == 0 {
+			t.Fatalf("%s/%s: zero target bits", tc.cm, tc.pm)
+		}
+	}
+}
+
+// TestCarryAveragesRate: with BER·bits < 1 the carry still realizes flips
+// at the exact long-run rate instead of rounding every round to zero.
+func TestCarryAveragesRate(t *testing.T) {
+	m, d := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+	in, err := New(m, Config{BER: 0.0001, Mode: Transient, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 200
+	for i := 0; i < reads; i++ {
+		if _, err := in.Predict(d.X[i%len(d.X)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Expected flips per read = BER * targetBits per store, summed. With
+	// floor+carry the realized total must be within one flip per store of
+	// the exact expectation.
+	want := 0.0001 * float64(in.TargetBits()) * float64(reads)
+	got := float64(in.BitsFlipped())
+	if math.Abs(got-want) > float64(len(in.Stores())) {
+		t.Fatalf("realized flips %v, want ~%v", got, want)
+	}
+}
+
+func TestEvaluateDegrades(t *testing.T) {
+	m, d := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+	clean, err := m.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := New(m, Config{BER: 0.2, Mode: Sticky, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := in.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(faulty > clean) {
+		t.Fatalf("20%% BER did not degrade MSE: clean %v, faulty %v", clean, faulty)
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	if _, err := New(nil, Config{BER: 0.1}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	m, _ := trainedModel(t, core.ClusterBinary, core.PredictBinaryBoth)
+	if _, err := New(m, Config{BER: 2}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := New(m, Config{BER: 0.1, Mode: Sticky, Seed: 1}); err != nil {
+		t.Fatalf("valid wrap rejected: %v", err)
+	}
+	var sentinel error = ErrNoTarget
+	if !errors.Is(sentinel, ErrNoTarget) {
+		t.Fatal("sentinel identity broken")
+	}
+}

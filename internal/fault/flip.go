@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+
+	"reghd/internal/hdc"
+)
+
+// sampleBits draws k distinct bit positions uniformly from [0, n) using
+// Floyd's algorithm: O(k) time and space regardless of n, and fully
+// deterministic under the caller's rng. The result order is the draw
+// order, which flip application and reversal both preserve (they are
+// order-independent XORs anyway).
+func sampleBits(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// FlipDenseBits flips raw IEEE-754 bits of a dense float64 hypervector:
+// bit index b addresses bit b%64 of component b/64, so the valid range is
+// [0, 64·len(v)). This is the full-precision memory-fault model — a flip
+// may land in the mantissa (small perturbation), the exponent (magnitude
+// explosion), or the sign. Self-inverse: flipping the same bits again
+// restores v exactly, including NaN payloads.
+func FlipDenseBits(v hdc.Vector, bitIdx []int) {
+	for _, b := range bitIdx {
+		c := b / 64
+		v[c] = math.Float64frombits(math.Float64bits(v[c]) ^ (1 << uint(b%64)))
+	}
+}
+
+// FlipSigns flips the sign of the addressed components of a dense bipolar
+// (±1) hypervector — the one-bit-per-component fault model for dense
+// bipolar storage. Index range is [0, len(v)). Self-inverse. A true zero
+// component stays zero (its sign carries no information).
+func FlipSigns(v hdc.Vector, idx []int) {
+	for _, i := range idx {
+		v[i] = -v[i]
+	}
+}
+
+// FlipPackedBits flips the addressed component bits of a bit-packed binary
+// hypervector. Index range is [0, b.Dim). Self-inverse (XOR). It is a thin
+// named wrapper over (*hdc.Binary).FlipBits so all three representation
+// primitives live side by side.
+func FlipPackedBits(b *hdc.Binary, idx []int) {
+	b.FlipBits(idx)
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+// FuzzBitFlip fuzzes the self-inverse contract every fault mode leans on:
+// for any dimension, flip count, and seed, applying the same flip set twice
+// restores dense, bipolar, and bit-packed hypervectors bit-exactly. The
+// transient fault path reverts faults by re-applying them, so a violation
+// here would silently corrupt "pristine" storage.
+func FuzzBitFlip(f *testing.F) {
+	f.Add(int64(1), 64, 10)
+	f.Add(int64(2), 1, 1)
+	f.Add(int64(3), 257, 1000)
+	f.Add(int64(4), 4096, 0)
+	f.Fuzz(func(t *testing.T, seed int64, dim, k int) {
+		if dim < 1 || dim > 1<<14 || k < 0 || k > 1<<16 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		dense := make(hdc.Vector, dim)
+		for i := range dense {
+			// Include extreme magnitudes and specials: the round trip must
+			// hold for any stored bit pattern.
+			switch rng.Intn(8) {
+			case 0:
+				dense[i] = math.Inf(1 - 2*rng.Intn(2))
+			case 1:
+				dense[i] = 0
+			default:
+				dense[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+			}
+		}
+		orig := dense.Clone()
+		bits := sampleBits(rng, 64*dim, k)
+		FlipDenseBits(dense, bits)
+		FlipDenseBits(dense, bits)
+		for i := range dense {
+			if math.Float64bits(dense[i]) != math.Float64bits(orig[i]) {
+				t.Fatalf("dense component %d not restored: %v -> %v", i, orig[i], dense[i])
+			}
+		}
+
+		bipolar := hdc.RandomBipolar(rng, dim)
+		borig := bipolar.Clone()
+		idx := sampleBits(rng, dim, k)
+		FlipSigns(bipolar, idx)
+		FlipSigns(bipolar, idx)
+		for i := range bipolar {
+			if math.Float64bits(bipolar[i]) != math.Float64bits(borig[i]) {
+				t.Fatalf("bipolar component %d not restored: %v -> %v", i, borig[i], bipolar[i])
+			}
+		}
+
+		packed := hdc.Pack(nil, hdc.RandomBipolar(rng, dim))
+		porig := packed.Clone()
+		pidx := sampleBits(rng, dim, k)
+		FlipPackedBits(packed, pidx)
+		FlipPackedBits(packed, pidx)
+		if !packed.Equal(porig) {
+			t.Fatal("packed vector not restored")
+		}
+		// Tail invariant: bits at positions >= Dim must stay clear, or
+		// popcount identities downstream (Hamming, DotBinary) break.
+		if r := dim % 64; r != 0 {
+			if packed.Words[len(packed.Words)-1]>>uint(r) != 0 {
+				t.Fatal("tail bits set beyond Dim")
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/hdc"
+)
+
+// store is one faultable hypervector store of the wrapped model: either a
+// dense float64 store (64 faultable bits per component) or a bit-packed
+// binary store (1 bit per component). Exactly one of dense/packed is set.
+type store struct {
+	name   string
+	dense  []hdc.Vector
+	packed []*hdc.Binary
+	// perVec is the faultable bit count of one vector; bits is the total
+	// across the store. Global fault positions in [0, bits) map to
+	// (vector p/perVec, local bit p%perVec).
+	perVec int
+	bits   int
+	// carry is the fractional flip count carried between rounds so long
+	// runs average to the exact bit-error rate.
+	carry float64
+}
+
+// flipCount converts a bit-error rate into this round's flip count:
+// ⌊BER·bits + carry⌋, with the fractional residue carried forward.
+func (s *store) flipCount(ber float64) int {
+	want := ber*float64(s.bits) + s.carry
+	k := int(math.Floor(want))
+	s.carry = want - float64(k)
+	if k > s.bits {
+		k = s.bits
+	}
+	return k
+}
+
+// applyFlips flips the store bits at the given global positions. XOR-based
+// throughout, so applying the same positions again reverts the store
+// bit-exactly.
+func (s *store) applyFlips(pos []int) {
+	for _, p := range pos {
+		v, b := p/s.perVec, p%s.perVec
+		if s.dense != nil {
+			FlipDenseBits(s.dense[v], []int{b})
+		} else {
+			s.packed[v].FlipBits([]int{b})
+		}
+	}
+}
+
+// predictionStores resolves the hypervector stores the model's configured
+// prediction path actually reads — faults anywhere else could never move a
+// prediction, so injecting them would only dilute the measured rate.
+func predictionStores(m *core.Model) []*store {
+	fv := m.FaultView()
+	cfg := m.Config()
+	dim := m.Dim()
+	var out []*store
+	add := func(st *store, n int) {
+		st.bits = st.perVec * n
+		if st.bits > 0 {
+			out = append(out, st)
+		}
+	}
+	if cfg.Models > 1 {
+		if cfg.ClusterMode == core.ClusterInteger {
+			add(&store{name: "clusters", dense: fv.Clusters, perVec: 64 * dim}, len(fv.Clusters))
+		} else {
+			add(&store{name: "clusters-bin", packed: fv.ClustersBin, perVec: dim}, len(fv.ClustersBin))
+		}
+	}
+	if cfg.PredictMode.UsesBinaryModel() {
+		add(&store{name: "models-bin", packed: fv.ModelsBin, perVec: dim}, len(fv.ModelsBin))
+	} else {
+		add(&store{name: "models", dense: fv.Models, perVec: 64 * dim}, len(fv.Models))
+	}
+	return out
+}
+
+// Injector wraps a private clone of a trained model and serves predictions
+// through injected memory faults. All methods serialize on an internal
+// lock; the wrapped clone is never reachable from outside, so the
+// injector's fault bookkeeping is the only writer it has.
+type Injector struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	model   *core.Model
+	stores  []*store
+	flipped uint64
+}
+
+// New wraps a deep clone of m (the original is never touched) with the
+// given fault configuration. Sticky mode injects its first fault round
+// immediately; transient mode leaves storage pristine until the first
+// read. Fails if the model materializes no faultable store for its
+// prediction path.
+func New(m *core.Model, cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("fault: nil model")
+	}
+	in := &Injector{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		model: m.Clone(),
+	}
+	in.stores = predictionStores(in.model)
+	if len(in.stores) == 0 {
+		return nil, ErrNoTarget
+	}
+	if cfg.Mode == Sticky {
+		in.injectLocked()
+	}
+	return in, nil
+}
+
+// injectLocked draws and applies one fault round across every store.
+// Callers must hold in.mu (or be the constructor).
+func (in *Injector) injectLocked() [][]int {
+	rounds := make([][]int, len(in.stores))
+	for i, s := range in.stores {
+		k := s.flipCount(in.cfg.BER)
+		if k == 0 {
+			continue
+		}
+		pos := sampleBits(in.rng, s.bits, k)
+		s.applyFlips(pos)
+		rounds[i] = pos
+		in.flipped += uint64(len(pos))
+	}
+	return rounds
+}
+
+// revertLocked undoes one fault round returned by injectLocked.
+func (in *Injector) revertLocked(rounds [][]int) {
+	for i, pos := range rounds {
+		in.stores[i].applyFlips(pos)
+	}
+}
+
+// Advance injects one additional persistent fault round, modeling error
+// accumulation over deployment time. Sticky mode only.
+func (in *Injector) Advance() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.Mode != Sticky {
+		return fmt.Errorf("fault: Advance requires Sticky mode, injector is %s", in.cfg.Mode)
+	}
+	in.injectLocked()
+	return nil
+}
+
+// Predict serves one prediction through the fault model: transient mode
+// corrupts the stores, predicts, and reverts them bit-exactly (even when
+// prediction fails); sticky mode predicts against the persistently
+// corrupted storage.
+func (in *Injector) Predict(x []float64) (float64, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.Mode == Sticky {
+		return in.model.Predict(x)
+	}
+	rounds := in.injectLocked()
+	y, err := in.model.Predict(x)
+	in.revertLocked(rounds)
+	return y, err
+}
+
+// PredictBatch serves each row through Predict — under transient faults
+// every row observes an independent corruption, matching the per-read
+// semantics.
+func (in *Injector) PredictBatch(xs [][]float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		y, err := in.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("fault: predicting row %d: %w", i, err)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Evaluate returns the mean squared error of faulted predictions over the
+// dataset. Non-finite predictions (a dense exponent-bit flip can produce
+// Inf/NaN) propagate into the result rather than erroring: a non-finite
+// MSE is the honest measurement of a catastrophically failed deployment.
+func (in *Injector) Evaluate(d *dataset.Dataset) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	var sse float64
+	for i, x := range d.X {
+		y, err := in.Predict(x)
+		if err != nil {
+			return 0, fmt.Errorf("fault: evaluating row %d: %w", i, err)
+		}
+		r := y - d.Y[i]
+		sse += r * r
+	}
+	return sse / float64(len(d.X)), nil
+}
+
+// Snapshot publishes the wrapped model's current state as an immutable
+// serving snapshot: under Sticky mode that state carries every fault
+// injected so far, which is how the serving chaos tests hand a corrupted
+// model to an Engine. Under Transient mode the storage is pristine between
+// reads, so the snapshot is fault-free.
+func (in *Injector) Snapshot() *core.Snapshot {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.model.Snapshot()
+}
+
+// BitsFlipped reports the total number of bit flips applied so far
+// (transient flips count once per read; reverts do not count).
+func (in *Injector) BitsFlipped() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.flipped
+}
+
+// TargetBits reports the total faultable bit count across the stores the
+// prediction path reads — the denominator of the bit-error rate.
+func (in *Injector) TargetBits() int {
+	var n int
+	for _, s := range in.stores {
+		n += s.bits
+	}
+	return n
+}
+
+// Stores names the faulted stores, for experiment logs and tests.
+func (in *Injector) Stores() []string {
+	out := make([]string, len(in.stores))
+	for i, s := range in.stores {
+		out[i] = s.name
+	}
+	return out
+}

@@ -93,6 +93,9 @@ func TestMetricNamespaceShape(t *testing.T) {
 		"reghd.engine.predict.p99_ns",
 		"reghd.engine.stages.encode.mean_ns",
 		"reghd.engine.snapshot.updates_since_publish",
+		"reghd.engine.robustness.requests_shed",
+		"reghd.engine.robustness.degraded_mode",
+		"reghd.engine.robustness.publish_seq",
 		"reghd.hw.estimates.*.uj_per_query",
 		"reghd.hw.ops.*",
 	} {

@@ -61,7 +61,7 @@ type SnapshotMetrics struct {
 // error while means and maxima are exact.
 type EngineMetrics struct {
 	// Enabled reports whether EnableMetrics has been called; every other
-	// field is zero until then.
+	// field except Robustness is zero until then.
 	Enabled bool `json:"enabled"`
 	// UptimeSeconds is the observation window (time since EnableMetrics)
 	// that the RatePerSec throughput fields are computed over.
@@ -89,6 +89,11 @@ type EngineMetrics struct {
 	EncodeRowsPerSec float64 `json:"encode_rows_per_sec"`
 	// Snapshot gauges publication staleness.
 	Snapshot SnapshotMetrics `json:"snapshot"`
+	// Robustness carries the hardening counters (shed/panic/invalid
+	// counts, degraded mode, admission gate, publish sequence). Unlike the
+	// latency metrics these are recorded always, not only after
+	// EnableMetrics.
+	Robustness RobustnessMetrics `json:"robustness"`
 }
 
 // serveStats is the engine's live instrumentation, reached through an
@@ -139,7 +144,7 @@ func (e *Engine) MetricsEnabled() bool { return e.stats.Load() != nil }
 func (e *Engine) Metrics() EngineMetrics {
 	st := e.stats.Load()
 	if st == nil {
-		return EngineMetrics{}
+		return EngineMetrics{Robustness: e.robustness()}
 	}
 	elapsed := time.Since(st.start)
 	encode := st.stages.Stat(core.StageEncode)
@@ -161,5 +166,6 @@ func (e *Engine) Metrics() EngineMetrics {
 			AgeSeconds:          time.Since(time.Unix(0, st.lastPublishNS.Load())).Seconds(),
 			Publishes:           st.publishes.Load(),
 		},
+		Robustness: e.robustness(),
 	}
 }

@@ -1,0 +1,373 @@
+package reghd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+// hardenFixture returns a pipeline engine over the serve fixture.
+func hardenFixture(t *testing.T) (*Engine, *Dataset) {
+	t.Helper()
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+// TestEnginePredictValidation: malformed requests are rejected with
+// ErrInvalidInput before any serving work, for both single and batch paths.
+func TestEnginePredictValidation(t *testing.T) {
+	e, d := hardenFixture(t)
+	bad := [][]float64{
+		nil,
+		{1},
+		append(append([]float64(nil), d.X[0]...), 1),
+		{math.NaN(), 1, 1, 1},
+		{1, math.Inf(1), 1, 1},
+	}
+	for i, x := range bad {
+		if _, err := e.Predict(x); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("bad input %d: err = %v, want ErrInvalidInput", i, err)
+		}
+	}
+	// Batch rejection names the offending row.
+	xs := [][]float64{d.X[0], {math.NaN(), 1, 1, 1}}
+	if _, err := e.PredictBatch(xs); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("batch err = %v, want ErrInvalidInput", err)
+	}
+	if got := e.Metrics().Robustness.InvalidInputs; got != uint64(len(bad))+1 {
+		t.Fatalf("invalid_inputs = %d, want %d", got, len(bad)+1)
+	}
+	// PartialFit rejects bad samples without touching cluster state.
+	before, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PartialFit(d.X[0], math.NaN()); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("NaN target: err = %v, want ErrInvalidInput", err)
+	}
+	if err := e.PartialFit([]float64{1}, 1); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("short sample: err = %v, want ErrInvalidInput", err)
+	}
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("rejected samples moved the model: %v -> %v", before, after)
+	}
+}
+
+// TestEngineAdmissionGate: SetMaxInFlight bounds concurrent predictions;
+// excess requests shed with ErrOverloaded and never reach the latency
+// digest.
+func TestEngineAdmissionGate(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.EnableMetrics()
+	e.SetMaxInFlight(1)
+	if !e.acquire() {
+		t.Fatal("gate rejected the first request")
+	}
+	if _, err := e.Predict(d.X[0]); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full gate: err = %v, want ErrOverloaded", err)
+	}
+	if _, err := e.PredictBatch(d.X[:4]); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full gate batch: err = %v, want ErrOverloaded", err)
+	}
+	e.release()
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatalf("freed gate: %v", err)
+	}
+	m := e.Metrics()
+	if m.Robustness.RequestsShed != 2 {
+		t.Fatalf("requests_shed = %d, want 2", m.Robustness.RequestsShed)
+	}
+	if m.Predict.Count != 1 || m.Predict.Errors != 0 {
+		t.Fatalf("shed requests reached the digest: count/errors = %d/%d", m.Predict.Count, m.Predict.Errors)
+	}
+	e.SetMaxInFlight(0)
+	if !e.acquire() || !e.acquire() {
+		t.Fatal("unlimited gate rejected")
+	}
+	e.release()
+	e.release()
+}
+
+// TestEnginePredictCtx: expired deadlines are rejected up front, and
+// cancelling mid-batch stops the remaining rows.
+func TestEnginePredictCtx(t *testing.T) {
+	e, d := hardenFixture(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.PredictCtx(cancelled, d.X[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled predict: err = %v", err)
+	}
+	if _, err := e.PredictBatchCtx(cancelled, d.X[:8]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: err = %v", err)
+	}
+	if _, err := e.PredictBatchCtx(context.Background(), d.X[:8]); err != nil {
+		t.Fatalf("live batch: %v", err)
+	}
+}
+
+// TestEngineDegradedMode: a republish failure mid-stream drops the engine
+// into degraded mode — readers keep serving the last known-good snapshot,
+// automatic republication is suspended — and a successful explicit Publish
+// recovers it.
+func TestEngineDegradedMode(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(2)
+	boom := errors.New("publish blew up")
+	e.setPublishFailpoint(func() error { return boom })
+
+	seqBefore := e.PublishSeq()
+	yBefore, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream until the automatic republication trips the failpoint.
+	var sawErr error
+	for i := 0; i < 4 && sawErr == nil; i++ {
+		sawErr = e.PartialFit(d.X[i], d.Y[i])
+	}
+	if !errors.Is(sawErr, boom) {
+		t.Fatalf("republish failure not surfaced: %v", sawErr)
+	}
+	if !e.Degraded() {
+		t.Fatal("engine not degraded after republish failure")
+	}
+	if e.PublishSeq() != seqBefore {
+		t.Fatalf("failed republish moved the sequence: %d -> %d", seqBefore, e.PublishSeq())
+	}
+	// Last known-good snapshot keeps serving, bit-identically.
+	if y, err := e.Predict(d.X[0]); err != nil || y != yBefore {
+		t.Fatalf("degraded serving changed: y=%v err=%v, want %v", y, err, yBefore)
+	}
+	// While degraded, further updates are absorbed but never auto-published.
+	for i := 0; i < 6; i++ {
+		if err := e.PartialFit(d.X[i], d.Y[i]); err != nil {
+			t.Fatalf("degraded PartialFit: %v", err)
+		}
+	}
+	if e.PublishSeq() != seqBefore {
+		t.Fatal("degraded engine auto-republished")
+	}
+	// Publish still failing keeps it degraded.
+	if err := e.Publish(); !errors.Is(err, boom) {
+		t.Fatalf("Publish err = %v, want failpoint error", err)
+	}
+	if !e.Degraded() {
+		t.Fatal("failed Publish cleared degraded mode")
+	}
+	// Clearing the failpoint and publishing recovers.
+	e.setPublishFailpoint(nil)
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded() {
+		t.Fatal("successful Publish left engine degraded")
+	}
+	if e.PublishSeq() != seqBefore+1 {
+		t.Fatalf("recovery publish sequence = %d, want %d", e.PublishSeq(), seqBefore+1)
+	}
+	if m := e.Metrics(); m.Robustness.DegradedMode {
+		t.Fatal("metrics still report degraded")
+	}
+}
+
+// TestEngineChaos is the satellite-3 stress test: readers hammer the engine
+// while the writer streams a mix of good samples, invalid samples, and
+// intermittent republish failures that flip the engine in and out of
+// degraded mode. Run under -race (make chaos). Invariants:
+//
+//   - no request ever panics the process or deadlocks;
+//   - every admitted prediction over valid input succeeds and is finite
+//     (no torn snapshot);
+//   - the publish sequence observed by any reader never decreases.
+func TestEngineChaos(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.EnableMetrics()
+	e.SetPublishEvery(4)
+	e.SetMaxInFlight(64)
+
+	// failNext arms the failpoint intermittently; the writer goroutine owns
+	// the arming, the engine calls it under its own lock.
+	var failNext atomic.Bool
+	boom := errors.New("chaos publish failure")
+	e.setPublishFailpoint(func() error {
+		if failNext.Load() {
+			return boom
+		}
+		return nil
+	})
+
+	const (
+		readers    = 4
+		iterations = 300
+	)
+	var wg sync.WaitGroup
+	var torn atomic.Int64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastSeq := uint64(0)
+			for i := 0; i < iterations; i++ {
+				if seq := e.PublishSeq(); seq < lastSeq {
+					torn.Add(1)
+					return
+				} else {
+					lastSeq = seq
+				}
+				switch rng.Intn(3) {
+				case 0:
+					y, err := e.Predict(d.X[rng.Intn(len(d.X))])
+					if errors.Is(err, ErrOverloaded) {
+						continue
+					}
+					if err != nil || math.IsNaN(y) || math.IsInf(y, 0) {
+						torn.Add(1)
+						return
+					}
+				case 1:
+					lo := rng.Intn(len(d.X) - 8)
+					ys, err := e.PredictBatch(d.X[lo : lo+8])
+					if errors.Is(err, ErrOverloaded) {
+						continue
+					}
+					if err != nil {
+						torn.Add(1)
+						return
+					}
+					for _, y := range ys {
+						if math.IsNaN(y) || math.IsInf(y, 0) {
+							torn.Add(1)
+							return
+						}
+					}
+				default:
+					_ = e.Metrics()
+					_ = e.Snapshot()
+				}
+			}
+		}(int64(1000 + r))
+	}
+
+	// The writer streams samples, poisons every 7th with NaN, arms the
+	// failpoint every 50 updates, and recovers with Publish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations*2; i++ {
+			x, y := d.X[i%len(d.X)], d.Y[i%len(d.Y)]
+			switch {
+			case i%7 == 3:
+				if err := e.PartialFit(x, math.NaN()); !errors.Is(err, ErrInvalidInput) {
+					t.Errorf("NaN target accepted: %v", err)
+					return
+				}
+			default:
+				err := e.PartialFit(x, y)
+				if err != nil && !errors.Is(err, boom) {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+			if i%50 == 10 {
+				failNext.Store(true)
+			}
+			if i%50 == 30 {
+				failNext.Store(false)
+				if err := e.Publish(); err != nil {
+					t.Errorf("recovery publish: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d readers observed a torn/invalid serving state", torn.Load())
+	}
+	// The stream ends recovered: a final publish must succeed and serving
+	// must be clean.
+	failNext.Store(false)
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded() {
+		t.Fatal("engine left degraded after recovery")
+	}
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Robustness.InvalidInputs == 0 {
+		t.Fatal("chaos stream recorded no invalid inputs")
+	}
+	if m.Robustness.PublishSeq == 0 {
+		t.Fatal("no publications recorded")
+	}
+}
+
+// TestEnginePanicContainment: concurrent requests against a poisoned
+// snapshot all fail with PanicError — none escape, none take down siblings
+// — and Update with repaired state restores service.
+func TestEnginePanicContainment(t *testing.T) {
+	e, d := hardenFixture(t)
+	var good hdc.Vector
+	if err := e.Update(func(m *Model) error {
+		fv := m.FaultView()
+		good = fv.Models[0]
+		fv.Models[0] = fv.Models[0][:4]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var escaped atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var pe *PanicError
+				if _, err := e.Predict(d.X[i%len(d.X)]); !errors.As(err, &pe) {
+					escaped.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if escaped.Load() != 0 {
+		t.Fatalf("%d goroutines saw a non-PanicError result from poisoned state", escaped.Load())
+	}
+	if got := e.Metrics().Robustness.PanicsRecovered; got != 80 {
+		t.Fatalf("panics_recovered = %d, want 80", got)
+	}
+	if err := e.Update(func(m *Model) error {
+		m.FaultView().Models[0] = good
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatalf("repaired engine: %v", err)
+	}
+}

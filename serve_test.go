@@ -1,6 +1,7 @@
 package reghd
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -360,19 +361,45 @@ func TestEngineSnapshotStaleness(t *testing.T) {
 	}
 }
 
-// TestEngineMetricsErrors: failed calls land in the error counters.
+// TestEngineMetricsErrors: validation rejections land in the invalid-input
+// counter without polluting the latency digest, while failures inside the
+// serving path (here a panic from poisoned model state) are digested as
+// errors.
 func TestEngineMetricsErrors(t *testing.T) {
-	p, _ := fitServeFixture(t)
+	p, d := fitServeFixture(t)
 	e, err := NewPipelineEngine(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.EnableMetrics()
-	if _, err := e.Predict([]float64{1}); err == nil {
-		t.Fatal("short feature vector accepted")
+	if _, err := e.Predict([]float64{1}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("short feature vector: err = %v, want ErrInvalidInput", err)
 	}
-	if m := e.Metrics(); m.Predict.Errors != 1 || m.Predict.Count != 1 {
+	m := e.Metrics()
+	if m.Robustness.InvalidInputs != 1 {
+		t.Fatalf("invalid_inputs = %d, want 1", m.Robustness.InvalidInputs)
+	}
+	if m.Predict.Errors != 0 || m.Predict.Count != 0 {
+		t.Fatalf("rejected request reached the digest: errors/count = %d/%d", m.Predict.Errors, m.Predict.Count)
+	}
+	// Poison the published state: truncating a model hypervector makes the
+	// readout dot panic, which the engine must contain per-request.
+	if err := e.Update(func(m *Model) error {
+		fv := m.FaultView()
+		fv.Models[0] = fv.Models[0][:8]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if _, err := e.Predict(d.X[0]); !errors.As(err, &pe) {
+		t.Fatalf("poisoned predict: err = %v, want PanicError", err)
+	}
+	if m = e.Metrics(); m.Predict.Errors != 1 || m.Predict.Count != 1 {
 		t.Fatalf("errors/count = %d/%d, want 1/1", m.Predict.Errors, m.Predict.Count)
+	}
+	if m.Robustness.PanicsRecovered != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", m.Robustness.PanicsRecovered)
 	}
 }
 
