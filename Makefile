@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json experiments fuzz fuzz-smoke chaos examples serve-demo lint metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-check experiments fuzz fuzz-smoke chaos examples serve-demo lint metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, the full race-detector pass, and the
 # static-analysis suite, so the concurrency contracts (Snapshot serving,
@@ -42,8 +42,17 @@ bench-quick:
 # (bench_kernels_test.go) and writes BENCH_kernels.json with ns/op plus
 # baseline→optimized speedups. See docs/PERFORMANCE.md.
 bench-json:
-	$(GO) test -run xxx -bench 'Project$$|Encode$$|EncodeBatch$$|SimilarityK$$|EnginePredict$$' -benchtime=1s -count=3 . \
+	$(GO) test -run xxx -bench 'Project$$|Encode$$|EncodeBatch$$|SimilarityK$$|EnginePredict$$|EnginePredictCoalesce$$' -benchtime=1s -count=3 . \
 		| $(GO) run ./cmd/reghd-benchjson -o BENCH_kernels.json
+
+# Regression gate: rerun the two kernel pairs this repo once shipped slow
+# (batch encode, k-way Hamming) and fail if any optimized lane measures
+# slower than its baseline. Short benchtime — this is a smoke gate, not the
+# record; the coalescing pair is excluded because on few-core machines it
+# sits at parity by design (see docs/PERFORMANCE.md) and would flake.
+bench-check:
+	$(GO) test -run xxx -bench 'EncodeBatch$$|SimilarityK$$' -benchtime=0.3s -count=2 . \
+		| $(GO) run ./cmd/reghd-benchjson -fail-on-regression -o -
 
 # Metrics-off vs metrics-on serving throughput (the < 5% overhead check).
 bench-metrics:

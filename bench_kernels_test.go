@@ -3,6 +3,7 @@ package reghd
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"reghd/internal/core"
@@ -150,10 +151,17 @@ func BenchmarkEncode(b *testing.B) {
 	})
 }
 
-// BenchmarkEncodeBatch measures the batch encode path: one worker against
-// the GOMAXPROCS worker pool the Pipeline/Engine batch paths ride on.
+// BenchmarkEncodeBatch measures the 256-row batch encode path.
+//
+// The "serial" lane replicates the pre-fix batch loop inline (the
+// BenchmarkEncode "naive" precedent): a fresh D-length allocation per row
+// and separate nonlinearize and quantize passes, one row at a time. The
+// "parallel" lane runs the fixed EncodeBatchParallel — one contiguous
+// output slab, fused nonlinearize+quantize, rows fanned over GOMAXPROCS
+// workers — so the recorded speedup spans the whole fix. On a single core
+// the fusion alone wins ~1.2×; the worker fan-out adds its multiple only
+// with ≥2 cores (see docs/PERFORMANCE.md "Flat spots").
 func BenchmarkEncodeBatch(b *testing.B) {
-	enc := benchEncoder(b, encoding.ProjBipolar)
 	rng := rand.New(rand.NewSource(24))
 	xs := make([][]float64, 256)
 	for i := range xs {
@@ -163,17 +171,50 @@ func BenchmarkEncodeBatch(b *testing.B) {
 		}
 		xs[i] = row
 	}
-	run := func(workers int) func(*testing.B) {
-		return func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := enc.EncodeBatchParallel(nil, xs, workers); err != nil {
-					b.Fatal(err)
+	b.Run("serial-256rows-n32-D4096", func(b *testing.B) {
+		m, _ := benchSigns()
+		sm, ok := hdc.PackSignsFlat(m, benchFeats, benchDim)
+		if !ok {
+			b.Fatal("pack failed")
+		}
+		prng := rand.New(rand.NewSource(22))
+		bias := make([]float64, benchDim)
+		center := make([]float64, benchDim)
+		for j := range bias {
+			bias[j] = prng.Float64() * 2 * math.Pi
+			center[j] = -math.Sin(bias[j]) / 2
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := make([]hdc.Vector, len(xs))
+			for r, x := range xs {
+				h := make(hdc.Vector, benchDim)
+				sm.ProjectAccum(nil, h, x)
+				for j, p := range h {
+					h[j] = 0.5*math.Sin(2*p+bias[j]) + center[j]
 				}
+				for j, v := range h {
+					if v >= center[j] {
+						h[j] = 1
+					} else {
+						h[j] = -1
+					}
+				}
+				out[r] = h
 			}
 		}
-	}
-	b.Run("serial-256rows-n32-D4096", run(1))
-	b.Run("parallel-256rows-n32-D4096", run(0))
+	})
+	b.Run("parallel-256rows-n32-D4096", func(b *testing.B) {
+		enc := benchEncoder(b, encoding.ProjBipolar)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enc.EncodeBatchParallel(nil, xs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimilarityK measures the k-way cluster similarity stage (k=8,
@@ -211,8 +252,12 @@ func BenchmarkSimilarityK(b *testing.B) {
 		}
 	})
 	b.Run("hamming-fused-k8-D4096", func(b *testing.B) {
+		// The contiguous-slab layout snapshots build (core.Model.Snapshot →
+		// hdc.NewBinarySet); this is the kernel the serving hot path runs.
+		set := hdc.NewBinarySet(cbs)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			hdc.HammingSimilarityK(nil, qb, cbs, sims)
+			set.HammingSimilarityK(nil, qb, sims)
 		}
 	})
 }
@@ -222,6 +267,19 @@ func BenchmarkSimilarityK(b *testing.B) {
 // is ultimately about. Compare with BenchmarkEnginePredictMetricsOn/Off
 // for the instrumentation overhead at the smaller D=2000 shape.
 func BenchmarkEnginePredict(b *testing.B) {
+	e, x := benchKernelEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchKernelEngine builds the k=8, D=4096 serving engine the engine-level
+// benchmarks share.
+func benchKernelEngine(b *testing.B) (*Engine, []float64) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(26))
 	train := &Dataset{Name: "bench", X: make([][]float64, 200), Y: make([]float64, 200)}
 	for i := range train.X {
@@ -246,11 +304,37 @@ func BenchmarkEnginePredict(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	x := train.X[0]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Predict(x); err != nil {
-			b.Fatal(err)
+	return e, train.X[0]
+}
+
+// BenchmarkEnginePredictCoalesce drives the engine with 8 concurrent
+// single-row callers, direct against the coalescing window — the
+// contention shape the coalescer exists for. Per-op time divides the same
+// total work either way; the win is per-batch fixed costs (snapshot
+// resolution, scratch checkout, per-call bookkeeping) amortized across the
+// window, so the coalesced lane's margin grows with cores and with caller
+// count. On one core the two lanes sit near parity — the compute itself
+// cannot be parallelized away (see docs/PERFORMANCE.md).
+func BenchmarkEnginePredictCoalesce(b *testing.B) {
+	e, x := benchKernelEngine(b)
+	lane := func(coalesce bool) func(*testing.B) {
+		return func(b *testing.B) {
+			if coalesce {
+				e.EnableCoalescing(CoalesceConfig{MaxBatch: 8})
+				defer e.DisableCoalescing()
+			}
+			// 8 caller goroutines regardless of GOMAXPROCS.
+			b.SetParallelism((8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := e.Predict(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
+	b.Run("direct-8callers-n32-D4096", lane(false))
+	b.Run("coalesced-8callers-n32-D4096", lane(true))
 }

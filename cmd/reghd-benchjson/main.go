@@ -51,6 +51,11 @@ type Pair struct {
 	OptimizedNs float64 `json:"optimized_ns_per_op"`
 	// Speedup is baseline ns/op divided by optimized ns/op (>1 is faster).
 	Speedup float64 `json:"speedup"`
+	// Regression marks pairs whose "optimized" lane is slower than its
+	// baseline (speedup < 1.0) — the exact failure mode this tool exists to
+	// catch. Regressed pairs are warned to stderr and, under
+	// -fail-on-regression, fail the run.
+	Regression bool `json:"regression,omitempty"`
 }
 
 // Report is the BENCH_kernels.json document.
@@ -69,6 +74,7 @@ var swaps = map[string][]string{
 	"dense":  {"packed"},
 	"naive":  {"packed", "fused"},
 	"serial": {"parallel"},
+	"direct": {"coalesced"},
 }
 
 func parse(r *bufio.Scanner) (*Report, error) {
@@ -122,12 +128,14 @@ func parse(r *bufio.Scanner) (*Report, error) {
 				if counter.NsPerOp == 0 {
 					continue
 				}
+				speedup := res.NsPerOp / counter.NsPerOp
 				rep.Pairs = append(rep.Pairs, Pair{
 					Baseline:    res.Name,
 					Optimized:   counter.Name,
 					BaselineNs:  res.NsPerOp,
 					OptimizedNs: counter.NsPerOp,
-					Speedup:     res.NsPerOp / counter.NsPerOp,
+					Speedup:     speedup,
+					Regression:  speedup < 1.0,
 				})
 			}
 		}
@@ -135,8 +143,24 @@ func parse(r *bufio.Scanner) (*Report, error) {
 	return rep, nil
 }
 
+// warnRegressions reports every regressed pair to stderr and returns how
+// many there were.
+func warnRegressions(rep *Report) int {
+	n := 0
+	for _, p := range rep.Pairs {
+		if p.Regression {
+			n++
+			fmt.Fprintf(os.Stderr, "reghd-benchjson: REGRESSION %s is %.2fx vs %s (optimized lane is slower)\n",
+				p.Optimized, p.Speedup, p.Baseline)
+		}
+	}
+	return n
+}
+
 func main() {
 	out := flag.String("o", "BENCH_kernels.json", "output file (- for stdout)")
+	failOnRegression := flag.Bool("fail-on-regression", false,
+		"exit nonzero when any optimized lane is slower than its baseline")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -158,6 +182,9 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
+		if warnRegressions(rep) > 0 && *failOnRegression {
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
@@ -168,4 +195,8 @@ func main() {
 		fmt.Printf("%-55s %8.0f -> %8.0f ns/op  %.2fx\n", p.Baseline, p.BaselineNs, p.OptimizedNs, p.Speedup)
 	}
 	fmt.Printf("wrote %s (%d results, %d pairs)\n", *out, len(rep.Results), len(rep.Pairs))
+	if n := warnRegressions(rep); n > 0 && *failOnRegression {
+		fmt.Fprintf(os.Stderr, "reghd-benchjson: %d regressed pair(s), failing (-fail-on-regression)\n", n)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: reghd
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncodeBatch/serial-256rows-n32-D4096         	       4	  51558680 ns/op	 8395220 B/op	     260 allocs/op
+BenchmarkEncodeBatch/parallel-256rows-n32-D4096       	       5	  42687944 ns/op	 8395164 B/op	       3 allocs/op
+BenchmarkSimilarityK/hamming-naive-k8-D4096           	  418390	       509.9 ns/op
+BenchmarkSimilarityK/hamming-fused-k8-D4096           	  565898	       600.0 ns/op
+BenchmarkEnginePredictCoalesce/direct-8callers-n32-D4096    	    1059	    223170 ns/op
+BenchmarkEnginePredictCoalesce/coalesced-8callers-n32-D4096 	    1030	    221961 ns/op
+PASS
+`
+
+func parseString(t *testing.T, s string) *Report {
+	t.Helper()
+	rep, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func pairFor(t *testing.T, rep *Report, baseline string) Pair {
+	t.Helper()
+	for _, p := range rep.Pairs {
+		if strings.Contains(p.Baseline, baseline) {
+			return p
+		}
+	}
+	t.Fatalf("no pair with baseline %q in %+v", baseline, rep.Pairs)
+	return Pair{}
+}
+
+func TestParsePairsAndRegressionFlag(t *testing.T) {
+	rep := parseString(t, sample)
+	if len(rep.Pairs) != 3 {
+		t.Fatalf("got %d pairs, want 3: %+v", len(rep.Pairs), rep.Pairs)
+	}
+
+	enc := pairFor(t, rep, "serial")
+	if enc.Regression || enc.Speedup < 1.2 {
+		t.Fatalf("serial→parallel pair misclassified: %+v", enc)
+	}
+	coal := pairFor(t, rep, "direct")
+	if coal.Regression {
+		t.Fatalf("direct→coalesced pair misclassified: %+v", coal)
+	}
+	// The sample's fused hamming lane is deliberately slower than naive.
+	ham := pairFor(t, rep, "hamming-naive")
+	if !ham.Regression || ham.Speedup >= 1.0 {
+		t.Fatalf("regressed pair not flagged: %+v", ham)
+	}
+	if warnRegressions(rep) != 1 {
+		t.Fatalf("warnRegressions counted %d, want 1", warnRegressions(rep))
+	}
+}
+
+func TestParseFoldsCountRunsToFastest(t *testing.T) {
+	rep := parseString(t, `BenchmarkX/naive-lane    10   300 ns/op
+BenchmarkX/naive-lane    12   200 ns/op
+BenchmarkX/fused-lane    50   100 ns/op
+`)
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	naive := rep.Results[0]
+	if naive.Runs != 2 || naive.NsPerOp != 200 || naive.Iterations != 12 {
+		t.Fatalf("fold wrong: %+v", naive)
+	}
+	p := pairFor(t, rep, "naive")
+	if p.Speedup != 2.0 || p.Regression {
+		t.Fatalf("pair wrong: %+v", p)
+	}
+}

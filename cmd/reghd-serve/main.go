@@ -50,6 +50,10 @@ func main() {
 		traffic      = flag.Bool("traffic", true, "generate synthetic reader/writer load")
 		maxInFlight  = flag.Int("max-inflight", 256, "bounded in-flight prediction limit, 0 = unlimited")
 		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request prediction deadline, 0 = none")
+
+		coalesce      = flag.Bool("coalesce", false, "micro-batch concurrent single-row predictions (request coalescing)")
+		coalesceBatch = flag.Int("coalesce-batch", reghd.DefaultCoalesceMaxBatch, "max rows per coalesced batch")
+		coalesceWait  = flag.Duration("coalesce-wait", reghd.DefaultCoalesceMaxWait, "max window hold time; negative batches only what is already queued")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -96,6 +100,14 @@ func main() {
 	engine.SetPublishEvery(*publishEvery)
 	engine.SetMaxInFlight(*maxInFlight)
 	engine.EnableMetrics()
+	if *coalesce {
+		engine.EnableCoalescing(reghd.CoalesceConfig{
+			MaxBatch: *coalesceBatch,
+			MaxWait:  *coalesceWait,
+		})
+		log.Printf("request coalescing on (batch<=%d, wait<=%v); watch reghd.engine.coalesce in /metrics",
+			*coalesceBatch, *coalesceWait)
+	}
 	ops := engine.EnableOpCounting()
 
 	// Live hardware view: the op counts of the actually-served traffic,

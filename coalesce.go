@@ -1,0 +1,285 @@
+package reghd
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"reghd/internal/obs"
+)
+
+// This file is the engine's request coalescer: dynamic micro-batching for
+// single-row traffic. Concurrent Predict/PredictCtx calls are collected into
+// a bounded window (a maximum batch size and a maximum hold time) and
+// executed as one batch against the published snapshot, so heavy single-row
+// traffic gets the batch path's economics — one snapshot resolution, one
+// scratch checkout per worker, contiguous standardization — instead of
+// paying the per-call fixed costs once per row. Per-caller semantics are
+// preserved: each caller is validated and admitted through the in-flight
+// gate individually, observes its own context cancellation, and receives its
+// own result or error; a cancelled batchmate never fails the others.
+
+// DefaultCoalesceMaxBatch is the default bound on how many single-row
+// requests one coalesced batch may carry.
+const DefaultCoalesceMaxBatch = 32
+
+// DefaultCoalesceMaxWait is the default bound on how long the dispatcher
+// holds an open window to let more requests join. It is sized well under a
+// single D=4096 encode, so the added latency stays a small fraction of the
+// work it amortizes.
+const DefaultCoalesceMaxWait = 100 * time.Microsecond
+
+// CoalesceConfig configures EnableCoalescing.
+type CoalesceConfig struct {
+	// MaxBatch bounds the rows per coalesced batch; <= 0 means
+	// DefaultCoalesceMaxBatch.
+	MaxBatch int
+	// MaxWait bounds how long an open window waits for more requests: 0
+	// means DefaultCoalesceMaxWait, negative disables waiting entirely (the
+	// dispatcher batches only what has already queued — lowest added
+	// latency, batches form only under backlog).
+	MaxWait time.Duration
+}
+
+// coalesceStats are the always-on coalescing counters, kept on the Engine
+// (not the coalescer) so they survive enable/disable cycles, like
+// robustStats.
+type coalesceStats struct {
+	batches   atomic.Uint64
+	rows      atomic.Uint64
+	fallbacks atomic.Uint64
+	sizes     obs.Histogram // batch sizes, recorded as row counts
+	waits     obs.Histogram // window hold time per dispatched batch
+}
+
+// coalescer owns the request queue and the dispatcher goroutine. Immutable
+// after construction; stopping is signalled through the stop channel and
+// acknowledged through stopped.
+type coalescer struct {
+	e        *Engine
+	maxBatch int
+	maxWait  time.Duration
+	reqs     chan *coalReq
+	stop     chan struct{} // closed by DisableCoalescing
+	stopped  chan struct{} // closed when the dispatcher has exited
+}
+
+// coalReq is one caller's parked request.
+type coalReq struct {
+	ctx context.Context
+	x   []float64
+	out chan coalResult // buffered 1: the dispatcher never blocks on delivery
+}
+
+type coalResult struct {
+	y   float64
+	err error
+}
+
+// EnableCoalescing turns on request coalescing: subsequent Predict and
+// PredictCtx calls are micro-batched through a dispatcher goroutine within
+// cfg's window. Validation, admission control, metrics, and panic
+// containment keep their per-caller semantics; results are bit-identical to
+// the direct path (every row is served by the same snapshot Predict kernel).
+// Calling it again replaces the configuration. Safe to call while serving.
+func (e *Engine) EnableCoalescing(cfg CoalesceConfig) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultCoalesceMaxBatch
+	}
+	switch {
+	case cfg.MaxWait == 0:
+		cfg.MaxWait = DefaultCoalesceMaxWait
+	case cfg.MaxWait < 0:
+		cfg.MaxWait = 0
+	}
+	c := &coalescer{
+		e:        e,
+		maxBatch: cfg.MaxBatch,
+		maxWait:  cfg.MaxWait,
+		// Queue a few windows' worth so bursts park instead of falling back.
+		reqs:    make(chan *coalReq, 4*cfg.MaxBatch),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stopCoalescerLocked()
+	e.coal.Store(c)
+	go c.run()
+}
+
+// DisableCoalescing stops the dispatcher and routes subsequent predictions
+// through the direct path again. Requests parked at the moment of the switch
+// are either served by the dispatcher's final batch or fall back to the
+// direct path; none are lost. Safe to call while serving; no-op when
+// coalescing is off.
+func (e *Engine) DisableCoalescing() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stopCoalescerLocked()
+}
+
+// stopCoalescerLocked unpublishes and stops the current coalescer, waiting
+// for its dispatcher to exit. Callers must hold e.mu.
+func (e *Engine) stopCoalescerLocked() {
+	c := e.coal.Swap(nil)
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	<-c.stopped
+}
+
+// CoalescingEnabled reports whether request coalescing is on.
+func (e *Engine) CoalescingEnabled() bool { return e.coal.Load() != nil }
+
+// do parks one admitted, validated request in the coalescing window and
+// waits for its result. The caller still holds its admission-gate slot, so
+// the gate bounds parked requests exactly as it bounds direct ones. When the
+// queue is full or the coalescer is shutting down, the request is served
+// directly instead of blocking (counted as a fallback).
+func (c *coalescer) do(ctx context.Context, x []float64) (float64, error) {
+	req := &coalReq{ctx: ctx, x: x, out: make(chan coalResult, 1)}
+	select {
+	case c.reqs <- req:
+	default:
+		c.e.coalStats.fallbacks.Add(1)
+		return c.e.predictSafe(c.e.stats.Load(), x)
+	}
+	select {
+	case r := <-req.out:
+		return r.y, r.err
+	case <-ctx.Done():
+		// Abandon the parked request: the dispatcher either drops it at
+		// collect time (context already expired) or computes a result nobody
+		// reads (the buffered channel absorbs it). Batchmates are unaffected.
+		return 0, ctx.Err()
+	case <-c.stopped:
+		// Shutdown race: the dispatcher may have served us in its final
+		// batch before exiting — prefer that result, otherwise go direct.
+		select {
+		case r := <-req.out:
+			return r.y, r.err
+		default:
+			c.e.coalStats.fallbacks.Add(1)
+			return c.e.predictSafe(c.e.stats.Load(), x)
+		}
+	}
+}
+
+// run is the dispatcher loop: block for the first request, collect
+// companions within the window, execute, repeat. On stop it drains whatever
+// is queued into one final batch so no parked request is dropped.
+func (c *coalescer) run() {
+	defer close(c.stopped)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]*coalReq, 0, c.maxBatch)
+	for {
+		select {
+		case r := <-c.reqs:
+			batch = append(batch, r)
+		case <-c.stop:
+			for {
+				select {
+				case r := <-c.reqs:
+					batch = append(batch, r)
+				default:
+					c.dispatch(batch)
+					return
+				}
+			}
+		}
+		start := time.Now()
+		c.collect(&batch, start, timer)
+		c.e.coalStats.waits.Record(time.Since(start))
+		c.dispatch(batch)
+		batch = batch[:0]
+	}
+}
+
+// collect fills the batch from the queue until it is full, the window
+// expires, or the queue stays quiet for a grace interval. The quiet-gap
+// cutoff is what keeps the window from idling: when every concurrent caller
+// is already in the batch, nobody else can arrive until the batch executes,
+// so waiting out the rest of the window would be pure dead time.
+func (c *coalescer) collect(batch *[]*coalReq, start time.Time, timer *time.Timer) {
+	grace := c.maxWait / 8
+	if grace <= 0 {
+		grace = time.Microsecond
+	}
+	deadline := start.Add(c.maxWait)
+	for len(*batch) < c.maxBatch {
+		select {
+		case r := <-c.reqs:
+			*batch = append(*batch, r)
+			continue
+		default:
+		}
+		if c.maxWait <= 0 {
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		wait := grace
+		if wait > remain {
+			wait = remain
+		}
+		timer.Reset(wait)
+		select {
+		case r := <-c.reqs:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			*batch = append(*batch, r)
+		case <-timer.C:
+			return
+		case <-c.stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+}
+
+// dispatch executes one collected batch and fans results (or the batch
+// error) out to the callers. Requests whose contexts expired while parked
+// are dropped with their own ctx error before the batch runs; the batch
+// itself executes under the background context so no single caller's
+// cancellation can fail its batchmates. Panics are contained by the same
+// guard as the direct batch path and fan out as a PanicError.
+func (c *coalescer) dispatch(batch []*coalReq) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.out <- coalResult{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	c.e.coalStats.batches.Add(1)
+	c.e.coalStats.rows.Add(uint64(len(live)))
+	c.e.coalStats.sizes.Record(time.Duration(len(live)))
+	xs := make([][]float64, len(live))
+	for i, r := range live {
+		xs[i] = r.x
+	}
+	ys, err := c.e.predictBatchSafe(context.Background(), c.e.stats.Load(), xs)
+	if err != nil {
+		for _, r := range live {
+			r.out <- coalResult{err: err}
+		}
+		return
+	}
+	for i, r := range live {
+		r.out <- coalResult{y: ys[i]}
+	}
+}

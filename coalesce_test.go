@@ -1,0 +1,257 @@
+package reghd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalesceBitIdenticalToDirect: concurrent single-row predictions
+// through the coalescing window must reproduce the direct path bit for bit —
+// every row runs the same snapshot Predict kernel, coalescing only changes
+// who drives it. Run with -race this doubles as the dispatcher's data-race
+// stress.
+func TestCoalesceBitIdenticalToDirect(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(0) // freeze the snapshot so direct/coalesced compare bitwise
+	rows := d.X[:8]
+	want := make([]float64, len(rows))
+	for i, x := range rows {
+		y, err := e.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = y
+	}
+
+	e.EnableMetrics()
+	e.EnableCoalescing(CoalesceConfig{MaxBatch: 8})
+	defer e.DisableCoalescing()
+	if !e.CoalescingEnabled() {
+		t.Fatal("coalescing did not enable")
+	}
+
+	const goroutines, iters = 16, 50
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(rows)
+				y, err := e.Predict(rows[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(y) != math.Float64bits(want[i]) {
+					errs <- fmt.Errorf("row %d: coalesced %v != direct %v", i, y, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	m := e.Metrics().Coalesce
+	if m.Rows+m.Fallbacks < goroutines*iters {
+		t.Fatalf("coalesce accounting lost rows: rows %d + fallbacks %d < %d", m.Rows, m.Fallbacks, goroutines*iters)
+	}
+	if m.Rows > 0 && m.Batches == 0 {
+		t.Fatal("rows recorded without batches")
+	}
+	if m.BatchSizeMax > 8 {
+		t.Fatalf("batch size %d exceeded MaxBatch 8", m.BatchSizeMax)
+	}
+}
+
+// TestCoalesceCancellationIsolation: a caller whose context expires while
+// parked gets its own ctx error, and its batchmates are served normally —
+// the batch executes under the background context, not any caller's.
+func TestCoalesceCancellationIsolation(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(0)
+	want, err := e.Predict(d.X[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long window whose quiet-gap (MaxWait/8 = 25ms) dwarfs the 2ms
+	// cancellation below, so the cancelled caller reliably expires while
+	// parked in the open window.
+	e.EnableCoalescing(CoalesceConfig{MaxBatch: 8, MaxWait: 200 * time.Millisecond})
+	defer e.DisableCoalescing()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := e.PredictCtx(ctx, d.X[0])
+		aErr <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if err := <-aErr; !errors.Is(err, context.Canceled) {
+		// The dispatcher may occasionally win the race and serve the row
+		// before cancellation lands; that is a valid outcome too.
+		if err != nil {
+			t.Fatalf("cancelled caller: err = %v, want context.Canceled or success", err)
+		}
+	}
+	// The batchmate (and the engine generally) is unaffected.
+	y, err := e.Predict(d.X[1])
+	if err != nil {
+		t.Fatalf("batchmate failed after sibling cancellation: %v", err)
+	}
+	if math.Float64bits(y) != math.Float64bits(want) {
+		t.Fatalf("batchmate result moved: %v != %v", y, want)
+	}
+}
+
+// TestCoalesceAdmissionGate: parked requests hold their admission slots, so
+// SetMaxInFlight bounds coalesced traffic exactly as it bounds direct
+// traffic, and shed requests still fail fast with ErrOverloaded.
+func TestCoalesceAdmissionGate(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(0)
+	e.EnableCoalescing(CoalesceConfig{MaxBatch: 4})
+	defer e.DisableCoalescing()
+	e.SetMaxInFlight(1)
+	if !e.acquire() {
+		t.Fatal("gate rejected the first request")
+	}
+	if _, err := e.Predict(d.X[0]); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full gate: err = %v, want ErrOverloaded", err)
+	}
+	e.release()
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatalf("freed gate: %v", err)
+	}
+	e.SetMaxInFlight(0)
+}
+
+// TestCoalesceDegradedMode: a degraded engine keeps serving coalesced
+// predictions from its last known-good snapshot, bit-identical to before the
+// failure — PR 5's degradation semantics hold through the coalescer.
+func TestCoalesceDegradedMode(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(1)
+	e.EnableCoalescing(CoalesceConfig{MaxBatch: 4})
+	defer e.DisableCoalescing()
+	want, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("publish failpoint")
+	e.setPublishFailpoint(func() error { return boom })
+	if err := e.PartialFit(d.X[1], d.Y[1]); err == nil {
+		t.Fatal("PartialFit under failpoint should surface the republish failure")
+	}
+	if !e.Degraded() {
+		t.Fatal("engine did not enter degraded mode")
+	}
+	y, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatalf("degraded coalesced predict: %v", err)
+	}
+	if math.Float64bits(y) != math.Float64bits(want) {
+		t.Fatalf("degraded mode served a different snapshot: %v != %v", y, want)
+	}
+	e.setPublishFailpoint(nil)
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded() {
+		t.Fatal("publish did not clear degraded mode")
+	}
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatalf("recovered predict: %v", err)
+	}
+}
+
+// TestCoalesceDisableDrains: disabling mid-traffic loses no parked request —
+// every in-flight caller gets a result or a clean error — and the engine
+// serves directly afterwards; re-enabling works.
+func TestCoalesceDisableDrains(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(0)
+	rows := d.X[:4]
+	want := make([]float64, len(rows))
+	for i, x := range rows {
+		y, err := e.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = y
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		e.EnableCoalescing(CoalesceConfig{MaxBatch: 4, MaxWait: time.Millisecond})
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for it := 0; it < 20; it++ {
+					i := (g + it) % len(rows)
+					y, err := e.Predict(rows[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if math.Float64bits(y) != math.Float64bits(want[i]) {
+						errs <- fmt.Errorf("cycle %d row %d: %v != %v", cycle, i, y, want[i])
+						return
+					}
+				}
+			}(g)
+		}
+		time.Sleep(time.Millisecond)
+		e.DisableCoalescing()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if e.CoalescingEnabled() {
+			t.Fatal("coalescing still enabled after disable")
+		}
+	}
+	y, err := e.Predict(rows[0])
+	if err != nil || math.Float64bits(y) != math.Float64bits(want[0]) {
+		t.Fatalf("direct predict after cycles: %v, %v", y, err)
+	}
+}
+
+// TestCoalesceValidationAndMetricsSurface: invalid inputs are rejected
+// before parking (per-caller validation), and the metrics struct carries the
+// coalesce block regardless of EnableMetrics.
+func TestCoalesceValidationAndMetricsSurface(t *testing.T) {
+	e, d := hardenFixture(t)
+	m := e.Metrics().Coalesce
+	if m.Enabled || m.Batches != 0 {
+		t.Fatalf("zero engine reports coalesce activity: %+v", m)
+	}
+	e.EnableCoalescing(CoalesceConfig{})
+	defer e.DisableCoalescing()
+	if _, err := e.Predict([]float64{math.NaN()}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("invalid input: err = %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics().Coalesce
+	if !m.Enabled {
+		t.Fatal("metrics do not report coalescing enabled")
+	}
+	if m.Rows+m.Fallbacks < 1 {
+		t.Fatalf("served row not accounted: %+v", m)
+	}
+}

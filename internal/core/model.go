@@ -33,6 +33,12 @@ type params struct {
 	modelsBin   []*hdc.Binary // binary shadows M_i^b (binary model modes)
 	modelScale  []float64     // per-model magnitude ‖M_i‖₁/D for binary models
 
+	// clustersSet is the contiguous-slab layout of clustersBin for the
+	// blocked k-way Hamming kernel. Snapshot construction builds it from the
+	// frozen shadows; on the live Model it stays nil (clusters mutate during
+	// training) and similarity falls back to the per-*Binary kernel.
+	clustersSet *hdc.BinarySet
+
 	// calibA, calibB linearly recalibrate the deployment output of
 	// binary-model modes: binarizing M attenuates the readout by a factor
 	// the per-model L1 scale cannot fully capture, so after each epoch a
@@ -258,7 +264,11 @@ func (p *params) clusterSimilaritiesInto(ctr *hdc.Counter, e encoded, sims []flo
 	case ClusterInteger:
 		hdc.CosineK(ctr, e.s, p.clusters, sims)
 	default: // ClusterBinary, ClusterNaiveBinary
-		hdc.HammingSimilarityK(ctr, e.packed, p.clustersBin, sims)
+		if p.clustersSet != nil {
+			p.clustersSet.HammingSimilarityK(ctr, e.packed, sims)
+		} else {
+			hdc.HammingSimilarityK(ctr, e.packed, p.clustersBin, sims)
+		}
 	}
 }
 

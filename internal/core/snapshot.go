@@ -51,6 +51,14 @@ func (m *Model) Snapshot() *Snapshot {
 	s.models = cloneVectors(m.models)
 	s.modelsBin = cloneBinaries(m.modelsBin)
 	s.modelScale = append([]float64(nil), m.modelScale...)
+	if s.clustersBin != nil {
+		// Flatten the frozen binary clusters into one contiguous slab so the
+		// k-way Hamming search can block clusters without chasing per-vector
+		// allocations (see hdc.BinarySet). Only snapshots carry the slab: the
+		// live model's clusters keep mutating under training, so it serves
+		// through the per-*Binary fallback instead.
+		s.clustersSet = hdc.NewBinarySet(s.clustersBin)
+	}
 	return s
 }
 

@@ -225,6 +225,35 @@ func (e *Nonlinear) quantizeInto(ctr *hdc.Counter, dst, raw []float64) {
 	ctr.Add(hdc.OpCmp, uint64(e.dim))
 }
 
+// bipolarize fuses nonlinearize and quantizeInto into one in-place pass over
+// a projection: h_j ← sign(½·sin(2p_j + b_j) + center_j − center_j) as ±1.
+// The raw Eq. 1 value is computed with the exact expression nonlinearize
+// stores and compared against center_j the way quantizeInto compares, just
+// without materializing the intermediate — on amd64 the intermediate is the
+// same 64-bit double whether it round-trips through memory or not, so the
+// sign decisions are bit-identical to the two-pass path. One pass instead of
+// two halves the memory traffic over h, which is most of what the two-pass
+// form spends once the trig is L1-resident (see docs/PERFORMANCE.md "Flat
+// spots"). Charges are the sum of the two passes it replaces.
+func (e *Nonlinear) bipolarize(ctr *hdc.Counter, h []float64) {
+	inv := 1 / e.bandwidth
+	bias, center := e.bias, e.center
+	for j, p := range h {
+		p *= inv
+		if 0.5*math.Sin(2*p+bias[j])+center[j] >= center[j] {
+			h[j] = 1
+		} else {
+			h[j] = -1
+		}
+	}
+	d := uint64(e.dim)
+	ctr.Add(hdc.OpExp, 2*d) // cos + sin of the canonical form
+	ctr.Add(hdc.OpFloatAdd, d)
+	ctr.Add(hdc.OpFloatMul, d)
+	ctr.Add(hdc.OpMemWrite, d)
+	ctr.Add(hdc.OpCmp, d)
+}
+
 // Encode maps x into the raw (real-valued) hypervector H of Eq. 1.
 func (e *Nonlinear) Encode(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
 	h := make(hdc.Vector, e.dim)
@@ -260,21 +289,26 @@ func (e *Nonlinear) EncodeInto(ctr *hdc.Counter, x []float64, dst hdc.Vector) er
 // — which keeps unrelated inputs nearly orthogonal while preserving the
 // local-similarity structure.
 func (e *Nonlinear) EncodeBipolar(ctr *hdc.Counter, x []float64) (hdc.Vector, error) {
-	h, err := e.Encode(ctr, x)
-	if err != nil {
+	h := make(hdc.Vector, e.dim)
+	if err := e.EncodeBipolarInto(ctr, x, h); err != nil {
 		return nil, err
 	}
-	e.quantizeInto(ctr, h, h)
 	return h, nil
 }
 
 // EncodeBipolarInto is EncodeBipolar writing into a caller-supplied
-// D-length buffer.
+// D-length buffer. The nonlinearity and the centered-sign threshold run as
+// one fused pass (see bipolarize); bits of the result and op charges are
+// identical to EncodeInto followed by the separate quantization.
 func (e *Nonlinear) EncodeBipolarInto(ctr *hdc.Counter, x []float64, dst hdc.Vector) error {
-	if err := e.EncodeInto(ctr, x, dst); err != nil {
+	if err := e.checkInput(x); err != nil {
 		return err
 	}
-	e.quantizeInto(ctr, dst, dst)
+	if err := e.checkDst(dst); err != nil {
+		return err
+	}
+	e.project(ctr, dst, x)
+	e.bipolarize(ctr, dst)
 	return nil
 }
 
@@ -357,51 +391,95 @@ func (e *Nonlinear) EncodeBothInto(ctr *hdc.Counter, x []float64, raw, bipolar h
 	return nil
 }
 
+// BatchError reports a partially failed batch encode: which row failed
+// first, the underlying cause, and how many of the batch's rows were left
+// unencoded (the failed row plus every row its worker abandoned after it —
+// other workers run their chunks to completion). EncodeBatchParallel returns
+// a nil result alongside it, so the unencoded rows can never be read back;
+// the counts exist so callers retrying or logging know the blast radius
+// instead of guessing from a single row index.
+type BatchError struct {
+	// Row is the lowest-index row that failed.
+	Row int
+	// Unencoded is the number of rows without a valid encoding: every
+	// failed row plus the rows abandoned after a worker's first failure.
+	Unencoded int
+	// Total is the batch size.
+	Total int
+	// Err is the failure of row Row.
+	Err error
+}
+
+// Error formats the failure with its blast radius.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("encoding row %d: %v (%d of %d rows unencoded)", e.Row, e.Err, e.Unencoded, e.Total)
+}
+
+// Unwrap returns the underlying row failure for errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // EncodeBatch encodes each row of xs with EncodeBipolar, fanning the rows
 // out over GOMAXPROCS workers (the encoder is read-only, so batch encoding
 // is embarrassingly parallel). On success, results and accumulated op
-// counts are identical to the serial loop; on invalid rows the error with
-// the lowest row index is reported (workers may have counted rows past it).
+// counts are identical to the serial loop; on invalid rows a *BatchError
+// reporting the lowest failed row index and the unencoded-row count is
+// returned (workers may have counted rows past the failure).
 func (e *Nonlinear) EncodeBatch(ctr *hdc.Counter, xs [][]float64) ([]hdc.Vector, error) {
 	return e.EncodeBatchParallel(ctr, xs, 0)
 }
 
 // EncodeBatchParallel is EncodeBatch with an explicit worker count
 // (0 means GOMAXPROCS, 1 forces the serial loop).
+//
+// The returned rows are views into one contiguous n×D slab allocated up
+// front — two allocations for the whole batch instead of one fresh vector
+// per row, which is what previously kept the parallel lane at parity with
+// the serial one (every worker was burning its cycles in the allocator and
+// the write misses of scattered fresh vectors; see docs/PERFORMANCE.md
+// "Flat spots"). Each worker encodes straight into its chunk of the slab via
+// the fused project+bipolarize pass, touching no shared scratch.
 func (e *Nonlinear) EncodeBatchParallel(ctr *hdc.Counter, xs [][]float64, workers int) ([]hdc.Vector, error) {
-	out := make([]hdc.Vector, len(xs))
+	n := len(xs)
+	out := make([]hdc.Vector, n)
+	if n == 0 {
+		return out, nil
+	}
+	slab := make([]float64, n*e.dim)
+	for i := range out {
+		out[i] = hdc.Vector(slab[i*e.dim : (i+1)*e.dim])
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(xs) {
-		workers = len(xs)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		for i, x := range xs {
-			s, err := e.EncodeBipolar(ctr, x)
-			if err != nil {
-				return nil, fmt.Errorf("encoding row %d: %w", i, err)
+			if err := e.EncodeBipolarInto(ctr, x, out[i]); err != nil {
+				return nil, &BatchError{Row: i, Unencoded: n - i, Total: n, Err: err}
 			}
-			out[i] = s
 		}
 		return out, nil
 	}
-	type rowErr struct {
-		row int
-		err error
+	type chunkErr struct {
+		row       int // first failed row, -1 when the chunk succeeded
+		abandoned int // rows the worker never reached after the failure
+		err       error
 	}
-	errs := make([]rowErr, workers)
+	errs := make([]chunkErr, workers)
 	counters := make([]*hdc.Counter, workers)
 	var wg sync.WaitGroup
-	chunk := (len(xs) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(xs) {
-			hi = len(xs)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
-			break
+			errs[w].row = -1
+			continue
 		}
 		wg.Add(1)
 		var wctr *hdc.Counter
@@ -411,13 +489,12 @@ func (e *Nonlinear) EncodeBatchParallel(ctr *hdc.Counter, xs [][]float64, worker
 		}
 		go func(w, lo, hi int, wctr *hdc.Counter) {
 			defer wg.Done()
+			errs[w].row = -1
 			for i := lo; i < hi; i++ {
-				s, err := e.EncodeBipolar(wctr, xs[i])
-				if err != nil {
-					errs[w] = rowErr{row: i, err: fmt.Errorf("encoding row %d: %w", i, err)}
+				if err := e.EncodeBipolarInto(wctr, xs[i], out[i]); err != nil {
+					errs[w] = chunkErr{row: i, abandoned: hi - i, err: err}
 					return
 				}
-				out[i] = s
 			}
 		}(w, lo, hi, wctr)
 	}
@@ -427,16 +504,20 @@ func (e *Nonlinear) EncodeBatchParallel(ctr *hdc.Counter, xs [][]float64, worker
 	for _, wctr := range counters {
 		ctr.AddCounter(wctr)
 	}
-	var first error
-	best := -1
-	for _, re := range errs {
-		if re.err != nil && (best < 0 || re.row < best) {
-			best = re.row
-			first = re.err
+	first, unencoded := -1, 0
+	var cause error
+	for _, ce := range errs {
+		if ce.row < 0 {
+			continue
+		}
+		unencoded += ce.abandoned
+		if first < 0 || ce.row < first {
+			first = ce.row
+			cause = ce.err
 		}
 	}
-	if first != nil {
-		return nil, first
+	if first >= 0 {
+		return nil, &BatchError{Row: first, Unencoded: unencoded, Total: n, Err: cause}
 	}
 	return out, nil
 }

@@ -169,5 +169,18 @@ func FuzzSimilarityK(f *testing.F) {
 		if refCtr != gotCtr {
 			t.Fatalf("hamming op counts diverge: fused %v, naive %v", &gotCtr, &refCtr)
 		}
+
+		// The slab-layout kernel (snapshot serving path) must match too.
+		gotCtr.Reset()
+		set := NewBinarySet(cbs)
+		set.HammingSimilarityK(&gotCtr, qb, got)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("slab hamming sims[%d] = %v, want %v", i, got[i], ref[i])
+			}
+		}
+		if refCtr != gotCtr {
+			t.Fatalf("slab hamming op counts diverge: slab %v, naive %v", &gotCtr, &refCtr)
+		}
 	})
 }

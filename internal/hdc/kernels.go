@@ -292,11 +292,19 @@ func CosineK(ctr *Counter, q Vector, cs []Vector, sims []float64) {
 }
 
 // HammingSimilarityK fills sims[i] = HammingSimilarity(q, cs[i]) for every
-// binary cluster in one fused call, with the word loop 4-way unrolled into
-// independent popcount accumulators. The query words stay L1-resident
-// across all k clusters. Integer reduction is order-independent, so results
-// are exactly the naive loop's; op charges are k times the single-pair
-// kernel.
+// binary cluster in one fused call. The query words stay L1-resident across
+// all k clusters. Integer reduction is order-independent, so results are
+// exactly the naive loop's; op charges are k times the single-pair kernel.
+//
+// This is the fallback for clusters held as separate *Binary values (the
+// live training model, whose clusters reallocate as they learn). The serving
+// path builds a BinarySet slab at Snapshot time and uses its method instead:
+// with per-cluster word slices the four XOR+POPCNT streams hit four
+// unrelated allocations and the earlier manual 4-word unroll measured
+// *slower* than the naive per-pair loop at D=4096 (0.84×, see
+// docs/PERFORMANCE.md "Flat spots") — so this fallback keeps the plain
+// per-cluster word loop the compiler handles best, and the blocking lives
+// where the layout supports it.
 func HammingSimilarityK(ctr *Counter, q *Binary, cs []*Binary, sims []float64) {
 	if len(sims) < len(cs) {
 		panic(fmt.Sprintf("hdc: HammingSimilarityK sims has %d slots for %d clusters", len(sims), len(cs)))
@@ -307,26 +315,123 @@ func HammingSimilarityK(ctr *Counter, q *Binary, cs []*Binary, sims []float64) {
 			panic(fmt.Sprintf("hdc: HammingSimilarityK dimension mismatch %d != %d", c.Dim, q.Dim))
 		}
 		cw := c.Words
-		var h0, h1, h2, h3 int
-		w := 0
-		for ; w+4 <= len(qw); w += 4 {
-			h0 += bits.OnesCount64(qw[w] ^ cw[w])
-			h1 += bits.OnesCount64(qw[w+1] ^ cw[w+1])
-			h2 += bits.OnesCount64(qw[w+2] ^ cw[w+2])
-			h3 += bits.OnesCount64(qw[w+3] ^ cw[w+3])
+		var h int
+		for w, x := range qw {
+			h += bits.OnesCount64(x ^ cw[w])
 		}
-		for ; w < len(qw); w++ {
-			h0 += bits.OnesCount64(qw[w] ^ cw[w])
-		}
-		h := h0 + h1 + h2 + h3
 		sims[i] = 1 - 2*float64(h)/float64(q.Dim)
 	}
-	// Charge k× the HammingSimilarity reference: Hamming + the map to [−1,1].
-	nw, k := uint64(len(q.Words)), uint64(len(cs))
+	chargeHammingK(ctr, uint64(len(q.Words)), uint64(len(cs)))
+}
+
+// chargeHammingK charges k× the HammingSimilarity reference (Hamming + the
+// map to [−1,1]) over nw-word vectors — shared by the fallback and the
+// BinarySet kernel so both stay charge-identical to k naive calls.
+func chargeHammingK(ctr *Counter, nw, k uint64) {
 	ctr.Add(OpXor, k*nw)
 	ctr.Add(OpPopcnt, k*nw)
 	ctr.Add(OpIntAdd, k*nw)
 	ctr.Add(OpMemRead, k*2*nw)
 	ctr.Add(OpFloatDiv, k)
 	ctr.Add(OpFloatAdd, k)
+}
+
+// BinarySet is k equal-dimension bit-packed hypervectors flattened into one
+// contiguous word slab, row-major: vector i occupies words[i*wordsPerVec :
+// (i+1)*wordsPerVec]. The layout exists for the k-way Hamming search on the
+// serving path: with all cluster words in a single allocation the kernel can
+// block four clusters against each query word pair and keep every stream on
+// the same hardware-prefetched cache lines, which is what makes the fused
+// form actually beat k naive calls (the per-*Binary layout did not; see
+// HammingSimilarityK). Snapshots build one at construction time; the set is
+// immutable after NewBinarySet.
+type BinarySet struct {
+	k, dim, wordsPerVec int
+	words               []uint64
+}
+
+// NewBinarySet flattens bs into a contiguous slab. All vectors must share
+// one dimension. The input slices are copied; later mutation of bs does not
+// affect the set.
+//
+//lint:nocount one-time snapshot-construction layout change: the per-query kernels still charge the canonical k-way Hamming ops
+func NewBinarySet(bs []*Binary) *BinarySet {
+	s := &BinarySet{k: len(bs)}
+	if len(bs) == 0 {
+		return s
+	}
+	s.dim = bs[0].Dim
+	s.wordsPerVec = len(bs[0].Words)
+	s.words = make([]uint64, s.k*s.wordsPerVec)
+	for i, b := range bs {
+		if b.Dim != s.dim {
+			panic(fmt.Sprintf("hdc: NewBinarySet dimension mismatch %d != %d", b.Dim, s.dim))
+		}
+		copy(s.words[i*s.wordsPerVec:(i+1)*s.wordsPerVec], b.Words)
+	}
+	return s
+}
+
+// Len returns the number of vectors in the set.
+func (s *BinarySet) Len() int { return s.k }
+
+// Dim returns the shared dimension of the vectors.
+func (s *BinarySet) Dim() int { return s.dim }
+
+// HammingSimilarityK fills sims[i] = HammingSimilarity(q, set vector i) for
+// every vector in the set — the slab-layout replacement for the free
+// HammingSimilarityK on the snapshot serving path. Clusters are blocked four
+// at a time against two query words per step: the four distance accumulators
+// are independent (no XOR→POPCNT→ADD dependency chain stalls) and all four
+// cluster streams walk consecutive slab rows, so the blocking pays instead
+// of thrashing. Hamming distances are integer sums (order-independent) and
+// the final map 1 − 2h/D is the same expression as the single-pair kernel,
+// so results are bit-for-bit identical to k naive HammingSimilarity calls;
+// charges are identical too.
+func (s *BinarySet) HammingSimilarityK(ctr *Counter, q *Binary, sims []float64) {
+	if len(sims) < s.k {
+		panic(fmt.Sprintf("hdc: BinarySet.HammingSimilarityK sims has %d slots for %d vectors", len(sims), s.k))
+	}
+	if s.k > 0 && q.Dim != s.dim {
+		panic(fmt.Sprintf("hdc: BinarySet.HammingSimilarityK dimension mismatch %d != %d", q.Dim, s.dim))
+	}
+	qw := q.Words
+	nw := s.wordsPerVec
+	dim := float64(q.Dim)
+	i := 0
+	for ; i+4 <= s.k; i += 4 {
+		c0 := s.words[i*nw : (i+1)*nw : (i+1)*nw]
+		c1 := s.words[(i+1)*nw : (i+2)*nw : (i+2)*nw]
+		c2 := s.words[(i+2)*nw : (i+3)*nw : (i+3)*nw]
+		c3 := s.words[(i+3)*nw : (i+4)*nw : (i+4)*nw]
+		var h0, h1, h2, h3 int
+		j := 0
+		for ; j+2 <= nw; j += 2 {
+			w0, w1 := qw[j], qw[j+1]
+			h0 += bits.OnesCount64(w0^c0[j]) + bits.OnesCount64(w1^c0[j+1])
+			h1 += bits.OnesCount64(w0^c1[j]) + bits.OnesCount64(w1^c1[j+1])
+			h2 += bits.OnesCount64(w0^c2[j]) + bits.OnesCount64(w1^c2[j+1])
+			h3 += bits.OnesCount64(w0^c3[j]) + bits.OnesCount64(w1^c3[j+1])
+		}
+		for ; j < nw; j++ {
+			w := qw[j]
+			h0 += bits.OnesCount64(w ^ c0[j])
+			h1 += bits.OnesCount64(w ^ c1[j])
+			h2 += bits.OnesCount64(w ^ c2[j])
+			h3 += bits.OnesCount64(w ^ c3[j])
+		}
+		sims[i] = 1 - 2*float64(h0)/dim
+		sims[i+1] = 1 - 2*float64(h1)/dim
+		sims[i+2] = 1 - 2*float64(h2)/dim
+		sims[i+3] = 1 - 2*float64(h3)/dim
+	}
+	for ; i < s.k; i++ {
+		cw := s.words[i*nw : (i+1)*nw : (i+1)*nw]
+		var h int
+		for j, w := range qw {
+			h += bits.OnesCount64(w ^ cw[j])
+		}
+		sims[i] = 1 - 2*float64(h)/dim
+	}
+	chargeHammingK(ctr, uint64(nw), uint64(s.k))
 }

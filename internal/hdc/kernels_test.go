@@ -161,6 +161,97 @@ func TestHammingSimilarityKMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestBinarySetHammingSimilarityKMatchesNaive checks the slab-layout k-way
+// Hamming kernel (the snapshot serving path) against the per-pair reference:
+// bit-identical similarities and identical op counts, across cluster counts
+// that exercise the 4-way blocking, its tail, and odd word counts.
+func TestBinarySetHammingSimilarityKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, tc := range []struct{ k, dim int }{
+		{1, 1}, {2, 63}, {3, 64}, {4, 65}, {5, 100}, {7, 257},
+		{8, 4096}, {16, 4096}, {9, 192}, {16, 127},
+	} {
+		q := RandomBipolarBinary(rng, tc.dim)
+		cs := make([]*Binary, tc.k)
+		for i := range cs {
+			cs[i] = RandomBipolarBinary(rng, tc.dim)
+		}
+		set := NewBinarySet(cs)
+		if set.Len() != tc.k || set.Dim() != tc.dim {
+			t.Fatalf("k=%d dim=%d: set reports %d×%d", tc.k, tc.dim, set.Len(), set.Dim())
+		}
+		ref := make([]float64, tc.k)
+		got := make([]float64, tc.k)
+		var refCtr, gotCtr Counter
+		for i, c := range cs {
+			ref[i] = HammingSimilarity(&refCtr, q, c)
+		}
+		set.HammingSimilarityK(&gotCtr, q, got)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("k=%d dim=%d: sims[%d] = %v, want %v",
+					tc.k, tc.dim, i, got[i], ref[i])
+			}
+		}
+		if refCtr != gotCtr {
+			t.Fatalf("k=%d dim=%d: op counts diverge:\nslab: %v\nnaive: %v",
+				tc.k, tc.dim, &gotCtr, &refCtr)
+		}
+	}
+}
+
+// TestBinarySetIsACopy pins the immutability contract: mutating the source
+// binaries after NewBinarySet must not change the set's similarities.
+func TestBinarySetIsACopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := RandomBipolarBinary(rng, 192)
+	cs := []*Binary{RandomBipolarBinary(rng, 192), RandomBipolarBinary(rng, 192)}
+	set := NewBinarySet(cs)
+	before := make([]float64, 2)
+	set.HammingSimilarityK(nil, q, before)
+	cs[0].FlipBits([]int{0, 64, 128})
+	cs[1].FlipBits([]int{1})
+	after := make([]float64, 2)
+	set.HammingSimilarityK(nil, q, after)
+	for i := range before {
+		if math.Float64bits(after[i]) != math.Float64bits(before[i]) {
+			t.Fatalf("sims[%d] moved after source mutation: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestBinarySetEmpty(t *testing.T) {
+	set := NewBinarySet(nil)
+	if set.Len() != 0 {
+		t.Fatalf("empty set Len = %d", set.Len())
+	}
+	var ctr Counter
+	set.HammingSimilarityK(&ctr, NewBinary(64), nil)
+	if ctr != (Counter{}) {
+		t.Fatalf("empty set charged ops: %v", &ctr)
+	}
+}
+
+func TestBinarySetPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cs := []*Binary{RandomBipolarBinary(rng, 64), RandomBipolarBinary(rng, 64)}
+	set := NewBinarySet(cs)
+	for name, fn := range map[string]func(){
+		"query dim mismatch": func() { set.HammingSimilarityK(nil, NewBinary(65), make([]float64, 2)) },
+		"sims too short":     func() { set.HammingSimilarityK(nil, NewBinary(64), make([]float64, 1)) },
+		"mixed dims":         func() { NewBinarySet([]*Binary{NewBinary(64), NewBinary(65)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestProjectAccumDimensionPanics(t *testing.T) {
 	sm, _ := PackSignsFlat([]float64{1, -1, 1, -1}, 2, 2)
 	for _, fn := range []func(){
