@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-check experiments fuzz fuzz-smoke chaos examples serve-demo lint metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke examples serve-demo lint metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, the full race-detector pass, and the
 # static-analysis suite, so the concurrency contracts (Snapshot serving,
@@ -99,6 +99,13 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestEngineChaos|TestEnginePanicContainment|TestEngineDegradedMode|TestEngineAdmissionGate|TestEngineMetricsErrors' .
 	$(GO) test -race -count=1 ./internal/fault/
 	$(GO) test -fuzz=FuzzBitFlip -fuzztime=15s ./internal/fault/
+
+# End-to-end multi-tenant serving smoke (docs/SERVING.md): seed an
+# 8-tenant fleet, serve it on an ephemeral port with a resident budget of
+# 4, drive a 5s zipfian reghd-loadgen mix under a generous SLO, and fail
+# on SLO violation, any request error, or zero observed LRU evictions.
+fleet-smoke:
+	sh ./scripts/fleet_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,328 @@
+// Command reghd-loadgen is a closed-loop load generator for the multi-model
+// serving fleet (reghd-serve -models-dir): it drives a tenant mix with
+// zipfian tenant popularity over -concurrency workers, each issuing its
+// next /predict/{model} request as soon as the previous response arrives,
+// and reports the end-to-end latency digest — p50/p99/p999, mean, max,
+// achieved throughput, and the realized per-tenant mix — against an -slo-ms
+// target. The exit code is the benchmark verdict: nonzero when the SLO
+// quantile exceeds the target or the error rate exceeds -max-error-rate, so
+// fleet-level changes are gated in CI (`make fleet-smoke`) rather than
+// guessed.
+//
+//	reghd-serve -models-dir /tmp/fleet -seed-models 8 -max-resident 4 &
+//	reghd-loadgen -addr http://localhost:8080 -duration 10s -slo-ms 250
+//
+// Tenants are discovered from GET /models unless -models names them
+// explicitly; feature arity comes from the catalog's resident entries
+// unless -features overrides it. Requests are random finite feature
+// vectors: the fleet validates arity and finiteness, and a pipeline-backed
+// tenant standardizes whatever scale it is given, so random inputs exercise
+// the full serving path. The report's metric names (reghd.loadgen.*, also
+// emitted as JSON with -json) are documented in docs/OBSERVABILITY.md.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reghd/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "http://localhost:8080", "base URL of a multi-model reghd-serve")
+		modelsFlag   = flag.String("models", "", "comma-separated tenant keys to drive; empty discovers them from GET /models")
+		features     = flag.Int("features", 0, "feature arity of generated requests; 0 discovers it from the /models catalog")
+		concurrency  = flag.Int("concurrency", 8, "closed-loop workers (in-flight requests)")
+		duration     = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		zipfS        = flag.Float64("zipf-s", 1.2, "zipf exponent of tenant popularity (> 1; larger = more skew)")
+		sloMS        = flag.Float64("slo-ms", 0, "latency SLO in milliseconds; > 0 enables the nonzero-exit gate")
+		sloQuantile  = flag.Float64("slo-quantile", 0.99, "quantile the SLO is evaluated at")
+		maxErrorRate = flag.Float64("max-error-rate", 0, "error-rate budget (errors/requests) before the run is a violation")
+		jsonOut      = flag.String("json", "", "write the report as JSON to this file ('-' = stdout)")
+		seed         = flag.Int64("seed", 1, "RNG seed for the tenant mix and request vectors")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("reghd-loadgen: ")
+
+	base := strings.TrimRight(*addr, "/")
+	models, arity, err := resolveTargets(base, *modelsFlag, *features)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	log.Printf("driving %d tenants (zipf s=%.2f) on %s: %d workers, %v, %d features",
+		len(models), *zipfS, base, *concurrency, *duration, arity)
+
+	rep := drive(base, models, arity, *concurrency, *duration, *zipfS, *seed,
+		*sloMS, *sloQuantile, *maxErrorRate)
+
+	printReport(os.Stdout, rep)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, rep); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+	if rep.SLOViolated {
+		log.Printf("SLO VIOLATED: p%g %.3fms > %.3fms target (or errors %d over budget)",
+			*sloQuantile*100, float64(quantileNS(rep, *sloQuantile))/1e6, *sloMS, rep.Errors)
+		return 1
+	}
+	return 0
+}
+
+// resolveTargets determines the tenant list and feature arity, consulting
+// GET /models for whatever was not given explicitly.
+func resolveTargets(base, modelsFlag string, features int) ([]string, int, error) {
+	var models []string
+	if modelsFlag != "" {
+		for _, m := range strings.Split(modelsFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				models = append(models, m)
+			}
+		}
+	}
+	if len(models) > 0 && features > 0 {
+		return models, features, nil
+	}
+	catalog, catFeatures, err := discover(base)
+	if err != nil {
+		return nil, 0, fmt.Errorf("discovering tenants from %s/models: %w", base, err)
+	}
+	if len(models) == 0 {
+		models = catalog
+	}
+	if len(models) == 0 {
+		return nil, 0, fmt.Errorf("no tenants: %s/models is empty and -models not given", base)
+	}
+	if features <= 0 {
+		features = catFeatures
+	}
+	if features <= 0 {
+		// Nothing resident yet and no -features: load one tenant by probing
+		// it with an empty row; the 400 response costs nothing and makes
+		// the catalog report its arity.
+		probe(base, models[0])
+		if _, catFeatures, err = discover(base); err == nil {
+			features = catFeatures
+		}
+	}
+	if features <= 0 {
+		return nil, 0, fmt.Errorf("feature arity unknown: pass -features (catalog reports it only for resident tenants)")
+	}
+	return models, features, nil
+}
+
+// discover fetches the /models catalog, returning tenant names and the
+// first known feature arity (resident tenants report theirs; -1 otherwise).
+func discover(base string) ([]string, int, error) {
+	resp, err := http.Get(base + "/models")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("status %s", resp.Status)
+	}
+	var body struct {
+		Models []struct {
+			Name     string `json:"name"`
+			Features int    `json:"features"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, 0, err
+	}
+	var names []string
+	arity := 0
+	for _, m := range body.Models {
+		names = append(names, m.Name)
+		if arity <= 0 && m.Features > 0 {
+			arity = m.Features
+		}
+	}
+	return names, arity, nil
+}
+
+// probe issues one throwaway request so the server hot-loads the tenant.
+func probe(base, tenant string) {
+	resp, err := http.Post(base+"/predict/"+tenant, "application/json",
+		strings.NewReader(`{"x":[]}`))
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// drive runs the closed loop and digests the result. Each worker owns its
+// RNG (seeded distinctly) and zipf source over a worker-local shuffle of
+// the tenant list, so "which tenant is hot" varies by worker while the
+// overall popularity distribution stays zipfian.
+func drive(base string, models []string, arity, concurrency int, duration time.Duration,
+	zipfS float64, seed int64, sloMS, sloQuantile, maxErrorRate float64) obs.LoadgenReport {
+	return driveFunc(models, arity, concurrency, duration, zipfS, seed,
+		sloMS, sloQuantile, maxErrorRate,
+		func(client *http.Client, tenant string, body []byte) error {
+			resp, err := client.Post(base+"/predict/"+tenant, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %s", resp.Status)
+			}
+			return nil
+		})
+}
+
+// driveFunc is drive with the transport injected, so tests can run the
+// closed loop against an in-process handler.
+func driveFunc(models []string, arity, concurrency int, duration time.Duration,
+	zipfS float64, seed int64, sloMS, sloQuantile, maxErrorRate float64,
+	do func(client *http.Client, tenant string, body []byte) error) obs.LoadgenReport {
+
+	var (
+		hist     obs.Histogram
+		errCount atomic.Uint64
+		mu       sync.Mutex
+		byTenant = make(map[string]uint64, len(models))
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+	)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			// Worker-local tenant order: zipf rank r maps to a different
+			// tenant per worker, keeping aggregate popularity zipfian
+			// without every worker hammering the same hottest tenant.
+			order := rng.Perm(len(models))
+			// rand.NewZipf needs s > 1; anything else means uniform.
+			var zipf *rand.Zipf
+			if zipfS > 1 {
+				zipf = rand.NewZipf(rng, zipfS, 1, uint64(len(models)-1))
+			}
+			pick := func() string {
+				if zipf != nil {
+					return models[order[zipf.Uint64()]]
+				}
+				return models[order[rng.Intn(len(models))]]
+			}
+			client := &http.Client{}
+			local := make(map[string]uint64, len(models))
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					for t, n := range local {
+						byTenant[t] += n
+					}
+					mu.Unlock()
+					return
+				default:
+				}
+				tenant := pick()
+				x := make([]float64, arity)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				body, _ := json.Marshal(map[string][]float64{"x": x})
+				t0 := time.Now()
+				err := do(client, tenant, body)
+				hist.Record(time.Since(t0))
+				if err != nil {
+					errCount.Add(1)
+				}
+				local[tenant]++
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	return obs.NewLoadgenReport(&hist, time.Since(start), concurrency,
+		errCount.Load(), byTenant, sloMS, sloQuantile, maxErrorRate)
+}
+
+// quantileNS re-reads the SLO quantile off the report's fixed quantiles for
+// the violation message (nearest of the reported ones).
+func quantileNS(rep obs.LoadgenReport, q float64) int64 {
+	switch {
+	case q >= 0.999:
+		return rep.P999NS
+	case q >= 0.99:
+		return rep.P99NS
+	default:
+		return rep.P50NS
+	}
+}
+
+// printReport renders the human-readable result block.
+func printReport(w io.Writer, rep obs.LoadgenReport) {
+	fmt.Fprintf(w, "requests:    %d (%.1f/s, %d workers, %.2fs)\n",
+		rep.Requests, rep.RatePerSec, rep.Concurrency, rep.DurationSeconds)
+	fmt.Fprintf(w, "errors:      %d\n", rep.Errors)
+	fmt.Fprintf(w, "latency:     p50 %s  p99 %s  p999 %s  mean %s  max %s\n",
+		time.Duration(rep.P50NS), time.Duration(rep.P99NS), time.Duration(rep.P999NS),
+		time.Duration(rep.MeanNS), time.Duration(rep.MaxNS))
+	if rep.SLOMillis > 0 {
+		verdict := "met"
+		if rep.SLOViolated {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "slo:         p%g <= %.3fms — %s\n", rep.SLOQuantile*100, rep.SLOMillis, verdict)
+	}
+	tenants := make([]string, 0, len(rep.Tenants))
+	for t := range rep.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Slice(tenants, func(i, j int) bool {
+		if rep.Tenants[tenants[i]] != rep.Tenants[tenants[j]] {
+			return rep.Tenants[tenants[i]] > rep.Tenants[tenants[j]]
+		}
+		return tenants[i] < tenants[j]
+	})
+	fmt.Fprintf(w, "tenant mix:  ")
+	for i, t := range tenants {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%s:%d", t, rep.Tenants[t])
+	}
+	fmt.Fprintln(w)
+}
+
+// writeJSON writes the report to path ('-' = stdout).
+func writeJSON(path string, rep obs.LoadgenReport) error {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeDo is an in-process transport for driveFunc: it validates the request
+// body like the server would, optionally sleeps to simulate latency, and
+// optionally fails.
+func fakeDo(delay time.Duration, fail func(tenant string) bool) func(*http.Client, string, []byte) error {
+	return func(_ *http.Client, tenant string, body []byte) error {
+		var req struct {
+			X []float64 `json:"x"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return err
+		}
+		if len(req.X) == 0 {
+			return errors.New("empty row")
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if fail != nil && fail(tenant) {
+			return errors.New("injected failure")
+		}
+		return nil
+	}
+}
+
+func TestDriveZipfMixAndReport(t *testing.T) {
+	models := []string{"a", "b", "c", "d"}
+	do := fakeDo(0, nil)
+	rep := driveFunc(models, 3, 4, 150*time.Millisecond, 1.2, 1, 0, 0.99, 0, do)
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.SLOViolated {
+		t.Fatal("violated with no SLO set")
+	}
+	if rep.Concurrency != 4 {
+		t.Fatalf("concurrency = %d", rep.Concurrency)
+	}
+	var total uint64
+	for _, n := range rep.Tenants {
+		total += n
+	}
+	if total != rep.Requests {
+		t.Fatalf("tenant mix sums to %d, requests %d", total, rep.Requests)
+	}
+	if len(rep.Tenants) < 2 {
+		t.Fatalf("zipf mix drove only %d tenants", len(rep.Tenants))
+	}
+	if rep.RatePerSec <= 0 || rep.P50NS <= 0 || rep.MaxNS < rep.P50NS {
+		t.Fatalf("latency digest inconsistent: %+v", rep)
+	}
+}
+
+func TestDriveSLOViolationOnLatency(t *testing.T) {
+	do := fakeDo(5*time.Millisecond, nil)
+	// Every request takes ~5ms; a 1ms SLO at p50 must be violated.
+	rep := driveFunc([]string{"a"}, 2, 1, 100*time.Millisecond, 1.2, 1, 1.0, 0.50, 0, do)
+	if !rep.SLOViolated {
+		t.Fatalf("5ms requests met a 1ms p50 SLO: %+v", rep)
+	}
+}
+
+func TestDriveSLOViolationOnErrors(t *testing.T) {
+	do := fakeDo(0, func(string) bool { return true })
+	rep := driveFunc([]string{"a"}, 2, 2, 50*time.Millisecond, 1.2, 1, 1000, 0.99, 0.5, do)
+	if rep.Errors != rep.Requests {
+		t.Fatalf("errors %d != requests %d", rep.Errors, rep.Requests)
+	}
+	if !rep.SLOViolated {
+		t.Fatal("100% errors under a 50% error budget not flagged")
+	}
+}
+
+func TestDriveUniformFallback(t *testing.T) {
+	// zipf-s <= 1 is invalid for rand.NewZipf; the driver must fall back to
+	// a uniform mix instead of panicking.
+	do := fakeDo(0, nil)
+	rep := driveFunc([]string{"a", "b"}, 2, 2, 50*time.Millisecond, 1.0, 1, 0, 0.99, 0, do)
+	if rep.Requests == 0 || len(rep.Tenants) != 2 {
+		t.Fatalf("uniform fallback: %+v", rep)
+	}
+}
+
+func TestQuantileNSSelection(t *testing.T) {
+	do := fakeDo(0, nil)
+	rep := driveFunc([]string{"a"}, 1, 1, 30*time.Millisecond, 1.2, 1, 0, 0.99, 0, do)
+	if got := quantileNS(rep, 0.5); got != rep.P50NS {
+		t.Fatalf("q=0.5 -> %d, want p50 %d", got, rep.P50NS)
+	}
+	if got := quantileNS(rep, 0.99); got != rep.P99NS {
+		t.Fatalf("q=0.99 -> %d, want p99 %d", got, rep.P99NS)
+	}
+	if got := quantileNS(rep, 0.999); got != rep.P999NS {
+		t.Fatalf("q=0.999 -> %d, want p999 %d", got, rep.P999NS)
+	}
+}
+
+func TestPrintReport(t *testing.T) {
+	do := fakeDo(0, nil)
+	rep := driveFunc([]string{"a", "b"}, 2, 2, 30*time.Millisecond, 1.2, 1, 250, 0.99, 0, do)
+	var sb strings.Builder
+	printReport(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{"requests:", "errors:", "latency:", "slo:", "tenant mix:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reghd"
+)
+
+// testFleet seeds a two-tenant fleet plus one corrupt checkpoint into a temp
+// dir and serves it through fleetMux, returning the server, the registry,
+// and a direct reference engine for tenant-00.
+func testFleet(t *testing.T) (*httptest.Server, *reghd.Registry, *reghd.Engine) {
+	t.Helper()
+	dir := t.TempDir()
+	names, err := seedFleet(dir, "airfoil", 2, 128, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt"+reghd.ModelExt), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := reghd.LoadPipelineFile(filepath.Join(dir, names[0]+reghd.ModelExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := reghd.NewPipelineEngine(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := reghd.NewRegistry(reghd.RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(fleetMux(reg, 0))
+	t.Cleanup(srv.Close)
+	return srv, reg, direct
+}
+
+func postPredict(t *testing.T, url, tenant string, x []float64) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(map[string][]float64{"x": x})
+	resp, err := http.Post(url+"/predict/"+tenant, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestFleetPredictBitIdentical(t *testing.T) {
+	srv, _, direct := testFleet(t)
+	x := []float64{0.5, -1.0, 0.25, 1.5, -0.75}
+	want, err := direct.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postPredict(t, srv.URL, "tenant-00", x)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Y float64 `json:"y"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(out.Y) != math.Float64bits(want) {
+		t.Fatalf("fleet %v != direct %v", out.Y, want)
+	}
+}
+
+func TestFleetPredictStatuses(t *testing.T) {
+	srv, _, _ := testFleet(t)
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		tenant string
+		x      []float64
+		status int
+	}{
+		{"tenant-00", x, http.StatusOK},
+		{"no-such-tenant", x, http.StatusNotFound},
+		{"corrupt", x, http.StatusServiceUnavailable},
+		{"tenant-00", []float64{1}, http.StatusBadRequest},                      // wrong arity
+		{"tenant-00", []float64{1, 2, math.NaN(), 4, 5}, http.StatusBadRequest}, // non-finite
+	}
+	for _, c := range cases {
+		resp, body := postPredict(t, srv.URL, c.tenant, c.x)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %v: status %d, want %d (%s)", c.tenant, c.x, resp.StatusCode, c.status, body)
+		}
+	}
+}
+
+func TestFleetModelsCatalog(t *testing.T) {
+	srv, _, _ := testFleet(t)
+	get := func() (infos []struct {
+		Name     string `json:"name"`
+		Resident bool   `json:"resident"`
+		Features int    `json:"features"`
+	}) {
+		resp, err := http.Get(srv.URL + "/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Models []struct {
+				Name     string `json:"name"`
+				Resident bool   `json:"resident"`
+				Features int    `json:"features"`
+			} `json:"models"`
+			Metrics reghd.RegistryMetrics `json:"metrics"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Models
+	}
+	infos := get()
+	if len(infos) != 3 { // tenant-00, tenant-01, corrupt
+		t.Fatalf("catalog: %+v", infos)
+	}
+	for _, m := range infos {
+		if m.Resident || m.Features != -1 {
+			t.Fatalf("cold catalog forced a load: %+v", m)
+		}
+	}
+	postPredict(t, srv.URL, "tenant-00", []float64{1, 2, 3, 4, 5})
+	for _, m := range get() {
+		if m.Name == "tenant-00" && (!m.Resident || m.Features != 5) {
+			t.Fatalf("after predict: %+v", m)
+		}
+	}
+}
+
+func TestFleetHealthz(t *testing.T) {
+	srv, reg, _ := testFleet(t)
+	check := func(path string, status int, want string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != status {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, status)
+		}
+		if want != "" && buf.String() != want+"\n" {
+			t.Fatalf("%s: body %q, want %q", path, buf.String(), want)
+		}
+	}
+	check("/healthz", http.StatusOK, "ok")
+	check("/healthz/tenant-00", http.StatusOK, "idle")
+	check("/healthz/no-such-tenant", http.StatusNotFound, "")
+	if _, err := reg.Predict("tenant-00", []float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	check("/healthz/tenant-00", http.StatusOK, "ok")
+}
+
+func TestFleetMetricsEndpoint(t *testing.T) {
+	srv, _, _ := testFleet(t)
+	postPredict(t, srv.URL, "tenant-00", []float64{1, 2, 3, 4, 5})
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars["reghd.registry"]
+	if !ok {
+		t.Fatalf("reghd.registry missing from /metrics (have %d vars)", len(vars))
+	}
+	var m reghd.RegistryMetrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Loads < 1 || m.Routed < 1 {
+		t.Fatalf("registry metrics not live: %+v", m)
+	}
+}
+
+func TestSeedFleetIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := seedFleet(dir, "airfoil", 2, 128, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, "tenant-00"+reghd.ModelExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := seedFleet(dir, "airfoil", 2, 128, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	after, err := os.Stat(filepath.Join(dir, "tenant-00"+reghd.ModelExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("re-seeding rewrote an existing tenant checkpoint")
+	}
+	// Distinct encoder seeds: sibling tenants disagree on the same input.
+	var ys [2]float64
+	for i := range ys {
+		pipe, err := reghd.LoadPipelineFile(filepath.Join(dir, fmt.Sprintf("tenant-%02d%s", i, reghd.ModelExt)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ys[i], err = pipe.Predict([]float64{1, 2, 3, 4, 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Float64bits(ys[0]) == math.Float64bits(ys[1]) {
+		t.Fatal("seeded tenants are identical models")
+	}
+}

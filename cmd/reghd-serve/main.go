@@ -1,7 +1,9 @@
-// Command reghd-serve is the observability demo server: it trains a RegHD
-// pipeline on a synthetic evaluation dataset, wraps it in a concurrent
-// serving engine with full instrumentation, and exposes the serving stack
-// over HTTP so an operator can watch (and profile) it live:
+// Command reghd-serve is the serving server. It runs in one of two modes:
+//
+// Single-model (default): trains a RegHD pipeline on a synthetic evaluation
+// dataset, wraps it in a concurrent serving engine with full
+// instrumentation, and exposes the serving stack over HTTP so an operator
+// can watch (and profile) it live:
 //
 //	GET  /metrics       expvar JSON: latency histograms, throughput,
 //	                    snapshot staleness, per-stage timing, and live
@@ -21,6 +23,15 @@
 // process is up. Disable with -traffic=false to drive it externally.
 // docs/OBSERVABILITY.md walks through a curl + go tool pprof session
 // against this server.
+//
+// Multi-model (-models-dir): serves a whole directory of tenant
+// checkpoints through a reghd.Registry — lazy hot-loads on first request,
+// LRU eviction under -max-resident / -max-resident-bytes, per-tenant
+// admission gates, /predict/{model} routing, a /models catalog, per-tenant
+// /healthz/{model}, and the reghd.registry.* fleet metrics on /metrics
+// (see fleet.go and docs/SERVING.md). -seed-models N trains N small tenant
+// models into the directory first, which is how `make fleet-smoke` and
+// cmd/reghd-loadgen get a fleet to drive.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"time"
@@ -41,7 +53,7 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "localhost:8080", "listen address")
+		addr         = flag.String("addr", "localhost:8080", "listen address (host:0 picks an ephemeral port, printed at startup)")
 		synthName    = flag.String("synth", "ccpp", "synthetic training dataset")
 		dim          = flag.Int("dim", 2000, "hypervector dimensionality D")
 		models       = flag.Int("models", 8, "number of cluster/model pairs k")
@@ -54,10 +66,38 @@ func main() {
 		coalesce      = flag.Bool("coalesce", false, "micro-batch concurrent single-row predictions (request coalescing)")
 		coalesceBatch = flag.Int("coalesce-batch", reghd.DefaultCoalesceMaxBatch, "max rows per coalesced batch")
 		coalesceWait  = flag.Duration("coalesce-wait", reghd.DefaultCoalesceMaxWait, "max window hold time; negative batches only what is already queued")
+
+		modelsDir        = flag.String("models-dir", "", "multi-model mode: serve every *.gob tenant checkpoint in this directory via /predict/{model}")
+		maxResident      = flag.Int("max-resident", 0, "multi-model: LRU budget on resident tenant engines, 0 = unlimited")
+		maxResidentBytes = flag.Int64("max-resident-bytes", 0, "multi-model: LRU budget on summed resident model deployment bytes, 0 = unlimited")
+		seedModels       = flag.Int("seed-models", 0, "multi-model: train this many small tenant models into -models-dir before serving (no-op for tenants already present)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("reghd-serve: ")
+
+	if *modelsDir != "" {
+		if err := runFleet(fleetOptions{
+			addr:             *addr,
+			dir:              *modelsDir,
+			maxResident:      *maxResident,
+			maxResidentBytes: *maxResidentBytes,
+			maxInFlight:      *maxInFlight,
+			publishEvery:     *publishEvery,
+			reqTimeout:       *reqTimeout,
+			seedModels:       *seedModels,
+			seedSynth:        *synthName,
+			seedDim:          *dim,
+			seedK:            *models,
+			seedEpochs:       *epochs,
+			coalesce:         *coalesce,
+			coalesceBatch:    *coalesceBatch,
+			coalesceWait:     *coalesceWait,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	data, err := reghd.SyntheticDataset(*synthName, 1)
 	if err != nil {
@@ -169,18 +209,88 @@ func main() {
 		json.NewEncoder(w).Encode(map[string]float64{"y": y})
 	})
 
-	log.Printf("serving on http://%s — try:", *addr)
-	log.Printf("  curl -s http://%s/metrics | head", *addr)
-	log.Printf(`  curl -s -d '{"x":[14.96,41.76,1024.07,73.17]}' http://%s/predict`, *addr)
-	log.Printf("  go tool pprof http://%s/debug/pprof/profile?seconds=10", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served := ln.Addr().String()
+	log.Printf("serving on http://%s — try:", served)
+	log.Printf("  curl -s http://%s/metrics | head", served)
+	log.Printf(`  curl -s -d '{"x":[14.96,41.76,1024.07,73.17]}' http://%s/predict`, served)
+	log.Printf("  go tool pprof http://%s/debug/pprof/profile?seconds=10", served)
+	log.Fatal(http.Serve(ln, nil))
 }
 
-// predictStatus maps the engine's typed serving errors onto HTTP status
-// codes.
+// fleetOptions carries the multi-model mode's flag values.
+type fleetOptions struct {
+	addr             string
+	dir              string
+	maxResident      int
+	maxResidentBytes int64
+	maxInFlight      int
+	publishEvery     int
+	reqTimeout       time.Duration
+	seedModels       int
+	seedSynth        string
+	seedDim          int
+	seedK            int
+	seedEpochs       int
+	coalesce         bool
+	coalesceBatch    int
+	coalesceWait     time.Duration
+}
+
+// runFleet is the multi-model serving path: optional fleet seeding, then a
+// registry-routed HTTP server (see fleet.go).
+func runFleet(opt fleetOptions) error {
+	if opt.seedModels > 0 {
+		if _, err := seedFleet(opt.dir, opt.seedSynth, opt.seedModels, opt.seedDim, opt.seedK, opt.seedEpochs); err != nil {
+			return err
+		}
+	}
+	cfg := reghd.RegistryConfig{
+		Dir:              opt.dir,
+		MaxResident:      opt.maxResident,
+		MaxResidentBytes: opt.maxResidentBytes,
+		MaxInFlight:      opt.maxInFlight,
+		PublishEvery:     opt.publishEvery,
+	}
+	if opt.coalesce {
+		cfg.Coalesce = &reghd.CoalesceConfig{MaxBatch: opt.coalesceBatch, MaxWait: opt.coalesceWait}
+	}
+	reg, err := reghd.NewRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	tenants, err := reg.Tenants()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	served := ln.Addr().String()
+	log.Printf("fleet mode: %d tenants in %s (resident budget %d models / %d bytes)",
+		len(tenants), opt.dir, opt.maxResident, opt.maxResidentBytes)
+	log.Printf("serving on http://%s — try:", served)
+	log.Printf("  curl -s http://%s/models", served)
+	if len(tenants) > 0 {
+		log.Printf(`  curl -s -d '{"x":[...]}' http://%s/predict/%s`, served, tenants[0])
+	}
+	log.Printf("  go run ./cmd/reghd-loadgen -addr http://%s -duration 5s", served)
+	return http.Serve(ln, fleetMux(reg, opt.reqTimeout))
+}
+
+// predictStatus maps the serving stack's typed errors onto HTTP status
+// codes — the engine's request errors plus the registry's routing errors.
 func predictStatus(err error) int {
 	var pe *reghd.PanicError
 	switch {
+	case errors.Is(err, reghd.ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, reghd.ErrModelLoad):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, reghd.ErrInvalidInput):
 		return http.StatusBadRequest
 	case errors.Is(err, reghd.ErrOverloaded):

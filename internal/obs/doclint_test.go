@@ -2,9 +2,10 @@ package obs_test
 
 // Doc lint: docs/OBSERVABILITY.md and the exported metric structs must
 // agree. The metric namespace is derived by reflection over the json tags
-// of reghd.EngineMetrics and obs.HWReport (exactly what /metrics serves),
-// so adding a field without documenting it — or documenting a metric that
-// no longer exists — fails `make metrics-lint` and the ordinary test run.
+// of reghd.EngineMetrics, obs.HWReport, reghd.RegistryMetrics, and
+// obs.LoadgenReport (exactly what /metrics and reghd-loadgen serve), so
+// adding a field without documenting it — or documenting a metric that no
+// longer exists — fails `make metrics-lint` and the ordinary test run.
 
 import (
 	"fmt"
@@ -42,10 +43,12 @@ func codeMetrics() map[string]bool {
 	m := map[string]bool{}
 	metricPaths(reflect.TypeOf(reghd.EngineMetrics{}), obs.EngineVar, m)
 	metricPaths(reflect.TypeOf(obs.HWReport{}), obs.HWVar, m)
+	metricPaths(reflect.TypeOf(reghd.RegistryMetrics{}), obs.RegistryVar, m)
+	metricPaths(reflect.TypeOf(obs.LoadgenReport{}), obs.LoadgenVar, m)
 	return m
 }
 
-var metricNameRE = regexp.MustCompile("`(reghd\\.(?:engine|hw)(?:\\.[a-z0-9_*]+)+)`")
+var metricNameRE = regexp.MustCompile("`(reghd\\.(?:engine|hw|registry|loadgen)(?:\\.[a-z0-9_*]+)+)`")
 
 func TestMetricsDocumented(t *testing.T) {
 	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
@@ -98,6 +101,13 @@ func TestMetricNamespaceShape(t *testing.T) {
 		"reghd.engine.robustness.publish_seq",
 		"reghd.hw.estimates.*.uj_per_query",
 		"reghd.hw.ops.*",
+		"reghd.registry.residents",
+		"reghd.registry.evictions",
+		"reghd.registry.load_errors",
+		"reghd.registry.unknown_tenant",
+		"reghd.loadgen.p99_ns",
+		"reghd.loadgen.slo_violated",
+		"reghd.loadgen.tenants.*",
 	} {
 		if !code[want] {
 			t.Errorf("expected metric %s missing from derived namespace:\n%s", want, fmt.Sprint(code))

@@ -14,6 +14,12 @@ const (
 	EngineVar = "reghd.engine"
 	// HWVar is the expvar name carrying the live HWBridge report.
 	HWVar = "reghd.hw"
+	// RegistryVar is the expvar name carrying reghd.RegistryMetrics — the
+	// multi-tenant fleet counters (reghd.NewRegistry publishes it).
+	RegistryVar = "reghd.registry"
+	// LoadgenVar is the metric namespace of the LoadgenReport emitted by
+	// cmd/reghd-loadgen.
+	LoadgenVar = "reghd.loadgen"
 )
 
 var (

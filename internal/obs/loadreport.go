@@ -1,0 +1,81 @@
+package obs
+
+import "time"
+
+// LoadgenReport is the result block of one closed-loop load-generation run
+// (cmd/reghd-loadgen): the latency digest of every completed request, the
+// tenant mix actually driven, and the SLO verdict. It is printed (and, with
+// -json, emitted as JSON) under the reghd.loadgen.* metric namespace
+// documented in docs/OBSERVABILITY.md; quantiles carry the Histogram's
+// ±6.25% bucket error while mean and max are exact.
+type LoadgenReport struct {
+	// DurationSeconds is the measured wall time of the run.
+	DurationSeconds float64 `json:"duration_s"`
+	// Concurrency is the number of closed-loop workers that drove the run.
+	Concurrency int `json:"concurrency"`
+	// Requests counts completed requests, including failed ones.
+	Requests uint64 `json:"requests"`
+	// Errors counts requests that failed (non-2xx status or transport
+	// error).
+	Errors uint64 `json:"errors"`
+	// RatePerSec is Requests / DurationSeconds — the achieved closed-loop
+	// throughput.
+	RatePerSec float64 `json:"rate_per_s"`
+	// MeanNS through MaxNS digest end-to-end request latency in
+	// nanoseconds.
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	// SLOMillis is the configured latency target in milliseconds (0 = no
+	// SLO gate).
+	SLOMillis float64 `json:"slo_ms"`
+	// SLOQuantile is the quantile the SLO is evaluated at (e.g. 0.99).
+	SLOQuantile float64 `json:"slo_quantile"`
+	// SLOViolated reports whether the SLO quantile exceeded SLOMillis (or
+	// errors exceeded the run's error budget) — the condition under which
+	// reghd-loadgen exits nonzero.
+	SLOViolated bool `json:"slo_violated"`
+	// Tenants counts completed requests per tenant key — the realized
+	// (e.g. zipfian) tenant mix.
+	Tenants map[string]uint64 `json:"tenants"`
+}
+
+// NewLoadgenReport digests one finished run into a report. hist carries
+// every completed request's latency; the SLO verdict compares the requested
+// quantile against sloMillis (0 disables) and treats any errors beyond
+// maxErrorRate·requests as a violation too.
+func NewLoadgenReport(hist *Histogram, elapsed time.Duration, concurrency int,
+	errors uint64, tenants map[string]uint64,
+	sloMillis, sloQuantile, maxErrorRate float64) LoadgenReport {
+
+	s := hist.Snapshot()
+	rep := LoadgenReport{
+		DurationSeconds: elapsed.Seconds(),
+		Concurrency:     concurrency,
+		Requests:        s.Count,
+		Errors:          errors,
+		MeanNS:          int64(s.Mean()),
+		P50NS:           int64(s.Quantile(0.50)),
+		P99NS:           int64(s.Quantile(0.99)),
+		P999NS:          int64(s.Quantile(0.999)),
+		MaxNS:           s.MaxNS,
+		SLOMillis:       sloMillis,
+		SLOQuantile:     sloQuantile,
+		Tenants:         tenants,
+	}
+	if elapsed > 0 {
+		rep.RatePerSec = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if sloMillis > 0 {
+		target := time.Duration(sloMillis * float64(time.Millisecond))
+		if s.Quantile(sloQuantile) > target {
+			rep.SLOViolated = true
+		}
+	}
+	if rep.Requests > 0 && float64(rep.Errors) > maxErrorRate*float64(rep.Requests) {
+		rep.SLOViolated = true
+	}
+	return rep
+}

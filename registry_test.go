@@ -1,0 +1,414 @@
+package reghd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fleetDir trains count small tenant pipelines into a temp dir and returns
+// the dir, the tenant names, and a directly loaded reference engine per
+// tenant (what registry-routed predictions must be bit-identical to).
+func fleetDir(t *testing.T, count int) (string, []string, map[string]*Engine) {
+	t.Helper()
+	dir := t.TempDir()
+	names := make([]string, count)
+	direct := make(map[string]*Engine, count)
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		names[i] = name
+		data := makeData(int64(100+i), 120)
+		enc, err := NewEncoder(2, 128, int64(7+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Epochs = 2
+		m, err := NewModel(enc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := NewPipeline(m)
+		if _, err := pipe.Fit(data); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+ModelExt)
+		if err := pipe.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := LoadPipelineFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewPipelineEngine(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[name] = eng
+	}
+	return dir, names, direct
+}
+
+func TestRegistryRoutesBitIdentical(t *testing.T) {
+	dir, names, direct := fleetDir(t, 3)
+	reg, err := NewRegistry(RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := makeData(999, 10)
+	for _, name := range names {
+		for _, x := range queries.X {
+			want, err := direct[name].Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reg.Predict(name, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("tenant %s: registry %v != direct %v", name, got, want)
+			}
+		}
+	}
+	m := reg.Metrics()
+	if m.Loads != 3 || m.Residents != 3 {
+		t.Fatalf("expected 3 loads / 3 residents, got %+v", m)
+	}
+	if m.Routed != uint64(len(names)*len(queries.X)) {
+		t.Fatalf("routed = %d, want %d", m.Routed, len(names)*len(queries.X))
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	dir, names, _ := fleetDir(t, 4)
+	reg, err := NewRegistry(RegistryConfig{Dir: dir, MaxResident: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.3}
+	// Load 0, 1 — resident {1, 0}. Touch 0 — {0, 1}. Load 2 — evicts 1.
+	for _, i := range []int{0, 1, 0, 2} {
+		if _, err := reg.Predict(names[i], x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := reg.Residents()
+	if len(res) != 2 || res[0] != names[2] || res[1] != names[0] {
+		t.Fatalf("residents = %v, want [%s %s]", res, names[2], names[0])
+	}
+	m := reg.Metrics()
+	if m.Evictions != 1 || m.Loads != 3 || m.Residents != 2 {
+		t.Fatalf("metrics after eviction: %+v", m)
+	}
+	// The evicted tenant reloads on demand.
+	if _, err := reg.Predict(names[1], x); err != nil {
+		t.Fatal(err)
+	}
+	if m := reg.Metrics(); m.Loads != 4 || m.Evictions != 2 {
+		t.Fatalf("metrics after reload: %+v", m)
+	}
+}
+
+func TestRegistryByteBudget(t *testing.T) {
+	dir, names, _ := fleetDir(t, 3)
+	// Learn one model's cost, then budget for roughly two.
+	reg0, err := NewRegistry(RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, 0.4}
+	if _, err := reg0.Predict(names[0], x); err != nil {
+		t.Fatal(err)
+	}
+	per := reg0.Metrics().ResidentBytes
+	if per <= 0 {
+		t.Fatalf("per-model bytes = %d", per)
+	}
+	reg, err := NewRegistry(RegistryConfig{Dir: dir, MaxResidentBytes: 2 * per})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := reg.Predict(n, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := reg.Metrics()
+	if m.ResidentBytes > 2*per {
+		t.Fatalf("resident bytes %d over budget %d", m.ResidentBytes, 2*per)
+	}
+	if m.Residents != 2 || m.Evictions != 1 {
+		t.Fatalf("metrics under byte budget: %+v", m)
+	}
+	// A budget below one model still serves, one model at a time.
+	tiny, err := NewRegistry(RegistryConfig{Dir: dir, MaxResidentBytes: per / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := tiny.Predict(n, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := tiny.Metrics(); m.Residents != 1 {
+		t.Fatalf("sub-model budget kept %d residents", m.Residents)
+	}
+}
+
+func TestRegistryUnknownTenant(t *testing.T) {
+	dir, names, _ := fleetDir(t, 1)
+	reg, err := NewRegistry(RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"nope", "../escape", "a/b", "", ".hidden"} {
+		if _, err := reg.Predict(bad, []float64{1, 2}); !errors.Is(err, ErrUnknownTenant) {
+			t.Fatalf("tenant %q: want ErrUnknownTenant, got %v", bad, err)
+		}
+	}
+	if m := reg.Metrics(); m.UnknownTenant != 5 || m.LoadErrors != 0 {
+		t.Fatalf("unknown-tenant metrics: %+v", m)
+	}
+	// Unknown is not negatively cached: a tenant uploaded later serves.
+	src, err := os.ReadFile(filepath.Join(dir, names[0]+ModelExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "late"+ModelExt), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Predict("late", []float64{1, 2}); err != nil {
+		t.Fatalf("late-uploaded tenant: %v", err)
+	}
+}
+
+func TestRegistryCorruptModelFile(t *testing.T) {
+	dir, names, _ := fleetDir(t, 1)
+	bad := filepath.Join(dir, "broken"+ModelExt)
+	if err := os.WriteFile(bad, []byte("this is not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = reg.Predict("broken", []float64{1, 2})
+	if !errors.Is(err, ErrModelLoad) {
+		t.Fatalf("want ErrModelLoad, got %v", err)
+	}
+	if errors.Is(err, ErrUnknownTenant) {
+		t.Fatal("load failure must not read as unknown tenant")
+	}
+	if m := reg.Metrics(); m.LoadErrors != 1 || m.Residents != 0 {
+		t.Fatalf("load-error metrics: %+v", m)
+	}
+	// Errors are not cached: replacing the file with a good checkpoint
+	// makes the tenant servable.
+	src, err := os.ReadFile(filepath.Join(dir, names[0]+ModelExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Predict("broken", []float64{1, 2}); err != nil {
+		t.Fatalf("repaired tenant: %v", err)
+	}
+}
+
+func TestRegistryLoadDedup(t *testing.T) {
+	dir, names, _ := fleetDir(t, 1)
+	reg, err := NewRegistry(RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	engines := make([]*Engine, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := reg.Engine(names[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = eng
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if engines[i] != engines[0] {
+			t.Fatal("concurrent first requests resolved to different engines")
+		}
+	}
+	if m := reg.Metrics(); m.Loads != 1 {
+		t.Fatalf("loads = %d, want 1 (singleflight)", m.Loads)
+	}
+}
+
+// TestRegistryEvictionInFlightStress is the eviction-vs-in-flight safety
+// stress: tenants are evicted (by LRU churn under a tight budget AND by an
+// explicit random evictor) while readers hammer the fleet, and every
+// response must stay bit-identical to the tenant's direct engine. Run under
+// -race this also proves eviction never races the serving path.
+func TestRegistryEvictionInFlightStress(t *testing.T) {
+	const tenants = 8
+	dir, names, direct := fleetDir(t, tenants)
+	reg, err := NewRegistry(RegistryConfig{Dir: dir, MaxResident: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := makeData(4242, 16)
+	want := make(map[string][]uint64, tenants)
+	for _, n := range names {
+		bits := make([]uint64, len(queries.X))
+		for i, x := range queries.X {
+			y, err := direct[n].Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits[i] = math.Float64bits(y)
+		}
+		want[n] = bits
+	}
+
+	var stop atomic.Bool
+	var served atomic.Uint64
+	var wg sync.WaitGroup
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, 1.2, 1, tenants-1)
+			for !stop.Load() {
+				n := names[zipf.Uint64()]
+				qi := rng.Intn(len(queries.X))
+				y, err := reg.Predict(n, queries.X[qi])
+				if err != nil {
+					t.Errorf("predict %s: %v", n, err)
+					return
+				}
+				if math.Float64bits(y) != want[n][qi] {
+					t.Errorf("tenant %s query %d: %v != direct", n, qi, y)
+					return
+				}
+				served.Add(1)
+			}
+		}(int64(1000 + r))
+	}
+	// Evictor: random explicit evictions concurrent with the LRU churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(77))
+		for !stop.Load() {
+			reg.Evict(names[rng.Intn(tenants)])
+		}
+	}()
+	for served.Load() < 4000 && !t.Failed() {
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	m := reg.Metrics()
+	if m.Evictions == 0 {
+		t.Fatal("stress ran without a single eviction")
+	}
+	if m.Loads <= tenants {
+		t.Fatalf("loads = %d; expected reloads beyond the initial %d", m.Loads, tenants)
+	}
+	if m.Residents > 3 {
+		t.Fatalf("residents = %d over budget 3", m.Residents)
+	}
+	t.Logf("served %d, loads %d, evictions %d, dedup %d",
+		served.Load(), m.Loads, m.Evictions, m.LoadDedup)
+}
+
+func TestRegistryPerTenantAdmissionGate(t *testing.T) {
+	dir, names, _ := fleetDir(t, 2)
+	reg, err := NewRegistry(RegistryConfig{Dir: dir, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reg.Engine(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Engine(names[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill tenant a's gate from the outside; tenant b must be unaffected.
+	if !a.acquire() {
+		t.Fatal("gate slot")
+	}
+	defer a.release()
+	if _, err := a.Predict([]float64{1, 2}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated tenant: want ErrOverloaded, got %v", err)
+	}
+	if _, err := b.Predict([]float64{1, 2}); err != nil {
+		t.Fatalf("sibling tenant starved: %v", err)
+	}
+}
+
+func TestRegistryTenantsAndResidents(t *testing.T) {
+	dir, names, _ := fleetDir(t, 3)
+	// Non-model files and subdirectories are not tenants.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.gob"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(RegistryConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Tenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != names[0] || got[2] != names[2] {
+		t.Fatalf("tenants = %v", got)
+	}
+	if !reg.Known(names[1]) || reg.Known("nope") {
+		t.Fatal("Known wrong")
+	}
+	if f := reg.Features(names[0]); f != -1 {
+		t.Fatalf("non-resident features = %d, want -1", f)
+	}
+	if _, err := reg.Predict(names[0], []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if f := reg.Features(names[0]); f != 2 {
+		t.Fatalf("resident features = %d, want 2", f)
+	}
+	reg.EvictAll()
+	if m := reg.Metrics(); m.Residents != 0 || m.ResidentBytes != 0 {
+		t.Fatalf("after EvictAll: %+v", m)
+	}
+}
+
+func TestNewRegistryBadDir(t *testing.T) {
+	if _, err := NewRegistry(RegistryConfig{Dir: filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(RegistryConfig{Dir: f}); err == nil {
+		t.Fatal("non-directory accepted")
+	}
+}

@@ -174,6 +174,10 @@ func (e *Engine) publishLocked() {
 // serve the older model state.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load().snap }
 
+// Features returns the model's input arity — the length every Predict row
+// must have. Constant for the engine's lifetime.
+func (e *Engine) Features() int { return e.features }
+
 // refreshLocked re-quantizes the binary shadows and, when recent streaming
 // samples are buffered, refits the binary-model output calibration on them.
 // Callers must hold e.mu.
