@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke examples serve-demo lint metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-train-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke train-smoke examples serve-demo lint metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, the full race-detector pass, and the
 # static-analysis suite, so the concurrency contracts (Snapshot serving,
@@ -45,14 +45,29 @@ bench-json:
 	$(GO) test -run xxx -bench 'Project$$|Encode$$|EncodeBatch$$|SimilarityK$$|EnginePredict$$|EnginePredictCoalesce$$' -benchtime=1s -count=3 . \
 		| $(GO) run ./cmd/reghd-benchjson -o BENCH_kernels.json
 
+# Sharded-training before/after record: runs the FitParallel serial-vs-N
+# worker pairs (bench_train_test.go) and writes BENCH_train.json. The w2/w4
+# speedups only exceed 1.0x when GOMAXPROCS >= workers; the context block
+# records gomaxprocs so the JSON is honest about the cores it had. See
+# docs/TRAINING.md.
+bench-train-json:
+	$(GO) test -run xxx -bench 'FitParallel$$' -benchtime=2x -count=3 . \
+		| $(GO) run ./cmd/reghd-benchjson -tolerance 0.95 -o BENCH_train.json
+
 # Regression gate: rerun the two kernel pairs this repo once shipped slow
 # (batch encode, k-way Hamming) and fail if any optimized lane measures
-# slower than its baseline. Short benchtime — this is a smoke gate, not the
-# record; the coalescing pair is excluded because on few-core machines it
-# sits at parity by design (see docs/PERFORMANCE.md) and would flake.
+# slower than its baseline, plus the 1-worker FitParallel parity pair at a
+# 0.95 tolerance (orchestration overhead must stay within noise; multi-
+# worker pairs are excluded because on a 1-core runner they sit at parity
+# by design — see docs/TRAINING.md). Short benchtime — this is a smoke
+# gate, not the record; the coalescing pair is excluded because on few-core
+# machines it sits at parity by design (see docs/PERFORMANCE.md) and would
+# flake.
 bench-check:
 	$(GO) test -run xxx -bench 'EncodeBatch$$|SimilarityK$$' -benchtime=0.3s -count=2 . \
 		| $(GO) run ./cmd/reghd-benchjson -fail-on-regression -o -
+	$(GO) test -run xxx -bench 'FitParallel/.*_w1$$' -benchtime=2x -count=3 . \
+		| $(GO) run ./cmd/reghd-benchjson -fail-on-regression -tolerance 0.95 -o -
 
 # Metrics-off vs metrics-on serving throughput (the < 5% overhead check).
 bench-metrics:
@@ -106,6 +121,13 @@ chaos:
 # on SLO violation, any request error, or zero observed LRU evictions.
 fleet-smoke:
 	sh ./scripts/fleet_smoke.sh
+
+# Sharded-training quality smoke (docs/TRAINING.md): train reghd-train on
+# the synthetic airfoil task sequentially and with 4 workers, and fail if
+# the parallel test MSE drifts beyond tolerance of the sequential run —
+# the end-to-end guard on the bundling-merge math.
+train-smoke:
+	sh ./scripts/train_scale_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

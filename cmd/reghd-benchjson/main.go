@@ -66,8 +66,9 @@ type Report struct {
 	Pairs   []Pair            `json:"pairs"`
 }
 
-// benchLine matches "BenchmarkName-8   1234   56789 ns/op ...".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine matches "BenchmarkName-8   1234   56789 ns/op ..."; the -N
+// suffix is go test's GOMAXPROCS stamp, recorded in the context block.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op`)
 
 // swaps maps each baseline token to the optimized tokens it may pair with.
 var swaps = map[string][]string{
@@ -77,17 +78,24 @@ var swaps = map[string][]string{
 	"direct": {"coalesced"},
 }
 
-func parse(r *bufio.Scanner) (*Report, error) {
+// parse reads `go test -bench` output and pairs lanes; tolerance is the
+// regression threshold — a pair regresses when speedup < tolerance (1.0
+// means "optimized may not be slower at all"; near-parity pairs such as the
+// 1-worker FitParallel lane gate at 0.95).
+func parse(r *bufio.Scanner, tolerance float64) (*Report, error) {
 	rep := &Report{Context: map[string]string{}}
 	byName := map[string]int{}
 	for r.Scan() {
 		line := strings.TrimSpace(r.Text())
 		if m := benchLine.FindStringSubmatch(line); m != nil {
-			iters, err := strconv.ParseInt(m[2], 10, 64)
+			if m[2] != "" {
+				rep.Context["gomaxprocs"] = m[2]
+			}
+			iters, err := strconv.ParseInt(m[3], 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
 			}
-			ns, err := strconv.ParseFloat(m[3], 64)
+			ns, err := strconv.ParseFloat(m[4], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
 			}
@@ -135,7 +143,7 @@ func parse(r *bufio.Scanner) (*Report, error) {
 					BaselineNs:  res.NsPerOp,
 					OptimizedNs: counter.NsPerOp,
 					Speedup:     speedup,
-					Regression:  speedup < 1.0,
+					Regression:  speedup < tolerance,
 				})
 			}
 		}
@@ -161,11 +169,13 @@ func main() {
 	out := flag.String("o", "BENCH_kernels.json", "output file (- for stdout)")
 	failOnRegression := flag.Bool("fail-on-regression", false,
 		"exit nonzero when any optimized lane is slower than its baseline")
+	tolerance := flag.Float64("tolerance", 1.0,
+		"regression threshold: a pair regresses when speedup < tolerance (use 0.95 for near-parity pairs on 1-core runners)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	rep, err := parse(sc)
+	rep, err := parse(sc, *tolerance)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reghd-benchjson:", err)
 		os.Exit(1)

@@ -21,7 +21,7 @@ PASS
 
 func parseString(t *testing.T, s string) *Report {
 	t.Helper()
-	rep, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	rep, err := parse(bufio.NewScanner(strings.NewReader(s)), 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,5 +78,41 @@ BenchmarkX/fused-lane    50   100 ns/op
 	p := pairFor(t, rep, "naive")
 	if p.Speedup != 2.0 || p.Regression {
 		t.Fatalf("pair wrong: %+v", p)
+	}
+}
+
+// TestParseRecordsGOMAXPROCS pins the context capture: the -N suffix go
+// test stamps on benchmark names lands in the context block, so
+// BENCH_train.json records how many cores the scaling lanes actually had.
+func TestParseRecordsGOMAXPROCS(t *testing.T) {
+	rep := parseString(t, sample)
+	if rep.Context["gomaxprocs"] != "" {
+		t.Fatalf("sample has no -N suffixes, got gomaxprocs=%q", rep.Context["gomaxprocs"])
+	}
+	rep = parseString(t, `BenchmarkFitParallel/serial_w1-4    10   300 ns/op
+BenchmarkFitParallel/parallel_w1-4  10   305 ns/op
+`)
+	if rep.Context["gomaxprocs"] != "4" {
+		t.Fatalf("gomaxprocs = %q, want 4", rep.Context["gomaxprocs"])
+	}
+}
+
+// TestParseTolerance pins the -tolerance threshold: a 0.98x near-parity
+// pair regresses at the default 1.0 but passes at 0.95 — the gate the
+// 1-worker FitParallel parity lane uses on 1-core runners.
+func TestParseTolerance(t *testing.T) {
+	const parity = `BenchmarkFitParallel/serial_w1    10   1000000 ns/op
+BenchmarkFitParallel/parallel_w1  10   1020000 ns/op
+`
+	strict := parseString(t, parity)
+	if p := pairFor(t, strict, "serial_w1"); !p.Regression {
+		t.Fatalf("0.98x pair should regress at tolerance 1.0: %+v", p)
+	}
+	loose, err := parse(bufio.NewScanner(strings.NewReader(parity)), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := pairFor(t, loose, "serial_w1"); p.Regression {
+		t.Fatalf("0.98x pair should pass at tolerance 0.95: %+v", p)
 	}
 }

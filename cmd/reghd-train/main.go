@@ -40,6 +40,7 @@ func run() error {
 		sparsity  = flag.Float64("sparsify", 0, "after training, zero this fraction of the lowest-magnitude model components")
 		grid      = flag.Bool("grid", false, "grid-search k and the learning rate with 4-fold CV before training")
 		compare   = flag.Bool("compare", false, "also evaluate the DNN/ridge/tree/SVR baselines on the same split")
+		workers   = flag.Int("workers", 1, "sharded training workers (1 = sequential Fit; see docs/TRAINING.md)")
 	)
 	flag.Parse()
 
@@ -104,9 +105,19 @@ func run() error {
 		return err
 	}
 	pipe := reghd.NewPipeline(model)
-	res, err := pipe.Fit(train)
-	if err != nil {
-		return err
+	var res *reghd.TrainResult
+	var pres *reghd.ParallelTrainResult
+	if *workers > 1 {
+		pres, err = pipe.FitParallel(train, *workers)
+		if err != nil {
+			return err
+		}
+		res = &pres.TrainResult
+	} else {
+		res, err = pipe.Fit(train)
+		if err != nil {
+			return err
+		}
 	}
 	if *sparsity > 0 {
 		if err := model.Sparsify(*sparsity); err != nil {
@@ -138,6 +149,10 @@ func run() error {
 	fmt.Printf("dataset:    %s (%d samples, %d features)\n", ds.Name, ds.Len(), ds.Features())
 	fmt.Printf("model:      k=%d D=%d %s/%s\n", *models, *dim, cfg.ClusterMode, cfg.PredictMode)
 	fmt.Printf("training:   %d epochs (converged=%v)\n", res.Epochs, res.Converged)
+	if pres != nil {
+		fmt.Printf("parallel:   %d workers, %d merges (%.2fms merge time), %.0f rows/s\n",
+			pres.Workers, pres.Merges, float64(pres.MergeNS)/1e6, pres.RowsPerSec)
+	}
 	fmt.Printf("train MSE:  %.4f\n", trainMSE)
 	fmt.Printf("test  MSE:  %.4f\n", testMSE)
 	fmt.Printf("test  R2:   %.4f\n", r2)

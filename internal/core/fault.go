@@ -48,12 +48,18 @@ func (m *Model) FaultView() FaultView {
 // (training it further, injecting faults) never affects the original. The
 // clone's shuffling stream is re-seeded from the configuration, so a clone
 // trained further diverges from the original only through that stream. The
-// encoder is shared (read-only after construction), and the optional
-// counters/stage accumulators are not carried over.
+// encoder is shared (read-only after construction); the optional
+// counters/stage accumulators and any MarkSync baseline are not carried
+// over — a clone starts with clean instrumentation and no sync point.
+// Everything a training worker mutates (hypervector stores, shadows,
+// scales, calibration, sample/assignment census, similarity scratch,
+// prediction scratch pool, rng) is private to the clone, which is what
+// lets FitParallel train clones concurrently under -race.
 func (m *Model) Clone() *Model {
 	c := &Model{
 		params:  m.params,
 		trained: m.trained,
+		samples: m.samples,
 		rng:     rand.New(rand.NewSource(m.cfg.Seed)),
 		scratch: newScratchPool(m.cfg.Models, m.dim, m.cfg.PredictMode.UsesRawQuery(), m.bufEnc != nil),
 	}
@@ -62,6 +68,12 @@ func (m *Model) Clone() *Model {
 	c.models = cloneVectors(m.models)
 	c.modelsBin = cloneBinaries(m.modelsBin)
 	c.modelScale = append([]float64(nil), m.modelScale...)
+	// clustersSet is only materialized on frozen Snapshots; a live clone
+	// must not alias one left in params by mistake.
+	c.clustersSet = nil
+	if m.assignN != nil {
+		c.assignN = append([]uint64(nil), m.assignN...)
+	}
 	if m.cfg.Models > 1 {
 		c.sims = make([]float64, m.cfg.Models)
 		c.conf = make([]float64, m.cfg.Models)

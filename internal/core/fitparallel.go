@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"reghd/internal/dataset"
+	"reghd/internal/hdc"
+)
+
+// ParallelTrainResult extends TrainResult with the orchestration telemetry
+// of a sharded run: how the data was split, how much time the merges cost,
+// and the end-to-end training throughput.
+type ParallelTrainResult struct {
+	TrainResult
+	// Workers is the number of shard workers actually used (capped at the
+	// dataset size).
+	Workers int
+	// ShardSizes are the per-worker shard row counts.
+	ShardSizes []int
+	// Merges is the number of bundling merges performed (one per epoch on
+	// the multi-worker path; zero when workers == 1).
+	Merges int
+	// MergeNS is the total wall time spent inside Merge/MergeQuantized, in
+	// nanoseconds.
+	MergeNS int64
+	// WallNS is the end-to-end wall time of the call, in nanoseconds.
+	WallNS int64
+	// Rows is the total number of training updates applied (dataset rows ×
+	// epochs performed).
+	Rows uint64
+	// RowsPerSec is Rows divided by the wall time.
+	RowsPerSec float64
+}
+
+// shardWorker is one parallel trainer: a deep clone of the coordinator
+// model, the shard rows it owns, a private shuffling stream, and reusable
+// per-worker scratch (the sharded analogue of PR 3's pooled encode
+// buffers — allocated once, reused every epoch).
+type shardWorker struct {
+	model      *Model
+	shard      []int
+	rng        *rand.Rand
+	scratchS   hdc.Vector
+	scratchRaw hdc.Vector
+	sqErr      float64
+	delta      *Delta
+	err        error
+}
+
+// FitParallel trains the model on train with sharded data parallelism:
+// the rows are split into `workers` balanced shards, each epoch every
+// worker replays its shard on a private clone synchronized to the merged
+// state, and the coordinator folds the worker deltas back in by
+// sample-count-weighted bundling (Merge, or MergeQuantized for binary
+// configurations). Convergence is monitored on the sample-weighted mean of
+// the workers' prequential MSEs with the same Tol/Patience rule as Fit.
+//
+// workers == 1 runs exactly the sequential Fit loop (bit-identical history
+// and state), so callers can use FitParallel unconditionally. The result
+// is deterministic for a fixed (Config.Seed, workers) pair; different
+// worker counts shard the data differently and therefore converge along
+// different (comparably good) trajectories — see docs/TRAINING.md.
+//
+// FitParallel mutates the model, so the single-writer contract applies:
+// the internal worker clones are private, and the coordinator model itself
+// is never trained concurrently.
+func (m *Model) FitParallel(train *dataset.Dataset, workers int) (*ParallelTrainResult, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("core: FitParallel needs at least 1 worker, got %d", workers)
+	}
+	start := time.Now()
+	cache, err := m.prepare(train)
+	if err != nil {
+		return nil, err
+	}
+	n := train.Len()
+	if workers > n {
+		workers = n
+	}
+	res := &ParallelTrainResult{Workers: workers}
+	if workers == 1 {
+		tr, err := m.fitCache(cache, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.TrainResult = *tr
+		res.ShardSizes = []int{n}
+		res.finish(start, n)
+		return res, nil
+	}
+
+	// Shard assignment: one seeded shuffle of the row indices, cut into
+	// contiguous balanced chunks. Sharding is random (so every shard sees
+	// the full target distribution — the premise of divide-and-conquer
+	// LMS) but fixed across epochs, which keeps the per-epoch merge
+	// weights stable and the run deterministic.
+	perm := m.rng.Perm(n)
+	ws := make([]*shardWorker, workers)
+	chunk := (n + workers - 1) / workers
+	for w := range ws {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wk := &shardWorker{
+			model: m.Clone(),
+			shard: perm[lo:hi],
+			// Distinct deterministic shuffle stream per worker; the clone's
+			// own rng re-seeds from cfg.Seed and would march in lockstep
+			// across workers.
+			rng:      rand.New(rand.NewSource(m.cfg.Seed + int64(w)*1_000_003 + 7)),
+			scratchS: hdc.NewVector(m.dim),
+		}
+		if cache.raw != nil {
+			wk.scratchRaw = hdc.NewVector(m.dim)
+		}
+		if m.TrainCounter != nil {
+			// Private counter per worker: MarkSync snapshots it, so each
+			// delta carries exactly the ops its shard charged and the merge
+			// keeps the coordinator's accounting exactly additive.
+			wk.model.TrainCounter = &hdc.Counter{}
+		}
+		ws[w] = wk
+		res.ShardSizes = append(res.ShardSizes, hi-lo)
+	}
+
+	quantized := m.cfg.PredictMode.UsesBinaryModel() || m.cfg.ClusterMode == ClusterBinary
+	scratchS := hdc.NewVector(m.dim)
+	var scratchRaw hdc.Vector
+	if cache.raw != nil {
+		scratchRaw = hdc.NewVector(m.dim)
+	}
+	prev := math.Inf(1)
+	streak := 0
+	var wg sync.WaitGroup
+	for ep := 1; ep <= m.cfg.Epochs; ep++ {
+		for _, wk := range ws {
+			wg.Add(1)
+			go func(wk *shardWorker) {
+				defer wg.Done()
+				wk.runEpoch(m, cache)
+			}(wk)
+		}
+		wg.Wait()
+		deltas := make([]*Delta, workers)
+		for w, wk := range ws {
+			if wk.err != nil {
+				return nil, wk.err
+			}
+			deltas[w] = wk.delta
+		}
+		t0 := time.Now()
+		if quantized {
+			err = m.MergeQuantized(deltas...)
+		} else {
+			err = m.Merge(deltas...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.MergeNS += time.Since(t0).Nanoseconds()
+		res.Merges++
+		// The coordinator holds the training cache, so it refits the output
+		// calibration on the merged state instead of keeping the weighted
+		// average of the workers' per-shard fits.
+		m.calibrate(cache, scratchS, scratchRaw)
+		var sqErr float64
+		for _, wk := range ws {
+			sqErr += wk.sqErr
+		}
+		mse := sqErr / float64(n)
+		res.Epochs = ep
+		res.History = append(res.History, mse)
+		res.FinalMSE = mse
+		if prev > 0 && (prev-mse)/math.Max(prev, 1e-12) < m.cfg.Tol {
+			streak++
+			if streak >= m.cfg.Patience {
+				res.Converged = true
+				break
+			}
+		} else {
+			streak = 0
+		}
+		prev = mse
+	}
+	res.finish(start, n)
+	return res, nil
+}
+
+// runEpoch synchronizes the worker clone to the coordinator's merged state,
+// marks the sync point, replays the worker's shard in a freshly shuffled
+// order, and extracts the resulting delta. It touches only worker-private
+// state plus read-only coordinator state, so all workers run concurrently.
+func (wk *shardWorker) runEpoch(coord *Model, cache *trainCache) {
+	wk.model.copyStateFrom(coord)
+	wk.model.MarkSync()
+	wk.sqErr = 0
+	for _, oi := range wk.rng.Perm(len(wk.shard)) {
+		wk.sqErr += wk.model.trainOne(cache, wk.shard[oi], wk.scratchS, wk.scratchRaw)
+	}
+	wk.delta, wk.err = wk.model.Delta()
+}
+
+// copyStateFrom overwrites the model's learned state with src's, reusing
+// the existing buffers: hypervectors, binary shadows, scales, calibration,
+// and the sample/assignment census. The rng, counters, and scratch pool
+// stay the model's own. Both models must come from the same configuration
+// (FitParallel guarantees this by cloning).
+func (m *Model) copyStateFrom(src *Model) {
+	for i, v := range src.models {
+		copy(m.models[i], v)
+	}
+	for i, v := range src.clusters {
+		copy(m.clusters[i], v)
+	}
+	for i, b := range src.modelsBin {
+		copy(m.modelsBin[i].Words, b.Words)
+	}
+	for i, b := range src.clustersBin {
+		copy(m.clustersBin[i].Words, b.Words)
+	}
+	copy(m.modelScale, src.modelScale)
+	copy(m.assignN, src.assignN)
+	m.calibA, m.calibB = src.calibA, src.calibB
+	m.samples = src.samples
+	m.trained = src.trained
+}
+
+// finish stamps the wall-clock telemetry on the result.
+func (r *ParallelTrainResult) finish(start time.Time, rows int) {
+	r.WallNS = time.Since(start).Nanoseconds()
+	r.Rows = uint64(rows) * uint64(r.Epochs)
+	if r.WallNS > 0 {
+		r.RowsPerSec = float64(r.Rows) / (float64(r.WallNS) / 1e9)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"math/rand"
+
+	"reghd/internal/hdc"
+)
+
+// fitParallelTolerance is the pinned quality-parity bound: the merged
+// model's test MSE may exceed the sequential model's by at most this factor
+// (plus an absolute epsilon for near-zero MSEs). Sharded LMS follows a
+// different — not worse, just different — trajectory, so exact equality is
+// not expected; a large gap would mean the merge is wrong.
+const fitParallelTolerance = 1.30
+
+// TestFitParallelSingleWorkerMatchesFit pins the no-regression contract at
+// workers == 1: FitParallel must run the identical sequential algorithm,
+// producing a Float64bits-identical epoch history and identical
+// predictions.
+func TestFitParallelSingleWorkerMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	train := makeLinear(rng, 300, 4, 0.05)
+	test := makeLinear(rng, 100, 4, 0.05)
+	seq := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	par := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	rs, err := seq.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.FitParallel(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.History) != len(rp.History) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(rs.History), len(rp.History))
+	}
+	for i := range rs.History {
+		if math.Float64bits(rs.History[i]) != math.Float64bits(rp.History[i]) {
+			t.Fatalf("epoch %d MSE differs: %v vs %v", i+1, rs.History[i], rp.History[i])
+		}
+	}
+	if seq.TrainCounter.Snapshot() != par.TrainCounter.Snapshot() {
+		t.Fatal("single-worker FitParallel charged different op counts than Fit")
+	}
+	for _, x := range test.X {
+		ys, err := seq.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yp, err := par.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(ys) != math.Float64bits(yp) {
+			t.Fatalf("predictions differ: %v vs %v", ys, yp)
+		}
+	}
+	if rp.Workers != 1 || len(rp.ShardSizes) != 1 || rp.ShardSizes[0] != train.Len() {
+		t.Fatalf("bad telemetry: %+v", rp)
+	}
+	if rp.Merges != 0 {
+		t.Fatalf("single-worker run reported %d merges", rp.Merges)
+	}
+}
+
+// TestFitParallelQualityParity pins that sharded training converges to the
+// same quality as sequential training across representative
+// configurations: merged test MSE within the pinned tolerance.
+func TestFitParallelQualityParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"full-precision", func() Config {
+			cfg := DefaultConfig()
+			cfg.Models = 4
+			cfg.Epochs = 10
+			cfg.Seed = 3
+			return cfg
+		}()},
+		{"quantized", func() Config {
+			cfg := mergeBaseConfig()
+			cfg.Epochs = 10
+			return cfg
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			train := makePiecewise(rng, 400, 4, 0.05)
+			test := makePiecewise(rng, 160, 4, 0.05)
+			for _, workers := range []int{2, 4} {
+				seq := newMergeModel(t, tc.cfg, 4, 512)
+				par := newMergeModel(t, tc.cfg, 4, 512)
+				if _, err := seq.Fit(train); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := par.FitParallel(train, workers); err != nil {
+					t.Fatal(err)
+				}
+				seqMSE, err := seq.Evaluate(test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parMSE, err := par.Evaluate(test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parMSE > seqMSE*fitParallelTolerance+1e-3 {
+					t.Fatalf("workers=%d: merged MSE %.5f vs sequential %.5f exceeds %.2fx tolerance",
+						workers, parMSE, seqMSE, fitParallelTolerance)
+				}
+			}
+		})
+	}
+}
+
+// TestFitParallelDeterministic pins that a (seed, workers) pair fully
+// determines the run: two executions produce Float64bits-identical
+// histories and models, even though the workers run on concurrent
+// goroutines — the canonical merge order removes the scheduling
+// nondeterminism.
+func TestFitParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	train := makeLinear(rng, 240, 4, 0.05)
+	run := func() (*Model, *ParallelTrainResult) {
+		m := newMergeModel(t, mergeBaseConfig(), 4, 256)
+		r, err := m.FitParallel(train, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, r
+	}
+	m1, r1 := run()
+	m2, r2 := run()
+	if len(r1.History) != len(r2.History) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(r1.History), len(r2.History))
+	}
+	for i := range r1.History {
+		if math.Float64bits(r1.History[i]) != math.Float64bits(r2.History[i]) {
+			t.Fatalf("epoch %d MSE differs across runs", i+1)
+		}
+	}
+	if !statesEqual(t, m1, m2) {
+		t.Fatal("two identical FitParallel runs produced different models")
+	}
+	if m1.TrainCounter.Snapshot() != m2.TrainCounter.Snapshot() {
+		t.Fatal("op accounting differs across identical runs")
+	}
+}
+
+// TestFitParallelTelemetry sanity-checks the orchestration telemetry on a
+// multi-worker run.
+func TestFitParallelTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	train := makeLinear(rng, 200, 4, 0.05)
+	m := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	r, err := m.FitParallel(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 3 || len(r.ShardSizes) != 3 {
+		t.Fatalf("bad shard telemetry: %+v", r)
+	}
+	total := 0
+	for _, s := range r.ShardSizes {
+		total += s
+	}
+	if total != train.Len() {
+		t.Fatalf("shards cover %d rows, dataset has %d", total, train.Len())
+	}
+	if r.Merges != r.Epochs {
+		t.Fatalf("%d merges for %d epochs", r.Merges, r.Epochs)
+	}
+	if r.Rows != uint64(train.Len()*r.Epochs) {
+		t.Fatalf("rows = %d, want %d", r.Rows, train.Len()*r.Epochs)
+	}
+	if r.WallNS <= 0 || r.RowsPerSec <= 0 {
+		t.Fatalf("bad wall telemetry: %+v", r)
+	}
+	if m.SampleCount() != r.Rows {
+		t.Fatalf("model absorbed %d samples, telemetry says %d rows", m.SampleCount(), r.Rows)
+	}
+	if _, err := m.FitParallel(train, 0); err == nil {
+		t.Fatal("workers=0 should fail")
+	}
+}
+
+// TestCloneTrainRace is the satellite audit of Model.Clone: clones and the
+// original training concurrently must share nothing mutable. Run under
+// -race (the tier-1 race target includes this package); it fails there if
+// Clone shallow-copies any state a training worker writes — the exact
+// dependency FitParallel has on Clone.
+func TestCloneTrainRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	data := makeLinear(rng, 160, 4, 0.05)
+	base := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if _, err := base.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	wantBits := math.Float64bits(base.models[0][0])
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		c := base.Clone()
+		c.TrainCounter = &hdc.Counter{}
+		wg.Add(1)
+		go func(w int, c *Model) {
+			defer wg.Done()
+			c.MarkSync()
+			for i := w; i < data.Len(); i += 4 {
+				if err := c.PartialFit(data.X[i], data.Y[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := c.Delta(); err != nil {
+				t.Error(err)
+			}
+		}(w, c)
+	}
+	// The original keeps serving predictions while the clones train.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < data.Len(); i++ {
+			if _, err := base.Predict(data.X[i]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if math.Float64bits(base.models[0][0]) != wantBits {
+		t.Fatal("training clones mutated the original model")
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reghd/internal/hdc"
+)
+
+// This file is the bundling-merge API that makes RegHD training compose:
+// hypervector models are bundles (sums of weighted encodings), so a model
+// trained on shard A and a model trained on shard B merge by weighted
+// bundling of their vectors — no gradients, no synchronization. A worker
+// records its reference state with MarkSync, trains locally, and emits the
+// difference with Delta; the coordinator folds any number of deltas into
+// its model with Merge (full precision) or MergeQuantized (the binarized
+// bundling of Schmuck–Benini–Rahimi, arXiv 1807.08583, for binary
+// configurations). FitParallel (fitparallel.go) drives this per epoch; a
+// serving replica can drive it across the network by shipping Deltas.
+
+// Delta is the additive difference of a model's learned state since its
+// MarkSync baseline: the vector movements, the sample and per-cluster
+// assignment counts that weight the merge, the primitive-operation charges
+// accumulated (so op accounting stays exactly additive across workers),
+// and — for quantized configurations — freshly re-quantized binary shadows
+// with their scales, which is all a bits-only replica needs to ship.
+type Delta struct {
+	// Samples is the number of training updates absorbed since MarkSync;
+	// it is this delta's weight in a merge. A zero-sample delta merges as
+	// a no-op.
+	Samples uint64
+	// Models[i] is M_i − base(M_i).
+	Models []hdc.Vector
+	// Clusters[i] is C_i − base(C_i); nil for single-model configurations.
+	Clusters []hdc.Vector
+	// AssignN[i] counts the samples cluster i attracted since MarkSync;
+	// nil for single-model configurations.
+	AssignN []uint64
+	// Ops holds the primitive-operation counts charged to the worker's
+	// TrainCounter since MarkSync. Merge adds them into the coordinator's
+	// TrainCounter, keeping the hardware cost accounting exactly additive.
+	Ops hdc.Counter
+	// ModelsBin/ClustersBin are fresh sign-quantizations of the worker's
+	// current integer state (not the worker's possibly stale live shadows),
+	// and ModelScale the matching ‖M_i‖₁/D magnitudes. They are populated
+	// only for configurations whose prediction path reads them, and feed
+	// the per-bit vote of MergeQuantized.
+	ModelsBin   []*hdc.Binary
+	ClustersBin []*hdc.Binary
+	ModelScale  []float64
+	// CalibA, CalibB are the worker's output calibration, fused by
+	// sample-weighted averaging (coordinators that hold training data
+	// usually refit calibration after merging instead).
+	CalibA, CalibB float64
+}
+
+// syncBase is the state MarkSync records for Delta to diff against.
+// Buffers are reused across repeated MarkSync calls on the same model.
+type syncBase struct {
+	samples  uint64
+	models   []hdc.Vector
+	clusters []hdc.Vector
+	assignN  []uint64
+	ops      [hdc.NumOps]uint64
+}
+
+// MarkSync records the model's current learned state as the baseline for a
+// later Delta call. Workers call it right after syncing to the
+// coordinator's state (FitParallel does both in one step); a streaming
+// replica calls it after each successful delta shipment. Repeated calls
+// reuse the baseline buffers.
+func (m *Model) MarkSync() {
+	if m.base == nil {
+		m.base = &syncBase{
+			models:   make([]hdc.Vector, len(m.models)),
+			clusters: make([]hdc.Vector, len(m.clusters)),
+		}
+		for i := range m.base.models {
+			m.base.models[i] = hdc.NewVector(m.dim)
+		}
+		for i := range m.base.clusters {
+			m.base.clusters[i] = hdc.NewVector(m.dim)
+		}
+		if m.assignN != nil {
+			m.base.assignN = make([]uint64, len(m.assignN))
+		}
+	}
+	for i, v := range m.models {
+		copy(m.base.models[i], v)
+	}
+	for i, v := range m.clusters {
+		copy(m.base.clusters[i], v)
+	}
+	copy(m.base.assignN, m.assignN)
+	m.base.samples = m.samples
+	m.base.ops = m.TrainCounter.Snapshot()
+}
+
+// Delta returns the additive difference between the model's current learned
+// state and its MarkSync baseline. The returned delta owns its memory: the
+// model may keep training (or re-MarkSync) immediately.
+func (m *Model) Delta() (*Delta, error) {
+	if m.base == nil {
+		return nil, fmt.Errorf("core: Delta before MarkSync")
+	}
+	d := &Delta{
+		Samples: m.samples - m.base.samples,
+		Models:  make([]hdc.Vector, len(m.models)),
+		CalibA:  m.calibA,
+		CalibB:  m.calibB,
+	}
+	for i, v := range m.models {
+		dv := hdc.NewVector(m.dim)
+		for j := range dv {
+			dv[j] = v[j] - m.base.models[i][j]
+		}
+		d.Models[i] = dv
+	}
+	if m.clusters != nil {
+		d.Clusters = make([]hdc.Vector, len(m.clusters))
+		for i, v := range m.clusters {
+			dv := hdc.NewVector(m.dim)
+			for j := range dv {
+				dv[j] = v[j] - m.base.clusters[i][j]
+			}
+			d.Clusters[i] = dv
+		}
+	}
+	if m.assignN != nil {
+		d.AssignN = make([]uint64, len(m.assignN))
+		for i := range d.AssignN {
+			d.AssignN[i] = m.assignN[i] - m.base.assignN[i]
+		}
+	}
+	cur := m.TrainCounter.Snapshot()
+	for op := hdc.Op(0); op < hdc.NumOps; op++ {
+		d.Ops.Add(op, cur[op]-m.base.ops[op])
+	}
+	// Fresh shadows for the quantized merge: re-quantize from the current
+	// integer state (the live shadows only refresh per epoch, so they may
+	// still hold the baseline's bits). Charged to no counter — shipping a
+	// delta is orchestration, not a modeled training kernel.
+	if m.cfg.PredictMode.UsesBinaryModel() {
+		d.ModelsBin = make([]*hdc.Binary, len(m.models))
+		d.ModelScale = make([]float64, len(m.models))
+		for i, v := range m.models {
+			d.ModelsBin[i] = hdc.Pack(nil, v)
+			d.ModelScale[i] = hdc.L1Norm(nil, v) / float64(m.dim)
+		}
+	}
+	if m.cfg.ClusterMode == ClusterBinary {
+		d.ClustersBin = make([]*hdc.Binary, len(m.clusters))
+		for i, v := range m.clusters {
+			d.ClustersBin[i] = hdc.Pack(nil, v)
+		}
+	}
+	return d, nil
+}
+
+// checkDelta validates one delta's shape against the model.
+func (m *Model) checkDelta(d *Delta) error {
+	if d == nil {
+		return fmt.Errorf("core: nil delta")
+	}
+	if len(d.Models) != len(m.models) {
+		return fmt.Errorf("core: delta has %d model vectors, model has %d", len(d.Models), len(m.models))
+	}
+	if err := hdc.CheckDims(m.dim, d.Models...); err != nil {
+		return fmt.Errorf("core: delta model vectors: %w", err)
+	}
+	if m.clusters != nil {
+		if len(d.Clusters) != len(m.clusters) {
+			return fmt.Errorf("core: delta has %d cluster vectors, model has %d", len(d.Clusters), len(m.clusters))
+		}
+		if err := hdc.CheckDims(m.dim, d.Clusters...); err != nil {
+			return fmt.Errorf("core: delta cluster vectors: %w", err)
+		}
+	}
+	if m.assignN != nil && len(d.AssignN) != len(m.assignN) {
+		return fmt.Errorf("core: delta has %d assignment counts, model has %d", len(d.AssignN), len(m.assignN))
+	}
+	return nil
+}
+
+// sortDeltas returns the non-empty deltas in a canonical content-derived
+// order, so every floating-point fold below visits contributions in the
+// same sequence no matter how the caller ordered the shards — the merge is
+// commutative not just to tolerance but, for any fixed delta multiset, to
+// the bit.
+func sortDeltas(deltas []*Delta) []*Delta {
+	ds := make([]*Delta, 0, len(deltas))
+	for _, d := range deltas {
+		if d.Samples > 0 {
+			ds = append(ds, d)
+		}
+	}
+	sort.SliceStable(ds, func(a, b int) bool { return deltaLess(ds[a], ds[b]) })
+	return ds
+}
+
+// deltaLess is a deterministic total order on delta contents: sample count,
+// then lexicographic Float64bits of the model movements.
+func deltaLess(a, b *Delta) bool {
+	if a.Samples != b.Samples {
+		return a.Samples < b.Samples
+	}
+	for i := range a.Models {
+		av, bv := a.Models[i], b.Models[i]
+		for j := range av {
+			ab, bb := math.Float64bits(av[j]), math.Float64bits(bv[j])
+			if ab != bb {
+				return ab < bb
+			}
+		}
+	}
+	return false
+}
+
+// mergeCommon validates the deltas and folds everything except the binary
+// shadows: the sample-count-weighted bundle of the integer vectors, the
+// additive fusion of sample/assignment counts and op charges, and the
+// weighted calibration. It returns the deltas in canonical order plus the
+// total sample weight (0 means the merge was a no-op).
+func (m *Model) mergeCommon(deltas []*Delta) ([]*Delta, uint64, error) {
+	for _, d := range deltas {
+		if err := m.checkDelta(d); err != nil {
+			return nil, 0, err
+		}
+	}
+	ds := sortDeltas(deltas)
+	var total uint64
+	for _, d := range ds {
+		total += d.Samples
+	}
+	if total == 0 {
+		return ds, 0, nil
+	}
+	// Sample-count-weighted bundling: the merged state is the
+	// sample-weighted average of the workers' states (base + Σ wᵢ·Δᵢ with
+	// Σ wᵢ = 1) — iterative parameter mixing, which for randomly sharded
+	// least squares is the divide-and-conquer estimator. Summing the deltas
+	// unweighted would instead apply every shard's correction of the shared
+	// starting error N times over and overshoot. Merge arithmetic is
+	// deliberately uncharged: it is coordination, not a modeled kernel, and
+	// charging it would break the exact additivity of worker op counts.
+	var calibA, calibB float64
+	for _, d := range ds {
+		w := float64(d.Samples) / float64(total)
+		for i := range m.models {
+			hdc.AXPY(nil, m.models[i], w, d.Models[i])
+		}
+		for i := range m.clusters {
+			hdc.AXPY(nil, m.clusters[i], w, d.Clusters[i])
+		}
+		for i := range d.AssignN {
+			m.assignN[i] += d.AssignN[i]
+		}
+		m.samples += d.Samples
+		m.TrainCounter.AddCounter(&d.Ops)
+		calibA += w * d.CalibA
+		calibB += w * d.CalibB
+	}
+	if m.cfg.PredictMode.UsesBinaryModel() {
+		m.calibA, m.calibB = calibA, calibB
+	}
+	m.trained = true
+	return ds, total, nil
+}
+
+// Merge folds worker deltas into the model by sample-count-weighted
+// bundling: each integer cluster/model hypervector moves by the weighted
+// average of the deltas' movements (weights nᵢ/Σn), assignment counts,
+// sample counts, and op charges fuse additively, and the output calibration
+// becomes the sample-weighted average of the workers' calibrations. Binary
+// shadows are NOT re-quantized here — call RefreshShadows (or let the
+// training orchestrator's end-of-epoch step do it), or use MergeQuantized,
+// whose per-bit vote replaces the refresh for binary configurations.
+//
+// The result is independent of the order deltas are passed in: deltas fold
+// in a canonical content-derived order, so permuting the arguments
+// reproduces the merged state bit for bit.
+//
+// Merge mutates the model, so the single-writer contract applies.
+func (m *Model) Merge(deltas ...*Delta) error {
+	_, _, err := m.mergeCommon(deltas)
+	return err
+}
+
+// MergeQuantized is Merge plus the binarized-bundling shadow merge for
+// quantized configurations (binary clusters and/or binary models): instead
+// of re-quantizing shadows from the merged floating-point state, every bit
+// of the merged shadow is decided by a sample-count-weighted majority vote
+// over the deltas' freshly quantized shadows (ties keep the coordinator's
+// current bit), and the per-model scales and calibration fuse by weighted
+// averaging. The vote is pure integer arithmetic, which is what a replica
+// fleet shipping bit-packed deltas (Dim bits per vector instead of 64·Dim)
+// computes identically on every node regardless of arrival order.
+func (m *Model) MergeQuantized(deltas ...*Delta) error {
+	if !m.cfg.PredictMode.UsesBinaryModel() && m.cfg.ClusterMode != ClusterBinary {
+		return fmt.Errorf("core: MergeQuantized requires a binary model or binary clusters, have %s/%s", m.cfg.ClusterMode, m.cfg.PredictMode)
+	}
+	for _, d := range deltas {
+		if d == nil {
+			return fmt.Errorf("core: nil delta")
+		}
+		if d.Samples == 0 {
+			continue
+		}
+		if m.cfg.PredictMode.UsesBinaryModel() && (len(d.ModelsBin) != len(m.modelsBin) || len(d.ModelScale) != len(m.modelScale)) {
+			return fmt.Errorf("core: delta carries no binary model shadows for the quantized merge")
+		}
+		if m.cfg.ClusterMode == ClusterBinary && len(d.ClustersBin) != len(m.clustersBin) {
+			return fmt.Errorf("core: delta carries no binary cluster shadows for the quantized merge")
+		}
+	}
+	ds, total, err := m.mergeCommon(deltas)
+	if err != nil || total == 0 {
+		return err
+	}
+	votes := make([]int64, m.dim)
+	if m.cfg.PredictMode.UsesBinaryModel() {
+		for i := range m.modelsBin {
+			voteBits(m.modelsBin[i], votes, ds, func(d *Delta) *hdc.Binary { return d.ModelsBin[i] })
+			scale := 0.0
+			for _, d := range ds {
+				scale += float64(d.Samples) / float64(total) * d.ModelScale[i]
+			}
+			m.modelScale[i] = scale
+		}
+	}
+	if m.cfg.ClusterMode == ClusterBinary {
+		for i := range m.clustersBin {
+			voteBits(m.clustersBin[i], votes, ds, func(d *Delta) *hdc.Binary { return d.ClustersBin[i] })
+		}
+	}
+	return nil
+}
+
+// voteBits overwrites dst with the sample-weighted per-bit majority of the
+// deltas' shadows, keeping dst's current bit on a tie. votes is caller
+// scratch of dimension dst.Dim.
+func voteBits(dst *hdc.Binary, votes []int64, ds []*Delta, bin func(*Delta) *hdc.Binary) {
+	for j := range votes {
+		votes[j] = 0
+	}
+	for _, d := range ds {
+		w := int64(d.Samples)
+		b := bin(d)
+		for j := 0; j < dst.Dim; j++ {
+			if b.Bit(j) {
+				votes[j] += w
+			} else {
+				votes[j] -= w
+			}
+		}
+	}
+	for j := 0; j < dst.Dim; j++ {
+		switch {
+		case votes[j] > 0:
+			dst.SetBit(j, true)
+		case votes[j] < 0:
+			dst.SetBit(j, false)
+		}
+	}
+}

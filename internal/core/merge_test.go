@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/encoding"
+	"reghd/internal/hdc"
+)
+
+// newMergeModel builds a counted model for the merge tests.
+func newMergeModel(t testing.TB, cfg Config, feats, dim int) *Model {
+	t.Helper()
+	enc, err := encoding.NewNonlinearProjection(rand.New(rand.NewSource(99)), feats, dim, 1.0, encoding.ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TrainCounter = &hdc.Counter{}
+	return m
+}
+
+// trainWorkers clones the base model n times, streams disjoint shards into
+// the clones via PartialFit, and returns the resulting deltas. Each clone
+// gets a private counter so its delta carries exactly its own op charges.
+func trainWorkers(t testing.TB, base *Model, d interface {
+	Row(i int) ([]float64, float64)
+	Len() int
+}, n int) []*Delta {
+	t.Helper()
+	deltas := make([]*Delta, n)
+	for w := 0; w < n; w++ {
+		c := base.Clone()
+		c.TrainCounter = &hdc.Counter{}
+		c.MarkSync()
+		for i := w; i < d.Len(); i += n {
+			x, y := d.Row(i)
+			if err := c.PartialFit(x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dl, err := c.Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas[w] = dl
+	}
+	return deltas
+}
+
+// rowsOf adapts a dataset to the Row/Len view trainWorkers wants.
+type rowsOf struct {
+	x [][]float64
+	y []float64
+}
+
+func (r rowsOf) Row(i int) ([]float64, float64) { return r.x[i], r.y[i] }
+func (r rowsOf) Len() int                       { return len(r.x) }
+
+// mergeBaseConfig is a small quantized configuration exercising every store
+// a merge touches: binary clusters, binary models, scales, calibration.
+func mergeBaseConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Models = 4
+	cfg.Epochs = 3
+	cfg.Seed = 11
+	cfg.ClusterMode = ClusterBinary
+	cfg.PredictMode = PredictBinaryBoth
+	return cfg
+}
+
+// statesEqual reports whether the two models' learned states are
+// Float64bits-identical (vectors, shadows, scales, calibration, census).
+func statesEqual(t *testing.T, a, b *Model) bool {
+	t.Helper()
+	eqVec := func(u, v []hdc.Vector) bool {
+		for i := range u {
+			for j := range u[i] {
+				if math.Float64bits(u[i][j]) != math.Float64bits(v[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !eqVec(a.models, b.models) || !eqVec(a.clusters, b.clusters) {
+		return false
+	}
+	for i := range a.modelsBin {
+		for w := range a.modelsBin[i].Words {
+			if a.modelsBin[i].Words[w] != b.modelsBin[i].Words[w] {
+				return false
+			}
+		}
+	}
+	for i := range a.clustersBin {
+		for w := range a.clustersBin[i].Words {
+			if a.clustersBin[i].Words[w] != b.clustersBin[i].Words[w] {
+				return false
+			}
+		}
+	}
+	for i := range a.modelScale {
+		if math.Float64bits(a.modelScale[i]) != math.Float64bits(b.modelScale[i]) {
+			return false
+		}
+	}
+	if math.Float64bits(a.calibA) != math.Float64bits(b.calibA) ||
+		math.Float64bits(a.calibB) != math.Float64bits(b.calibB) {
+		return false
+	}
+	if a.samples != b.samples {
+		return false
+	}
+	for i := range a.assignN {
+		if a.assignN[i] != b.assignN[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeOrderInvariant pins the commutativity contract: merging the same
+// delta multiset in any argument order produces a Float64bits-identical
+// model — exactly, not to tolerance — on both the quantized and the
+// full-precision paths, because deltas fold in a canonical content-derived
+// order.
+func TestMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := makeLinear(rng, 180, 4, 0.05)
+	for _, tc := range []struct {
+		name      string
+		cfg       Config
+		quantized bool
+	}{
+		{"quantized", mergeBaseConfig(), true},
+		{"full-precision", func() Config {
+			cfg := mergeBaseConfig()
+			cfg.ClusterMode = ClusterInteger
+			cfg.PredictMode = PredictFull
+			return cfg
+		}(), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := newMergeModel(t, tc.cfg, 4, 256)
+			if _, err := base.Fit(data); err != nil {
+				t.Fatal(err)
+			}
+			deltas := trainWorkers(t, base, rowsOf{data.X, data.Y}, 4)
+			perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}
+			var first *Model
+			for pi, p := range perms {
+				m := base.Clone()
+				m.TrainCounter = &hdc.Counter{}
+				ordered := make([]*Delta, len(p))
+				for i, j := range p {
+					ordered[i] = deltas[j]
+				}
+				var err error
+				if tc.quantized {
+					err = m.MergeQuantized(ordered...)
+				} else {
+					err = m.Merge(ordered...)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first == nil {
+					first = m
+					continue
+				}
+				if !statesEqual(t, first, m) {
+					t.Fatalf("permutation %v produced a different merged state", perms[pi])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeCounterAdditivity pins the op-accounting contract: the merged
+// model's training counter equals the base counter plus the exact sum of
+// the workers' charges — the merge itself charges nothing.
+func TestMergeCounterAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := makeLinear(rng, 120, 4, 0.05)
+	base := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if _, err := base.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	before := base.TrainCounter.Snapshot()
+	deltas := trainWorkers(t, base, rowsOf{data.X, data.Y}, 3)
+	want := before
+	for _, d := range deltas {
+		s := d.Ops.Snapshot()
+		for op := range want {
+			want[op] += s[op]
+		}
+	}
+	if err := base.MergeQuantized(deltas...); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.TrainCounter.Snapshot(); got != want {
+		t.Fatalf("merged counter not exactly additive:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMergeWeightsBySamples pins the weighted-averaging semantics: two
+// equal-weight deltas moving a component by +2 and +4 land the merged
+// component at +3 (the average), not +6 (the sum a naive delta-add would
+// produce — which overshoots by the worker count on error components the
+// shards share).
+func TestMergeWeightsBySamples(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Models = 1
+	cfg.ClusterMode = ClusterInteger
+	cfg.PredictMode = PredictBinaryQuery
+	m := newMergeModel(t, cfg, 2, 64)
+	mk := func(move float64, samples uint64) *Delta {
+		d := &Delta{Samples: samples, Models: []hdc.Vector{hdc.NewVector(64)}}
+		for j := range d.Models[0] {
+			d.Models[0][j] = move
+		}
+		return d
+	}
+	if err := m.Merge(mk(2, 10), mk(4, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.models[0][0]; math.Abs(got-3) > 1e-12 {
+		t.Fatalf("component = %v, want the sample-weighted average 3", got)
+	}
+	if m.SampleCount() != 20 {
+		t.Fatalf("samples = %d, want 20 (additive)", m.SampleCount())
+	}
+	// Unequal weights: 10 samples at +2 and 30 at +4 average to +3.5.
+	m2 := newMergeModel(t, cfg, 2, 64)
+	if err := m2.Merge(mk(2, 10), mk(4, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.models[0][0]; math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("component = %v, want 3.5", got)
+	}
+}
+
+// TestMergeAssignCensusAdditive pins that the per-cluster assignment
+// census fuses additively and matches what the workers actually counted.
+func TestMergeAssignCensusAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := makePiecewise(rng, 160, 4, 0.05)
+	base := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if _, err := base.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	baseCensus := base.AssignCounts()
+	deltas := trainWorkers(t, base, rowsOf{data.X, data.Y}, 4)
+	want := append([]uint64(nil), baseCensus...)
+	var deltaTotal uint64
+	for _, d := range deltas {
+		for i, n := range d.AssignN {
+			want[i] += n
+			deltaTotal += n
+		}
+	}
+	if deltaTotal != uint64(data.Len()) {
+		t.Fatalf("workers counted %d assignments over %d rows", deltaTotal, data.Len())
+	}
+	if err := base.MergeQuantized(deltas...); err != nil {
+		t.Fatal(err)
+	}
+	got := base.AssignCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("census[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeErrors pins the API error paths: Delta before MarkSync,
+// MergeQuantized on a configuration with no quantized stores, deltas whose
+// shapes don't match, and the zero-delta no-op.
+func TestMergeErrors(t *testing.T) {
+	cfg := mergeBaseConfig()
+	m := newMergeModel(t, cfg, 4, 256)
+	if _, err := m.Delta(); err == nil {
+		t.Fatal("Delta before MarkSync should fail")
+	}
+	full := DefaultConfig()
+	full.Models = 4
+	fm := newMergeModel(t, full, 4, 256)
+	if err := fm.MergeQuantized(); err == nil {
+		t.Fatal("MergeQuantized on a full-precision config should fail")
+	}
+	if err := m.Merge(&Delta{Samples: 1, Models: []hdc.Vector{hdc.NewVector(256)}}); err == nil {
+		t.Fatal("Merge with a wrong-arity delta should fail")
+	}
+	if err := m.Merge(nil); err == nil {
+		t.Fatal("Merge with a nil delta should fail")
+	}
+	// Merging nothing (or only zero-sample deltas) is a no-op, not an error.
+	m.MarkSync()
+	d, err := m.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Samples != 0 {
+		t.Fatalf("untouched delta has %d samples", d.Samples)
+	}
+	if err := m.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trained() {
+		t.Fatal("zero-sample merge must not mark the model trained")
+	}
+}
+
+// TestDeltaIsolated pins that a delta owns its memory: training the worker
+// further after Delta must not change the extracted delta.
+func TestDeltaIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := makeLinear(rng, 60, 4, 0.05)
+	base := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if _, err := base.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	c := base.Clone()
+	c.MarkSync()
+	for i := 0; i < 20; i++ {
+		if err := c.PartialFit(data.X[i], data.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := append(hdc.Vector(nil), d1.Models[0]...)
+	for i := 20; i < 40; i++ {
+		if err := c.PartialFit(data.X[i], data.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := range snap {
+		if math.Float64bits(snap[j]) != math.Float64bits(d1.Models[0][j]) {
+			t.Fatal("delta aliases worker state: further training mutated it")
+		}
+	}
+}
+
+// FuzzMergeCommutative fuzzes the order-invariance contract over random
+// shard contents and argument permutations: any permutation of the same
+// deltas must merge to a bit-identical model.
+func FuzzMergeCommutative(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(42), uint8(7))
+	f.Add(int64(-3), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, permSel uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		data := makeLinear(rng, 60, 3, 0.1)
+		cfg := mergeBaseConfig()
+		cfg.Epochs = 1
+		base := newMergeModel(t, cfg, 3, 128)
+		if _, err := base.Fit(data); err != nil {
+			t.Fatal(err)
+		}
+		deltas := trainWorkers(t, base, rowsOf{data.X, data.Y}, 3)
+		perm := rand.New(rand.NewSource(int64(permSel))).Perm(len(deltas))
+		shuffled := make([]*Delta, len(deltas))
+		for i, j := range perm {
+			shuffled[i] = deltas[j]
+		}
+		a := base.Clone()
+		b := base.Clone()
+		if err := a.MergeQuantized(deltas...); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.MergeQuantized(shuffled...); err != nil {
+			t.Fatal(err)
+		}
+		if !statesEqual(t, a, b) {
+			t.Fatalf("permutation %v changed the merged state", perm)
+		}
+	})
+}

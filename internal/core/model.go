@@ -62,6 +62,22 @@ type Model struct {
 	rng     *rand.Rand
 	trained bool
 
+	// samples counts every training update the model has absorbed (one per
+	// Fit epoch sample and per PartialFit call). Sharded training weighs
+	// each worker's contribution by the samples it absorbed since the last
+	// sync point (see Delta/Merge in merge.go).
+	samples uint64
+	// assignN[i] counts the training samples whose cluster argmax picked
+	// cluster i — the persistent form of the ClusterUsage histogram. Deltas
+	// carry the per-shard counts and Merge fuses them additively, so the
+	// merged model reports the same assignment census a sequential pass
+	// over the union of shards would. Nil for single-model configurations.
+	assignN []uint64
+
+	// base, when non-nil, is the learned state recorded by MarkSync — the
+	// reference that Delta diffs against. Training paths never read it.
+	base *syncBase
+
 	// sims and conf are the training-path scratch (cluster similarities
 	// and softmax confidences): predictTraining leaves them filled for the
 	// subsequent update, which is why the training loop — single-writer by
@@ -178,6 +194,7 @@ func New(enc encoding.Encoder, cfg Config) (*Model, error) {
 		}
 		m.sims = make([]float64, cfg.Models)
 		m.conf = make([]float64, cfg.Models)
+		m.assignN = make([]uint64, cfg.Models)
 	}
 	return m, nil
 }
@@ -196,6 +213,21 @@ func (p *params) Encoder() encoding.Encoder { return p.enc }
 
 // Trained reports whether Fit has completed at least one epoch.
 func (m *Model) Trained() bool { return m.trained }
+
+// SampleCount returns the number of training updates the model has
+// absorbed (Fit epoch samples plus PartialFit calls, including counts
+// fused in by Merge).
+func (m *Model) SampleCount() uint64 { return m.samples }
+
+// AssignCounts returns a copy of the per-cluster training assignment
+// census: how many training samples each cluster attracted. Nil for
+// single-model configurations.
+func (m *Model) AssignCounts() []uint64 {
+	if m.assignN == nil {
+		return nil
+	}
+	return append([]uint64(nil), m.assignN...)
+}
 
 // encoded bundles the representations of one encoded sample that the active
 // configuration needs: the bipolar vector S, its bit-packed form S^b, and —

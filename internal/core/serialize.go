@@ -33,6 +33,12 @@ type modelState struct {
 	ModelScale     []float64
 	CalibA, CalibB float64
 	Trained        bool
+	// Samples/AssignN carry the training census that weights bundling
+	// merges (see merge.go). Absent in checkpoints written before the
+	// fields existed; Load tolerates that (gob skips missing fields) and
+	// re-allocates the assignment slice.
+	Samples uint64
+	AssignN []uint64
 }
 
 // Save serializes the model (including its encoder and any binary shadows)
@@ -49,6 +55,8 @@ func (m *Model) Save(w io.Writer) error {
 		CalibA:      m.calibA,
 		CalibB:      m.calibB,
 		Trained:     m.trained,
+		Samples:     m.samples,
+		AssignN:     m.assignN,
 	}
 	if err := gob.NewEncoder(w).Encode(st); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
@@ -130,12 +138,18 @@ func Load(r io.Reader) (*Model, error) {
 			calibB:      st.CalibB,
 		},
 		trained: st.Trained,
+		samples: st.Samples,
 		rng:     rand.New(rand.NewSource(st.Cfg.Seed)),
 		scratch: newScratchPool(st.Cfg.Models, dim, st.Cfg.PredictMode.UsesRawQuery(), bufEnc != nil),
 	}
 	if m.cfg.Models > 1 {
 		m.sims = make([]float64, m.cfg.Models)
 		m.conf = make([]float64, m.cfg.Models)
+		m.assignN = st.AssignN
+		if len(m.assignN) != m.cfg.Models {
+			// Pre-census checkpoint (or corrupt slice): start a fresh count.
+			m.assignN = make([]uint64, m.cfg.Models)
+		}
 	}
 	return m, nil
 }

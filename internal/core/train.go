@@ -124,6 +124,7 @@ func (m *Model) prepare(train *dataset.Dataset) (*trainCache, error) {
 // representation; for bipolar S the factor is 1 and the update reduces to
 // the paper's M ← M + α(y−ŷ)S verbatim.
 func (m *Model) update(ctr *hdc.Counter, e encoded, y, yhat float64) {
+	m.samples++
 	errv := y - yhat
 	u := e.s
 	gain := m.cfg.LearningRate
@@ -139,6 +140,9 @@ func (m *Model) update(ctr *hdc.Counter, e encoded, y, yhat float64) {
 		hdc.AXPY(ctr, m.models[0], gain*errv, u)
 		return
 	}
+	// Assignment census: bookkeeping only, so it recomputes the argmax with
+	// a nil counter rather than disturbing the charged op counts.
+	m.assignN[hdc.Argmax(nil, m.sims)]++
 	switch m.cfg.UpdateRule {
 	case UpdateWeighted:
 		for i := range m.models {
@@ -157,6 +161,25 @@ func (m *Model) update(ctr *hdc.Counter, e encoded, y, yhat float64) {
 	}
 }
 
+// trainOne replays one cached sample through the training pipeline —
+// unpack, predict-before-update, Eq. 7/8 update — and returns the squared
+// prequential error. It is the shared inner step of the sequential epoch
+// and the per-shard worker passes of FitParallel.
+func (m *Model) trainOne(cache *trainCache, idx int, scratchS, scratchRaw hdc.Vector) float64 {
+	e := encoded{packed: cache.packed[idx], s: scratchS}
+	hdc.UnpackInto(scratchS, cache.packed[idx])
+	if cache.raw != nil {
+		for j, v := range cache.raw[idx] {
+			scratchRaw[j] = float64(v)
+		}
+		e.raw = scratchRaw
+	}
+	yhat := m.predictTraining(m.TrainCounter, e)
+	d := cache.y[idx] - yhat
+	m.update(m.TrainCounter, e, cache.y[idx], yhat)
+	return d * d
+}
+
 // epoch runs one training pass in a shuffled order and returns the
 // prequential MSE.
 func (m *Model) epoch(cache *trainCache, scratchS, scratchRaw hdc.Vector) float64 {
@@ -164,18 +187,7 @@ func (m *Model) epoch(cache *trainCache, scratchS, scratchRaw hdc.Vector) float6
 	order := m.rng.Perm(n)
 	var sqErr float64
 	for _, idx := range order {
-		e := encoded{packed: cache.packed[idx], s: scratchS}
-		hdc.UnpackInto(scratchS, cache.packed[idx])
-		if cache.raw != nil {
-			for j, v := range cache.raw[idx] {
-				scratchRaw[j] = float64(v)
-			}
-			e.raw = scratchRaw
-		}
-		yhat := m.predictTraining(m.TrainCounter, e)
-		d := cache.y[idx] - yhat
-		sqErr += d * d
-		m.update(m.TrainCounter, e, cache.y[idx], yhat)
+		sqErr += m.trainOne(cache, idx, scratchS, scratchRaw)
 	}
 	m.refreshBinaryShadows(m.TrainCounter)
 	m.calibrate(cache, scratchS, scratchRaw)
@@ -251,6 +263,13 @@ func (m *Model) fit(train, val *dataset.Dataset, cb func(int, float64) bool) (*T
 	if err != nil {
 		return nil, err
 	}
+	return m.fitCache(cache, val, cb)
+}
+
+// fitCache is the iterative-training loop over an already-encoded cache;
+// fit and the single-worker path of FitParallel share it so both run the
+// identical sequential algorithm.
+func (m *Model) fitCache(cache *trainCache, val *dataset.Dataset, cb func(int, float64) bool) (*TrainResult, error) {
 	scratchS := hdc.NewVector(m.dim)
 	var scratchRaw hdc.Vector
 	if cache.raw != nil {

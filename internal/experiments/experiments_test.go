@@ -20,7 +20,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablate", "bitflip", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "platforms", "robust", "sparse", "table1", "table2"}
+	want := []string{"ablate", "bitflip", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "parscale", "platforms", "robust", "sparse", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -338,6 +338,32 @@ func TestCPUWallClockSmoke(t *testing.T) {
 	}
 	if !strings.Contains(res.Render(), "wall-clock") {
 		t.Fatal("render missing title")
+	}
+}
+
+func TestParScaleSmoke(t *testing.T) {
+	res, err := ParScale(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 7 {
+		t.Fatalf("expected 7 datasets, got %v", res.Datasets)
+	}
+	for _, d := range res.Datasets {
+		if res.SeqMSE[d] <= 0 || res.SeqSeconds[d] <= 0 {
+			t.Fatalf("missing sequential baseline for %s", d)
+		}
+		for _, w := range res.Workers {
+			if res.ParMSE[d][w] <= 0 || res.ParSeconds[d][w] <= 0 {
+				t.Fatalf("missing w=%d measurement for %s", w, d)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Sharded parallel training") {
+		t.Fatal("render missing title")
+	}
+	if _, rows := res.Table(); len(rows) != 7*3 {
+		t.Fatalf("expected 21 table rows, got %d", len(rows))
 	}
 }
 

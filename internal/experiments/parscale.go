@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/synth"
+)
+
+// ParScaleResult reports sharded parallel training (docs/TRAINING.md)
+// against the sequential baseline on all seven evaluation datasets: test
+// MSE and measured training wall-clock for sequential Fit and for
+// FitParallel at each worker count. The quality claim is the one the
+// bundling-merge design rests on — the merged model tracks the
+// sequentially trained one — while the wall-clock columns document
+// scaling honestly (speedup > 1 requires GOMAXPROCS >= workers; on a
+// single core the shards time-slice and the columns sit at parity).
+type ParScaleResult struct {
+	// Datasets lists the workloads in evaluation order.
+	Datasets []string
+	// Workers lists the FitParallel worker counts measured.
+	Workers []int
+	// SeqMSE and SeqSeconds are the sequential Fit baseline per dataset.
+	SeqMSE, SeqSeconds map[string]float64
+	// ParMSE and ParSeconds index dataset then worker count.
+	ParMSE, ParSeconds map[string]map[int]float64
+}
+
+// ParScale trains RegHD on every evaluation dataset sequentially and with
+// sharded parallel training, measuring quality and wall-clock for each.
+func ParScale(o Options) (*ParScaleResult, error) {
+	o = o.withDefaults()
+	res := &ParScaleResult{
+		Datasets:   synth.Names(),
+		Workers:    []int{2, 4},
+		SeqMSE:     map[string]float64{},
+		SeqSeconds: map[string]float64{},
+		ParMSE:     map[string]map[int]float64{},
+		ParSeconds: map[string]map[int]float64{},
+	}
+	for _, name := range res.Datasets {
+		train, test, err := loadSplit(name, o)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := dataset.FitScaler(train, true)
+		if err != nil {
+			return nil, err
+		}
+		trainS, err := sc.Transform(train)
+		if err != nil {
+			return nil, err
+		}
+		testS, err := sc.Transform(test)
+		if err != nil {
+			return nil, err
+		}
+		yScale := sc.YStd * sc.YStd
+
+		run := func(workers int) (float64, float64, error) {
+			hd, err := newRegHD(train.Features(), o, 8, core.ClusterInteger, core.PredictBinaryQuery)
+			if err != nil {
+				return 0, 0, err
+			}
+			start := time.Now()
+			if workers <= 1 {
+				_, err = hd.m.Fit(trainS)
+			} else {
+				_, err = hd.m.FitParallel(trainS, workers)
+			}
+			if err != nil {
+				return 0, 0, fmt.Errorf("experiments: parscale %s w=%d: %w", name, workers, err)
+			}
+			secs := time.Since(start).Seconds()
+			preds := make([]float64, testS.Len())
+			for i, x := range testS.X {
+				if preds[i], err = hd.m.Predict(x); err != nil {
+					return 0, 0, err
+				}
+			}
+			mse, err := dataset.MSE(preds, testS.Y)
+			if err != nil {
+				return 0, 0, err
+			}
+			return mse * yScale, secs, nil
+		}
+
+		mse, secs, err := run(1)
+		if err != nil {
+			return nil, err
+		}
+		res.SeqMSE[name], res.SeqSeconds[name] = mse, secs
+		res.ParMSE[name] = map[int]float64{}
+		res.ParSeconds[name] = map[int]float64{}
+		for _, w := range res.Workers {
+			mse, secs, err := run(w)
+			if err != nil {
+				return nil, err
+			}
+			res.ParMSE[name][w], res.ParSeconds[name][w] = mse, secs
+		}
+	}
+	return res, nil
+}
+
+// Render prints the quality/wall-clock comparison table.
+func (r *ParScaleResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Sharded parallel training vs sequential Fit (measured)\n")
+	fmt.Fprintf(&b, "%-10s %12s %10s", "dataset", "seq MSE", "seq s")
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, " %11s %9s %7s", fmt.Sprintf("w%d MSE", w), fmt.Sprintf("w%d s", w), "ratio")
+	}
+	b.WriteByte('\n')
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, "%-10s %12.3f %10.3f", d, r.SeqMSE[d], r.SeqSeconds[d])
+		for _, w := range r.Workers {
+			ratio := 0.0
+			if r.SeqMSE[d] > 0 {
+				ratio = r.ParMSE[d][w] / r.SeqMSE[d]
+			}
+			fmt.Fprintf(&b, " %11.3f %9.3f %6.2fx", r.ParMSE[d][w], r.ParSeconds[d][w], ratio)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("ratio = parallel MSE / sequential MSE (1.0 = merged model matches sequential quality);\n")
+	b.WriteString("wall-clock speedup requires GOMAXPROCS >= workers — see docs/TRAINING.md\n")
+	return b.String()
+}
+
+// Table implements Tabular: one row per dataset×workers cell (workers=1 is
+// the sequential baseline).
+func (r *ParScaleResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, d := range r.Datasets {
+		rows = append(rows, []string{d, "1", f(r.SeqMSE[d]), f(r.SeqSeconds[d])})
+		for _, w := range r.Workers {
+			rows = append(rows, []string{d, strconv.Itoa(w), f(r.ParMSE[d][w]), f(r.ParSeconds[d][w])})
+		}
+	}
+	return []string{"dataset", "workers", "test_mse", "train_seconds"}, rows
+}

@@ -33,6 +33,7 @@ var registry = map[string]Runner{
 	"dse":       func(o Options) (Renderer, error) { return DesignSpaceExploration(o) },
 	"platforms": func(o Options) (Renderer, error) { return PlatformComparison(o) },
 	"cpu":       func(o Options) (Renderer, error) { return CPUWallClock(o) },
+	"parscale":  func(o Options) (Renderer, error) { return ParScale(o) },
 }
 
 // IDs returns the registered experiment IDs in sorted order.

@@ -46,6 +46,30 @@ func TestTrendNaiveBinarizationWorst(t *testing.T) {
 	}
 }
 
+// TestTrendParallelQualityParity asserts the sharded-training claim at
+// experiment scale (docs/TRAINING.md): on every evaluation dataset the
+// bundling-merged model's test MSE stays within tolerance of the
+// sequentially trained one, at both worker counts. The 1.3x bound is the
+// same pinned tolerance as the core-level parity tests — the merge is an
+// approximation of the sequential update order, not a bit-exact replay.
+func TestTrendParallelQualityParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline trend test")
+	}
+	res, err := ParScale(trendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Datasets {
+		for _, w := range res.Workers {
+			if res.ParMSE[d][w] > res.SeqMSE[d]*1.3+1e-3 {
+				t.Fatalf("%s w=%d: parallel MSE %.4f vs sequential %.4f exceeds 1.3x",
+					d, w, res.ParMSE[d][w], res.SeqMSE[d])
+			}
+		}
+	}
+}
+
 // TestTrendEfficiencyHeadlines asserts the Fig. 8 headlines: RegHD-8
 // beats the DNN on both phases, and fewer models are cheaper.
 func TestTrendEfficiencyHeadlines(t *testing.T) {

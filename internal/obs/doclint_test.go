@@ -2,8 +2,9 @@ package obs_test
 
 // Doc lint: docs/OBSERVABILITY.md and the exported metric structs must
 // agree. The metric namespace is derived by reflection over the json tags
-// of reghd.EngineMetrics, obs.HWReport, reghd.RegistryMetrics, and
-// obs.LoadgenReport (exactly what /metrics and reghd-loadgen serve), so
+// of reghd.EngineMetrics, obs.HWReport, reghd.RegistryMetrics,
+// obs.LoadgenReport, and obs.TrainMetrics (exactly what /metrics and
+// reghd-loadgen serve), so
 // adding a field without documenting it — or documenting a metric that no
 // longer exists — fails `make metrics-lint` and the ordinary test run.
 
@@ -45,10 +46,11 @@ func codeMetrics() map[string]bool {
 	metricPaths(reflect.TypeOf(obs.HWReport{}), obs.HWVar, m)
 	metricPaths(reflect.TypeOf(reghd.RegistryMetrics{}), obs.RegistryVar, m)
 	metricPaths(reflect.TypeOf(obs.LoadgenReport{}), obs.LoadgenVar, m)
+	metricPaths(reflect.TypeOf(obs.TrainMetrics{}), obs.TrainVar, m)
 	return m
 }
 
-var metricNameRE = regexp.MustCompile("`(reghd\\.(?:engine|hw|registry|loadgen)(?:\\.[a-z0-9_*]+)+)`")
+var metricNameRE = regexp.MustCompile("`(reghd\\.(?:engine|hw|registry|loadgen|train)(?:\\.[a-z0-9_*]+)+)`")
 
 func TestMetricsDocumented(t *testing.T) {
 	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
@@ -108,6 +110,10 @@ func TestMetricNamespaceShape(t *testing.T) {
 		"reghd.loadgen.p99_ns",
 		"reghd.loadgen.slo_violated",
 		"reghd.loadgen.tenants.*",
+		"reghd.train.runs",
+		"reghd.train.shards",
+		"reghd.train.merge_ns_total",
+		"reghd.train.rows_per_sec",
 	} {
 		if !code[want] {
 			t.Errorf("expected metric %s missing from derived namespace:\n%s", want, fmt.Sprint(code))

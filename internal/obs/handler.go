@@ -20,6 +20,9 @@ const (
 	// LoadgenVar is the metric namespace of the LoadgenReport emitted by
 	// cmd/reghd-loadgen.
 	LoadgenVar = "reghd.loadgen"
+	// TrainVar is the expvar name carrying obs.TrainMetrics — the always-on
+	// sharded-training aggregate (obs publishes it at init).
+	TrainVar = "reghd.train"
 )
 
 var (

@@ -1,0 +1,107 @@
+package obs
+
+import "sync/atomic"
+
+// TrainStats aggregates sharded-training telemetry (reghd.(*Pipeline).FitParallel,
+// Engine.RetrainParallel). It is always on: the facade records every
+// parallel training run into the process-global Train, and the reghd.train
+// expvar serves the aggregate — no opt-in, matching the robustness
+// counters. All fields are atomics, so concurrent retrains record safely.
+type TrainStats struct {
+	runs    atomic.Uint64
+	workers atomic.Uint64 // last run's worker count (gauge)
+	shards  atomic.Uint64 // last run's shard count (gauge)
+	epochs  atomic.Uint64
+	merges  atomic.Uint64
+	mergeNS atomic.Uint64
+	wallNS  atomic.Uint64
+	rows    atomic.Uint64
+}
+
+// Train is the process-global sharded-training aggregate, published under
+// TrainVar.
+var Train = &TrainStats{}
+
+func init() {
+	Publish(TrainVar, func() any { return Train.Metrics() })
+}
+
+// TrainRun is one completed parallel training run's telemetry.
+type TrainRun struct {
+	// Workers is the worker count the run used; Shards the number of data
+	// shards (equal to Workers on the multi-worker path).
+	Workers, Shards int
+	// Epochs and Merges are the passes performed and bundling merges done.
+	Epochs, Merges int
+	// MergeNS is the wall time spent merging; WallNS the end-to-end wall
+	// time; Rows the training updates applied (dataset rows × epochs).
+	MergeNS, WallNS int64
+	// Rows is the number of training updates the run applied.
+	Rows uint64
+}
+
+// Record folds one run into the aggregate.
+func (s *TrainStats) Record(r TrainRun) {
+	s.runs.Add(1)
+	s.workers.Store(uint64(r.Workers))
+	s.shards.Store(uint64(r.Shards))
+	s.epochs.Add(uint64(r.Epochs))
+	s.merges.Add(uint64(r.Merges))
+	s.mergeNS.Add(uint64(r.MergeNS))
+	s.wallNS.Add(uint64(r.WallNS))
+	s.rows.Add(r.Rows)
+}
+
+// Reset zeroes the aggregate (tests).
+func (s *TrainStats) Reset() {
+	s.runs.Store(0)
+	s.workers.Store(0)
+	s.shards.Store(0)
+	s.epochs.Store(0)
+	s.merges.Store(0)
+	s.mergeNS.Store(0)
+	s.wallNS.Store(0)
+	s.rows.Store(0)
+}
+
+// TrainMetrics is the JSON served under the reghd.train expvar; every leaf
+// is documented in docs/OBSERVABILITY.md (doclint-pinned).
+type TrainMetrics struct {
+	// Runs counts completed parallel training runs since process start.
+	Runs uint64 `json:"runs"`
+	// Workers/Shards describe the most recent run.
+	Workers uint64 `json:"workers"`
+	Shards  uint64 `json:"shards"`
+	// Epochs/Merges/Rows accumulate across runs.
+	Epochs uint64 `json:"epochs"`
+	Merges uint64 `json:"merges"`
+	Rows   uint64 `json:"rows"`
+	// MergeNSTotal/MergeNSMean measure time spent inside bundling merges.
+	MergeNSTotal uint64 `json:"merge_ns_total"`
+	MergeNSMean  uint64 `json:"merge_ns_mean"`
+	// WallNSTotal is the end-to-end training wall time across runs;
+	// RowsPerSec is Rows divided by it.
+	WallNSTotal uint64  `json:"wall_ns_total"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
+// Metrics snapshots the aggregate.
+func (s *TrainStats) Metrics() TrainMetrics {
+	m := TrainMetrics{
+		Runs:         s.runs.Load(),
+		Workers:      s.workers.Load(),
+		Shards:       s.shards.Load(),
+		Epochs:       s.epochs.Load(),
+		Merges:       s.merges.Load(),
+		Rows:         s.rows.Load(),
+		MergeNSTotal: s.mergeNS.Load(),
+		WallNSTotal:  s.wallNS.Load(),
+	}
+	if m.Merges > 0 {
+		m.MergeNSMean = m.MergeNSTotal / m.Merges
+	}
+	if m.WallNSTotal > 0 {
+		m.RowsPerSec = float64(m.Rows) / (float64(m.WallNSTotal) / 1e9)
+	}
+	return m
+}

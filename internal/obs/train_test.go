@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTrainStatsRecord pins the aggregate semantics: counters accumulate
+// across runs, gauges track the latest run, and the derived means divide
+// correctly.
+func TestTrainStatsRecord(t *testing.T) {
+	var s TrainStats
+	s.Record(TrainRun{Workers: 4, Shards: 4, Epochs: 10, Merges: 10, MergeNS: 1000, WallNS: 2_000_000_000, Rows: 5000})
+	s.Record(TrainRun{Workers: 2, Shards: 2, Epochs: 5, Merges: 5, MergeNS: 500, WallNS: 500_000_000, Rows: 2500})
+	m := s.Metrics()
+	if m.Runs != 2 || m.Workers != 2 || m.Shards != 2 {
+		t.Fatalf("bad run/gauge fields: %+v", m)
+	}
+	if m.Epochs != 15 || m.Merges != 15 || m.Rows != 7500 {
+		t.Fatalf("bad accumulated fields: %+v", m)
+	}
+	if m.MergeNSTotal != 1500 || m.MergeNSMean != 100 {
+		t.Fatalf("bad merge timing: %+v", m)
+	}
+	if m.WallNSTotal != 2_500_000_000 || m.RowsPerSec != 3000 {
+		t.Fatalf("bad throughput: %+v", m)
+	}
+	s.Reset()
+	if m := s.Metrics(); m.Runs != 0 || m.Rows != 0 || m.RowsPerSec != 0 {
+		t.Fatalf("Reset left state: %+v", m)
+	}
+}
+
+// TestTrainStatsConcurrent records from many goroutines under -race; the
+// accumulating counters must not lose updates.
+func TestTrainStatsConcurrent(t *testing.T) {
+	var s TrainStats
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Record(TrainRun{Workers: 2, Shards: 2, Epochs: 1, Merges: 1, MergeNS: 10, WallNS: 100, Rows: 7})
+			}
+		}()
+	}
+	wg.Wait()
+	m := s.Metrics()
+	if m.Runs != 800 || m.Epochs != 800 || m.Rows != 5600 {
+		t.Fatalf("lost updates: %+v", m)
+	}
+}

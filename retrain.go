@@ -1,0 +1,117 @@
+package reghd
+
+import (
+	"errors"
+	"fmt"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/obs"
+)
+
+// ParallelTrainResult extends TrainResult with the sharded-training
+// telemetry of FitParallel: shard layout, merge time, and throughput.
+type ParallelTrainResult = core.ParallelTrainResult
+
+// Delta is the additive state difference a training worker extracts with
+// Model.Delta and a coordinator folds in with Model.Merge/MergeQuantized —
+// the bundling-merge primitive behind FitParallel and delta-synced serving
+// replicas. See docs/TRAINING.md.
+type Delta = core.Delta
+
+// recordTrainRun folds one parallel run into the always-on reghd.train
+// aggregate (docs/OBSERVABILITY.md).
+func recordTrainRun(r *ParallelTrainResult) {
+	obs.Train.Record(obs.TrainRun{
+		Workers: r.Workers,
+		Shards:  len(r.ShardSizes),
+		Epochs:  r.Epochs,
+		Merges:  r.Merges,
+		MergeNS: r.MergeNS,
+		WallNS:  r.WallNS,
+		Rows:    r.Rows,
+	})
+}
+
+// FitParallel is Fit with sharded data parallelism: the standardized
+// training set is split into `workers` shards, trained on cloned models
+// concurrently, and re-combined each epoch by sample-count-weighted
+// bundling (Model.FitParallel; semantics and scaling caveats in
+// docs/TRAINING.md). workers == 1 runs exactly the sequential Fit. The run
+// is recorded in the always-on reghd.train metrics.
+func (p *Pipeline) FitParallel(train *Dataset, workers int) (*ParallelTrainResult, error) {
+	sc, err := dataset.FitScaler(train, true)
+	if err != nil {
+		return nil, err
+	}
+	trainS, err := sc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.model.FitParallel(trainS, workers)
+	if err != nil {
+		return nil, err
+	}
+	recordTrainRun(res)
+	p.scaler = sc
+	return res, nil
+}
+
+// RetrainParallel rebuilds the engine's model from scratch on train with
+// sharded parallel training, then publishes the result through the normal
+// snapshot path — the fast full-rebuild primitive for drift recovery: the
+// engine keeps serving the current snapshot for the whole rebuild, and
+// readers atomically switch to the retrained model at publication.
+//
+// The training set is standardized through the engine's existing scaler
+// (engines built from a fitted Pipeline), so it must be in original units,
+// like PartialFit samples; the scaler itself is not refit — retraining
+// changes the model, not the feature contract. Streaming PartialFit
+// updates that land while the rebuild is running are applied to the old
+// model and are therefore lost at the swap; pause writers or replay the
+// stream afterwards if that matters.
+//
+// On success the engine leaves degraded mode (the retrained state is known
+// good). If the post-swap republication fails, the engine enters degraded
+// mode serving the last pre-retrain snapshot until a Publish succeeds.
+func (e *Engine) RetrainParallel(train *Dataset, workers int) (*ParallelTrainResult, error) {
+	if train == nil {
+		return nil, errors.New("reghd: nil training set")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	// Read the rebuild ingredients under the writer lock, then train
+	// entirely off-lock: serving and streaming continue meanwhile.
+	e.mu.Lock()
+	enc := e.model.Encoder()
+	cfg := e.model.Config()
+	scaler := e.scaler
+	e.mu.Unlock()
+	data := train
+	if scaler != nil {
+		trainS, err := scaler.Transform(train)
+		if err != nil {
+			return nil, err
+		}
+		data = trainS
+	}
+	fresh, err := core.New(enc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fresh.FitParallel(data, workers)
+	if err != nil {
+		return nil, err
+	}
+	recordTrainRun(res)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model = fresh
+	if err := e.republishLocked(); err != nil {
+		e.robust.degraded.Store(true)
+		return res, fmt.Errorf("reghd: retrain publish failed, serving last good snapshot: %w", err)
+	}
+	e.robust.degraded.Store(false)
+	return res, nil
+}

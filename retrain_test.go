@@ -1,0 +1,185 @@
+package reghd
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"reghd/internal/obs"
+)
+
+// TestPipelineFitParallel pins the facade path: FitParallel fits the
+// scaler, trains, records the reghd.train aggregate, and the fitted
+// pipeline serves with quality comparable to the sequential Fit.
+func TestPipelineFitParallel(t *testing.T) {
+	obs.Train.Reset()
+	d, err := SyntheticDataset("ccpp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.X, d.Y = d.X[:400], d.Y[:400]
+	mk := func() *Pipeline {
+		enc, err := NewEncoder(d.Features(), 512, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Epochs = 8
+		m, err := NewModel(enc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewPipeline(m)
+	}
+	seq := mk()
+	if _, err := seq.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	par := mk()
+	res, err := par.FitParallel(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Scaler() == nil {
+		t.Fatal("FitParallel did not fit the scaler")
+	}
+	seqMSE, err := seq.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parMSE, err := par.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parMSE > seqMSE*1.3+1e-3 {
+		t.Fatalf("parallel pipeline MSE %.5f vs sequential %.5f", parMSE, seqMSE)
+	}
+	m := obs.Train.Metrics()
+	if m.Runs != 1 || m.Workers != 4 || m.Shards != 4 {
+		t.Fatalf("reghd.train not recorded: %+v", m)
+	}
+	if m.Epochs != uint64(res.Epochs) || m.Rows != res.Rows || m.Merges != uint64(res.Merges) {
+		t.Fatalf("reghd.train disagrees with result: %+v vs %+v", m, res)
+	}
+}
+
+// TestEngineRetrainParallel pins the rebuild path: the engine serves the
+// old snapshot throughout the rebuild, switches readers to the retrained
+// model at publication, and leaves degraded mode on success.
+func TestEngineRetrainParallel(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot()
+	beforeSeq := e.Metrics().Robustness.PublishSeq
+	// Readers hammer the engine during the whole rebuild.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Predict(d.X[0]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	res, err := e.RetrainParallel(d, 4)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 4 || res.Epochs == 0 {
+		t.Fatalf("bad retrain result: %+v", res)
+	}
+	if e.Snapshot() == before {
+		t.Fatal("retrain did not publish a new snapshot")
+	}
+	if got := e.Metrics().Robustness.PublishSeq; got <= beforeSeq {
+		t.Fatalf("publish sequence did not advance: %d -> %d", beforeSeq, got)
+	}
+	if e.Metrics().Robustness.DegradedMode {
+		t.Fatal("successful retrain left the engine degraded")
+	}
+	// The retrained engine still serves sane predictions in original units.
+	ys, err := e.PredictBatch(d.X[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i, y := range ys {
+		diff := y - d.Y[i]
+		mse += diff * diff
+	}
+	mse /= float64(len(ys))
+	if mse > 0.5*variance(d.Y[:20]) {
+		t.Fatalf("retrained engine predicts poorly: mse %.4f", mse)
+	}
+	// Invalid input is still rejected up front.
+	if _, err := e.RetrainParallel(nil, 2); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+// variance of a target slice, for a scale-aware quality bound.
+func variance(ys []float64) float64 {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var v float64
+	for _, y := range ys {
+		v += (y - mean) * (y - mean)
+	}
+	return v / float64(len(ys))
+}
+
+// TestEngineRetrainParallelDegradedOnPublishFail pins the failure path: a
+// failing republication after the swap leaves the engine degraded and
+// serving the last known-good snapshot; a later successful Publish
+// recovers.
+func TestEngineRetrainParallelDegradedOnPublishFail(t *testing.T) {
+	p, d := fitServeFixture(t)
+	e, err := NewPipelineEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot()
+	boom := errors.New("injected publish failure")
+	fail := true
+	e.setPublishFailpoint(func() error {
+		if fail {
+			return boom
+		}
+		return nil
+	})
+	if _, err := e.RetrainParallel(d, 2); err == nil {
+		t.Fatal("failing publish should surface an error")
+	}
+	if !e.Metrics().Robustness.DegradedMode {
+		t.Fatal("failed retrain publish must enter degraded mode")
+	}
+	if e.Snapshot() != before {
+		t.Fatal("degraded engine must keep serving the last good snapshot")
+	}
+	fail = false
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics().Robustness.DegradedMode {
+		t.Fatal("successful Publish must clear degraded mode")
+	}
+	if e.Snapshot() == before {
+		t.Fatal("recovery publish must publish the retrained model")
+	}
+}

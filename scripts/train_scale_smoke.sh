@@ -1,0 +1,43 @@
+#!/bin/sh
+# Train-scale smoke test (`make train-smoke`): end-to-end check that
+# sharded parallel training (docs/TRAINING.md) preserves model quality.
+# Trains reghd-train on the synthetic airfoil task twice — sequentially
+# (-workers 1) and sharded across 4 workers — on the same seed and split,
+# then asserts the parallel test MSE is within TOLERANCE of the
+# sequential one. The bundling merge is an approximation of the
+# sequential update order, so exact equality is not expected; a blown
+# tolerance means the merge math regressed. Wall-clock is deliberately
+# NOT asserted: on a 1-core runner the workers time-slice and parallel
+# speedup cannot manifest (docs/TRAINING.md covers the scaling caveat).
+set -eu
+
+TOLERANCE="${TOLERANCE:-1.15}"
+DIM="${DIM:-512}"
+EPOCHS="${EPOCHS:-10}"
+
+run_mse() {
+    out=$(go run ./cmd/reghd-train -synth airfoil -dim "$DIM" -epochs "$EPOCHS" -workers "$1")
+    echo "$out" | sed 's/^/  /' >&2
+    echo "$out" | awk '/^test  MSE:/ { print $3 }'
+}
+
+echo "train-smoke: sequential baseline (-workers 1)..."
+SEQ=$(run_mse 1)
+echo "train-smoke: sharded run (-workers 4)..."
+PAR=$(run_mse 4)
+
+if [ -z "$SEQ" ] || [ -z "$PAR" ]; then
+    echo "train-smoke: FAIL — could not parse test MSE (seq='$SEQ' par='$PAR')"
+    exit 1
+fi
+
+# ratio = parallel / sequential; must stay <= TOLERANCE.
+OK=$(awk -v s="$SEQ" -v p="$PAR" -v tol="$TOLERANCE" \
+    'BEGIN { r = p / s; printf "%.4f ", r; print (r <= tol) ? "ok" : "fail" }')
+RATIO=${OK% *}
+VERDICT=${OK#* }
+if [ "$VERDICT" != "ok" ]; then
+    echo "train-smoke: FAIL — parallel MSE $PAR is ${RATIO}x sequential $SEQ (tolerance ${TOLERANCE}x)"
+    exit 1
+fi
+echo "train-smoke: ok (sequential MSE $SEQ, 4-worker MSE $PAR, ratio ${RATIO}x <= ${TOLERANCE}x)"
