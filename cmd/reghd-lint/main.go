@@ -1,16 +1,26 @@
 // Command reghd-lint runs the repo's static-analysis suite (internal/lint):
-// five analyzers that mechanically enforce the concurrency, pooling, and
-// op-accounting invariants the serving stack and the reproduced hardware
+// nine analyzers that mechanically enforce the concurrency, pooling,
+// op-accounting, determinism, context-propagation, goroutine-lifecycle, and
+// error-handling invariants the serving stack and the reproduced hardware
 // numbers depend on. It is built purely on the standard library's go/parser,
 // go/ast, and go/types.
 //
 // Usage:
 //
-//	reghd-lint [-analyzers a,b] [-list] [packages...]
+//	reghd-lint [-analyzers a,b] [-format text|sarif] [-audit-ignores] [-list] [packages...]
 //
 // Package patterns are directories; a trailing /... walks recursively
 // (testdata and hidden directories are skipped). With no patterns it lints
-// ./... relative to the current directory. Exit status: 0 clean, 1 findings,
+// ./... relative to the current directory.
+//
+// -format sarif emits one SARIF 2.1.0 log on stdout (for GitHub code
+// scanning) instead of path:line text. -audit-ignores reports stale
+// suppression directives — //lint:ignore / //lint:nondeterm comments that
+// no longer suppress any diagnostic, and //lint:nocount annotations
+// countercharge would not enforce anyway — instead of findings; it always
+// runs the full suite, so it cannot be combined with -analyzers.
+//
+// Exit status, identical across formats and modes: 0 clean, 1 findings,
 // 2 load or usage errors. See docs/STATIC_ANALYSIS.md.
 package main
 
@@ -35,11 +45,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	format := fs.String("format", "text", "output format: text or sarif")
+	audit := fs.Bool("audit-ignores", false, "report stale //lint: suppressions instead of findings (always runs the full suite)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: reghd-lint [-analyzers a,b] [-list] [packages...]")
+		fmt.Fprintln(stderr, "usage: reghd-lint [-analyzers a,b] [-format text|sarif] [-audit-ignores] [-list] [packages...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "reghd-lint: unknown format %q (text or sarif)\n", *format)
+		return 2
+	}
+	if *audit && *only != "" {
+		// A stale ignore for an unselected analyzer is indistinguishable from
+		// a live one, so the audit is only meaningful over the full suite.
+		fmt.Fprintln(stderr, "reghd-lint: -audit-ignores always runs the full suite; drop -analyzers")
 		return 2
 	}
 	analyzers, err := selectAnalyzers(*only)
@@ -78,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	exit := 0
+	var diags []lint.Diagnostic
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -85,12 +108,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			exit = 2
 			continue
 		}
-		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
-			fmt.Fprintln(stdout, relDiag(cwd, d))
-			if exit == 0 {
-				exit = 1
-			}
+		if *audit {
+			diags = append(diags, lint.AuditIgnores(pkg, analyzers)...)
+		} else {
+			diags = append(diags, lint.RunAnalyzers(pkg, analyzers)...)
 		}
+	}
+	if len(diags) > 0 && exit == 0 {
+		exit = 1
+	}
+	if *format == "sarif" {
+		// One log for the whole run; load errors above still force exit 2,
+		// but the packages that did load keep their results so code scanning
+		// sees as much as possible.
+		encoded, err := lint.BuildSARIF(analyzers, diags, cwd).Encode()
+		if err != nil {
+			fmt.Fprintln(stderr, "reghd-lint:", err)
+			return 2
+		}
+		if _, err := stdout.Write(encoded); err != nil {
+			fmt.Fprintln(stderr, "reghd-lint:", err)
+			return 2
+		}
+		return exit
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relDiag(cwd, d))
 	}
 	return exit
 }

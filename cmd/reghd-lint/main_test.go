@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"reghd/internal/lint"
 )
 
 const (
 	cleanFixture    = "../../internal/lint/testdata/src/clean"
 	dirtyFixture    = "../../internal/lint/testdata/src/floatfix"
+	auditFixture    = "../../internal/lint/testdata/src/auditfix"
 	brokenNoSuchDir = "../../internal/lint/testdata/no-such-dir"
 )
 
@@ -27,7 +31,7 @@ func TestRunList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, name := range []string{"snapshotmut", "poolescape", "countercharge", "atomicmix", "floatcmp"} {
+	for _, name := range []string{"snapshotmut", "poolescape", "countercharge", "atomicmix", "floatcmp", "detorder", "ctxflow", "goroleak", "errwrap"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -116,6 +120,91 @@ func TestExpandPatternsSkipsTestdata(t *testing.T) {
 	}
 }
 
+func TestRunSARIFFindings(t *testing.T) {
+	code, out, errb := runLint(t, "-format", "sarif", dirtyFixture)
+	if code != 1 {
+		t.Fatalf("sarif dirty fixture: exit=%d, want 1 (stderr=%q)", code, errb)
+	}
+	var log lint.SarifLog
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("stdout is not valid SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if len(run.Results) == 0 {
+		t.Fatal("sarif run has no results for a dirty fixture")
+	}
+	sawFloatcmp := false
+	for _, r := range run.Results {
+		if r.RuleID == "floatcmp" {
+			sawFloatcmp = true
+			// The fixture lives outside this test's working directory, so the
+			// URI keeps the full path; it must still be slash-normalized and
+			// point at the fixture (relativization is pinned in
+			// internal/lint's sarif tests, where baseDir contains the file).
+			uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+			if !strings.HasSuffix(uri, "floatfix/floatfix.go") || strings.Contains(uri, "\\") {
+				t.Errorf("artifact uri %q should be a slash path ending in floatfix/floatfix.go", uri)
+			}
+		}
+	}
+	if !sawFloatcmp {
+		t.Errorf("no floatcmp result in sarif output:\n%s", out)
+	}
+}
+
+func TestRunSARIFClean(t *testing.T) {
+	code, out, _ := runLint(t, "-format", "sarif", cleanFixture)
+	if code != 0 {
+		t.Fatalf("sarif clean fixture: exit = %d, want 0", code)
+	}
+	var log lint.SarifLog
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("clean run must still emit a valid SARIF log: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Fatalf("clean run: want one run with zero results, got %+v", log.Runs)
+	}
+}
+
+func TestRunBadFormatExitTwo(t *testing.T) {
+	code, _, errb := runLint(t, "-format", "yaml", cleanFixture)
+	if code != 2 || !strings.Contains(errb, "unknown format") {
+		t.Fatalf("bad format: exit=%d stderr=%q", code, errb)
+	}
+}
+
+func TestRunAuditFindsStaleDirectives(t *testing.T) {
+	code, out, _ := runLint(t, "-audit-ignores", auditFixture)
+	if code != 1 {
+		t.Fatalf("audit fixture: exit = %d, want 1\n%s", code, out)
+	}
+	for _, needle := range []string{"stale //lint:ignore", "stale //lint:nondeterm", "stale //lint:nocount"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("audit output missing %q:\n%s", needle, out)
+		}
+	}
+	if strings.Contains(out, "floatcmp diagnostic on this line") && strings.Count(out, "stale //lint:ignore") != 1 {
+		t.Errorf("audit should report exactly the rotted ignore:\n%s", out)
+	}
+}
+
+func TestRunAuditCleanExitZero(t *testing.T) {
+	code, out, _ := runLint(t, "-audit-ignores", cleanFixture)
+	if code != 0 || out != "" {
+		t.Fatalf("audit on clean fixture: exit=%d stdout=%q", code, out)
+	}
+}
+
+func TestRunAuditRejectsAnalyzerSubset(t *testing.T) {
+	code, _, errb := runLint(t, "-audit-ignores", "-analyzers", "floatcmp", auditFixture)
+	if code != 2 || !strings.Contains(errb, "full suite") {
+		t.Fatalf("audit+subset: exit=%d stderr=%q, want usage error", code, errb)
+	}
+}
+
 // TestBinaryExitsNonzero is the end-to-end regression test: the built binary
 // must exit 1 on a fixture with a known violation, so a CI wiring mistake
 // that swallows findings cannot go unnoticed.
@@ -136,5 +225,45 @@ func TestBinaryExitsNonzero(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "floatcmp") {
 		t.Errorf("binary output should name the analyzer:\n%s", out)
+	}
+}
+
+// TestBinarySARIFExitContract pins the exit-code contract across formats in
+// a real subprocess: -format sarif must exit 1 on findings (while emitting a
+// parseable log on stdout) and 0 on a clean tree — CI's upload step depends
+// on both halves.
+func TestBinarySARIFExitContract(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "reghd-lint")
+	build := exec.Command(gobin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reghd-lint: %v\n%s", err, out)
+	}
+
+	dirty := exec.Command(bin, "-format", "sarif", dirtyFixture)
+	var stdout, stderr bytes.Buffer
+	dirty.Stdout, dirty.Stderr = &stdout, &stderr
+	_ = dirty.Run()
+	if code := dirty.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("sarif dirty: exit = %d, want 1 (stderr=%q)", code, stderr.String())
+	}
+	var log lint.SarifLog
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("sarif dirty: stdout is not valid SARIF: %v\n%s", err, stdout.String())
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("sarif dirty: want one run with results, got %+v", log.Runs)
+	}
+
+	clean := exec.Command(bin, "-format", "sarif", cleanFixture)
+	out, err := clean.Output()
+	if code := clean.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("sarif clean: exit = %d (err=%v), want 0", code, err)
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("sarif clean: stdout is not valid SARIF: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -68,6 +69,45 @@ func runCounterCharge(pass *Pass) {
 			}
 		}
 	}
+}
+
+// auditNocount is countercharge's arm of the stale-suppression audit: a
+// //lint:nocount on a function the analyzer would not flag anyway (it
+// charges its counter, or has no loop) documents an exemption that does not
+// exist and is reported so the directive can be deleted. Reason-less
+// annotations are left to the normal run, which already reports them.
+func auditNocount(pkg *Package) []Diagnostic {
+	if pkg.Types.Name() != "hdc" {
+		return nil
+	}
+	info := pkg.Info
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			reason, annotated, apos := nocountDirective(fn)
+			if !annotated || reason == "" || recvIsAccounting(info, fn) {
+				continue
+			}
+			wouldFlag := false
+			if funcTakesCounter(info, fn) {
+				wouldFlag = !bodyChargesCounter(info, fn.Body)
+			} else {
+				wouldFlag = bodyHasLoop(fn.Body)
+			}
+			if !wouldFlag {
+				out = append(out, Diagnostic{
+					Analyzer: "audit",
+					Pos:      pkg.Fset.Position(apos),
+					Message:  fmt.Sprintf("stale //lint:nocount: countercharge would not flag %s anyway — delete the annotation", fn.Name.Name),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // recvIsAccounting reports whether fn is a method on Counter, AtomicCounter,

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// DetOrder guards the merge/serialize determinism contract: Model.Delta,
+// Merge, and MergeQuantized are documented to be bit-identical under
+// argument permutation (canonical delta ordering, merge_test.go pins it),
+// checkpoints round-trip byte-stably, and FitParallel's shard split is
+// fixed by Config.Seed. Those guarantees are what make replica fleets
+// converge and experiments reproduce (docs/TRAINING.md); they die the
+// moment a map iteration, a wall-clock read, or the process-global rand
+// source slips into the fold order or the serialized state.
+//
+// Mechanically, in packages named core the analyzer computes the functions
+// reachable (through package-local calls) from any function declared in the
+// canonical-determinism set — merge.go, serialize.go, fitparallel.go — and
+// flags, inside every reachable function:
+//
+//   - `range` over a map (iteration order is randomized per run);
+//   - calls to time.Now or time.Since (wall-clock values);
+//   - calls to math/rand package-level functions other than the
+//     source/generator constructors New, NewSource, and NewZipf (they draw
+//     from the process-global, unseeded source; methods on a *rand.Rand are
+//     fine — the instance carries its seed).
+//
+// Intentional sites — wall-clock telemetry that never feeds merged or
+// serialized state, such as FitParallel's MergeNS/WallNS timings — carry a
+// //lint:nondeterm <reason> annotation (the detorder spelling of
+// //lint:ignore). Calls that leave the package are out of scope by design:
+// the kernels underneath (internal/hdc) are deterministic by their own
+// differential-test contract.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "ban map ranges, wall-clock reads, and unseeded rand in the core determinism set",
+	Run:  runDetOrder,
+}
+
+// detOrderFiles is the canonical-determinism set: every function declared in
+// these files (package core) is a determinism root.
+var detOrderFiles = map[string]bool{
+	"merge.go":       true,
+	"serialize.go":   true,
+	"fitparallel.go": true,
+}
+
+// detOrderRandOK are the math/rand package-level functions that construct
+// explicitly seeded generators rather than drawing from the global source.
+var detOrderRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetOrder(pass *Pass) {
+	if pass.Pkg.Types.Name() != "core" {
+		return
+	}
+	g := buildCallGraph(pass.Pkg)
+	var roots []types.Object
+	for obj, fn := range g.decls {
+		base := filepath.Base(pass.Pkg.Fset.Position(fn.Pos()).Filename)
+		if detOrderFiles[base] {
+			roots = append(roots, obj)
+		}
+	}
+	reach := g.reachable(roots)
+	// Deterministic reporting order: visit reachable declarations sorted by
+	// position (map iteration over the graph would be — fittingly — random).
+	var fns []*ast.FuncDecl
+	for obj := range reach {
+		if fn, ok := g.decls[obj]; ok {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		checkDetOrder(pass, fn)
+	}
+}
+
+// checkDetOrder flags the nondeterminism sites inside one reachable function.
+func checkDetOrder(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(v.For, "map iteration in %s is reachable from the determinism set (merge/serialize/fitparallel): order is randomized per run — iterate sorted keys, or annotate //lint:nondeterm <reason>", name)
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(info, v)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch callee.Pkg().Path() {
+			case "time":
+				if callee.Name() == "Now" || callee.Name() == "Since" {
+					pass.Reportf(v.Pos(), "time.%s in %s is reachable from the determinism set (merge/serialize/fitparallel): wall-clock values must never feed merged or serialized state — annotate telemetry with //lint:nondeterm <reason>", callee.Name(), name)
+				}
+			case "math/rand", "math/rand/v2":
+				if callee.Type().(*types.Signature).Recv() != nil {
+					return true // methods on *rand.Rand/Zipf: seeded instance
+				}
+				if !detOrderRandOK[callee.Name()] {
+					pass.Reportf(v.Pos(), "rand.%s in %s draws from the process-global unseeded source inside the determinism set: use the model's seeded *rand.Rand, or annotate //lint:nondeterm <reason>", callee.Name(), name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -7,35 +7,53 @@ import (
 	"strings"
 )
 
-// The suite understands two comment directives:
+// The suite understands three comment directives:
 //
 //	//lint:ignore <analyzer> <reason>
 //	//lint:nocount <reason>
+//	//lint:nondeterm <reason>
 //
 // ignore suppresses the named analyzer's findings on the directive's own
 // line or the line directly below it (so it works both as a trailing comment
 // and as a comment above the offending statement). nocount is countercharge's
 // function-level annotation: placed in a function's doc comment it marks an
-// exported hdc function as intentionally uncounted. Both require a written
-// reason; a directive without one is itself reported.
+// exported hdc function as intentionally uncounted. nondeterm is detorder's
+// dedicated spelling of "ignore detorder": it marks an intentional
+// nondeterminism site (wall-clock telemetry, stage timing) inside the
+// canonical-determinism set. All three require a written reason; a directive
+// without one is itself reported.
+//
+// Directives are also auditable: AuditIgnores reports every ignore/nondeterm
+// that no longer suppresses a diagnostic and every nocount on a function
+// countercharge would not flag anyway, so suppressions cannot rot
+// (docs/STATIC_ANALYSIS.md, "The stale-suppression audit").
 
-// ignoreDirective is one parsed //lint:ignore.
+// ignoreDirective is one parsed //lint:ignore (or //lint:nondeterm, which
+// parses as an ignore of the detorder analyzer).
 type ignoreDirective struct {
 	analyzer string
 	reason   string
+	// kind is the directive's verbatim spelling ("ignore" or "nondeterm"),
+	// kept so audit reports name what is actually written in the source.
+	kind string
+	// pos is the directive's own position, for audit reporting.
+	pos token.Position
+	// used records whether the directive suppressed at least one diagnostic
+	// in the current RunAnalyzers/AuditIgnores pass.
+	used bool
 }
 
 // directives indexes a package's parsed directives for suppression lookup.
 type directives struct {
 	// ignores maps filename -> line -> directives on that line.
-	ignores  map[string]map[int][]ignoreDirective
+	ignores  map[string]map[int][]*ignoreDirective
 	problems []Diagnostic
 }
 
 // collectDirectives scans every comment in the package, indexing ignore
 // directives and reporting malformed or unknown ones.
 func collectDirectives(pkg *Package) *directives {
-	d := &directives{ignores: make(map[string]map[int][]ignoreDirective)}
+	d := &directives{ignores: make(map[string]map[int][]*ignoreDirective)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -67,21 +85,39 @@ func (d *directives) parseDirective(pos token.Position, rest string) {
 			d.problem(pos, "//lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>")
 			return
 		}
-		byLine := d.ignores[pos.Filename]
-		if byLine == nil {
-			byLine = make(map[int][]ignoreDirective)
-			d.ignores[pos.Filename] = byLine
-		}
-		byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+		d.index(&ignoreDirective{
 			analyzer: fields[1],
 			reason:   strings.Join(fields[2:], " "),
+			kind:     "ignore",
+			pos:      pos,
+		})
+	case "nondeterm":
+		if len(fields) < 2 {
+			d.problem(pos, "//lint:nondeterm needs a written reason: //lint:nondeterm <reason>")
+			return
+		}
+		d.index(&ignoreDirective{
+			analyzer: "detorder",
+			reason:   strings.Join(fields[1:], " "),
+			kind:     "nondeterm",
+			pos:      pos,
 		})
 	case "nocount":
 		// Validated by countercharge, which knows which function the
 		// annotation is attached to; nothing to index here.
 	default:
-		d.problem(pos, "unknown directive //lint:%s (known: ignore, nocount)", fields[0])
+		d.problem(pos, "unknown directive //lint:%s (known: ignore, nocount, nondeterm)", fields[0])
 	}
+}
+
+// index records one parsed ignore-style directive for suppression lookup.
+func (d *directives) index(ig *ignoreDirective) {
+	byLine := d.ignores[ig.pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int][]*ignoreDirective)
+		d.ignores[ig.pos.Filename] = byLine
+	}
+	byLine[ig.pos.Line] = append(byLine[ig.pos.Line], ig)
 }
 
 func (d *directives) problem(pos token.Position, format string, args ...any) {
@@ -94,19 +130,45 @@ func (d *directives) problem(pos token.Position, format string, args ...any) {
 
 // suppressed reports whether an ignore directive for the analyzer covers a
 // diagnostic at pos (directive on the same line, or on the line above).
+// Every covering directive is marked used, so the stale-suppression audit
+// never reports a directive that is doing work.
 func (d *directives) suppressed(analyzer string, pos token.Position) bool {
 	byLine := d.ignores[pos.Filename]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
 		for _, ig := range byLine[line] {
 			if ig.analyzer == analyzer {
-				return true
+				ig.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns one audit diagnostic per indexed directive that suppressed
+// nothing in the pass that just ran, in directive-position order within each
+// file (RunAnalyzers re-sorts globally).
+func (d *directives) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, byLine := range d.ignores {
+		for _, igs := range byLine {
+			for _, ig := range igs {
+				if ig.used {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "audit",
+					Pos:      ig.pos,
+					Message:  fmt.Sprintf("stale //lint:%s: no %s diagnostic on this line or the next — delete the directive or re-justify it", ig.kind, ig.analyzer),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // nocountDirective returns the //lint:nocount annotation on fn's doc

@@ -8,7 +8,7 @@ import (
 )
 
 func TestParseDirectiveIgnore(t *testing.T) {
-	d := &directives{ignores: make(map[string]map[int][]ignoreDirective)}
+	d := &directives{ignores: make(map[string]map[int][]*ignoreDirective)}
 	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
 	d.parseDirective(at(10), "ignore floatcmp exact sentinel by contract")
 
@@ -33,14 +33,56 @@ func TestParseDirectiveIgnore(t *testing.T) {
 }
 
 func TestParseDirectiveProblems(t *testing.T) {
-	d := &directives{ignores: make(map[string]map[int][]ignoreDirective)}
+	d := &directives{ignores: make(map[string]map[int][]*ignoreDirective)}
 	pos := token.Position{Filename: "f.go", Line: 1}
 	d.parseDirective(pos, "ignore floatcmp") // missing reason
 	d.parseDirective(pos, "bogus whatever")  // unknown directive
 	d.parseDirective(pos, "")                // empty
 	d.parseDirective(pos, "nocount fine")    // valid, handled by countercharge
-	if len(d.problems) != 3 {
-		t.Fatalf("want 3 problems, got %d: %v", len(d.problems), d.problems)
+	d.parseDirective(pos, "nondeterm")       // missing reason
+	if len(d.problems) != 4 {
+		t.Fatalf("want 4 problems, got %d: %v", len(d.problems), d.problems)
+	}
+}
+
+func TestParseDirectiveNondeterm(t *testing.T) {
+	d := &directives{ignores: make(map[string]map[int][]*ignoreDirective)}
+	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	d.parseDirective(at(5), "nondeterm wall-clock telemetry only")
+	if !d.suppressed("detorder", at(6)) {
+		t.Error("//lint:nondeterm should suppress detorder on the line below")
+	}
+	if d.suppressed("floatcmp", at(5)) {
+		t.Error("//lint:nondeterm must not suppress other analyzers")
+	}
+	if len(d.problems) != 0 {
+		t.Errorf("well-formed nondeterm reported problems: %v", d.problems)
+	}
+}
+
+func TestStaleDirectives(t *testing.T) {
+	d := &directives{ignores: make(map[string]map[int][]*ignoreDirective)}
+	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	d.parseDirective(at(10), "ignore floatcmp load-bearing")
+	d.parseDirective(at(20), "ignore floatcmp rotted")
+	d.parseDirective(at(30), "nondeterm rotted too")
+	// Only the first directive suppresses anything.
+	if !d.suppressed("floatcmp", at(11)) {
+		t.Fatal("directive at line 10 should suppress")
+	}
+	stale := d.stale()
+	if len(stale) != 2 {
+		t.Fatalf("want 2 stale directives, got %d: %v", len(stale), stale)
+	}
+	lines := map[int]bool{}
+	for _, s := range stale {
+		if s.Analyzer != "audit" {
+			t.Errorf("stale diagnostic analyzer = %q, want audit", s.Analyzer)
+		}
+		lines[s.Pos.Line] = true
+	}
+	if !lines[20] || !lines[30] {
+		t.Errorf("stale lines = %v, want 20 and 30", lines)
 	}
 }
 

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the repo's error discipline. The public API promises
+// inspectable failures — ErrOverloaded, ErrInvalidInput, ErrNotTrained,
+// ErrTenantUnknown are documented sentinels, PanicError is extracted with
+// errors.As — and that promise only holds if every propagation layer wraps
+// with %w and every comparison goes through errors.Is/As. A single %v at
+// one layer, or one == against a sentinel that is wrapped two frames down,
+// silently breaks every caller's error handling.
+//
+// Three rules:
+//
+//   - sentinel-compare (all packages): comparing two error-typed values
+//     with == or != (nil checks excepted) breaks as soon as anything in
+//     the chain wraps — use errors.Is (or errors.As for typed errors);
+//   - unwrapped-cause (all packages): an fmt.Errorf whose arguments include
+//     an error but whose format verbs do not include %w flattens the chain,
+//     severing errors.Is/As for every caller above;
+//   - discarded-error (package reghd only — the serving path): calling a
+//     package-local function that returns an error as a bare statement
+//     drops a serving-path failure on the floor. An explicit `_ =`
+//     assignment is allowed: it is a visible, greppable decision. Deferred
+//     calls are allowed for the same reason best-effort cleanup is
+//     idiomatic. External callees (fmt.Fprintf to a strings.Builder, ...)
+//     are out of scope: the rule guards reghd's own failure modes.
+//
+// Intentional violations carry //lint:ignore errwrap <reason>.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w wrapping, errors.Is/As for sentinels, and no dropped serving-path errors",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	servingPath := pass.Pkg.Types.Name() == "reghd"
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, v)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, v)
+			case *ast.ExprStmt:
+				if servingPath {
+					checkDiscardedError(pass, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// checkSentinelCompare flags ==/!= between two error-typed operands.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	if isNilLiteral(info, be.X) || isNilLiteral(info, be.Y) {
+		return
+	}
+	if isErrorType(info.TypeOf(be.X)) && isErrorType(info.TypeOf(be.Y)) {
+		pass.Reportf(be.OpPos, "error compared with %s: breaks as soon as any layer wraps with %%w — use errors.Is (or errors.As for typed errors)", be.Op)
+	}
+}
+
+// isNilLiteral reports whether e is the predeclared nil.
+func isNilLiteral(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that take an error argument but
+// whose (constant) format string has no %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Name() != "Errorf" || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(info.TypeOf(arg)) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error cause without %%w: the chain is flattened and errors.Is/As stop working above this frame — wrap with %%w")
+			return
+		}
+	}
+}
+
+// checkDiscardedError flags bare statement calls to package-local functions
+// that return an error.
+func checkDiscardedError(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() != pass.Pkg.Types {
+		return
+	}
+	if !resultIncludesError(info.TypeOf(call)) {
+		return
+	}
+	pass.Reportf(stmt.Pos(), "serving-path error from %s discarded: handle it, or make the drop explicit with `_ = %s(...)`", callee.Name(), callee.Name())
+}
+
+// resultIncludesError reports whether a call's result type is or contains an
+// error.
+func resultIncludesError(t types.Type) bool {
+	if isErrorType(t) {
+		return true
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tup.Len(); i++ {
+		if isErrorType(tup.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -143,6 +143,62 @@ func TestFloatCmpGolden(t *testing.T) {
 	runGolden(t, []*Analyzer{FloatCmp}, "floatfix")
 }
 
+func TestDetOrderGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{DetOrder}, "detfix")
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{CtxFlow}, "ctxfix")
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{GoroLeak}, "gorofix")
+}
+
+func TestErrWrapGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{ErrWrap}, "errfix")
+}
+
+// runAuditGolden is runGolden for the stale-suppression audit: the checked
+// diagnostics come from AuditIgnores over the full suite instead of from
+// RunAnalyzers.
+func runAuditGolden(t *testing.T, fixtures ...string) {
+	t.Helper()
+	l := testLoader(t)
+	for _, fx := range fixtures {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", fx))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fx, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range AuditIgnores(pkg, All()) {
+			matched := false
+			for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+				if w.re.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected audit diagnostic: %s", d)
+			}
+		}
+		for file, byLine := range wants {
+			for line, ws := range byLine {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s:%d: want `%s` matched no audit diagnostic", file, line, w.re)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAuditGolden(t *testing.T) {
+	runAuditGolden(t, "auditfix")
+}
+
 // TestDirectiveProblemsGolden runs no analyzers at all: the diagnostics come
 // purely from the directive parser.
 func TestDirectiveProblemsGolden(t *testing.T) {

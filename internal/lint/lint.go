@@ -1,11 +1,15 @@
 // Package lint is reghd's in-tree static-analysis suite: a small analyzer
 // framework built purely on the standard library's go/parser, go/ast, and
-// go/types packages, plus five project-specific analyzers that mechanically
+// go/types packages, plus nine project-specific analyzers that mechanically
 // enforce the repo's load-bearing invariants — Snapshot immutability
 // (snapshotmut), pooled-scratch hygiene (poolescape), kernel op-accounting
-// (countercharge), atomic-access discipline (atomicmix), and float equality
-// bans (floatcmp). See docs/STATIC_ANALYSIS.md for the invariant each
-// analyzer guards and how to extend the suite.
+// (countercharge), atomic-access discipline (atomicmix), float equality
+// bans (floatcmp), merge/serialize determinism (detorder), request-path
+// context propagation (ctxflow), goroutine shutdown ties (goroleak), and
+// error-handling discipline (errwrap). The framework also provides a
+// stale-suppression audit (AuditIgnores) and SARIF 2.1.0 output (SARIF).
+// See docs/STATIC_ANALYSIS.md for the invariant each analyzer guards and
+// how to extend the suite.
 package lint
 
 import (
@@ -55,13 +59,41 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SnapshotMut, PoolEscape, CounterCharge, AtomicMix, FloatCmp}
+	return []*Analyzer{SnapshotMut, PoolEscape, CounterCharge, AtomicMix, FloatCmp, DetOrder, CtxFlow, GoroLeak, ErrWrap}
 }
 
 // RunAnalyzers runs each analyzer over the package, filters findings through
 // the package's //lint:ignore directives, appends any malformed-directive
 // diagnostics, and returns everything sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	out, _ := runFiltered(pkg, analyzers)
+	return sortDiags(out)
+}
+
+// AuditIgnores is the stale-suppression audit: it runs the analyzers exactly
+// like RunAnalyzers, but instead of the (filtered) findings it returns one
+// diagnostic per suppression directive that is no longer doing any work —
+// an //lint:ignore or //lint:nondeterm that covered no diagnostic, and an
+// //lint:nocount on a function countercharge would not flag anyway. Rotted
+// suppressions are how blanket exemptions accumulate; auditing them keeps
+// every directive tied to a live finding. Run it with the full suite: an
+// ignore for an analyzer that is not running is indistinguishable from a
+// stale one.
+func AuditIgnores(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	_, dirs := runFiltered(pkg, analyzers)
+	out := dirs.stale()
+	for _, a := range analyzers {
+		if a.Name == CounterCharge.Name {
+			out = append(out, auditNocount(pkg)...)
+		}
+	}
+	return sortDiags(out)
+}
+
+// runFiltered runs the analyzers, filtering findings through the package's
+// ignore directives (marking each directive that suppresses something), and
+// returns the surviving diagnostics plus the directive index.
+func runFiltered(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, *directives) {
 	dirs := collectDirectives(pkg)
 	out := append([]Diagnostic(nil), dirs.problems...)
 	for _, a := range analyzers {
@@ -74,6 +106,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	return out, dirs
+}
+
+// sortDiags orders diagnostics by position for stable reporting.
+func sortDiags(out []Diagnostic) []Diagnostic {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF output (reghd-lint -format sarif) serializes a run's diagnostics as
+// a SARIF 2.1.0 log — the format GitHub code scanning ingests — so lint
+// findings annotate pull requests instead of scrolling by in a CI log. Only
+// the fields code scanning actually reads are emitted: the tool driver with
+// one reportingDescriptor per analyzer, and one result per diagnostic with
+// a physical location whose URI is relative to the directory the tool ran
+// in (the repository root in CI, which is what makes the annotations land
+// on the right files).
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+// SarifLog is the top-level SARIF 2.1.0 document.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one tool invocation: the driver metadata plus its results.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool wraps the driver component.
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver identifies reghd-lint and enumerates its rules (analyzers).
+type SarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule is one reportingDescriptor: an analyzer, or one of the suite's
+// pseudo-rules ("directive" for malformed suppressions, "audit" for stale
+// ones).
+type SarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SarifMessage `json:"shortDescription"`
+}
+
+// SarifResult is one diagnostic.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+// SarifMessage is SARIF's text wrapper.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifLocation wraps a physical location.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+// SarifPhysicalLocation is a file region.
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+// SarifArtifactLocation holds the file URI, relative to the invocation
+// directory.
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SarifRegion is a start position (reghd-lint diagnostics are points, not
+// ranges).
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifPseudoRules describes the diagnostics the framework itself emits —
+// they have no *Analyzer but still need a reportingDescriptor when present.
+var sarifPseudoRules = map[string]string{
+	"directive": "malformed or unknown //lint: directive",
+	"audit":     "suppression directive that no longer suppresses anything",
+}
+
+// BuildSARIF assembles a SARIF 2.1.0 log for one reghd-lint run. baseDir,
+// when non-empty, relativizes diagnostic file paths into artifact URIs (CI
+// passes the repository root); paths outside baseDir, or when baseDir is
+// empty, pass through slash-normalized. The analyzers become the driver's
+// rule table, in order, with pseudo-rules appended only if diagnostics
+// reference them.
+func BuildSARIF(analyzers []*Analyzer, diags []Diagnostic, baseDir string) *SarifLog {
+	var rules []SarifRule
+	index := make(map[string]int)
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, SarifRule{ID: a.Name, ShortDescription: SarifMessage{Text: a.Doc}})
+	}
+	// Pseudo-rules, added deterministically (sorted) when referenced.
+	var extra []string
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if _, ok := index[d.Analyzer]; !ok && !seen[d.Analyzer] {
+			seen[d.Analyzer] = true
+			extra = append(extra, d.Analyzer)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		doc := sarifPseudoRules[name]
+		if doc == "" {
+			doc = name
+		}
+		index[name] = len(rules)
+		rules = append(rules, SarifRule{ID: name, ShortDescription: SarifMessage{Text: doc}})
+	}
+
+	results := make([]SarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, SarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "error",
+			Message:   SarifMessage{Text: d.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{URI: sarifURI(baseDir, d.Pos.Filename)},
+					Region:           SarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	return &SarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []SarifRun{{
+			Tool:    SarifTool{Driver: SarifDriver{Name: "reghd-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// sarifURI relativizes filename against baseDir and slash-normalizes it.
+func sarifURI(baseDir, filename string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, filename); err == nil && rel != ".." && !filepath.IsAbs(rel) && (len(rel) < 3 || rel[:3] != ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Encode marshals the log as indented JSON with a trailing newline.
+func (l *SarifLog) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

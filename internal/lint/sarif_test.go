@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSARIFRoundTrip pins the SARIF 2.1.0 shape: the encoded log decodes
+// back to the same structure, carries the schema/version code scanning
+// checks, indexes every result into the rule table, and relativizes file
+// URIs against the base directory.
+func TestSARIFRoundTrip(t *testing.T) {
+	base := filepath.Join("/", "repo")
+	diags := []Diagnostic{
+		{
+			Analyzer: "floatcmp",
+			Pos:      token.Position{Filename: filepath.Join(base, "serve.go"), Line: 12, Column: 7},
+			Message:  "float equality",
+		},
+		{
+			Analyzer: "audit",
+			Pos:      token.Position{Filename: filepath.Join(base, "internal", "core", "merge.go"), Line: 3, Column: 1},
+			Message:  "stale //lint:ignore",
+		},
+	}
+	log := BuildSARIF(All(), diags, base)
+	encoded, err := log.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded SarifLog
+	if err := json.Unmarshal(encoded, &decoded); err != nil {
+		t.Fatalf("encoded SARIF does not round-trip: %v", err)
+	}
+	if decoded.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", decoded.Version)
+	}
+	if !strings.Contains(decoded.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("schema = %q, want the 2.1.0 schema URI", decoded.Schema)
+	}
+	if len(decoded.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(decoded.Runs))
+	}
+	run := decoded.Runs[0]
+	if run.Tool.Driver.Name != "reghd-lint" {
+		t.Errorf("driver name = %q, want reghd-lint", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer, plus the referenced audit pseudo-rule.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("result %d ruleIndex %d out of range", i, r.RuleIndex)
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result %d: ruleIndex points at %q, ruleId is %q", i, got, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %d level = %q, want error", i, r.Level)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(r.Locations))
+		}
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "serve.go" {
+		t.Errorf("result 0 uri = %q, want serve.go (relative to base)", uri)
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/core/merge.go" {
+		t.Errorf("result 1 uri = %q, want internal/core/merge.go", uri)
+	}
+	if reg := run.Results[0].Locations[0].PhysicalLocation.Region; reg.StartLine != 12 || reg.StartColumn != 7 {
+		t.Errorf("result 0 region = %+v, want 12:7", reg)
+	}
+}
+
+// TestSARIFOutsideBase pins the fallback: a diagnostic outside baseDir keeps
+// its slash-normalized absolute path instead of a ../ escape.
+func TestSARIFOutsideBase(t *testing.T) {
+	base := filepath.Join("/", "repo")
+	outside := filepath.Join("/", "elsewhere", "x.go")
+	log := BuildSARIF(nil, []Diagnostic{{
+		Analyzer: "directive",
+		Pos:      token.Position{Filename: outside, Line: 1},
+	}}, base)
+	uri := log.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if strings.HasPrefix(uri, "..") {
+		t.Errorf("uri = %q escapes the base directory", uri)
+	}
+	if uri != filepath.ToSlash(outside) {
+		t.Errorf("uri = %q, want %q", uri, filepath.ToSlash(outside))
+	}
+}
+
+// TestSARIFEmpty pins the clean-run shape: zero results still yields a
+// structurally valid log (code scanning accepts and uses it to close old
+// alerts).
+func TestSARIFEmpty(t *testing.T) {
+	log := BuildSARIF(All(), nil, "")
+	encoded, err := log.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded SarifLog
+	if err := json.Unmarshal(encoded, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Runs[0].Results == nil || len(decoded.Runs[0].Results) != 0 {
+		t.Errorf("results should encode as an empty array, got %#v", decoded.Runs[0].Results)
+	}
+	if len(decoded.Runs[0].Tool.Driver.Rules) != len(All()) {
+		t.Errorf("rules = %d, want %d", len(decoded.Runs[0].Tool.Driver.Rules), len(All()))
+	}
+}

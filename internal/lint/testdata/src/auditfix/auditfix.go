@@ -1,0 +1,47 @@
+// Package hdc (the auditfix fixture) exercises the stale-suppression
+// audit: //lint:ignore and //lint:nondeterm directives that suppress
+// nothing, and //lint:nocount annotations countercharge would not enforce
+// anyway, are themselves reported. The package is named hdc so the nocount
+// arm of the audit is active.
+package hdc
+
+// Eps compares floats exactly by contract; the ignore below suppresses a
+// live floatcmp diagnostic and is therefore not stale.
+func Eps(x float64) bool {
+	//lint:ignore floatcmp exact sentinel comparison by contract
+	return x == 0.5
+}
+
+// Rotted carries an ignore that suppresses nothing.
+// want+2 `stale //lint:ignore: no floatcmp diagnostic`
+func Rotted(x float64) bool {
+	//lint:ignore floatcmp nothing fires here
+	return x > 0.5
+}
+
+// Timed carries a nondeterm annotation in a package where detorder never
+// fires.
+// want+2 `stale //lint:nondeterm: no detorder diagnostic`
+func Timed(x float64) float64 {
+	//lint:nondeterm rotted annotation
+	return x
+}
+
+// Scale is constant-time: countercharge would not flag it, so its nocount
+// annotation documents an exemption that does not exist.
+// want+2 `stale //lint:nocount: countercharge would not flag Scale anyway`
+//
+//lint:nocount constant-time accessor
+func Scale(x float64) float64 { return x * 2 }
+
+// Sum loops without a counter: countercharge would flag it, so the nocount
+// annotation is doing real work.
+//
+//lint:nocount fixture kernel, accounting out of scope
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+// Package ctxfix exercises the ctxflow analyzer: request-path functions
+// must thread their context.Context instead of detaching or dropping it.
+package ctxfix
+
+import "context"
+
+// Engine mirrors the real serving type's Predict/PredictCtx pairing.
+type Engine struct{}
+
+// Predict is the ctx-less convenience wrapper: detaching here is the
+// sanctioned batch-boundary shape (no context parameter), so calling
+// context.Background is allowed.
+func (e *Engine) Predict(x float64) float64 {
+	return e.PredictCtx(context.Background(), x)
+}
+
+// PredictCtx threads its context properly: clean.
+func (e *Engine) PredictCtx(ctx context.Context, x float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+// Route has a request context but detaches from it mid-path.
+func Route(ctx context.Context, e *Engine, x float64) float64 {
+	_ = ctx.Err()
+	return e.PredictCtx(context.Background(), x) // want `context.Background inside Route`
+}
+
+// Fanout drops the context at a call boundary: Predict has a PredictCtx
+// sibling on the same receiver type.
+func Fanout(ctx context.Context, e *Engine, xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += e.Predict(x) // want `call to Predict drops the request context`
+	}
+	return s
+}
+
+// Store has no context-accepting sibling for Get, so calling Get from a
+// ctx function is fine.
+type Store struct{}
+
+// Get is sibling-less.
+func (s *Store) Get(k int) int { return k }
+
+// LookupCtx uses its context and calls a sibling-less callee: clean.
+func (s *Store) LookupCtx(ctx context.Context, k int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return s.Get(k)
+}
+
+// DrainCtx never touches its context parameter.
+func (s *Store) DrainCtx(ctx context.Context, ks []int) { // want `DrainCtx never uses its context parameter`
+	for _, k := range ks {
+		_ = s.Get(k)
+	}
+}
+
+// ScanCtx checks its context at admission but not per-iteration, so a
+// cancelled request runs the whole batch.
+func (s *Store) ScanCtx(ctx context.Context, ks []int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for _, k := range ks { // want `loop in exported ScanCtx never checks its context`
+		total += s.Get(k)
+	}
+	return total
+}
+
+// SumCtx checks cancellation every iteration: clean.
+func (s *Store) SumCtx(ctx context.Context, ks []int) int {
+	total := 0
+	for _, k := range ks {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += s.Get(k)
+	}
+	return total
+}
+
+func fetch(k int) int { return k }
+
+func fetchCtx(ctx context.Context, k int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return k
+}
+
+// Relay drops ctx by calling fetch when the package-level fetchCtx exists.
+func Relay(ctx context.Context, k int) int {
+	_ = ctx.Err()
+	return fetch(k) // want `call to fetch drops the request context`
+}

@@ -1,0 +1,9 @@
+package core
+
+import "time"
+
+// SplitShards is a determinism root (declared in fitparallel.go).
+func SplitShards(n int) int64 {
+	_ = n
+	return time.Now().Unix() // want `time.Now in SplitShards`
+}

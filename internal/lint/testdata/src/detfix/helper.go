@@ -1,0 +1,21 @@
+package core
+
+// shuffle is declared outside the root files but called from Merge, so the
+// determinism rules reach it.
+func shuffle(xs []float64) {
+	seen := map[int]bool{1: true}
+	for i := range seen { // want `map iteration in shuffle`
+		_ = i
+	}
+	_ = xs
+}
+
+// Orphan is not reachable from any determinism root: map iteration is fine
+// here.
+func Orphan(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

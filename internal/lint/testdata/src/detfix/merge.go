@@ -1,0 +1,43 @@
+// Package core (the detfix fixture) exercises the detorder analyzer:
+// functions declared in merge.go, serialize.go, or fitparallel.go are
+// determinism roots, and the rules apply to everything reachable from them
+// through package-local calls.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Merge is a determinism root (declared in merge.go): map iteration here
+// randomizes the fold order.
+func Merge(deltas map[string][]float64) []float64 {
+	var out []float64
+	for _, d := range deltas { // want `map iteration in Merge`
+		out = append(out, d...)
+	}
+	shuffle(out)
+	return out
+}
+
+// Stamp reads the wall clock inside the determinism set.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in Stamp`
+}
+
+// Elapsed is annotated wall-clock telemetry: suppressed, no diagnostic.
+func Elapsed(t0 time.Time) time.Duration {
+	//lint:nondeterm wall-clock telemetry, never feeds merged state
+	return time.Since(t0)
+}
+
+// Seeded draws from an explicitly seeded generator: allowed.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Global draws from the process-global, unseeded source.
+func Global() float64 {
+	return rand.Float64() // want `rand.Float64 in Global draws from the process-global`
+}

@@ -1,0 +1,51 @@
+// Package reghd (the errfix fixture) exercises the errwrap analyzer; the
+// package is named reghd so the serving-path discarded-error rule is
+// active.
+package reghd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded mirrors the real sentinel shape.
+var ErrOverloaded = errors.New("overloaded")
+
+func emit() error { return nil }
+
+func emitPair() (int, error) { return 0, nil }
+
+// Compare exercises the sentinel-comparison rule.
+func Compare(err error) bool {
+	if err == ErrOverloaded { // want `error compared with ==`
+		return true
+	}
+	if err != ErrOverloaded { // want `error compared with !=`
+		return false
+	}
+	if err != nil { // nil checks are fine
+		return false
+	}
+	return errors.Is(err, ErrOverloaded)
+}
+
+// Wrap exercises the %w rule.
+func Wrap(err error, name string) error {
+	if err != nil {
+		return fmt.Errorf("load %s: %v", name, err) // want `fmt.Errorf formats an error cause without %w`
+	}
+	_ = fmt.Errorf("load %s: %w", name, err)
+	return fmt.Errorf("no cause for %s here", name)
+}
+
+// Discard exercises the serving-path discarded-error rule.
+func Discard() {
+	emit()     // want `serving-path error from emit discarded`
+	emitPair() // want `serving-path error from emitPair discarded`
+	_ = emit() // explicit discard: allowed
+	if err := emit(); err != nil {
+		_ = err
+	}
+	defer emit() // deferred best-effort cleanup: allowed
+	fmt.Println("external callees are out of scope")
+}

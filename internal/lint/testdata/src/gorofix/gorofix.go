@@ -1,0 +1,95 @@
+// Package gorofix exercises the goroleak analyzer: every goroutine must be
+// tied to a shutdown mechanism the analyzer can see.
+package gorofix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	jobs chan int
+}
+
+// run selects on the stop channel: the canonical tied loop.
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+// spin loops forever with no way to stop it.
+func (w *worker) spin() {
+	for {
+	}
+}
+
+// Start spawns one tied and one untied goroutine.
+func Start(w *worker) {
+	go w.run()
+	go w.spin() // want `goroutine has no shutdown tie`
+}
+
+// Drain ranges over a held channel: the sender closes it to stop the loop.
+func Drain(w *worker) {
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+// Tick ranges over a channel returned by a direct call: nobody holds that
+// channel, so nobody can ever stop the loop.
+func Tick() {
+	go func() { // want `goroutine has no shutdown tie`
+		for range time.Tick(time.Second) {
+		}
+	}()
+}
+
+// Wait ties the goroutine to a WaitGroup held by the caller.
+func Wait(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// Watch checks cancellation every iteration.
+func Watch(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// External spawns a function whose body the analyzer cannot see.
+func External(d time.Duration) {
+	go time.Sleep(d) // want `goroutine spawns external time.Sleep`
+}
+
+// Indirect spawns through a function value: also invisible.
+func Indirect(fn func()) {
+	go fn() // want `goroutine spawned through a function value`
+}
+
+// Sanctioned is an annotated process-lifetime goroutine.
+func Sanctioned(w *worker) {
+	//lint:ignore goroleak fixture demo traffic runs for process lifetime
+	go w.spin()
+}
+
+// Nested reaches run's select through a call inside the literal.
+func Nested(w *worker) {
+	go func() {
+		w.run()
+	}()
+}

@@ -129,3 +129,84 @@ func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
 	}
 	return nil
 }
+
+// callGraph is a package-local static call graph: declared functions and
+// methods mapped to the package-local functions their bodies (including
+// nested function literals) call. Calls through interfaces, function values,
+// and other packages are invisible — the reachability analyzers that use it
+// (detorder, goroleak) document this as a deliberate scope boundary.
+type callGraph struct {
+	// decls maps each function object to its declaration.
+	decls map[types.Object]*ast.FuncDecl
+	// callees maps each function object to the package-local objects it
+	// calls.
+	callees map[types.Object][]types.Object
+}
+
+// buildCallGraph indexes the package's function declarations and their
+// package-local call edges.
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		callees: make(map[types.Object][]types.Object),
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pkg.Info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			g.decls[obj] = fn
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg.Info, call)
+				if callee != nil && callee.Pkg() == pkg.Types {
+					g.callees[obj] = append(g.callees[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// reachable returns the set of declared functions reachable from the roots
+// through package-local call edges, roots included.
+func (g *callGraph) reachable(roots []types.Object) map[types.Object]bool {
+	seen := make(map[types.Object]bool)
+	stack := append([]types.Object(nil), roots...)
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[obj] {
+			continue
+		}
+		seen[obj] = true
+		for _, callee := range g.callees[obj] {
+			if _, declared := g.decls[callee]; declared && !seen[callee] {
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return seen
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
