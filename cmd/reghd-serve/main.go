@@ -311,6 +311,7 @@ func predictStatus(err error) int {
 // counts, hardware estimates) is non-trivial within a second of startup.
 func startTraffic(engine *reghd.Engine, test *reghd.Dataset) {
 	for r := 0; r < 2; r++ {
+		//lint:ignore goroleak demo traffic runs for the process lifetime; the demo has no shutdown path
 		go func(seed int64) {
 			rng := rand.New(rand.NewSource(seed))
 			for range time.Tick(2 * time.Millisecond) {
@@ -320,6 +321,7 @@ func startTraffic(engine *reghd.Engine, test *reghd.Dataset) {
 			}
 		}(100 + int64(r))
 	}
+	//lint:ignore goroleak demo traffic runs for the process lifetime; the demo has no shutdown path
 	go func() {
 		rng := rand.New(rand.NewSource(200))
 		for range time.Tick(50 * time.Millisecond) {
@@ -329,6 +331,7 @@ func startTraffic(engine *reghd.Engine, test *reghd.Dataset) {
 			}
 		}
 	}()
+	//lint:ignore goroleak demo traffic runs for the process lifetime; the demo has no shutdown path
 	go func() {
 		i := 0
 		for range time.Tick(5 * time.Millisecond) {

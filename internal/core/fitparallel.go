@@ -72,6 +72,7 @@ func (m *Model) FitParallel(train *dataset.Dataset, workers int) (*ParallelTrain
 	if workers < 1 {
 		return nil, fmt.Errorf("core: FitParallel needs at least 1 worker, got %d", workers)
 	}
+	//lint:nondeterm wall-clock telemetry: start only feeds WallNS/RowsPerSec, never merged state
 	start := time.Now()
 	cache, err := m.prepare(train)
 	if err != nil {
@@ -154,6 +155,7 @@ func (m *Model) FitParallel(train *dataset.Dataset, workers int) (*ParallelTrain
 			}
 			deltas[w] = wk.delta
 		}
+		//lint:nondeterm wall-clock telemetry: t0 only times the merge for MergeNS
 		t0 := time.Now()
 		if quantized {
 			err = m.MergeQuantized(deltas...)
@@ -163,6 +165,7 @@ func (m *Model) FitParallel(train *dataset.Dataset, workers int) (*ParallelTrain
 		if err != nil {
 			return nil, err
 		}
+		//lint:nondeterm wall-clock telemetry: MergeNS is reporting only, never merged state
 		res.MergeNS += time.Since(t0).Nanoseconds()
 		res.Merges++
 		// The coordinator holds the training cache, so it refits the output
@@ -233,6 +236,7 @@ func (m *Model) copyStateFrom(src *Model) {
 
 // finish stamps the wall-clock telemetry on the result.
 func (r *ParallelTrainResult) finish(start time.Time, rows int) {
+	//lint:nondeterm wall-clock telemetry: WallNS is reporting only, never merged state
 	r.WallNS = time.Since(start).Nanoseconds()
 	r.Rows = uint64(rows) * uint64(r.Epochs)
 	if r.WallNS > 0 {

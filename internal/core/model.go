@@ -385,9 +385,11 @@ func (m *Model) predictTraining(ctr *hdc.Counter, e encoded) float64 {
 
 // encodeStaged is encodeScratch with the wall time recorded as StageEncode.
 func (p *params) encodeStaged(ctr *hdc.Counter, x []float64, sc *scratch, st *StageTimes) (encoded, error) {
+	//lint:nondeterm wall-clock telemetry: stage timing feeds StageTimes metrics only
 	t0 := time.Now()
 	e, err := p.encodeScratch(ctr, x, sc)
 	if err == nil {
+		//lint:nondeterm wall-clock telemetry: stage timing feeds StageTimes metrics only
 		st.Observe(StageEncode, time.Since(t0))
 	}
 	return e, err
@@ -399,12 +401,14 @@ func (p *params) encodeStaged(ctr *hdc.Counter, x []float64, sc *scratch, st *St
 // only the timestamps differ.
 func (p *params) predictStaged(ctr *hdc.Counter, e encoded, sims, conf []float64, st *StageTimes) float64 {
 	var y float64
+	//lint:nondeterm wall-clock telemetry: stage timing feeds StageTimes metrics only
 	t0 := time.Now()
 	if p.cfg.Models == 1 {
 		y = p.modelDot(ctr, e, 0)
 	} else {
 		p.clusterSimilaritiesInto(ctr, e, sims)
 		hdc.Softmax(ctr, conf, sims, p.cfg.SoftmaxBeta)
+		//lint:nondeterm wall-clock telemetry: stage timing feeds StageTimes metrics only
 		t1 := time.Now()
 		st.Observe(StageSimilarity, t1.Sub(t0))
 		t0 = t1
@@ -419,6 +423,7 @@ func (p *params) predictStaged(ctr *hdc.Counter, e encoded, sims, conf []float64
 		ctr.Add(hdc.OpFloatMul, 1)
 		ctr.Add(hdc.OpFloatAdd, 1)
 	}
+	//lint:nondeterm wall-clock telemetry: stage timing feeds StageTimes metrics only
 	st.Observe(StageReadout, time.Since(t0))
 	return y
 }
