@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-train-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke train-smoke examples serve-demo lint metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-train-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke train-smoke examples serve-demo lint lint-sarif metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, the full race-detector pass, and the
 # static-analysis suite, so the concurrency contracts (Snapshot serving,
@@ -79,13 +79,22 @@ bench-metrics:
 serve-demo:
 	$(GO) run ./cmd/reghd-serve
 
-# The in-tree static-analysis suite (cmd/reghd-lint): five go/ast+go/types
+# The in-tree static-analysis suite (cmd/reghd-lint): nine go/ast+go/types
 # analyzers enforcing Snapshot immutability, pooled-scratch hygiene, kernel
-# op-accounting, atomic-access discipline, and the float-equality ban.
-# Lints every package, including the lint package and command themselves.
-# See docs/STATIC_ANALYSIS.md.
+# op-accounting, atomic-access discipline, the float-equality ban,
+# merge/serialize determinism, request-path context propagation, goroutine
+# shutdown ties, and error-handling discipline. Lints every package,
+# including the lint package and command themselves, then audits the
+# suppression directives so a //lint:ignore that no longer suppresses
+# anything fails the build. See docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/reghd-lint ./...
+	$(GO) run ./cmd/reghd-lint -audit-ignores ./...
+
+# SARIF 2.1.0 log for GitHub code scanning (the CI lint-sarif job uploads
+# this; findings become PR annotations instead of log lines).
+lint-sarif:
+	$(GO) run ./cmd/reghd-lint -format sarif ./... > reghd-lint.sarif
 
 # Check docs/OBSERVABILITY.md and the exported metric structs against each
 # other: every metric in code must be documented, and vice versa.
