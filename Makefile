@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-train-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke train-smoke examples serve-demo lint lint-sarif metrics-lint bench-metrics clean
+.PHONY: all build vet test race race-quick cover bench bench-quick bench-json bench-train-json bench-check experiments fuzz fuzz-smoke chaos fleet-smoke replica-smoke train-smoke examples serve-demo lint lint-sarif metrics-lint bench-metrics clean
 
 # Tier-1 flow: build, vet, tests, the full race-detector pass, and the
 # static-analysis suite, so the concurrency contracts (Snapshot serving,
@@ -130,6 +130,13 @@ chaos:
 # on SLO violation, any request error, or zero observed LRU evictions.
 fleet-smoke:
 	sh ./scripts/fleet_smoke.sh
+
+# Replicated-serving smoke (docs/REPLICATION.md): three reghd-replica
+# processes exchanging deltas over HTTP through seeded chaos (10% drop
+# plus a 2s partition window on one replica), asserting every replica
+# folds all rounds with a Float64bits-identical state fingerprint.
+replica-smoke:
+	sh ./scripts/replica_smoke.sh
 
 # Sharded-training quality smoke (docs/TRAINING.md): train reghd-train on
 # the synthetic airfoil task sequentially and with 4 workers, and fail if

@@ -1,9 +1,10 @@
-package reghd
+package reghd_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"reghd"
 	"reghd/internal/core"
 	"reghd/internal/encoding"
 	"reghd/internal/experiments"
@@ -101,7 +102,7 @@ func BenchmarkDotBinaryDense(b *testing.B) {
 
 func BenchmarkTrainEpochMultiModel(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
-	train := &Dataset{Name: "bench", X: make([][]float64, 500), Y: make([]float64, 500)}
+	train := &reghd.Dataset{Name: "bench", X: make([][]float64, 500), Y: make([]float64, 500)}
 	for i := range train.X {
 		x := make([]float64, 8)
 		var y float64
@@ -131,10 +132,10 @@ func BenchmarkTrainEpochMultiModel(b *testing.B) {
 
 // benchTrainedModel fits the multi-model configuration the prediction
 // benchmarks share.
-func benchTrainedModel(b *testing.B) (*core.Model, *Dataset) {
+func benchTrainedModel(b *testing.B) (*core.Model, *reghd.Dataset) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(9))
-	train := &Dataset{Name: "bench", X: make([][]float64, 200), Y: make([]float64, 200)}
+	train := &reghd.Dataset{Name: "bench", X: make([][]float64, 200), Y: make([]float64, 200)}
 	for i := range train.X {
 		x := make([]float64, 8)
 		var y float64
@@ -207,7 +208,7 @@ func BenchmarkPredictConcurrentSnapshot(b *testing.B) {
 // serve-while-training workload the engine exists for.
 func BenchmarkEngineServeWhileTraining(b *testing.B) {
 	m, train := benchTrainedModel(b)
-	e, err := NewEngine(m)
+	e, err := reghd.NewEngine(m)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -245,10 +246,10 @@ func BenchmarkEngineServeWhileTraining(b *testing.B) {
 
 // benchEngine returns a serving engine over a trained model plus an input
 // row, shared by the metrics-overhead pair below.
-func benchEngine(b *testing.B) (*Engine, []float64) {
+func benchEngine(b *testing.B) (*reghd.Engine, []float64) {
 	b.Helper()
 	m, train := benchTrainedModel(b)
-	e, err := NewEngine(m)
+	e, err := reghd.NewEngine(m)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -45,6 +45,8 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os/signal"
+	"syscall"
 	"time"
 
 	"reghd"
@@ -170,8 +172,9 @@ func main() {
 		return r
 	})
 
+	stopTraffic := make(chan struct{})
 	if *traffic {
-		startTraffic(engine, test)
+		startTraffic(engine, test, stopTraffic)
 		log.Printf("synthetic traffic on (readers + PartialFit writer); disable with -traffic=false")
 	}
 
@@ -218,7 +221,30 @@ func main() {
 	log.Printf("  curl -s http://%s/metrics | head", served)
 	log.Printf(`  curl -s -d '{"x":[14.96,41.76,1024.07,73.17]}' http://%s/predict`, served)
 	log.Printf("  go tool pprof http://%s/debug/pprof/profile?seconds=10", served)
-	log.Fatal(http.Serve(ln, nil))
+
+	// Serve until SIGINT/SIGTERM, then stop the traffic goroutines and
+	// drain in-flight requests — the demo load shares the server's
+	// lifetime instead of leaking past it.
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSig()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-sigCtx.Done()
+		log.Printf("shutting down")
+		close(stopTraffic)
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	err = srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
 }
 
 // fleetOptions carries the multi-model mode's flag values.
@@ -309,36 +335,53 @@ func predictStatus(err error) int {
 // PartialFit updates drawn from a fresh synthetic stream — enough activity
 // that every metric (latency quantiles, throughput, snapshot age, publish
 // counts, hardware estimates) is non-trivial within a second of startup.
-func startTraffic(engine *reghd.Engine, test *reghd.Dataset) {
+// Every goroutine exits when stop closes (server shutdown).
+func startTraffic(engine *reghd.Engine, test *reghd.Dataset, stop <-chan struct{}) {
 	for r := 0; r < 2; r++ {
-		//lint:ignore goroleak demo traffic runs for the process lifetime; the demo has no shutdown path
 		go func(seed int64) {
 			rng := rand.New(rand.NewSource(seed))
-			for range time.Tick(2 * time.Millisecond) {
+			t := time.NewTicker(2 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+				}
 				if _, err := engine.Predict(test.X[rng.Intn(len(test.X))]); err != nil {
 					log.Printf("reader: %v", err)
 				}
 			}
 		}(100 + int64(r))
 	}
-	//lint:ignore goroleak demo traffic runs for the process lifetime; the demo has no shutdown path
 	go func() {
 		rng := rand.New(rand.NewSource(200))
-		for range time.Tick(50 * time.Millisecond) {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
 			lo := rng.Intn(len(test.X) - 16)
 			if _, err := engine.PredictBatch(test.X[lo : lo+16]); err != nil {
 				log.Printf("batch reader: %v", err)
 			}
 		}
 	}()
-	//lint:ignore goroleak demo traffic runs for the process lifetime; the demo has no shutdown path
 	go func() {
-		i := 0
-		for range time.Tick(5 * time.Millisecond) {
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
 			if err := engine.PartialFit(test.X[i%len(test.X)], test.Y[i%len(test.Y)]); err != nil {
 				log.Printf("writer: %v", err)
 			}
-			i++
 		}
 	}()
 }

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"reghd/internal/hdc"
+)
+
+// This file is the wire form of Delta: a versioned, deterministic binary
+// encoding that a replication transport ships between serving replicas
+// (internal/repl). gob would work, but deltas are the steady-state traffic
+// of a replica fleet, so the format is hand-rolled: fixed little-endian
+// layout (no reflection, no type dictionaries), byte-for-byte deterministic
+// for a given delta (equal deltas encode to equal bytes, which lets
+// transports deduplicate and tests fingerprint payloads), and closed by a
+// CRC so a flipped bit in flight surfaces as ErrCorruptDelta instead of a
+// silently poisoned merge.
+
+// ErrCorruptDelta is the sentinel wrapped by DecodeDelta when a payload
+// cannot be decoded into a structurally valid delta — truncation, a flipped
+// bit (CRC mismatch), an unknown version, or counts that disagree with the
+// payload size. Callers match it with errors.Is to distinguish a damaged
+// delta (drop it and request a resend) from a transport error, mirroring
+// ErrCorruptModel on the checkpoint path.
+var ErrCorruptDelta = errors.New("core: corrupt delta payload")
+
+// deltaWire* are the frame constants of the delta wire format.
+const (
+	// deltaWireMagic opens every encoded delta ("RegHD delta wire").
+	deltaWireMagic = "RHdw"
+	// deltaWireVersion is the current layout version. Decoders reject
+	// other versions rather than guessing at field layouts.
+	deltaWireVersion = 1
+	// deltaWireMaxDim and deltaWireMaxVecs bound the header counts a
+	// decoder will trust before sizing the payload, so a corrupt length
+	// field cannot demand an absurd allocation.
+	deltaWireMaxDim  = 1 << 24
+	deltaWireMaxVecs = 1 << 16
+)
+
+// deltaCRC is the checksum closing every frame (Castagnoli, the polynomial
+// with hardware support on current CPUs).
+var deltaCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// wireDim returns the common vector dimensionality of the delta (0 for a
+// delta with no vectors) and validates that every vector and shadow agrees
+// on it.
+func (d *Delta) wireDim() (int, error) {
+	dim := 0
+	check := func(n int) error {
+		if dim == 0 {
+			dim = n
+		}
+		if n != dim {
+			return fmt.Errorf("core: delta vectors disagree on dimension: %d vs %d", n, dim)
+		}
+		return nil
+	}
+	for _, v := range d.Models {
+		if err := check(len(v)); err != nil {
+			return 0, err
+		}
+	}
+	for _, v := range d.Clusters {
+		if err := check(len(v)); err != nil {
+			return 0, err
+		}
+	}
+	for _, b := range d.ModelsBin {
+		if b == nil {
+			return 0, errors.New("core: delta has nil binary model shadow")
+		}
+		if err := check(b.Dim); err != nil {
+			return 0, err
+		}
+	}
+	for _, b := range d.ClustersBin {
+		if b == nil {
+			return 0, errors.New("core: delta has nil binary cluster shadow")
+		}
+		if err := check(b.Dim); err != nil {
+			return 0, err
+		}
+	}
+	return dim, nil
+}
+
+// Encode serializes the delta into the versioned binary wire format decoded
+// by DecodeDelta. The encoding is deterministic: equal deltas produce equal
+// bytes. It fails only on structurally inconsistent deltas (vectors of
+// mixed dimensionality, nil shadows).
+func (d *Delta) Encode() ([]byte, error) {
+	if d == nil {
+		return nil, errors.New("core: nil delta")
+	}
+	dim, err := d.wireDim()
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{len(d.Models), len(d.Clusters), len(d.AssignN), len(d.ModelsBin), len(d.ModelScale), len(d.ClustersBin)}
+	for _, n := range counts {
+		if n > deltaWireMaxVecs {
+			return nil, fmt.Errorf("core: delta section of %d entries exceeds wire limit %d", n, deltaWireMaxVecs)
+		}
+	}
+	if dim > deltaWireMaxDim {
+		return nil, fmt.Errorf("core: delta dimension %d exceeds wire limit %d", dim, deltaWireMaxDim)
+	}
+	words := (dim + 63) / 64
+	size := len(deltaWireMagic) + 1 + // magic + version
+		4 + // dim
+		8 + // samples
+		16 + // calibration
+		6*4 + 4 + // six section counts + nOps
+		8*len(d.Models)*dim + 8*len(d.Clusters)*dim + 8*len(d.AssignN) +
+		8*int(hdc.NumOps) +
+		8*len(d.ModelsBin)*words + 8*len(d.ModelScale) + 8*len(d.ClustersBin)*words +
+		4 // crc
+	buf := make([]byte, 0, size)
+	buf = append(buf, deltaWireMagic...)
+	buf = append(buf, deltaWireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	buf = binary.LittleEndian.AppendUint64(buf, d.Samples)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.CalibA))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.CalibB))
+	for _, n := range counts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(hdc.NumOps))
+	for _, v := range d.Models {
+		buf = appendVector(buf, v)
+	}
+	for _, v := range d.Clusters {
+		buf = appendVector(buf, v)
+	}
+	for _, n := range d.AssignN {
+		buf = binary.LittleEndian.AppendUint64(buf, n)
+	}
+	ops := d.Ops.Snapshot()
+	for _, n := range ops {
+		buf = binary.LittleEndian.AppendUint64(buf, n)
+	}
+	for _, b := range d.ModelsBin {
+		buf = appendWords(buf, b.Words)
+	}
+	for _, s := range d.ModelScale {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	for _, b := range d.ClustersBin {
+		buf = appendWords(buf, b.Words)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, deltaCRC)), nil
+}
+
+// appendVector appends the Float64bits of every component.
+func appendVector(buf []byte, v hdc.Vector) []byte {
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// appendWords appends a binary shadow's packed words.
+func appendWords(buf []byte, ws []uint64) []byte {
+	for _, w := range ws {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// deltaReader is a bounds-checked cursor over an encoded delta; every read
+// failure latches corrupt.
+type deltaReader struct {
+	data    []byte
+	pos     int
+	corrupt bool
+}
+
+func (r *deltaReader) bytes(n int) []byte {
+	if r.corrupt || n < 0 || len(r.data)-r.pos < n {
+		r.corrupt = true
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *deltaReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *deltaReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *deltaReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads a section-count header field and validates it against the
+// wire limit before anything is sized from it.
+func (r *deltaReader) count(max int) int {
+	n := r.u32()
+	if int64(n) > int64(max) {
+		r.corrupt = true
+		return 0
+	}
+	return int(n)
+}
+
+// vector reads one dense vector of the given dimensionality.
+func (r *deltaReader) vector(dim int) hdc.Vector {
+	if r.corrupt {
+		return nil
+	}
+	v := hdc.NewVector(dim)
+	for j := range v {
+		v[j] = r.f64()
+	}
+	return v
+}
+
+// shadow reads one bit-packed binary shadow, enforcing the zero-tail-bits
+// invariant the Hamming kernels rely on.
+func (r *deltaReader) shadow(dim int) *hdc.Binary {
+	if r.corrupt {
+		return nil
+	}
+	b := hdc.NewBinary(dim)
+	for j := range b.Words {
+		b.Words[j] = r.u64()
+	}
+	if tail := dim % 64; tail != 0 && len(b.Words) > 0 {
+		if b.Words[len(b.Words)-1]>>uint(tail) != 0 {
+			r.corrupt = true
+			return nil
+		}
+	}
+	return b
+}
+
+// DecodeDelta parses a payload produced by Delta.Encode. Any structural
+// damage — truncation, trailing garbage, counts that disagree with the
+// payload size, an unknown version, a checksum mismatch — returns an error
+// wrapping ErrCorruptDelta; a nil error guarantees the delta is shaped
+// consistently (all vectors share one dimensionality, shadow tail bits are
+// zero). The returned delta owns its memory.
+func DecodeDelta(data []byte) (*Delta, error) {
+	if len(data) < len(deltaWireMagic)+1+4 {
+		return nil, fmt.Errorf("%w: %d-byte payload is shorter than the header", ErrCorruptDelta, len(data))
+	}
+	if string(data[:len(deltaWireMagic)]) != deltaWireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptDelta)
+	}
+	if v := data[len(deltaWireMagic)]; v != deltaWireVersion {
+		return nil, fmt.Errorf("%w: unknown wire version %d (have %d)", ErrCorruptDelta, v, deltaWireVersion)
+	}
+	// Checksum first: everything after this point may trust the bytes to be
+	// the bytes the encoder wrote.
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, deltaCRC) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptDelta)
+	}
+	r := &deltaReader{data: body, pos: len(deltaWireMagic) + 1}
+	dim := r.count(deltaWireMaxDim)
+	d := &Delta{Samples: r.u64(), CalibA: r.f64(), CalibB: r.f64()}
+	nModels := r.count(deltaWireMaxVecs)
+	nClusters := r.count(deltaWireMaxVecs)
+	nAssign := r.count(deltaWireMaxVecs)
+	nModelsBin := r.count(deltaWireMaxVecs)
+	nScales := r.count(deltaWireMaxVecs)
+	nClustersBin := r.count(deltaWireMaxVecs)
+	nOps := r.count(int(hdc.NumOps))
+	if r.corrupt || nOps != int(hdc.NumOps) {
+		return nil, fmt.Errorf("%w: malformed section header", ErrCorruptDelta)
+	}
+	// The header fully determines the payload size; reject any disagreement
+	// before allocating the sections.
+	words := (dim + 63) / 64
+	want := int64(r.pos) +
+		8*int64(nModels+nClusters)*int64(dim) + 8*int64(nAssign) + 8*int64(nOps) +
+		8*int64(nModelsBin+nClustersBin)*int64(words) + 8*int64(nScales)
+	if want != int64(len(body)) {
+		return nil, fmt.Errorf("%w: header promises %d payload bytes, have %d", ErrCorruptDelta, want, int64(len(body)))
+	}
+	if nModels > 0 {
+		d.Models = make([]hdc.Vector, nModels)
+		for i := range d.Models {
+			d.Models[i] = r.vector(dim)
+		}
+	}
+	if nClusters > 0 {
+		d.Clusters = make([]hdc.Vector, nClusters)
+		for i := range d.Clusters {
+			d.Clusters[i] = r.vector(dim)
+		}
+	}
+	if nAssign > 0 {
+		d.AssignN = make([]uint64, nAssign)
+		for i := range d.AssignN {
+			d.AssignN[i] = r.u64()
+		}
+	}
+	for op := hdc.Op(0); op < hdc.NumOps; op++ {
+		d.Ops.Add(op, r.u64())
+	}
+	if nModelsBin > 0 {
+		d.ModelsBin = make([]*hdc.Binary, nModelsBin)
+		for i := range d.ModelsBin {
+			d.ModelsBin[i] = r.shadow(dim)
+		}
+	}
+	if nScales > 0 {
+		d.ModelScale = make([]float64, nScales)
+		for i := range d.ModelScale {
+			d.ModelScale[i] = r.f64()
+		}
+	}
+	if nClustersBin > 0 {
+		d.ClustersBin = make([]*hdc.Binary, nClustersBin)
+		for i := range d.ClustersBin {
+			d.ClustersBin[i] = r.shadow(dim)
+		}
+	}
+	if r.corrupt {
+		return nil, fmt.Errorf("%w: truncated payload", ErrCorruptDelta)
+	}
+	return d, nil
+}

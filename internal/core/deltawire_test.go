@@ -1,0 +1,356 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"reghd/internal/hdc"
+)
+
+// deltasEqual reports whether two deltas carry Float64bits-identical state —
+// the equality DecodeDelta must reproduce for the merge math downstream of a
+// wire hop to stay deterministic.
+func deltasEqual(t *testing.T, a, b *Delta) bool {
+	t.Helper()
+	if a.Samples != b.Samples ||
+		math.Float64bits(a.CalibA) != math.Float64bits(b.CalibA) ||
+		math.Float64bits(a.CalibB) != math.Float64bits(b.CalibB) {
+		return false
+	}
+	if len(a.Models) != len(b.Models) || len(a.Clusters) != len(b.Clusters) ||
+		len(a.AssignN) != len(b.AssignN) || len(a.ModelsBin) != len(b.ModelsBin) ||
+		len(a.ModelScale) != len(b.ModelScale) || len(a.ClustersBin) != len(b.ClustersBin) {
+		return false
+	}
+	vecEq := func(x, y hdc.Vector) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	binEq := func(x, y *hdc.Binary) bool {
+		if x.Dim != y.Dim || len(x.Words) != len(y.Words) {
+			return false
+		}
+		for i := range x.Words {
+			if x.Words[i] != y.Words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range a.Models {
+		if !vecEq(a.Models[i], b.Models[i]) {
+			return false
+		}
+	}
+	for i := range a.Clusters {
+		if !vecEq(a.Clusters[i], b.Clusters[i]) {
+			return false
+		}
+	}
+	for i := range a.AssignN {
+		if a.AssignN[i] != b.AssignN[i] {
+			return false
+		}
+	}
+	for i := range a.ModelsBin {
+		if !binEq(a.ModelsBin[i], b.ModelsBin[i]) {
+			return false
+		}
+	}
+	for i := range a.ModelScale {
+		if math.Float64bits(a.ModelScale[i]) != math.Float64bits(b.ModelScale[i]) {
+			return false
+		}
+	}
+	for i := range a.ClustersBin {
+		if !binEq(a.ClustersBin[i], b.ClustersBin[i]) {
+			return false
+		}
+	}
+	return a.Ops.Snapshot() == b.Ops.Snapshot()
+}
+
+// TestDeltaWireRoundTrip pins the codec contract end to end: for both the
+// quantized configuration (binary shadows, scales, calibration) and the
+// full-precision one, Encode → DecodeDelta reproduces every field
+// bit-for-bit, and merging the decoded deltas yields a model
+// Float64bits-identical to merging the originals — a wire hop is invisible
+// to the merge math.
+func TestDeltaWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := makeLinear(rng, 160, 4, 0.05)
+	for _, tc := range []struct {
+		name      string
+		cfg       Config
+		quantized bool
+	}{
+		{"quantized", mergeBaseConfig(), true},
+		{"full-precision", func() Config {
+			cfg := mergeBaseConfig()
+			cfg.ClusterMode = ClusterInteger
+			cfg.PredictMode = PredictFull
+			return cfg
+		}(), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := newMergeModel(t, tc.cfg, 4, 256)
+			if _, err := base.Fit(data); err != nil {
+				t.Fatal(err)
+			}
+			deltas := trainWorkers(t, base, rowsOf{data.X, data.Y}, 3)
+			decoded := make([]*Delta, len(deltas))
+			for i, d := range deltas {
+				payload, err := d.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				again, err := d.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(payload, again) {
+					t.Fatal("Encode is not deterministic for an unchanged delta")
+				}
+				decoded[i], err = DecodeDelta(payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !deltasEqual(t, d, decoded[i]) {
+					t.Fatalf("delta %d changed across the wire", i)
+				}
+			}
+			orig, wired := base.Clone(), base.Clone()
+			orig.TrainCounter = &hdc.Counter{}
+			wired.TrainCounter = &hdc.Counter{}
+			merge := func(m *Model, ds []*Delta) {
+				var err error
+				if tc.quantized {
+					err = m.MergeQuantized(ds...)
+				} else {
+					err = m.Merge(ds...)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			merge(orig, deltas)
+			merge(wired, decoded)
+			if !statesEqual(t, orig, wired) {
+				t.Fatal("merging decoded deltas diverged from merging originals")
+			}
+		})
+	}
+}
+
+// TestDeltaWireEmpty pins that a zero-sample delta — what an idle replica
+// seals to keep a sync round moving — survives the wire.
+func TestDeltaWireEmpty(t *testing.T) {
+	payload, err := (&Delta{}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeDelta(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltasEqual(t, &Delta{}, d) {
+		t.Fatal("empty delta changed across the wire")
+	}
+}
+
+// wirePayload builds one valid quantized encoding for the corruption tests.
+func wirePayload(t testing.TB) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(22))
+	data := makeLinear(rng, 80, 4, 0.05)
+	base := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if _, err := base.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	d := trainWorkers(t, base, rowsOf{data.X, data.Y}, 1)[0]
+	payload, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// reseal recomputes the trailing CRC so a deliberate header tamper is not
+// masked by the checksum check — the structural validation must catch it.
+func reseal(payload []byte) []byte {
+	buf := append([]byte(nil), payload[:len(payload)-4]...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, deltaCRC))
+}
+
+// TestDeltaWireCorruption pins the failure contract: every damaged payload —
+// truncated, bit-flipped, wrong magic or version, tampered counts, trailing
+// garbage — returns an error wrapping ErrCorruptDelta, and none of them
+// panic or return a delta.
+func TestDeltaWireCorruption(t *testing.T) {
+	payload := wirePayload(t)
+	wantCorrupt := func(t *testing.T, name string, data []byte) {
+		t.Helper()
+		d, err := DecodeDelta(data)
+		if !errors.Is(err, ErrCorruptDelta) {
+			t.Fatalf("%s: got err=%v, want ErrCorruptDelta", name, err)
+		}
+		if d != nil {
+			t.Fatalf("%s: corrupt payload returned a delta", name)
+		}
+	}
+
+	t.Run("truncation", func(t *testing.T) {
+		for _, n := range []int{0, 3, 8, 9, 33, 60, len(payload) / 2, len(payload) - 1} {
+			wantCorrupt(t, "truncated", payload[:n])
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		// Flip one bit in every region of the frame: header, counts, each
+		// payload section, and the CRC itself. CRC32 detects all of them.
+		for off := 0; off < len(payload); off += 1 + off/7 {
+			mut := append([]byte(nil), payload...)
+			mut[off] ^= 1 << uint(off%8)
+			wantCorrupt(t, "bit flip", mut)
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), payload...)
+		copy(mut, "XXXX")
+		wantCorrupt(t, "magic", mut)
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		mut := append([]byte(nil), payload...)
+		mut[4] = deltaWireVersion + 1
+		wantCorrupt(t, "version", reseal(mut))
+	})
+	t.Run("tampered-count", func(t *testing.T) {
+		// Counts start after magic+version+dim+samples+calibration = 33
+		// bytes. Inflating a section count makes the header-implied size
+		// disagree with the payload even though the CRC is valid again.
+		for _, off := range []int{33, 37, 41, 45, 49, 53, 57} {
+			mut := append([]byte(nil), payload...)
+			mut[off]++
+			wantCorrupt(t, "count", reseal(mut))
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		wantCorrupt(t, "garbage", append(append([]byte(nil), payload...), 0xAB, 0xCD))
+	})
+	t.Run("shadow-tail-bits", func(t *testing.T) {
+		// A dimensionality that is not a multiple of 64 leaves tail bits in
+		// the last packed word; a payload setting them must be rejected
+		// even with a valid CRC, or the Hamming kernels' zero-tail
+		// invariant breaks downstream.
+		d := &Delta{Samples: 1, ModelsBin: []*hdc.Binary{hdc.NewBinary(70)}, ModelScale: []float64{1}}
+		enc, err := d.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shadow words follow the 61-byte header and the op counters.
+		off := 61 + 8*int(hdc.NumOps) + 8
+		mut := append([]byte(nil), enc...)
+		mut[off+7] |= 0x80
+		wantCorrupt(t, "tail bits", reseal(mut))
+	})
+}
+
+// FuzzDeltaWire hammers DecodeDelta with arbitrary bytes: it must never
+// panic, and any payload it accepts must re-encode to a stable fixed point
+// (encode → decode → encode is byte-identical from the first re-encoding
+// on).
+func FuzzDeltaWire(f *testing.F) {
+	payload := wirePayload(f)
+	f.Add(payload)
+	empty, err := (&Delta{}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte(deltaWireMagic))
+	f.Add(append([]byte(deltaWireMagic), deltaWireVersion, 0, 0, 0, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptDelta) {
+				t.Fatalf("decode error does not wrap ErrCorruptDelta: %v", err)
+			}
+			return
+		}
+		first, err := d.Encode()
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		d2, err := DecodeDelta(first)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		second, err := d2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatal("encode/decode/encode is not a fixed point")
+		}
+	})
+}
+
+// TestAdoptState pins the replication-side state handoff: adopting a
+// same-shape model reproduces its learned state bit-for-bit, and adopting
+// across configurations or shapes is rejected.
+func TestAdoptState(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data := makeLinear(rng, 120, 4, 0.05)
+	src := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if _, err := src.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	dst := newMergeModel(t, mergeBaseConfig(), 4, 256)
+	if err := dst.AdoptState(src); err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(t, src, dst) {
+		t.Fatal("AdoptState did not reproduce the source state")
+	}
+	// The adoption is a copy, not aliasing: training the source afterwards
+	// must leave the adopter untouched.
+	snap := dst.Clone()
+	if err := src.PartialFit(data.X[0], data.Y[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(t, snap, dst) {
+		t.Fatal("AdoptState aliased the source's state")
+	}
+
+	if err := dst.AdoptState(nil); err == nil {
+		t.Fatal("AdoptState(nil) succeeded")
+	}
+	other := newMergeModel(t, mergeBaseConfig(), 4, 512)
+	if _, err := other.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AdoptState(other); err == nil {
+		t.Fatal("AdoptState across dimensions succeeded")
+	}
+	intCfg := mergeBaseConfig()
+	intCfg.ClusterMode = ClusterInteger
+	intCfg.PredictMode = PredictFull
+	intModel := newMergeModel(t, intCfg, 4, 256)
+	if _, err := intModel.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AdoptState(intModel); err == nil {
+		t.Fatal("AdoptState across configurations succeeded")
+	}
+}

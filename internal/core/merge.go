@@ -337,6 +337,83 @@ func (m *Model) MergeQuantized(deltas ...*Delta) error {
 	return nil
 }
 
+// AdoptState overwrites the model's learned state with src's — hypervector
+// stores, binary shadows, scales, calibration, and the sample/assignment
+// census — reusing the model's own buffers. The rng, counters, scratch
+// pool, and any MarkSync baseline stay the model's own. This is the
+// replication adoption step: a replica that folded a round of deltas into
+// its merged base pushes that state into its serving model (or its local
+// training model) with one call. Both models must come from the same
+// configuration; anything else is rejected before any state is touched.
+//
+// AdoptState mutates the model, so the single-writer contract applies.
+func (m *Model) AdoptState(src *Model) error {
+	if src == nil {
+		return fmt.Errorf("core: AdoptState from nil model")
+	}
+	if src.cfg != m.cfg || src.dim != m.dim {
+		return fmt.Errorf("core: AdoptState across configurations (dim %d/%d)", src.dim, m.dim)
+	}
+	if len(src.models) != len(m.models) || len(src.clusters) != len(m.clusters) ||
+		len(src.modelsBin) != len(m.modelsBin) || len(src.clustersBin) != len(m.clustersBin) {
+		return fmt.Errorf("core: AdoptState across model shapes")
+	}
+	m.copyStateFrom(src)
+	return nil
+}
+
+// StateFingerprint digests the learned state — sample census, calibration,
+// integer hypervector stores, binary shadows, scales — into one 64-bit
+// FNV-1a value over the exact Float64bits. Two models fingerprint equal iff
+// their learned states are bit-identical, which is what the replication
+// layer's convergence checks (internal/repl, scripts/replica_smoke.sh)
+// compare across a healed fleet. The encoder, counters, and scratch state
+// do not participate: replicas share those by construction.
+func (m *Model) StateFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(m.samples)
+	mix(math.Float64bits(m.calibA))
+	mix(math.Float64bits(m.calibB))
+	for _, v := range m.models {
+		for _, x := range v {
+			mix(math.Float64bits(x))
+		}
+	}
+	for _, v := range m.clusters {
+		for _, x := range v {
+			mix(math.Float64bits(x))
+		}
+	}
+	for _, n := range m.assignN {
+		mix(n)
+	}
+	for _, s := range m.modelScale {
+		mix(math.Float64bits(s))
+	}
+	for _, b := range m.modelsBin {
+		for _, w := range b.Words {
+			mix(w)
+		}
+	}
+	for _, b := range m.clustersBin {
+		for _, w := range b.Words {
+			mix(w)
+		}
+	}
+	return h
+}
+
 // voteBits overwrites dst with the sample-weighted per-bit majority of the
 // deltas' shadows, keeping dst's current bit on a tie. votes is caller
 // scratch of dimension dst.Dim.

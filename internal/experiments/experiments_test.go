@@ -20,7 +20,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablate", "bitflip", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "parscale", "platforms", "robust", "sparse", "table1", "table2"}
+	want := []string{"ablate", "bitflip", "cap", "cpu", "dse", "fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "parscale", "platforms", "replsync", "robust", "sparse", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -364,6 +364,30 @@ func TestParScaleSmoke(t *testing.T) {
 	}
 	if _, rows := res.Table(); len(rows) != 7*3 {
 		t.Fatalf("expected 21 table rows, got %d", len(rows))
+	}
+}
+
+func TestReplSyncSmoke(t *testing.T) {
+	res, err := ReplSync(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 7 {
+		t.Fatalf("expected 7 datasets, got %v", res.Datasets)
+	}
+	for _, d := range res.Datasets {
+		if res.SeqMSE[d] <= 0 || res.FleetMSE[d] <= 0 {
+			t.Fatalf("missing MSE for %s: seq=%v fleet=%v", d, res.SeqMSE[d], res.FleetMSE[d])
+		}
+		if !res.Converged[d] {
+			t.Fatalf("fleet did not converge bit-exactly on %s", d)
+		}
+	}
+	if !strings.Contains(res.Render(), "Delta-sync fleet") {
+		t.Fatal("render missing title")
+	}
+	if _, rows := res.Table(); len(rows) != 7 {
+		t.Fatalf("expected 7 table rows, got %d", len(rows))
 	}
 }
 

@@ -34,6 +34,7 @@ var registry = map[string]Runner{
 	"platforms": func(o Options) (Renderer, error) { return PlatformComparison(o) },
 	"cpu":       func(o Options) (Renderer, error) { return CPUWallClock(o) },
 	"parscale":  func(o Options) (Renderer, error) { return ParScale(o) },
+	"replsync":  func(o Options) (Renderer, error) { return ReplSync(o) },
 }
 
 // IDs returns the registered experiment IDs in sorted order.

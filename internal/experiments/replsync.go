@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"reghd/internal/core"
+	"reghd/internal/dataset"
+	"reghd/internal/fault"
+	"reghd/internal/repl"
+	"reghd/internal/synth"
+)
+
+// ReplSyncResult reports the replicated-fleet quality claim
+// (docs/REPLICATION.md): a 3-replica delta-sync fleet trained through a
+// seeded chaos transport — 10% drop, duplication, reordering, and a full
+// partition window that heals mid-run — against the sequential
+// single-model baseline on all seven evaluation datasets. The fleet
+// streams each training epoch as one sync round (replica i takes every
+// third sample), folds the round by bundling merge, and serves the merged
+// state; Converged records that every replica's merged base reached a
+// Float64bits-identical fingerprint despite the chaos.
+type ReplSyncResult struct {
+	// Datasets lists the workloads in evaluation order.
+	Datasets []string
+	// Replicas is the fleet size; Rounds the sync rounds (= epochs) run.
+	Replicas, Rounds int
+	// SeqMSE is the sequential single-model baseline per dataset; FleetMSE
+	// the healed fleet's merged-model MSE; Ratio their quotient.
+	SeqMSE, FleetMSE map[string]float64
+	// Converged records per dataset whether all replicas fingerprint
+	// identically after the final fold.
+	Converged map[string]bool
+}
+
+// replSyncFleetMSE trains one chaos-faulted fleet and returns its test MSE
+// (in original target units) plus whether the fleet converged bit-exactly.
+func replSyncFleetMSE(name string, o Options, trainS, testS *dataset.Dataset, yScale float64) (float64, bool, error) {
+	const members = 3
+	ctx := context.Background()
+	faults, err := fault.NewNetFaults(fault.NetConfig{
+		Drop:      0.10,
+		Duplicate: 0.05,
+		Reorder:   0.05,
+		Seed:      o.Seed + 29,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	net := repl.NewNetwork()
+	chaos := repl.NewChaos(net, faults)
+	replicas := make([]*repl.Replica, members)
+	for id := 0; id < members; id++ {
+		hd, err := newRegHD(trainS.Features(), o, 8, core.ClusterInteger, core.PredictBinaryQuery)
+		if err != nil {
+			return 0, false, err
+		}
+		r, err := repl.New(hd.m, repl.Config{
+			ID:          id,
+			Members:     members,
+			SendTimeout: time.Second,
+			RetryBudget: 2,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+			JitterSeed:  o.Seed,
+		}, chaos)
+		if err != nil {
+			return 0, false, err
+		}
+		net.Register(id, r.Handler())
+		replicas[id] = r
+	}
+
+	rounds := o.Epochs
+	for round := 1; round <= rounds; round++ {
+		for i := range trainS.X {
+			if err := replicas[i%members].PartialFit(trainS.X[i], trainS.Y[i]); err != nil {
+				return 0, false, fmt.Errorf("experiments: replsync %s round %d: %w", name, round, err)
+			}
+		}
+		// One full partition window mid-run: the middle replica drops off
+		// the fleet for the first pump iterations of the middle round,
+		// then heals — the experiment's headline fault.
+		partitioned := round == rounds/2+1
+		if partitioned {
+			faults.Isolate(1)
+		}
+		for _, r := range replicas {
+			_ = r.Seal(ctx) // chaos loss; the pump below retries
+		}
+		folded := false
+		for iter := 0; iter < 500 && !folded; iter++ {
+			if partitioned && iter == 3 {
+				faults.HealAll()
+			}
+			for _, r := range replicas {
+				_ = r.Flush(ctx)
+			}
+			if err := chaos.Drain(ctx); err != nil {
+				return 0, false, err
+			}
+			folded = true
+			for _, r := range replicas {
+				if r.Round() < uint64(round) {
+					folded = false
+				}
+			}
+		}
+		if !folded {
+			return 0, false, fmt.Errorf("experiments: replsync %s: fleet stuck at round %d", name, round)
+		}
+	}
+
+	converged := true
+	fp := replicas[0].Fingerprint()
+	for _, r := range replicas[1:] {
+		if r.Fingerprint() != fp {
+			converged = false
+		}
+	}
+	preds := make([]float64, testS.Len())
+	for i, x := range testS.X {
+		if preds[i], err = replicas[0].Predict(x); err != nil {
+			return 0, false, err
+		}
+	}
+	mse, err := dataset.MSE(preds, testS.Y)
+	if err != nil {
+		return 0, false, err
+	}
+	return mse * yScale, converged, nil
+}
+
+// ReplSync runs the replicated-fleet vs sequential comparison on every
+// evaluation dataset.
+func ReplSync(o Options) (*ReplSyncResult, error) {
+	o = o.withDefaults()
+	res := &ReplSyncResult{
+		Datasets:  synth.Names(),
+		Replicas:  3,
+		Rounds:    o.Epochs,
+		SeqMSE:    map[string]float64{},
+		FleetMSE:  map[string]float64{},
+		Converged: map[string]bool{},
+	}
+	for _, name := range res.Datasets {
+		train, test, err := loadSplit(name, o)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := dataset.FitScaler(train, true)
+		if err != nil {
+			return nil, err
+		}
+		trainS, err := sc.Transform(train)
+		if err != nil {
+			return nil, err
+		}
+		testS, err := sc.Transform(test)
+		if err != nil {
+			return nil, err
+		}
+		yScale := sc.YStd * sc.YStd
+
+		hd, err := newRegHD(train.Features(), o, 8, core.ClusterInteger, core.PredictBinaryQuery)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := hd.m.Fit(trainS); err != nil {
+			return nil, fmt.Errorf("experiments: replsync %s baseline: %w", name, err)
+		}
+		preds := make([]float64, testS.Len())
+		for i, x := range testS.X {
+			if preds[i], err = hd.m.Predict(x); err != nil {
+				return nil, err
+			}
+		}
+		seq, err := dataset.MSE(preds, testS.Y)
+		if err != nil {
+			return nil, err
+		}
+		res.SeqMSE[name] = seq * yScale
+
+		fleet, converged, err := replSyncFleetMSE(name, o, trainS, testS, yScale)
+		if err != nil {
+			return nil, err
+		}
+		res.FleetMSE[name] = fleet
+		res.Converged[name] = converged
+	}
+	return res, nil
+}
+
+// Render prints the fleet-vs-sequential quality table.
+func (r *ReplSyncResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Delta-sync fleet (%d replicas, chaos transport, %d rounds) vs sequential\n", r.Replicas, r.Rounds)
+	fmt.Fprintf(&b, "%-10s %12s %12s %7s %10s\n", "dataset", "seq MSE", "fleet MSE", "ratio", "converged")
+	for _, d := range r.Datasets {
+		ratio := 0.0
+		if r.SeqMSE[d] > 0 {
+			ratio = r.FleetMSE[d] / r.SeqMSE[d]
+		}
+		fmt.Fprintf(&b, "%-10s %12.3f %12.3f %6.2fx %10v\n", d, r.SeqMSE[d], r.FleetMSE[d], ratio, r.Converged[d])
+	}
+	b.WriteString("fleet trained through seeded 10% drop + duplication + reordering + one healed partition;\n")
+	b.WriteString("converged = all replicas Float64bits-identical after the final fold — see docs/REPLICATION.md\n")
+	return b.String()
+}
+
+// Table implements Tabular: one row per dataset.
+func (r *ReplSyncResult) Table() ([]string, [][]string) {
+	var rows [][]string
+	for _, d := range r.Datasets {
+		rows = append(rows, []string{
+			d, strconv.Itoa(r.Replicas), f(r.SeqMSE[d]), f(r.FleetMSE[d]),
+			strconv.FormatBool(r.Converged[d]),
+		})
+	}
+	return []string{"dataset", "replicas", "seq_mse", "fleet_mse", "converged"}, rows
+}

@@ -107,3 +107,27 @@ func TestTrendDimensionalityEfficiency(t *testing.T) {
 		t.Fatalf("inference speedup %v at D=%d, want ≈%v", res.InferSpeedup[small], small, ratio)
 	}
 }
+
+// TestTrendReplSyncQuality asserts the replication acceptance bound
+// (docs/REPLICATION.md): a healed 3-replica chaos-trained fleet — 10%
+// drop, duplication, reordering, one full partition window — reaches test
+// MSE within 1.2x of the sequential baseline on every evaluation dataset,
+// and every replica's merged state is Float64bits-identical.
+func TestTrendReplSyncQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline trend test")
+	}
+	res, err := ReplSync(trendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Datasets {
+		if !res.Converged[d] {
+			t.Fatalf("%s: fleet did not converge bit-exactly", d)
+		}
+		if res.FleetMSE[d] > res.SeqMSE[d]*1.2+1e-3 {
+			t.Fatalf("%s: fleet MSE %.4f vs sequential %.4f exceeds 1.2x",
+				d, res.FleetMSE[d], res.SeqMSE[d])
+		}
+	}
+}

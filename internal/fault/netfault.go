@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the network half of the fault substrate: where fault.go
+// models memory bit errors inside one process, NetFaults models the
+// failure modes of the links between replicas (internal/repl) — message
+// drop, delay, duplication, reordering, and full partition. Like the
+// bit-flip injector it is fully seeded: the same NetConfig against the
+// same sequence of Decide calls produces bit-identical fault decisions,
+// which is what makes the replication chaos suite and
+// scripts/replica_smoke.sh reproducible.
+
+// NetConfig parameterizes a NetFaults decision source. All rates are
+// independent per-message probabilities in [0,1]; a message can draw
+// several faults at once (e.g. delayed and duplicated).
+type NetConfig struct {
+	// Drop is the probability a message is lost in flight.
+	Drop float64
+	// Delay is the probability a message is delayed; the magnitude is
+	// uniform in (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds the injected delay. Required iff Delay > 0.
+	MaxDelay time.Duration
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a message is held back and swapped with
+	// the next message on the same link.
+	Reorder float64
+	// Seed drives the decisions. Equal seeds reproduce equal decision
+	// sequences for equal call sequences.
+	Seed int64
+}
+
+// Validate rejects out-of-range settings.
+func (c NetConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Drop", c.Drop}, {"Delay", c.Delay}, {"Duplicate", c.Duplicate}, {"Reorder", c.Reorder}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s rate must be in [0,1], got %v", p.name, p.v)
+		}
+	}
+	if c.Delay > 0 && c.MaxDelay <= 0 {
+		return fmt.Errorf("fault: Delay rate %v needs MaxDelay > 0", c.Delay)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("fault: MaxDelay must be >= 0, got %v", c.MaxDelay)
+	}
+	return nil
+}
+
+// NetDecision is the fate NetFaults assigns to one message.
+type NetDecision struct {
+	// Drop: the message is lost; the sender sees a transport error.
+	Drop bool
+	// Delay holds the injected latency (0 when not delayed).
+	Delay time.Duration
+	// Duplicate: the message is delivered a second time.
+	Duplicate bool
+	// Reorder: the message is held back and swapped with the next one on
+	// the same link.
+	Reorder bool
+}
+
+// NetFaults is a seeded per-message fault decision source plus a mutable
+// partition set. It is safe for concurrent use; concurrency makes the
+// interleaving of decisions scheduler-dependent, so tests wanting
+// bit-reproducible sequences serialize their sends.
+type NetFaults struct {
+	mu       sync.Mutex
+	cfg      NetConfig
+	rng      *rand.Rand
+	cutLinks map[[2]int]bool
+	isolated map[int]bool
+}
+
+// NewNetFaults builds a decision source from the config.
+func NewNetFaults(cfg NetConfig) (*NetFaults, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &NetFaults{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cutLinks: map[[2]int]bool{},
+		isolated: map[int]bool{},
+	}, nil
+}
+
+// Decide draws the fate of one message from a to b. Partitioned links
+// return {Drop: true} without consuming randomness, so healing a partition
+// resumes the decision sequence exactly where it left off.
+func (n *NetFaults) Decide(from, to int) NetDecision {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitionedLocked(from, to) {
+		return NetDecision{Drop: true}
+	}
+	var d NetDecision
+	// Fixed draw order (drop, delay, duplicate, reorder) keeps the
+	// consumed-randomness count per call constant, so decision sequences
+	// only depend on the call sequence, not on which faults fired.
+	drop := n.rng.Float64() < n.cfg.Drop
+	delay := n.rng.Float64() < n.cfg.Delay
+	var delayFor time.Duration
+	if n.cfg.MaxDelay > 0 {
+		delayFor = time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay))) + 1
+	}
+	dup := n.rng.Float64() < n.cfg.Duplicate
+	reorder := n.rng.Float64() < n.cfg.Reorder
+	if drop {
+		return NetDecision{Drop: true}
+	}
+	if delay {
+		d.Delay = delayFor
+	}
+	d.Duplicate = dup
+	d.Reorder = reorder
+	return d
+}
+
+// linkKey normalizes an undirected link.
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Cut severs the undirected link between a and b.
+func (n *NetFaults) Cut(a, b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutLinks[linkKey(a, b)] = true
+}
+
+// Isolate severs every link touching id (a full partition of that node).
+func (n *NetFaults) Isolate(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[id] = true
+}
+
+// Heal restores the undirected link between a and b (and clears either
+// endpoint's isolation, since the pair can evidently talk again).
+func (n *NetFaults) Heal(a, b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutLinks, linkKey(a, b))
+	delete(n.isolated, a)
+	delete(n.isolated, b)
+}
+
+// HealAll restores every link.
+func (n *NetFaults) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutLinks = map[[2]int]bool{}
+	n.isolated = map[int]bool{}
+}
+
+// Partitioned reports whether messages from a to b are currently severed.
+func (n *NetFaults) Partitioned(a, b int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitionedLocked(a, b)
+}
+
+func (n *NetFaults) partitionedLocked(a, b int) bool {
+	return n.isolated[a] || n.isolated[b] || n.cutLinks[linkKey(a, b)]
+}

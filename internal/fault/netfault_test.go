@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestNetConfigValidate pins the config contract.
+func TestNetConfigValidate(t *testing.T) {
+	good := NetConfig{Drop: 0.1, Delay: 0.1, MaxDelay: time.Millisecond, Duplicate: 0.1, Reorder: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]NetConfig{
+		"drop>1":            {Drop: 1.5},
+		"delay<0":           {Delay: -0.1},
+		"dup>1":             {Duplicate: 2},
+		"reorder<0":         {Reorder: -1},
+		"delay-no-maxdelay": {Delay: 0.5},
+		"negative-maxdelay": {MaxDelay: -time.Second},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+		if _, err := NewNetFaults(cfg); err == nil {
+			t.Errorf("%s: NewNetFaults accepted %+v", name, cfg)
+		}
+	}
+}
+
+// TestNetFaultsDeterministic pins the seeding contract: equal configs and
+// equal call sequences produce identical decision sequences, and partition
+// checks consume no randomness — a heal resumes the sequence exactly.
+func TestNetFaultsDeterministic(t *testing.T) {
+	cfg := NetConfig{Drop: 0.2, Delay: 0.3, MaxDelay: 5 * time.Millisecond, Duplicate: 0.1, Reorder: 0.15, Seed: 42}
+	a, err := NewNetFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNetFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b spends its first 50 calls inside a partition window; those return
+	// Drop without touching the rng, so afterwards it must track a exactly.
+	b.Isolate(1)
+	for i := 0; i < 50; i++ {
+		if d := b.Decide(0, 1); !d.Drop || d.Delay != 0 || d.Duplicate || d.Reorder {
+			t.Fatalf("partitioned decision %d = %+v, want pure drop", i, d)
+		}
+	}
+	b.Heal(0, 1)
+	for i := 0; i < 500; i++ {
+		from, to := i%3, (i+1)%3
+		da, db := a.Decide(from, to), b.Decide(from, to)
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// TestNetFaultsRates pins that realized fault frequencies track the
+// configured probabilities over a long run.
+func TestNetFaultsRates(t *testing.T) {
+	cfg := NetConfig{Drop: 0.1, Delay: 0.2, MaxDelay: 3 * time.Millisecond, Duplicate: 0.05, Reorder: 0.15, Seed: 7}
+	n, err := NewNetFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	var drops, delays, dups, reorders int
+	for i := 0; i < trials; i++ {
+		d := n.Decide(0, 1)
+		if d.Drop {
+			drops++
+			continue
+		}
+		if d.Delay > 0 {
+			delays++
+			if d.Delay > cfg.MaxDelay {
+				t.Fatalf("delay %v exceeds MaxDelay %v", d.Delay, cfg.MaxDelay)
+			}
+		}
+		if d.Duplicate {
+			dups++
+		}
+		if d.Reorder {
+			reorders++
+		}
+	}
+	within := func(name string, got int, want float64) {
+		// Dropped messages never report the other faults, so the surviving
+		// rates are scaled by (1 - Drop).
+		rate := float64(got) / trials
+		if math.Abs(rate-want) > 0.02 {
+			t.Errorf("%s rate %.3f, want ~%.3f", name, rate, want)
+		}
+	}
+	within("drop", drops, cfg.Drop)
+	within("delay", delays, cfg.Delay*(1-cfg.Drop))
+	within("duplicate", dups, cfg.Duplicate*(1-cfg.Drop))
+	within("reorder", reorders, cfg.Reorder*(1-cfg.Drop))
+}
+
+// TestNetFaultsPartition pins the partition set semantics: link cuts,
+// node isolation, healing, and symmetry.
+func TestNetFaultsPartition(t *testing.T) {
+	n, err := NewNetFaults(NetConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Partitioned(0, 1) {
+		t.Fatal("fresh NetFaults has a partition")
+	}
+	n.Cut(0, 1)
+	if !n.Partitioned(0, 1) || !n.Partitioned(1, 0) {
+		t.Fatal("Cut is not symmetric")
+	}
+	if n.Partitioned(0, 2) {
+		t.Fatal("Cut(0,1) severed an unrelated link")
+	}
+	n.Heal(1, 0)
+	if n.Partitioned(0, 1) {
+		t.Fatal("Heal did not restore the link")
+	}
+	n.Isolate(2)
+	if !n.Partitioned(0, 2) || !n.Partitioned(2, 1) {
+		t.Fatal("Isolate did not sever all links of the node")
+	}
+	if n.Partitioned(0, 1) {
+		t.Fatal("Isolate(2) severed a link not touching 2")
+	}
+	if d := n.Decide(2, 0); !d.Drop {
+		t.Fatal("Decide over an isolated node did not drop")
+	}
+	n.HealAll()
+	if n.Partitioned(0, 2) || n.Partitioned(2, 1) {
+		t.Fatal("HealAll left partitions behind")
+	}
+	// A healthy link with zero rates passes everything through.
+	if d := n.Decide(0, 1); d.Drop || d.Delay != 0 || d.Duplicate || d.Reorder {
+		t.Fatalf("zero-rate decision %+v, want clean pass", d)
+	}
+}

@@ -3,8 +3,8 @@ package obs_test
 // Doc lint: docs/OBSERVABILITY.md and the exported metric structs must
 // agree. The metric namespace is derived by reflection over the json tags
 // of reghd.EngineMetrics, obs.HWReport, reghd.RegistryMetrics,
-// obs.LoadgenReport, and obs.TrainMetrics (exactly what /metrics and
-// reghd-loadgen serve), so
+// obs.LoadgenReport, obs.TrainMetrics, and obs.ReplMetrics (exactly what
+// /metrics and reghd-loadgen serve), so
 // adding a field without documenting it — or documenting a metric that no
 // longer exists — fails `make metrics-lint` and the ordinary test run.
 
@@ -47,10 +47,11 @@ func codeMetrics() map[string]bool {
 	metricPaths(reflect.TypeOf(reghd.RegistryMetrics{}), obs.RegistryVar, m)
 	metricPaths(reflect.TypeOf(obs.LoadgenReport{}), obs.LoadgenVar, m)
 	metricPaths(reflect.TypeOf(obs.TrainMetrics{}), obs.TrainVar, m)
+	metricPaths(reflect.TypeOf(obs.ReplMetrics{}), obs.ReplVar, m)
 	return m
 }
 
-var metricNameRE = regexp.MustCompile("`(reghd\\.(?:engine|hw|registry|loadgen|train)(?:\\.[a-z0-9_*]+)+)`")
+var metricNameRE = regexp.MustCompile("`(reghd\\.(?:engine|hw|registry|loadgen|train|repl)(?:\\.[a-z0-9_*]+)+)`")
 
 func TestMetricsDocumented(t *testing.T) {
 	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
@@ -114,6 +115,14 @@ func TestMetricNamespaceShape(t *testing.T) {
 		"reghd.train.shards",
 		"reghd.train.merge_ns_total",
 		"reghd.train.rows_per_sec",
+		"reghd.repl.sends",
+		"reghd.repl.retries",
+		"reghd.repl.drops",
+		"reghd.repl.duplicates",
+		"reghd.repl.merges",
+		"reghd.repl.delta_bytes_out",
+		"reghd.repl.suspect_transitions",
+		"reghd.repl.dead_transitions",
 	} {
 		if !code[want] {
 			t.Errorf("expected metric %s missing from derived namespace:\n%s", want, fmt.Sprint(code))

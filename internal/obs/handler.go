@@ -23,6 +23,9 @@ const (
 	// TrainVar is the expvar name carrying obs.TrainMetrics — the always-on
 	// sharded-training aggregate (obs publishes it at init).
 	TrainVar = "reghd.train"
+	// ReplVar is the expvar name carrying obs.ReplMetrics — the always-on
+	// replication aggregate (obs publishes it at init).
+	ReplVar = "reghd.repl"
 )
 
 var (

@@ -1,0 +1,155 @@
+package obs
+
+import "sync/atomic"
+
+// ReplStats aggregates replication telemetry (internal/repl). It is always
+// on: every replica in the process records into the process-global Repl,
+// and the reghd.repl expvar serves the aggregate — no opt-in, matching the
+// robustness and training counters. All fields are atomics, so replicas,
+// transport goroutines, and the metrics handler never contend on a lock.
+type ReplStats struct {
+	sends      atomic.Uint64
+	sendErrors atomic.Uint64
+	retries    atomic.Uint64
+	drops      atomic.Uint64
+	recvs      atomic.Uint64
+	duplicates atomic.Uint64
+	corrupt    atomic.Uint64
+	merges     atomic.Uint64
+	publishes  atomic.Uint64
+	round      atomic.Uint64 // highest folded sync round in the process (gauge)
+	bytesOut   atomic.Uint64
+	bytesIn    atomic.Uint64
+	suspects   atomic.Uint64
+	deads      atomic.Uint64
+}
+
+// Repl is the process-global replication aggregate, published under
+// ReplVar.
+var Repl = &ReplStats{}
+
+func init() {
+	Publish(ReplVar, func() any { return Repl.Metrics() })
+}
+
+// Send records one delta send attempt of n payload bytes (retries record a
+// fresh attempt each).
+func (s *ReplStats) Send(n int) {
+	s.sends.Add(1)
+	s.bytesOut.Add(uint64(n))
+}
+
+// SendError records one failed send attempt (the transport returned an
+// error or the per-send timeout fired).
+func (s *ReplStats) SendError() { s.sendErrors.Add(1) }
+
+// Retry records one backoff-and-resend of a previously failed send.
+func (s *ReplStats) Retry() { s.retries.Add(1) }
+
+// Drop records one delta abandoned after its retry budget was exhausted.
+func (s *ReplStats) Drop() { s.drops.Add(1) }
+
+// Recv records one delta accepted from a peer (n payload bytes).
+func (s *ReplStats) Recv(n int) {
+	s.recvs.Add(1)
+	s.bytesIn.Add(uint64(n))
+}
+
+// Duplicate records one received delta discarded by the (replica, sync-seq)
+// idempotency check — a retry or transport duplicate that was already
+// applied.
+func (s *ReplStats) Duplicate() { s.duplicates.Add(1) }
+
+// Corrupt records one received payload rejected as ErrCorruptDelta.
+func (s *ReplStats) Corrupt() { s.corrupt.Add(1) }
+
+// Merge records one anti-entropy fold (a Merge/MergeQuantized over a
+// complete round of peer deltas).
+func (s *ReplStats) Merge() { s.merges.Add(1) }
+
+// PublishSnapshot records one republish of the merged state through the
+// engine snapshot path.
+func (s *ReplStats) PublishSnapshot() { s.publishes.Add(1) }
+
+// SetRound records the highest folded sync round of any replica in the
+// process (a gauge; monotone under normal operation).
+func (s *ReplStats) SetRound(r uint64) {
+	for {
+		old := s.round.Load()
+		if r <= old || s.round.CompareAndSwap(old, r) {
+			return
+		}
+	}
+}
+
+// Suspect and Dead record peer health-state transitions (live → suspect,
+// suspect → dead).
+func (s *ReplStats) Suspect() { s.suspects.Add(1) }
+func (s *ReplStats) Dead()    { s.deads.Add(1) }
+
+// Reset zeroes the aggregate (tests).
+func (s *ReplStats) Reset() {
+	s.sends.Store(0)
+	s.sendErrors.Store(0)
+	s.retries.Store(0)
+	s.drops.Store(0)
+	s.recvs.Store(0)
+	s.duplicates.Store(0)
+	s.corrupt.Store(0)
+	s.merges.Store(0)
+	s.publishes.Store(0)
+	s.round.Store(0)
+	s.bytesOut.Store(0)
+	s.bytesIn.Store(0)
+	s.suspects.Store(0)
+	s.deads.Store(0)
+}
+
+// ReplMetrics is the JSON served under the reghd.repl expvar; every leaf is
+// documented in docs/OBSERVABILITY.md (doclint-pinned).
+type ReplMetrics struct {
+	// Sends counts delta send attempts; SendErrors the attempts that failed;
+	// Retries the backoff-and-resend cycles; Drops the deltas abandoned
+	// after the retry budget.
+	Sends      uint64 `json:"sends"`
+	SendErrors uint64 `json:"send_errors"`
+	Retries    uint64 `json:"retries"`
+	Drops      uint64 `json:"drops"`
+	// Recvs counts deltas accepted from peers; Duplicates the ones the
+	// idempotency check discarded; Corrupt the payloads failing DecodeDelta.
+	Recvs      uint64 `json:"recvs"`
+	Duplicates uint64 `json:"duplicates"`
+	Corrupt    uint64 `json:"corrupt"`
+	// Merges counts anti-entropy folds; Publishes the snapshot republishes
+	// they triggered; Round is the highest folded sync round.
+	Merges    uint64 `json:"merges"`
+	Publishes uint64 `json:"publishes"`
+	Round     uint64 `json:"round"`
+	// DeltaBytesOut/DeltaBytesIn total the wire-encoded delta payload bytes
+	// shipped and accepted.
+	DeltaBytesOut uint64 `json:"delta_bytes_out"`
+	DeltaBytesIn  uint64 `json:"delta_bytes_in"`
+	// SuspectTransitions/DeadTransitions count peer health downgrades.
+	SuspectTransitions uint64 `json:"suspect_transitions"`
+	DeadTransitions    uint64 `json:"dead_transitions"`
+}
+
+// Metrics snapshots the aggregate.
+func (s *ReplStats) Metrics() ReplMetrics {
+	return ReplMetrics{
+		Sends:              s.sends.Load(),
+		SendErrors:         s.sendErrors.Load(),
+		Retries:            s.retries.Load(),
+		Drops:              s.drops.Load(),
+		Recvs:              s.recvs.Load(),
+		Duplicates:         s.duplicates.Load(),
+		Corrupt:            s.corrupt.Load(),
+		Merges:             s.merges.Load(),
+		Publishes:          s.publishes.Load(),
+		Round:              s.round.Load(),
+		DeltaBytesOut:      s.bytesOut.Load(),
+		DeltaBytesIn:       s.bytesIn.Load(),
+		SuspectTransitions: s.suspects.Load(),
+		DeadTransitions:    s.deads.Load(),
+	}
+}

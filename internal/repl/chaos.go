@@ -1,0 +1,126 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"reghd/internal/fault"
+)
+
+// ErrDropped is the transport error surfaced when the chaos layer loses a
+// message in flight (random drop or partition). Senders treat it like any
+// other send failure: back off and retry within the budget.
+var ErrDropped = errors.New("repl: message dropped by chaos transport")
+
+// ErrPartitioned wraps ErrDropped for messages lost to an active partition
+// specifically, so tests and logs can tell injected loss from a severed
+// link.
+var ErrPartitioned = fmt.Errorf("%w: link partitioned", ErrDropped)
+
+// Chaos wraps a Transport with the seeded network fault modes of
+// fault.NetFaults: drop, delay, duplication, one-slot-per-link reordering,
+// and full partition. The fault decisions are drawn deterministically from
+// the NetFaults seed, so a chaos run is reproducible given the same send
+// sequence.
+//
+// Semantics relative to the Transport ack contract:
+//
+//   - drop / partition: the message is not delivered and Send returns
+//     ErrDropped / ErrPartitioned — the sender's retry path handles it.
+//   - delay: Send sleeps the injected latency before delivering; if ctx
+//     expires first the message is NOT delivered and Send returns the ctx
+//     error (the per-send timeout turns injected latency into loss, as on
+//     a real network).
+//   - duplicate: the message is delivered twice; the receiver's
+//     (replica, seq) idempotency check discards the copy.
+//   - reorder: the message is held in a one-slot stash for its (from, to)
+//     link and Send returns nil — the next message on that link is
+//     delivered first, then the held one. Drain flushes every stash, which
+//     convergence pumps call so a final held message cannot strand a round.
+type Chaos struct {
+	next   Transport
+	faults *fault.NetFaults
+
+	stashMu sync.Mutex
+	stash   map[chaosLink]*stashed
+}
+
+type chaosLink struct{ from, to int }
+
+type stashed struct {
+	to  int
+	msg Message
+}
+
+// NewChaos wraps next with the given fault decision source.
+func NewChaos(next Transport, faults *fault.NetFaults) *Chaos {
+	return &Chaos{next: next, faults: faults, stash: map[chaosLink]*stashed{}}
+}
+
+// Faults exposes the decision source (to cut and heal partitions mid-run).
+func (c *Chaos) Faults() *fault.NetFaults { return c.faults }
+
+// Send applies one fault decision to the message and forwards whatever
+// survives to the wrapped transport.
+func (c *Chaos) Send(ctx context.Context, to int, msg Message) error {
+	if c.faults.Partitioned(msg.From, to) {
+		return ErrPartitioned
+	}
+	d := c.faults.Decide(msg.From, to)
+	if d.Drop {
+		return ErrDropped
+	}
+	if d.Delay > 0 {
+		t := time.NewTimer(d.Delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("repl: delayed send aborted: %w", ctx.Err())
+		case <-t.C:
+		}
+	}
+	link := chaosLink{from: msg.From, to: to}
+	c.stashMu.Lock()
+	held := c.stash[link]
+	delete(c.stash, link)
+	if d.Reorder && held == nil {
+		c.stash[link] = &stashed{to: to, msg: msg}
+		c.stashMu.Unlock()
+		// Held back to swap with the link's next message; the ack stands
+		// because Drain guarantees eventual delivery.
+		return nil
+	}
+	c.stashMu.Unlock()
+	deliveries := []Message{msg}
+	if d.Duplicate {
+		deliveries = append(deliveries, msg)
+	}
+	if held != nil {
+		deliveries = append(deliveries, held.msg)
+	}
+	for _, m := range deliveries {
+		if err := c.next.Send(ctx, to, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain delivers every stashed (reorder-held) message. Convergence pumps
+// call it between rounds so the last message on a link cannot stay held
+// forever.
+func (c *Chaos) Drain(ctx context.Context) error {
+	c.stashMu.Lock()
+	held := c.stash
+	c.stash = map[chaosLink]*stashed{}
+	c.stashMu.Unlock()
+	for _, s := range held {
+		if err := c.next.Send(ctx, s.to, s.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"reghd/internal/core"
+)
+
+// HTTP wire shape of a delta exchange: the payload travels as the POST
+// body (it is already a self-checking binary frame), the routing fields as
+// headers. cmd/reghd-replica mounts DeltaHandler under DeltaPath.
+const (
+	// DeltaPath is the HTTP route replicas exchange deltas on.
+	DeltaPath = "/repl/delta"
+	// headerFrom and headerSeq carry Message.From and Message.Seq.
+	headerFrom = "X-Reghd-From"
+	headerSeq  = "X-Reghd-Seq"
+)
+
+// HTTPTransport ships messages as POST requests to peer base URLs — the
+// production Transport under cmd/reghd-replica, where each replica is its
+// own process. Send honors ctx for the per-attempt timeout; any non-2xx
+// status is a failed delivery (the replica's retry path handles it).
+type HTTPTransport struct {
+	peers  map[int]string
+	client *http.Client
+}
+
+// NewHTTPTransport builds a transport from a map of replica ID → base URL
+// (e.g. {1: "http://127.0.0.1:8082"}). The client is shared; per-send
+// deadlines come from the ctx each Send receives.
+func NewHTTPTransport(peers map[int]string) *HTTPTransport {
+	m := make(map[int]string, len(peers))
+	for id, u := range peers {
+		m[id] = u
+	}
+	return &HTTPTransport{peers: m, client: &http.Client{}}
+}
+
+// Send POSTs the message to the peer's DeltaPath.
+func (t *HTTPTransport) Send(ctx context.Context, to int, msg Message) error {
+	base, ok := t.peers[to]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownReplica, to)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+DeltaPath, bytes.NewReader(msg.Payload))
+	if err != nil {
+		return fmt.Errorf("repl: building delta request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(headerFrom, strconv.Itoa(msg.From))
+	req.Header.Set(headerSeq, strconv.FormatUint(msg.Seq, 10))
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: delta POST to %d: %w", to, err)
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable; the body carries only an error
+	// message on failure.
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("repl: delta POST to %d: %s: %s", to, resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// DeltaHandler serves DeltaPath: it parses the routing headers, feeds the
+// body into r.Receive, and maps the outcome to a status the sender's retry
+// logic understands — 204 for accepted (including idempotent duplicates),
+// 400 for corrupt or protocol-violating payloads (the sender resends its
+// locally intact copy), 405 for anything but POST.
+func DeltaHandler(r *Replica) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		from, err := strconv.Atoi(req.Header.Get(headerFrom))
+		if err != nil {
+			http.Error(w, "bad "+headerFrom, http.StatusBadRequest)
+			return
+		}
+		seq, err := strconv.ParseUint(req.Header.Get(headerSeq), 10, 64)
+		if err != nil {
+			http.Error(w, "bad "+headerSeq, http.StatusBadRequest)
+			return
+		}
+		payload, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+		if err != nil {
+			http.Error(w, "reading payload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := r.Receive(Message{From: from, Seq: seq, Payload: payload}); err != nil {
+			status := http.StatusBadRequest
+			if !errors.Is(err, core.ErrCorruptDelta) {
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}

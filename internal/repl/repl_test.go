@@ -1,0 +1,633 @@
+package repl_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"reghd/internal/core"
+	"reghd/internal/encoding"
+	"reghd/internal/fault"
+	"reghd/internal/repl"
+)
+
+// quantizedConfig exercises every merged store: binary clusters, binary
+// models, scales, calibration.
+func quantizedConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Models = 4
+	cfg.Seed = 11
+	cfg.ClusterMode = core.ClusterBinary
+	cfg.PredictMode = core.PredictBinaryBoth
+	return cfg
+}
+
+func fullConfig() core.Config {
+	cfg := quantizedConfig()
+	cfg.ClusterMode = core.ClusterInteger
+	cfg.PredictMode = core.PredictFull
+	return cfg
+}
+
+// newReplModel builds one fleet member's starting model. Every member uses
+// the same encoder seed and config, so all replicas start bit-identical —
+// the fleet precondition.
+func newReplModel(t testing.TB, cfg core.Config) *core.Model {
+	t.Helper()
+	enc, err := encoding.NewNonlinearProjection(rand.New(rand.NewSource(99)), 4, 256, 1.0, encoding.ProjBipolar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fastConfig keeps retry cycles short so chaos tests stay quick.
+func fastConfig(id, members int) repl.Config {
+	return repl.Config{
+		ID:          id,
+		Members:     members,
+		SendTimeout: 200 * time.Millisecond,
+		RetryBudget: 2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		JitterSeed:  7,
+	}
+}
+
+// synthRows generates the shared deterministic sample stream all fleets
+// feed from.
+func synthRows(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		xs[i] = x
+		ys[i] = 1.5*x[0] - 0.7*x[1] + 0.3*math.Sin(3*x[2]) + 0.1*x[3]
+	}
+	return xs, ys
+}
+
+// fleet is N replicas over one fabric plus the optional chaos wrapper.
+type fleet struct {
+	replicas []*repl.Replica
+	chaos    *repl.Chaos
+}
+
+// newFleet builds N replicas over an in-process Network, wrapped in a
+// chaos layer when faults is non-nil.
+func newFleet(t testing.TB, n int, cfg core.Config, faults *fault.NetFaults) *fleet {
+	t.Helper()
+	net := repl.NewNetwork()
+	f := &fleet{}
+	var tr repl.Transport = net
+	if faults != nil {
+		f.chaos = repl.NewChaos(net, faults)
+		tr = f.chaos
+	}
+	for id := 0; id < n; id++ {
+		r, err := repl.New(newReplModel(t, cfg), fastConfig(id, n), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Register(id, r.Handler())
+		f.replicas = append(f.replicas, r)
+	}
+	return f
+}
+
+// feed streams one round's shard to each replica: replica i takes rows
+// i, i+N, i+2N, … — the same partitioning on every fleet, so fleets fed
+// from the same stream are comparable bit for bit.
+func (f *fleet) feed(t testing.TB, xs [][]float64, ys []float64) {
+	t.Helper()
+	n := len(f.replicas)
+	for i, r := range f.replicas {
+		for j := i; j < len(xs); j += n {
+			if err := r.PartialFit(xs[j], ys[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// pump seals the open round everywhere and drives Flush/Drain until every
+// replica folds to the target round. Send errors are expected while chaos
+// or partitions are active; the pump only fails if the fleet cannot
+// converge within the iteration budget after faults clear.
+func (f *fleet) pump(t testing.TB, ctx context.Context, target uint64, heal func(iter int)) {
+	t.Helper()
+	for _, r := range f.replicas {
+		_ = r.Seal(ctx) // errors here are chaos loss; Flush below retries
+	}
+	for iter := 0; iter < 400; iter++ {
+		if heal != nil {
+			heal(iter)
+		}
+		// Flush everyone: a replica that already folded may still hold
+		// unacked deltas its laggard peers need.
+		for _, r := range f.replicas {
+			_ = r.Flush(ctx)
+		}
+		if f.chaos != nil {
+			if err := f.chaos.Drain(ctx); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		}
+		done := true
+		for _, r := range f.replicas {
+			if r.Round() < target {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+	}
+	for _, r := range f.replicas {
+		t.Logf("replica status: %+v", r.Status())
+	}
+	t.Fatalf("fleet did not reach round %d", target)
+}
+
+// fingerprints returns every replica's merged-state digest.
+func (f *fleet) fingerprints() []uint64 {
+	fps := make([]uint64, len(f.replicas))
+	for i, r := range f.replicas {
+		fps[i] = r.Fingerprint()
+	}
+	return fps
+}
+
+// TestReplConvergenceChaos is the headline chaos suite: a 3-replica fleet
+// under seeded drop/delay/duplicate/reorder faults, with a different full
+// partition window per fleet (different heal orderings), must fold every
+// round to a Float64bits-identical state — identical across the replicas
+// of each fleet, across the two differently-faulted fleets, and identical
+// to a fault-free reference fleet fed the same stream. Both merge paths
+// (quantized vote and full-precision) are covered. Run under -race by
+// `make race` / `make chaos`.
+func TestReplConvergenceChaos(t *testing.T) {
+	const members, rounds, perRound = 3, 4, 45
+	for _, tc := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"quantized", quantizedConfig()},
+		{"full-precision", fullConfig()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			clean := newFleet(t, members, tc.cfg, nil)
+			chaosA := mustFaults(t, fault.NetConfig{
+				Drop: 0.15, Delay: 0.2, MaxDelay: 2 * time.Millisecond,
+				Duplicate: 0.15, Reorder: 0.15, Seed: 31,
+			})
+			fleetA := newFleet(t, members, tc.cfg, chaosA)
+			chaosB := mustFaults(t, fault.NetConfig{
+				Drop: 0.25, Delay: 0.1, MaxDelay: time.Millisecond,
+				Duplicate: 0.25, Reorder: 0.1, Seed: 77,
+			})
+			fleetB := newFleet(t, members, tc.cfg, chaosB)
+
+			for round := 1; round <= rounds; round++ {
+				xs, ys := synthRows(perRound, int64(round))
+				for _, f := range []*fleet{clean, fleetA, fleetB} {
+					f.feed(t, xs, ys)
+				}
+				clean.pump(t, ctx, uint64(round), nil)
+				// Fleet A loses replica 0 at the start of even rounds,
+				// fleet B loses replica 2 — two different partition/heal
+				// orderings over the same stream.
+				partition := func(ch *fault.NetFaults, victim int) func(int) {
+					if round%2 != 0 {
+						return nil
+					}
+					ch.Isolate(victim)
+					return func(iter int) {
+						if iter == 5 {
+							ch.HealAll()
+						}
+					}
+				}
+				fleetA.pump(t, ctx, uint64(round), partition(chaosA, 0))
+				fleetB.pump(t, ctx, uint64(round), partition(chaosB, 2))
+			}
+
+			want := clean.fingerprints()[0]
+			for name, f := range map[string]*fleet{"clean": clean, "chaosA": fleetA, "chaosB": fleetB} {
+				for i, fp := range f.fingerprints() {
+					if fp != want {
+						t.Errorf("%s replica %d fingerprint %#x, want %#x", name, i, fp, want)
+					}
+				}
+				wantSamples := uint64(rounds * perRound)
+				for i, r := range f.replicas {
+					if got := r.Samples(); got != wantSamples {
+						t.Errorf("%s replica %d merged %d samples, want %d", name, i, got, wantSamples)
+					}
+				}
+			}
+			// The healed fleet serves the merged state: every engine
+			// answers, and identically across replicas.
+			probe := []float64{0.2, -0.4, 0.6, 0.1}
+			base, err := fleetA.replicas[0].Predict(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range fleetA.replicas[1:] {
+				y, err := r.Predict(probe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(y) != math.Float64bits(base) {
+					t.Errorf("replica %d predicts %v, replica 0 predicts %v", i+1, y, base)
+				}
+			}
+		})
+	}
+}
+
+func mustFaults(t testing.TB, cfg fault.NetConfig) *fault.NetFaults {
+	t.Helper()
+	nf, err := fault.NewNetFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nf
+}
+
+// recordingTransport captures every delivered message for later replay.
+type recordingTransport struct {
+	next repl.Transport
+	msgs []captured
+}
+
+type captured struct {
+	to  int
+	msg repl.Message
+}
+
+func (r *recordingTransport) Send(ctx context.Context, to int, msg repl.Message) error {
+	if err := r.next.Send(ctx, to, msg); err != nil {
+		return err
+	}
+	r.msgs = append(r.msgs, captured{to: to, msg: msg})
+	return nil
+}
+
+// TestReplIdempotency pins the (replica, sync-seq) dedup: replaying every
+// delivered delta — simulating retries and transport duplicates — changes
+// neither the merged state nor the sample census.
+func TestReplIdempotency(t *testing.T) {
+	ctx := context.Background()
+	net := repl.NewNetwork()
+	rec := &recordingTransport{next: net}
+	replicas := make([]*repl.Replica, 2)
+	for id := range replicas {
+		r, err := repl.New(newReplModel(t, quantizedConfig()), fastConfig(id, 2), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Register(id, r.Handler())
+		replicas[id] = r
+	}
+	xs, ys := synthRows(30, 5)
+	for i := range xs {
+		if err := replicas[i%2].PartialFit(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range replicas {
+		if err := r.Seal(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range replicas {
+		if r.Round() != 1 {
+			t.Fatalf("replica %d at round %d after clean exchange", i, r.Round())
+		}
+	}
+	fpBefore := []uint64{replicas[0].Fingerprint(), replicas[1].Fingerprint()}
+	if fpBefore[0] != fpBefore[1] {
+		t.Fatalf("fleet diverged before replay: %#x vs %#x", fpBefore[0], fpBefore[1])
+	}
+	if got := replicas[0].Samples(); got != 30 {
+		t.Fatalf("merged %d samples, want 30", got)
+	}
+	// Replay every captured message three times, straight into Receive.
+	for rep := 0; rep < 3; rep++ {
+		for _, c := range rec.msgs {
+			if err := replicas[c.to].Receive(c.msg); err != nil {
+				t.Fatalf("replay rejected: %v", err)
+			}
+		}
+	}
+	for i, r := range replicas {
+		if fp := r.Fingerprint(); fp != fpBefore[i] {
+			t.Errorf("replica %d state changed under duplicate delivery: %#x → %#x", i, fpBefore[i], fp)
+		}
+		if got := r.Samples(); got != 30 {
+			t.Errorf("replica %d sample census inflated to %d by duplicates", i, got)
+		}
+	}
+}
+
+// failingTransport fails every send until healed.
+type failingTransport struct {
+	next   repl.Transport
+	broken bool
+}
+
+func (f *failingTransport) Send(ctx context.Context, to int, msg repl.Message) error {
+	if f.broken {
+		return errors.New("transport down")
+	}
+	return f.next.Send(ctx, to, msg)
+}
+
+// TestReplHealthStates pins the live → suspect → dead ladder and the
+// revival on a successful send.
+func TestReplHealthStates(t *testing.T) {
+	ctx := context.Background()
+	net := repl.NewNetwork()
+	ft := &failingTransport{next: net, broken: true}
+	cfg0 := fastConfig(0, 2)
+	cfg0.SuspectAfter = 2
+	cfg0.DeadAfter = 5
+	cfg0.RetryBudget = 1
+	r0, err := repl.New(newReplModel(t, quantizedConfig()), cfg0, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := repl.New(newReplModel(t, quantizedConfig()), fastConfig(1, 2), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register(0, r0.Handler())
+	net.Register(1, r1.Handler())
+
+	xs, ys := synthRows(10, 9)
+	for i := range xs {
+		if err := r0.PartialFit(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r0.Seal(ctx); err == nil {
+		t.Fatal("Seal over a dead transport reported success")
+	}
+	if st := r0.Status().Peers[1].State; st != repl.Suspect {
+		t.Fatalf("after one failed cycle peer state = %v, want suspect", st)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r0.Flush(ctx); err == nil {
+			t.Fatal("Flush over a dead transport reported success")
+		}
+	}
+	if st := r0.Status().Peers[1].State; st != repl.Dead {
+		t.Fatalf("after repeated failed cycles peer state = %v, want dead", st)
+	}
+	// The fleet is stalled but the replica is alive; heal and flush.
+	ft.broken = false
+	if err := r1.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := r0.Status().Peers[1].State; st != repl.Live {
+		t.Fatalf("after successful send peer state = %v, want live", st)
+	}
+	if r0.Round() != 1 || r1.Round() != 1 {
+		t.Fatalf("fleet did not fold after heal: rounds %d/%d", r0.Round(), r1.Round())
+	}
+}
+
+// TestReplQueueBound pins the sealed-mode admission contract: samples
+// queue up to QueueCap, overflow returns ErrQueueFull, and the queue
+// replays into the next round at fold time.
+func TestReplQueueBound(t *testing.T) {
+	ctx := context.Background()
+	net := repl.NewNetwork()
+	ft := &failingTransport{next: net, broken: true}
+	cfg0 := fastConfig(0, 2)
+	cfg0.QueueCap = 4
+	cfg0.RetryBudget = 0
+	r0, err := repl.New(newReplModel(t, quantizedConfig()), cfg0, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := repl.New(newReplModel(t, quantizedConfig()), fastConfig(1, 2), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register(0, r0.Handler())
+	net.Register(1, r1.Handler())
+
+	xs, ys := synthRows(10, 13)
+	if err := r0.PartialFit(xs[0], ys[0]); err != nil {
+		t.Fatal(err)
+	}
+	_ = r0.Seal(ctx) // transport down: sealed, delta undelivered
+	for i := 1; i <= 4; i++ {
+		if err := r0.PartialFit(xs[i], ys[i]); err != nil {
+			t.Fatalf("queued sample %d: %v", i, err)
+		}
+	}
+	if err := r0.PartialFit(xs[5], ys[5]); !errors.Is(err, repl.ErrQueueFull) {
+		t.Fatalf("overflow sample error = %v, want ErrQueueFull", err)
+	}
+	if got := r0.Status().QueueLen; got != 4 {
+		t.Fatalf("queue length %d, want 4", got)
+	}
+	ft.broken = false
+	if err := r1.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r0.Round() != 1 {
+		t.Fatalf("round %d after heal, want 1", r0.Round())
+	}
+	st := r0.Status()
+	if st.QueueLen != 0 {
+		t.Fatalf("queue not replayed at fold: %d left", st.QueueLen)
+	}
+	// The replayed samples belong to round 2: seal it and verify they land.
+	if err := r0.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Seal(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := r0.Samples(); got != 5 {
+		t.Fatalf("merged %d samples across two rounds, want 5", got)
+	}
+}
+
+// TestReplDegradedServing pins degraded-mode availability: while a
+// partition stalls folding, every replica keeps serving its last merged
+// snapshot; after heal the fold publishes a fresh one.
+func TestReplDegradedServing(t *testing.T) {
+	ctx := context.Background()
+	faults := mustFaults(t, fault.NetConfig{Seed: 3})
+	f := newFleet(t, 3, quantizedConfig(), faults)
+
+	xs, ys := synthRows(40, 17)
+	f.feed(t, xs, ys)
+	f.pump(t, ctx, 1, nil)
+	eng := f.replicas[1].Engine()
+	if eng == nil {
+		t.Fatal("no engine after first trained fold")
+	}
+	seqBefore := eng.PublishSeq()
+	yBefore, err := f.replicas[1].Predict(xs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Isolate(1)
+	xs2, ys2 := synthRows(40, 18)
+	f.feed(t, xs2, ys2)
+	for _, r := range f.replicas {
+		_ = r.Seal(ctx) // partition: round 2 cannot fold
+	}
+	for _, r := range f.replicas {
+		if r.Round() != 1 {
+			t.Fatalf("replica folded through a partition (round %d)", r.Round())
+		}
+	}
+	// Degraded mode: the isolated replica still answers from the round-1
+	// snapshot.
+	yDuring, err := f.replicas[1].Predict(xs[0])
+	if err != nil {
+		t.Fatalf("degraded-mode predict failed: %v", err)
+	}
+	if math.Float64bits(yDuring) != math.Float64bits(yBefore) ||
+		f.replicas[1].Engine().PublishSeq() != seqBefore {
+		t.Fatal("partition changed the served snapshot")
+	}
+
+	faults.HealAll()
+	f.pump(t, ctx, 2, nil)
+	if f.replicas[1].Engine().PublishSeq() == seqBefore {
+		t.Fatal("heal did not publish the merged round")
+	}
+	fps := f.fingerprints()
+	for i, fp := range fps[1:] {
+		if fp != fps[0] {
+			t.Fatalf("replica %d diverged after heal", i+1)
+		}
+	}
+}
+
+// TestReplStartStop pins the background anti-entropy loop: it seals and
+// folds on its own, and the stop function terminates the goroutine (the
+// goroleak contract).
+func TestReplStartStop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := newFleet(t, 2, quantizedConfig(), nil)
+	xs, ys := synthRows(20, 23)
+	f.feed(t, xs, ys)
+	var stops []func()
+	for _, r := range f.replicas {
+		stops = append(stops, r.Start(ctx, 5*time.Millisecond))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, r := range f.replicas {
+			if r.Round() < 1 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never folded round 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, stop := range stops {
+		stop()
+	}
+	fps := f.fingerprints()
+	if fps[0] != fps[1] {
+		t.Fatalf("fleet diverged under the background loop: %#x vs %#x", fps[0], fps[1])
+	}
+}
+
+// TestReplHTTPTransport runs a 2-replica fleet over real HTTP — the
+// cmd/reghd-replica wire path — and checks convergence plus the corrupt-
+// payload rejection status.
+func TestReplHTTPTransport(t *testing.T) {
+	ctx := context.Background()
+	replicas := make([]*repl.Replica, 2)
+	urls := map[int]string{}
+	for id := range replicas {
+		id := id
+		mux := http.NewServeMux()
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		urls[id] = srv.URL
+		// Handler installed after both replicas exist.
+		mux.HandleFunc(repl.DeltaPath, func(w http.ResponseWriter, req *http.Request) {
+			repl.DeltaHandler(replicas[id]).ServeHTTP(w, req)
+		})
+	}
+	for id := range replicas {
+		peers := map[int]string{}
+		for pid, u := range urls {
+			if pid != id {
+				peers[pid] = u
+			}
+		}
+		r, err := repl.New(newReplModel(t, quantizedConfig()), fastConfig(id, 2), repl.NewHTTPTransport(peers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	xs, ys := synthRows(24, 29)
+	for i := range xs {
+		if err := replicas[i%2].PartialFit(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range replicas {
+		if err := r.Seal(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replicas[0].Round() != 1 || replicas[1].Round() != 1 {
+		t.Fatalf("HTTP fleet did not fold: rounds %d/%d", replicas[0].Round(), replicas[1].Round())
+	}
+	if a, b := replicas[0].Fingerprint(), replicas[1].Fingerprint(); a != b {
+		t.Fatalf("HTTP fleet diverged: %#x vs %#x", a, b)
+	}
+	// A corrupt payload must come back as a client error, not an ack.
+	resp, err := http.Post(urls[0]+repl.DeltaPath, "application/octet-stream", bytes.NewReader([]byte("garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt payload status %d, want 400", resp.StatusCode)
+	}
+}

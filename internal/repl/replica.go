@@ -1,0 +1,631 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"reghd"
+	"reghd/internal/core"
+	"reghd/internal/hdc"
+	"reghd/internal/obs"
+)
+
+// PeerState is a peer's health as seen from one replica: Live while sends
+// succeed, Suspect after SuspectAfter consecutive failed attempts, Dead
+// after DeadAfter. A single successful send revives the peer to Live. A
+// dead peer stalls folding (the round barrier needs every member), so the
+// replica keeps serving its last merged snapshot — degraded but available —
+// and keeps probing the peer on every Flush.
+type PeerState int
+
+const (
+	Live PeerState = iota
+	Suspect
+	Dead
+)
+
+// String names the state.
+func (s PeerState) String() string {
+	switch s {
+	case Live:
+		return "live"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("peerstate(%d)", int(s))
+	}
+}
+
+// ErrQueueFull is returned by PartialFit when the replica is sealed
+// (awaiting a fold) and the bounded sample queue is at capacity — the
+// replication analogue of admission shedding: the caller drops or defers
+// the sample instead of the replica buffering without bound through a long
+// partition.
+var ErrQueueFull = errors.New("repl: sealed and sample queue full")
+
+// Config parameterizes a Replica.
+type Config struct {
+	// ID is this replica's fleet ID; Members the fixed fleet size. IDs run
+	// 0..Members-1.
+	ID, Members int
+	// QueueCap bounds the samples buffered between seal and fold
+	// (default 1024).
+	QueueCap int
+	// SendTimeout bounds each individual send attempt (default 2s).
+	SendTimeout time.Duration
+	// RetryBudget is how many times a failed send is retried within one
+	// delivery cycle (default 5); between attempts the sender backs off
+	// exponentially from BackoffBase to BackoffMax (defaults 10ms, 1s)
+	// with ±50% jitter drawn from JitterSeed.
+	RetryBudget int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	JitterSeed  int64
+	// SuspectAfter and DeadAfter are the consecutive failed-attempt counts
+	// demoting a peer live → suspect → dead (defaults 3 and 12).
+	SuspectAfter, DeadAfter int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 1024
+	}
+	if c.SendTimeout == 0 {
+		c.SendTimeout = 2 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 5
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 12
+	}
+	return c
+}
+
+// Validate rejects impossible fleets.
+func (c Config) Validate() error {
+	if c.Members < 1 {
+		return fmt.Errorf("repl: fleet needs at least 1 member, got %d", c.Members)
+	}
+	if c.ID < 0 || c.ID >= c.Members {
+		return fmt.Errorf("repl: ID %d outside fleet 0..%d", c.ID, c.Members-1)
+	}
+	if c.QueueCap < 0 || c.RetryBudget < 0 {
+		return fmt.Errorf("repl: negative QueueCap/RetryBudget")
+	}
+	if c.SuspectAfter > c.DeadAfter {
+		return fmt.Errorf("repl: SuspectAfter %d exceeds DeadAfter %d", c.SuspectAfter, c.DeadAfter)
+	}
+	return nil
+}
+
+// sample is one queued (x, y) pair buffered while sealed.
+type sample struct {
+	x []float64
+	y float64
+}
+
+// outEntry is one sealed round awaiting peer acknowledgements. The outbox
+// holds at most two entries: a replica cannot seal round F+2 before
+// folding F+1, and folding F+1 proves every peer progressed enough to have
+// produced F+1 themselves.
+type outEntry struct {
+	payload []byte
+	acked   map[int]bool
+}
+
+// peerHealth tracks one peer's consecutive send failures and derived state.
+type peerHealth struct {
+	state PeerState
+	fails int
+}
+
+// Replica is one member of a delta-sync fleet. It owns the merged base
+// model, the local training model, and (once trained) a reghd.Engine
+// serving the latest merged snapshot. All methods are safe for concurrent
+// use; the transport is never called while the replica mutex is held.
+type Replica struct {
+	cfg       Config
+	tr        Transport
+	quantized bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu       sync.Mutex
+	base     *core.Model
+	local    *core.Model
+	engine   *reghd.Engine
+	frontier uint64
+	sealed   bool
+	queue    []sample
+	pending  map[uint64]map[int]*core.Delta
+	outbox   map[uint64]*outEntry
+	peers    map[int]*peerHealth
+	lastErr  error
+}
+
+// New builds a replica around model (taking ownership of it) talking over
+// tr. Every fleet member must start from a bit-identical model state —
+// typically the same construction seed, or the same warm-start checkpoint —
+// or the round deltas will not be mergeable.
+func New(model *core.Model, cfg Config, tr Transport) (*Replica, error) {
+	if model == nil {
+		return nil, errors.New("repl: nil model")
+	}
+	if tr == nil {
+		return nil, errors.New("repl: nil transport")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mcfg := model.Config()
+	r := &Replica{
+		cfg:       cfg,
+		tr:        tr,
+		quantized: mcfg.PredictMode.UsesBinaryModel() || mcfg.ClusterMode == core.ClusterBinary,
+		rng:       rand.New(rand.NewSource(cfg.JitterSeed + int64(cfg.ID))),
+		base:      model,
+		pending:   map[uint64]map[int]*core.Delta{},
+		outbox:    map[uint64]*outEntry{},
+		peers:     map[int]*peerHealth{},
+	}
+	for id := 0; id < cfg.Members; id++ {
+		if id != cfg.ID {
+			r.peers[id] = &peerHealth{}
+		}
+	}
+	r.resetLocalLocked()
+	if model.Trained() {
+		eng, err := reghd.NewEngine(model.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("repl: wrapping serving engine: %w", err)
+		}
+		r.engine = eng
+	}
+	return r, nil
+}
+
+// resetLocalLocked re-clones the training model from base and replays any
+// queued samples into it. Callers hold r.mu.
+func (r *Replica) resetLocalLocked() {
+	r.local = r.base.Clone()
+	r.local.TrainCounter = &hdc.Counter{}
+	r.local.MarkSync()
+	queued := r.queue
+	r.queue = nil
+	r.sealed = false
+	for _, s := range queued {
+		if err := r.local.PartialFit(s.x, s.y); err != nil {
+			// Queued samples were validated at enqueue; a failure here is a
+			// model-level fault, surfaced through LastErr.
+			r.lastErr = fmt.Errorf("repl: replaying queued sample: %w", err)
+		}
+	}
+}
+
+// PartialFit streams one training sample into the replica: directly into
+// the local model while the current round is open, into the bounded queue
+// while sealed (the sample then joins the next round at fold time).
+func (r *Replica) PartialFit(x []float64, y float64) error {
+	if err := core.ValidateRow(x, r.featuresLocked()); err != nil {
+		return err
+	}
+	if err := core.ValidateTarget(y); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sealed {
+		if len(r.queue) >= r.cfg.QueueCap {
+			return ErrQueueFull
+		}
+		r.queue = append(r.queue, sample{x: append([]float64(nil), x...), y: y})
+		return nil
+	}
+	return r.local.PartialFit(x, y)
+}
+
+// featuresLocked reads the model's input width (the encoder is immutable,
+// so no lock is needed).
+func (r *Replica) featuresLocked() int { return r.base.Encoder().Features() }
+
+// Seal closes the current sync round: it captures the local model's delta,
+// applies it to this replica's own pending slot, and ships it to every
+// peer (with per-send timeout, backoff, and the retry budget). Sealing an
+// already-sealed round is a no-op — the round must fold before the next
+// one opens. Training continues into the bounded queue while sealed.
+func (r *Replica) Seal(ctx context.Context) error {
+	r.mu.Lock()
+	if r.sealed {
+		r.mu.Unlock()
+		return r.Flush(ctx)
+	}
+	seq := r.frontier + 1
+	delta, err := r.local.Delta()
+	if err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("repl: sealing round %d: %w", seq, err)
+	}
+	payload, err := delta.Encode()
+	if err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("repl: encoding round %d: %w", seq, err)
+	}
+	r.sealed = true
+	r.addPendingLocked(seq, r.cfg.ID, delta)
+	r.outbox[seq] = &outEntry{payload: payload, acked: map[int]bool{}}
+	r.foldLocked()
+	r.mu.Unlock()
+	return r.Flush(ctx)
+}
+
+// Flush delivers every unacknowledged outbox entry to its remaining peers
+// — the anti-entropy resend path healing drops, partitions, and restarts.
+// Each (entry, peer) delivery runs the full retry/backoff cycle; peers
+// that stay unreachable keep their entries for the next Flush.
+func (r *Replica) Flush(ctx context.Context) error {
+	type job struct {
+		to  int
+		msg Message
+	}
+	r.mu.Lock()
+	var jobs []job
+	for seq, e := range r.outbox {
+		for id := range r.peers {
+			if !e.acked[id] {
+				jobs = append(jobs, job{to: id, msg: Message{From: r.cfg.ID, Seq: seq, Payload: e.payload}})
+			}
+		}
+	}
+	r.mu.Unlock()
+	var firstErr error
+	for _, j := range jobs {
+		err := r.sendWithRetry(ctx, j.to, j.msg)
+		r.mu.Lock()
+		if err == nil {
+			if e := r.outbox[j.msg.Seq]; e != nil {
+				e.acked[j.to] = true
+				if len(e.acked) == len(r.peers) {
+					delete(r.outbox, j.msg.Seq)
+				}
+			}
+		} else {
+			r.lastErr = err
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		r.mu.Unlock()
+		if ctx.Err() != nil {
+			return fmt.Errorf("repl: flush aborted: %w", ctx.Err())
+		}
+	}
+	return firstErr
+}
+
+// sendWithRetry runs one delivery cycle to peer `to`: up to 1+RetryBudget
+// attempts, each bounded by SendTimeout, with jittered exponential backoff
+// between attempts. Health transitions are recorded per attempt.
+func (r *Replica) sendWithRetry(ctx context.Context, to int, msg Message) error {
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.RetryBudget; attempt++ {
+		if attempt > 0 {
+			obs.Repl.Retry()
+			if err := r.backoff(ctx, attempt); err != nil {
+				return err
+			}
+		}
+		obs.Repl.Send(len(msg.Payload))
+		sctx, cancel := context.WithTimeout(ctx, r.cfg.SendTimeout)
+		err := r.tr.Send(sctx, to, msg)
+		cancel()
+		if err == nil {
+			r.peerResult(to, true)
+			return nil
+		}
+		lastErr = err
+		obs.Repl.SendError()
+		r.peerResult(to, false)
+	}
+	obs.Repl.Drop()
+	return fmt.Errorf("repl: delta (from %d, seq %d) to %d undelivered after %d attempts: %w",
+		msg.From, msg.Seq, to, r.cfg.RetryBudget+1, lastErr)
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt
+// (1-based), honoring ctx.
+func (r *Replica) backoff(ctx context.Context, attempt int) error {
+	d := r.cfg.BackoffBase << uint(attempt-1)
+	if d > r.cfg.BackoffMax || d <= 0 {
+		d = r.cfg.BackoffMax
+	}
+	r.rngMu.Lock()
+	// ±50% jitter decorrelates a fleet retrying into the same heal.
+	d = d/2 + time.Duration(r.rng.Int63n(int64(d)))
+	r.rngMu.Unlock()
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return fmt.Errorf("repl: backoff aborted: %w", ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}
+
+// peerResult folds one send outcome into the peer's health state.
+func (r *Replica) peerResult(to int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.peers[to]
+	if p == nil {
+		return
+	}
+	if ok {
+		p.fails = 0
+		p.state = Live
+		return
+	}
+	p.fails++
+	if p.fails >= r.cfg.DeadAfter && p.state != Dead {
+		p.state = Dead
+		obs.Repl.Dead()
+	} else if p.fails >= r.cfg.SuspectAfter && p.state == Live {
+		p.state = Suspect
+		obs.Repl.Suspect()
+	}
+}
+
+// Receive applies one incoming message: decode, idempotency check, buffer,
+// fold if the round completed. It is the Handler side of the protocol —
+// wire it to the transport with Handler().
+func (r *Replica) Receive(msg Message) error {
+	if msg.From < 0 || msg.From >= r.cfg.Members || msg.From == r.cfg.ID {
+		return fmt.Errorf("repl: message from invalid member %d", msg.From)
+	}
+	if msg.Seq == 0 {
+		return errors.New("repl: message seals round 0")
+	}
+	delta, err := core.DecodeDelta(msg.Payload)
+	if err != nil {
+		obs.Repl.Corrupt()
+		return fmt.Errorf("repl: from %d seq %d: %w", msg.From, msg.Seq, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if msg.Seq <= r.frontier || r.pending[msg.Seq][msg.From] != nil {
+		// Already folded or already buffered: a retry or a transport
+		// duplicate. Acknowledge without applying — this is the
+		// (replica, sync-seq) idempotency key at work.
+		obs.Repl.Duplicate()
+		return nil
+	}
+	if msg.Seq > r.frontier+2 {
+		// A correct peer is at most one fold ahead; anything further is a
+		// protocol violation, not congestion.
+		return fmt.Errorf("repl: message seals round %d but frontier is %d", msg.Seq, r.frontier)
+	}
+	obs.Repl.Recv(len(msg.Payload))
+	r.addPendingLocked(msg.Seq, msg.From, delta)
+	r.foldLocked()
+	return nil
+}
+
+// Handler adapts Receive to the transport Handler shape.
+func (r *Replica) Handler() Handler { return r.Receive }
+
+// addPendingLocked buffers one member's sealed delta for its round.
+func (r *Replica) addPendingLocked(seq uint64, from int, d *core.Delta) {
+	round := r.pending[seq]
+	if round == nil {
+		round = map[int]*core.Delta{}
+		r.pending[seq] = round
+	}
+	round[from] = d
+}
+
+// foldLocked merges round frontier+1 into base once every member's delta
+// is present, advances the frontier, reopens local training (replaying the
+// queued samples), and republishes the merged state through the engine
+// snapshot path. The merge folds deltas in a canonical content-derived
+// order (core.sortDeltas), so every replica folding the same round reaches
+// a Float64bits-identical base regardless of arrival order.
+func (r *Replica) foldLocked() {
+	seq := r.frontier + 1
+	round := r.pending[seq]
+	if len(round) < r.cfg.Members {
+		return
+	}
+	deltas := make([]*core.Delta, 0, len(round))
+	for _, d := range round {
+		deltas = append(deltas, d)
+	}
+	var err error
+	if r.quantized {
+		err = r.base.MergeQuantized(deltas...)
+	} else {
+		err = r.base.Merge(deltas...)
+	}
+	if err != nil {
+		// A delta that decoded cleanly but fails the shape check means the
+		// fleet disagrees on configuration; surface it and keep serving.
+		r.lastErr = fmt.Errorf("repl: folding round %d: %w", seq, err)
+		return
+	}
+	delete(r.pending, seq)
+	r.frontier = seq
+	obs.Repl.Merge()
+	obs.Repl.SetRound(r.frontier)
+	r.resetLocalLocked()
+	r.republishLocked()
+}
+
+// republishLocked pushes base into the serving engine (creating it at the
+// first trained fold) and publishes a fresh snapshot.
+func (r *Replica) republishLocked() {
+	if r.engine == nil {
+		if !r.base.Trained() {
+			return
+		}
+		eng, err := reghd.NewEngine(r.base.Clone())
+		if err != nil {
+			r.lastErr = fmt.Errorf("repl: wrapping serving engine: %w", err)
+			return
+		}
+		r.engine = eng
+		obs.Repl.PublishSnapshot()
+		return
+	}
+	if err := r.engine.Update(func(m *reghd.Model) error { return m.AdoptState(r.base) }); err != nil {
+		r.lastErr = fmt.Errorf("repl: republishing round %d: %w", r.frontier, err)
+		return
+	}
+	obs.Repl.PublishSnapshot()
+}
+
+// Predict serves one prediction from the engine's last merged snapshot —
+// during partitions and stalled folds this is degraded-mode serving: stale
+// but consistent state stays available. Before the first trained fold it
+// returns reghd.ErrNotTrained.
+func (r *Replica) Predict(x []float64) (float64, error) {
+	r.mu.Lock()
+	eng := r.engine
+	r.mu.Unlock()
+	if eng == nil {
+		return 0, reghd.ErrNotTrained
+	}
+	return eng.Predict(x)
+}
+
+// Engine exposes the serving engine (nil before the first trained fold).
+func (r *Replica) Engine() *reghd.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine
+}
+
+// Round reports the frontier: the highest folded sync round.
+func (r *Replica) Round() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frontier
+}
+
+// Samples reports the merged base model's training-sample census — the
+// quantity the idempotent delta application protects: retries and
+// duplicates must never inflate it.
+func (r *Replica) Samples() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base.SampleCount()
+}
+
+// Fingerprint digests the merged base state (core.Model.StateFingerprint);
+// equal fingerprints across the fleet mean bit-identical convergence.
+func (r *Replica) Fingerprint() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base.StateFingerprint()
+}
+
+// PeerStatus is one peer's health as reported by Status.
+type PeerStatus struct {
+	State PeerState `json:"state"`
+	Fails int       `json:"consecutive_failures"`
+}
+
+// Status is a point-in-time view of the replica, served by
+// cmd/reghd-replica's /replstatus endpoint.
+type Status struct {
+	ID          int                `json:"id"`
+	Round       uint64             `json:"round"`
+	Sealed      bool               `json:"sealed"`
+	QueueLen    int                `json:"queue_len"`
+	OutboxLen   int                `json:"outbox_len"`
+	Fingerprint uint64             `json:"fingerprint"`
+	Trained     bool               `json:"trained"`
+	Peers       map[int]PeerStatus `json:"peers"`
+	LastErr     string             `json:"last_err,omitempty"`
+}
+
+// Status snapshots the replica.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Status{
+		ID:          r.cfg.ID,
+		Round:       r.frontier,
+		Sealed:      r.sealed,
+		QueueLen:    len(r.queue),
+		OutboxLen:   len(r.outbox),
+		Fingerprint: r.base.StateFingerprint(),
+		Trained:     r.base.Trained(),
+		Peers:       map[int]PeerStatus{},
+	}
+	for id, p := range r.peers {
+		s.Peers[id] = PeerStatus{State: p.state, Fails: p.fails}
+	}
+	if r.lastErr != nil {
+		s.LastErr = r.lastErr.Error()
+	}
+	return s
+}
+
+// LastErr reports the most recent background protocol error (nil when the
+// replica is healthy).
+func (r *Replica) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// Start runs the anti-entropy loop in the background: every interval the
+// replica seals the open round (shipping its delta) and flushes unacked
+// outbox entries. The loop stops when ctx is canceled or the returned stop
+// function is called; stop blocks until the goroutine has exited.
+func (r *Replica) Start(ctx context.Context, every time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-stopCh:
+				return
+			case <-t.C:
+				if err := r.Seal(ctx); err != nil {
+					r.mu.Lock()
+					r.lastErr = err
+					r.mu.Unlock()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-done
+	}
+}

@@ -1,0 +1,87 @@
+// Package repl is the fault-tolerant multi-replica delta-sync layer: N
+// replicas each own a reghd.Engine, train locally via PartialFit, and
+// periodically ship compact wire-encoded core.Delta payloads to their peers
+// over a pluggable Transport. A coordinator-free anti-entropy loop folds
+// each completed sync round into a merged base via Merge/MergeQuantized
+// and republishes it through the existing engine snapshot path.
+//
+// The protocol is round-based. The fleet has a fixed membership 0..N-1;
+// every replica tracks a frontier F — the highest sync round it has folded
+// — plus two models: base (the merged state after round F, bit-identical
+// across the fleet because the bundling merge folds deltas in a canonical
+// content-derived order) and local (a clone of base absorbing this
+// replica's round-F+1 training). Sealing round F+1 freezes local's delta,
+// ships it to every peer, and queues further samples until the fold;
+// folding happens once all N members' round-F+1 deltas are present and
+// requires no coordinator — every replica computes the same merge over the
+// same multiset. Delta application is idempotent, keyed by (replica,
+// sync-seq), so retries and transport duplicates never double-count
+// samples. See docs/REPLICATION.md.
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is one replication datagram: the wire-encoded core.Delta sealing
+// sender From's sync round Seq.
+type Message struct {
+	// From is the sending replica's fleet ID.
+	From int
+	// Seq is the sync round the payload seals (rounds start at 1).
+	Seq uint64
+	// Payload is the core.Delta wire encoding (core.(*Delta).Encode).
+	Payload []byte
+}
+
+// Handler consumes one message at its destination (a replica's Receive).
+type Handler func(msg Message) error
+
+// Transport ships messages between replicas. Send returns nil only when
+// the destination accepted the message — or, for reordering transports
+// holding it back, is guaranteed to receive it eventually. Implementations
+// must honor ctx cancellation as "not delivered".
+type Transport interface {
+	Send(ctx context.Context, to int, msg Message) error
+}
+
+// ErrUnknownReplica is returned by a transport asked to reach an ID no
+// replica is registered under.
+var ErrUnknownReplica = errors.New("repl: unknown replica")
+
+// Network is the in-process Transport: a registry of replica handlers
+// invoked synchronously. It is the fabric under the chaos tests and the
+// replsync experiment; cmd/reghd-replica uses HTTPTransport instead.
+type Network struct {
+	mu       sync.RWMutex
+	handlers map[int]Handler
+}
+
+// NewNetwork builds an empty fabric.
+func NewNetwork() *Network {
+	return &Network{handlers: map[int]Handler{}}
+}
+
+// Register installs the handler receiving messages addressed to id.
+func (n *Network) Register(id int, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// Send delivers the message to the registered handler synchronously.
+func (n *Network) Send(ctx context.Context, to int, msg Message) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("repl: send aborted: %w", err)
+	}
+	n.mu.RLock()
+	h := n.handlers[to]
+	n.mu.RUnlock()
+	if h == nil {
+		return fmt.Errorf("%w: id %d", ErrUnknownReplica, to)
+	}
+	return h(msg)
+}

@@ -188,6 +188,90 @@ func TestEngineDegradedMode(t *testing.T) {
 	}
 }
 
+// TestEngineDegradedRepeatedFailures pins the recovery contract when the
+// publish path fails more than once: every retry actually reaches the
+// failpoint (no latched failure state short-circuiting the attempt), the
+// engine stays degraded and keeps serving the last known-good snapshot
+// bit-identically through the whole window, and the first successful
+// republish clears degraded mode with exactly one sequence step, carrying
+// every update absorbed while degraded.
+func TestEngineDegradedRepeatedFailures(t *testing.T) {
+	e, d := hardenFixture(t)
+	e.SetPublishEvery(2)
+	boom := errors.New("publish still down")
+	var attempts int
+	e.setPublishFailpoint(func() error {
+		attempts++
+		return boom
+	})
+
+	seqBefore := e.PublishSeq()
+	yBefore, err := e.Predict(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First failure: the automatic republication trips the failpoint.
+	var sawErr error
+	for i := 0; i < 4 && sawErr == nil; i++ {
+		sawErr = e.PartialFit(d.X[i], d.Y[i])
+	}
+	if !errors.Is(sawErr, boom) {
+		t.Fatalf("republish failure not surfaced: %v", sawErr)
+	}
+
+	// Repeated recovery attempts keep failing; each one must reach the
+	// failpoint anew and leave the serving state untouched.
+	const extraAttempts = 5
+	attemptsAfterFirst := attempts
+	for i := 0; i < extraAttempts; i++ {
+		if err := e.PartialFit(d.X[i%len(d.X)], d.Y[i%len(d.Y)]); err != nil {
+			t.Fatalf("degraded PartialFit %d: %v", i, err)
+		}
+		if err := e.Publish(); !errors.Is(err, boom) {
+			t.Fatalf("Publish attempt %d: err = %v, want failpoint error", i, err)
+		}
+		if !e.Degraded() {
+			t.Fatalf("attempt %d cleared degraded mode without a successful publish", i)
+		}
+		if e.PublishSeq() != seqBefore {
+			t.Fatalf("attempt %d moved the sequence: %d -> %d", i, seqBefore, e.PublishSeq())
+		}
+		if y, err := e.Predict(d.X[0]); err != nil || y != yBefore {
+			t.Fatalf("attempt %d changed degraded serving: y=%v err=%v, want %v", i, y, err, yBefore)
+		}
+	}
+	if attempts != attemptsAfterFirst+extraAttempts {
+		t.Fatalf("failpoint reached %d times after the first failure, want %d (a retry was short-circuited)",
+			attempts-attemptsAfterFirst, extraAttempts)
+	}
+
+	// Recovery: the failpoint heals and one successful republish restores
+	// normal serving with a single sequence step.
+	degradedSnap := e.Snapshot()
+	e.setPublishFailpoint(nil)
+	if err := e.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded() {
+		t.Fatal("successful Publish left engine degraded")
+	}
+	if e.PublishSeq() != seqBefore+1 {
+		t.Fatalf("recovery publish sequence = %d, want %d", e.PublishSeq(), seqBefore+1)
+	}
+	if m := e.Metrics(); m.Robustness.DegradedMode {
+		t.Fatal("metrics still report degraded")
+	}
+	// The republish swapped in a fresh snapshot (carrying the
+	// degraded-window updates) rather than re-serving the stale one.
+	if e.Snapshot() == degradedSnap {
+		t.Fatal("recovery publish kept serving the degraded-window snapshot")
+	}
+	if _, err := e.Predict(d.X[0]); err != nil {
+		t.Fatalf("recovered serving failed: %v", err)
+	}
+}
+
 // TestEngineChaos is the satellite-3 stress test: readers hammer the engine
 // while the writer streams a mix of good samples, invalid samples, and
 // intermittent republish failures that flip the engine in and out of
